@@ -1,0 +1,105 @@
+// Experiment E6 (paper §3): the cyclic-family machinery — enumeration of F,
+// cpaths, and the family-faulty predicates — measured over topology size.
+#include <benchmark/benchmark.h>
+
+#include "groups/generator.hpp"
+#include "groups/group_system.hpp"
+
+using namespace gam;
+using namespace gam::groups;
+
+namespace {
+
+GroupSystem make_random(int n_groups, std::uint64_t seed) {
+  Rng rng(seed);
+  TopologySpec spec;
+  spec.process_count = 12;
+  spec.group_count = n_groups;
+  spec.min_group_size = 2;
+  spec.max_group_size = 4;
+  spec.overlap_bias = 0.7;
+  return random_group_system(spec, rng);
+}
+
+}  // namespace
+
+static void BM_CyclicFamilyEnumeration(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  size_t families = 0;
+  for (auto _ : state) {
+    GroupSystem sys = make_random(n, seed++);
+    families = sys.cyclic_families().size();
+    benchmark::DoNotOptimize(families);
+  }
+  state.counters["families"] = static_cast<double>(families);
+}
+BENCHMARK(BM_CyclicFamilyEnumeration)->DenseRange(4, 12, 2);
+
+static void BM_CpathsRing(benchmark::State& state) {
+  auto k = static_cast<int>(state.range(0));
+  GroupSystem sys = ring_system(k, 1);
+  FamilyMask all = 0;
+  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths = sys.cpaths(all).size();
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["cpaths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_CpathsRing)->DenseRange(3, 8);
+
+static void BM_HamiltonianCyclesCompleteGraph(benchmark::State& state) {
+  // k groups all sharing one process: K_k intersection graph, (k-1)!/2 cycles.
+  auto k = static_cast<int>(state.range(0));
+  std::vector<ProcessSet> groups;
+  for (int i = 0; i < k; ++i) groups.push_back(ProcessSet{0, i + 1});
+  GroupSystem sys(k + 1, std::move(groups));
+  FamilyMask all = 0;
+  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  size_t cycles = 0;
+  for (auto _ : state) {
+    cycles = sys.hamiltonian_cycles(all).size();
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_HamiltonianCyclesCompleteGraph)->DenseRange(3, 8);
+
+static void BM_FamilyFaultyPairwise(benchmark::State& state) {
+  auto k = static_cast<int>(state.range(0));
+  GroupSystem sys = ring_system(k, 2);
+  FamilyMask all = 0;
+  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  sim::FailurePattern pat(sys.process_count());
+  pat.crash_at(0, 5);
+  for (auto _ : state) {
+    bool f = sys.family_faulty_at(all, pat, 10);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FamilyFaultyPairwise)->DenseRange(3, 8);
+
+static void BM_FamilyFaultyHamiltonian(benchmark::State& state) {
+  auto k = static_cast<int>(state.range(0));
+  GroupSystem sys = ring_system(k, 2);
+  FamilyMask all = 0;
+  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  sim::FailurePattern pat(sys.process_count());
+  pat.crash_at(0, 5);
+  for (auto _ : state) {
+    bool f = sys.family_faulty_hamiltonian_at(all, pat, 10);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FamilyFaultyHamiltonian)->DenseRange(3, 8);
+
+static void BM_FamiliesOfProcess(benchmark::State& state) {
+  GroupSystem sys = make_random(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    for (ProcessId p = 0; p < sys.process_count(); ++p)
+      benchmark::DoNotOptimize(sys.families_of_process(p));
+  }
+}
+BENCHMARK(BM_FamiliesOfProcess)->DenseRange(4, 10, 2);

@@ -1,0 +1,95 @@
+// Experiment E7 (paper §4.3, §7): failure tolerance of Algorithm 1 versus the
+// classical partitioned decomposition.
+//
+// On Figure 1 the finest valid decomposition is five singleton partitions, so
+// *any* crash kills a whole partition: messages to the groups containing it
+// block forever. Algorithm 1 keeps delivering at the correct destinations —
+// "our results question the common assumption of partitioning the
+// destination groups" (§8).
+#include <cstdio>
+
+#include "amcast/baselines.hpp"
+#include "amcast/mu_multicast.hpp"
+#include "amcast/spec.hpp"
+#include "amcast/workload.hpp"
+#include "groups/group_system.hpp"
+
+using namespace gam;
+using namespace gam::amcast;
+
+namespace {
+
+struct Outcome {
+  size_t delivered = 0;
+  size_t expected = 0;  // delivery obligations at correct processes
+  bool termination = false;
+  size_t blocked = 0;
+};
+
+size_t obligations(const RunRecord& rec, const groups::GroupSystem& sys,
+                   const sim::FailurePattern& pat) {
+  size_t n = 0;
+  for (const auto& m : rec.multicast) {
+    if (!pat.correct(m.src)) continue;
+    n += static_cast<size_t>(
+        (sys.group(m.dst) & pat.correct_set()).size());
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  auto sys = groups::figure1_system();
+  constexpr int kPerGroup = 3;
+
+  std::printf(
+      "Fault tolerance on Figure 1 (%d msgs/group, victim crashes at t=30)\n\n",
+      kPerGroup);
+  std::printf("%-10s | %-30s | %-30s\n", "victim", "Algorithm 1 (mu)",
+              "partitioned (finest)");
+  std::printf("%-10s | %-30s | %-30s\n", "", "delivered/expected  term",
+              "delivered/expected  blocked");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  for (int victim = -1; victim < 5; ++victim) {
+    sim::FailurePattern pat(5);
+    if (victim >= 0) pat.crash_at(victim, 30);
+
+    Outcome mu;
+    {
+      MuMulticast mc(sys, pat, {.seed = 31});
+      for (auto& m : round_robin_workload(sys, kPerGroup)) mc.submit(m);
+      auto rec = mc.run();
+      mu.delivered = rec.deliveries.size();
+      mu.expected = obligations(rec, sys, pat);
+      mu.termination = check_termination(rec, sys, pat).ok;
+    }
+    Outcome part;
+    {
+      PartitionedMulticast pm(sys, pat,
+                              PartitionedMulticast::finest_partitions(sys),
+                              {.seed = 31});
+      for (auto& m : round_robin_workload(sys, kPerGroup)) pm.submit(m);
+      auto rec = pm.run();
+      part.delivered = rec.deliveries.size();
+      part.expected = obligations(rec, sys, pat);
+      part.blocked = pm.blocked().size();
+    }
+
+    char victim_s[8];
+    std::snprintf(victim_s, sizeof victim_s, "%s",
+                  victim < 0 ? "none" : ("p" + std::to_string(victim)).c_str());
+    std::printf("%-10s | %10zu/%-8zu %5s | %10zu/%-8zu %7zu\n", victim_s,
+                mu.delivered, mu.expected, mu.termination ? "yes" : "NO",
+                part.delivered, part.expected, part.blocked);
+  }
+
+  std::printf(
+      "\nExpected shape: Algorithm 1 meets every delivery obligation "
+      "(termination 'yes' in all rows);\nthe partitioned baseline blocks "
+      "whole groups whenever their singleton partition is the victim\n"
+      "(non-zero 'blocked', missing deliveries). This is the practical payoff "
+      "of mu over the\ndecomposability assumption.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment E3 (paper §1, §2.3, citing [33, 37]): why genuineness matters.
+//
+// Workload: k pairwise-disjoint groups of 2 processes, 4 messages each. The
+// broadcast-based solution makes every process handle every message, so its
+// per-message cost grows linearly with the number of groups; the genuine
+// solutions (Algorithm 1, Skeen) keep it flat. The table reports total
+// protocol steps, steps per delivered message, and how many processes took
+// any step at all.
+#include <cstdio>
+
+#include "amcast/baselines.hpp"
+#include "amcast/mu_multicast.hpp"
+#include "amcast/replicated_multicast.hpp"
+#include "amcast/workload.hpp"
+#include "groups/generator.hpp"
+
+using namespace gam;
+using namespace gam::amcast;
+
+namespace {
+
+struct Cost {
+  std::uint64_t steps = 0;
+  size_t deliveries = 0;
+  int active = 0;
+};
+
+void print(const char* name, int k, const Cost& c) {
+  std::printf("  %-22s k=%2d  steps=%7llu  steps/msg=%7.2f  active=%2d/%2d\n",
+              name, k, static_cast<unsigned long long>(c.steps),
+              c.deliveries ? static_cast<double>(c.steps) /
+                                 static_cast<double>(c.deliveries / 2)
+                           : 0.0,
+              c.active, 2 * k);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPerGroup = 4;
+  std::printf(
+      "Genuine vs broadcast-based multicast on k disjoint groups "
+      "(%d msgs/group)\n"
+      "Expected shape: broadcast steps/msg grows ~linearly with k; genuine "
+      "stays flat.\n\n",
+      kPerGroup);
+
+  for (int k : {2, 4, 8, 12, 16}) {
+    auto sys = groups::disjoint_system(k, 2);
+    sim::FailurePattern pat(sys.process_count());
+    auto workload = round_robin_workload(sys, kPerGroup);
+
+    Cost mu_cost;
+    {
+      MuMulticast mc(sys, pat, {.seed = 7});
+      for (auto& m : workload) mc.submit(m);
+      auto rec = mc.run();
+      mu_cost = {rec.steps, rec.deliveries.size(), rec.active.size()};
+    }
+    Cost bc_cost;
+    {
+      BroadcastMulticast bc(sys, pat, {.seed = 7});
+      for (auto& m : workload) bc.submit(m);
+      auto rec = bc.run();
+      bc_cost = {rec.steps, rec.deliveries.size(), rec.active.size()};
+    }
+    Cost sk_cost;
+    {
+      SkeenMulticast sk(sys, pat, {.seed = 7});
+      for (auto& m : workload) sk.submit(m);
+      auto rec = sk.run();
+      sk_cost = {rec.steps, rec.deliveries.size(), rec.active.size()};
+    }
+
+    Cost repl_cost;
+    std::uint64_t repl_msgs = 0;
+    {
+      ReplicatedMulticast rm(sys, pat, {.seed = 7});
+      for (auto& m : workload) rm.submit(m);
+      auto rec = rm.run();
+      repl_cost = {rec.steps, rec.deliveries.size(), rec.active.size()};
+      repl_msgs = rm.messages_sent();
+    }
+
+    print("Algorithm 1 (genuine)", k, mu_cost);
+    print("Skeen (genuine)", k, sk_cost);
+    print("broadcast-based", k, bc_cost);
+    print("replicated (Paxos logs)", k, repl_cost);
+    std::printf("  %-22s k=%2d  wire messages: %llu (%.1f per delivered "
+                "copy)\n\n",
+                "", k, static_cast<unsigned long long>(repl_msgs),
+                static_cast<double>(repl_msgs) /
+                    static_cast<double>(repl_cost.deliveries));
+  }
+
+  std::printf(
+      "steps/msg normalizes by delivered messages per group member; the "
+      "broadcast rows grow with k\nbecause every process consumes every "
+      "message, the genuine rows do not (minimality, SS 2.3).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// A guided tour of the paper's Figure 1: the four destination groups, the
+// cyclic families f, f', f'', what γ reports as the intersection process
+// crashes, and how Algorithm 1 keeps delivering where the paper says it must.
+#include <cstdio>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/spec.hpp"
+#include "fd/detectors.hpp"
+#include "groups/group_system.hpp"
+
+int main() {
+  using namespace gam;
+
+  // Paper (1-based): g1={p1,p2}, g2={p2,p3}, g3={p1,p3,p4}, g4={p1,p4,p5}.
+  // Library (0-based): shift every index down by one.
+  auto sys = groups::figure1_system();
+
+  std::printf("== The topology ==\n");
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g)
+    std::printf("g%d = %s\n", g, sys.group(g).to_string().c_str());
+
+  std::printf("\n== Cyclic families (paper SS 3) ==\n");
+  std::printf("A family is cyclic when its intersection graph is "
+              "hamiltonian:\n");
+  for (groups::FamilyMask f : sys.cyclic_families())
+    std::printf("  %s\n", sys.family_to_string(f).c_str());
+  std::printf("Process p0 (paper p1) sits in every family: |F(p0)| = %zu\n",
+              sys.families_of_process(0).size());
+  std::printf("Process p4 (paper p5) is in no intersection: |F(p4)| = %zu\n",
+              sys.families_of_process(4).size());
+
+  std::printf("\n== gamma while p1 (paper p2) crashes at t=40 ==\n");
+  sim::FailurePattern pat(5);
+  pat.crash_at(1, 40);
+  fd::GammaOracle gamma(sys, pat);
+  for (sim::Time t : {0u, 40u}) {
+    auto fams = gamma.query(0, t);
+    std::printf("gamma(p0, t=%2llu) = {", static_cast<unsigned long long>(t));
+    for (size_t i = 0; i < fams.size(); ++i)
+      std::printf("%s%s", i ? ", " : "", sys.family_to_string(fams[i]).c_str());
+    std::printf("}\n");
+  }
+  std::printf("After the crash only f' = {g0,g2,g3} survives — the paper's "
+              "narrative exactly.\n");
+
+  std::printf("\n== Algorithm 1 under that crash ==\n");
+  amcast::MuMulticast mc(sys, pat, {.seed = 7});
+  // One message per group, senders chosen among the survivors where possible.
+  mc.submit({0, 0, 0, 0});  // to g0 from p0
+  mc.submit({1, 1, 2, 0});  // to g1 from p2
+  mc.submit({2, 2, 3, 0});  // to g2 from p3
+  mc.submit({3, 3, 4, 0});  // to g3 from p4
+  auto rec = mc.run();
+  for (const auto& d : rec.deliveries)
+    std::printf("  p%d delivered m%lld\n", d.p, static_cast<long long>(d.m));
+  auto ok = amcast::check_all(rec, sys, pat);
+  std::printf("all properties: %s%s\n", ok.ok ? "OK" : "VIOLATED: ",
+              ok.error.c_str());
+  std::printf(
+      "\nNote how g0's message is still delivered at p0 although p1 — the\n"
+      "only process g0 shares with g1 — is gone: gamma unblocked the commit\n"
+      "(the partitioned solutions of SS 7 block here, see "
+      "bench_fault_tolerance).\n");
+  return ok.ok ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Quickstart: genuine atomic multicast in ~40 lines.
+//
+// Build a destination-group topology, submit messages, run Algorithm 1 with
+// the μ failure detector, and inspect the deliveries. All the machinery —
+// failure patterns, detector oracles, shared logs — is set up by the library.
+#include <cstdio>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/spec.hpp"
+#include "groups/group_system.hpp"
+
+int main() {
+  using namespace gam;
+
+  // Three destination groups over five processes; g0 and g1 share p1, g1 and
+  // g2 share p3 (an acyclic intersection graph: F = ∅).
+  groups::GroupSystem system(5, {ProcessSet{0, 1},     // g0
+                                 ProcessSet{1, 2, 3},  // g1
+                                 ProcessSet{3, 4}});   // g2
+
+  // Nobody crashes in this run (try: pattern.crash_at(1, 50)).
+  sim::FailurePattern pattern(5);
+
+  amcast::MuMulticast multicast(system, pattern, {.seed = 42});
+
+  // Message m0 from p0 to g0, m1 from p2 to g1, m2 from p3 to g2, ...
+  multicast.submit({/*id=*/0, /*dst=*/0, /*src=*/0, /*payload=*/100});
+  multicast.submit({1, 1, 2, 200});
+  multicast.submit({2, 2, 3, 300});
+  multicast.submit({3, 1, 1, 400});
+
+  amcast::RunRecord record = multicast.run();
+
+  std::printf("quiescent: %s, protocol steps: %llu\n",
+              record.quiescent ? "yes" : "no",
+              static_cast<unsigned long long>(record.steps));
+  for (const auto& d : record.deliveries)
+    std::printf("p%d delivered m%lld at t=%llu (local #%lld)\n", d.p,
+                static_cast<long long>(d.m),
+                static_cast<unsigned long long>(d.t),
+                static_cast<long long>(d.local_seq));
+
+  // The library ships checkable specifications of every property.
+  auto ok = amcast::check_all(record, system, pattern);
+  std::printf("integrity+ordering+minimality+termination: %s%s\n",
+              ok.ok ? "OK" : "VIOLATED: ", ok.error.c_str());
+  return ok.ok ? 0 : 1;
+}

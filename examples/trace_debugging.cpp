@@ -1,0 +1,49 @@
+// Tracing a run of Algorithm 1: how a message moves through the phases of
+// §4.3 (multicast → pending → commit → stabilize → stable → deliver), and
+// what the trace looks like when a crash forces γ to unblock the survivors.
+#include <cstdio>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/trace.hpp"
+#include "groups/group_system.hpp"
+
+int main() {
+  using namespace gam;
+
+  // Two intersecting groups: g0 = {p0,p1}, g1 = {p1,p2}.
+  groups::GroupSystem sys(3, {ProcessSet{0, 1}, ProcessSet{1, 2}});
+  sim::FailurePattern pat(3);
+
+  amcast::MuMulticast mc(sys, pat, {.seed = 1});
+  amcast::Trace trace;
+  mc.attach_trace(&trace);
+  mc.submit({0, 0, 0, 0});  // m0 to g0
+  mc.submit({1, 1, 2, 0});  // m1 to g1
+  mc.run();
+
+  std::printf("== timeline (every action firing, in order) ==\n%s",
+              trace.render_timeline().c_str());
+  std::printf("\n== per-message lifecycles ==\n%s",
+              trace.render_lifecycles().c_str());
+  std::printf("\nphase-progression check: %s\n",
+              trace.check_progression().empty() ? "consistent"
+                                                : trace.check_progression().c_str());
+
+  // Same workload on the Figure-1 topology with a crash: watch the commit of
+  // g0's message wait until γ drops the families broken by p1's death.
+  std::printf("\n== Figure 1, p1 crashes at t=15 — g0's message must wait for "
+              "gamma ==\n");
+  auto fig = groups::figure1_system();
+  sim::FailurePattern crash(5);
+  crash.crash_at(1, 15);
+  amcast::MuMulticast mc2(fig, crash, {.seed = 2});
+  amcast::Trace trace2;
+  mc2.attach_trace(&trace2);
+  mc2.submit({0, 0, 0, 0});  // to g0 = {p0, p1}
+  mc2.run();
+  std::printf("%s", trace2.render_timeline().c_str());
+  std::printf("(note the gap between 'pending' and 'commit' at p0: the commit "
+              "precondition\nneeded tuples only p1 could write, until gamma "
+              "declared p1's families faulty at t=15)\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Baseline atomic-multicast protocols the paper positions against (§1, §7).
+//
+//   BroadcastMulticast  — the non-genuine strawman: one system-wide atomic
+//                         broadcast; every process handles every message and
+//                         delivers the addressed ones. Correct, ordered, and
+//                         deliberately *not* minimal (§2.3): it exists to
+//                         regenerate the scaling claims of [33, 37].
+//   SkeenMulticast      — the classical failure-free timestamping protocol
+//                         [5, 22] over the message-passing simulator:
+//                         senders gather logical-clock proposals from the
+//                         destination members and finalize at the maximum;
+//                         members deliver in timestamp order. Breaks (blocks
+//                         or mis-orders) under crashes — which is the point.
+//   PartitionedMulticast — the "disjoint decomposition" family of solutions
+//                         (e.g. [32, 17, 21, 10, 31, 13]): destination groups
+//                         are unions of disjoint partitions, each assumed to
+//                         behave as a logically correct entity. When a
+//                         partition dies entirely, messages needing it block
+//                         forever; Algorithm 1 instead keeps delivering via γ
+//                         (experiment E7 in DESIGN.md).
+//   PerfectFdMulticast  — Schiper & Pedone [36]: genuine multicast from a
+//                         perfect failure detector. Our §6.1 strict variant
+//                         with lag-0 indicators *is* this algorithm
+//                         generalized, so the preset simply configures it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/types.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace gam::amcast {
+
+// ---- non-genuine broadcast-based multicast -----------------------------------
+
+class BroadcastMulticast {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 1u << 22;
+  };
+
+  BroadcastMulticast(const groups::GroupSystem& system,
+                     const sim::FailurePattern& pattern, Options options);
+
+  void submit(MulticastMessage m);
+  RunRecord run();
+
+ private:
+  bool step_process(ProcessId p);
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  Options options_;
+  Rng rng_;
+  sim::Time now_ = 0;
+
+  std::vector<MulticastMessage> workload_;
+  std::map<MsgId, MulticastMessage> by_id_;
+  std::vector<MsgId> global_log_;          // the system-wide broadcast order
+  std::vector<size_t> cursor_;             // per process: next log index
+  std::vector<std::int64_t> local_seq_;
+  RunRecord record_;
+};
+
+// ---- Skeen's protocol (failure-free) -----------------------------------------
+
+class SkeenMulticast {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 1u << 22;
+  };
+
+  SkeenMulticast(const groups::GroupSystem& system,
+                 const sim::FailurePattern& pattern, Options options);
+
+  void submit(MulticastMessage m);
+  RunRecord run();
+
+  // Total messages exchanged (protocol cost; benches report it).
+  std::uint64_t wire_messages() const { return wire_messages_; }
+
+ private:
+  struct PerMessage {
+    std::map<ProcessId, std::int64_t> proposals;
+    std::int64_t final_ts = -1;
+    bool sent = false;
+  };
+  struct PerProcess {
+    std::int64_t clock = 0;
+    // Holdback: msg -> (timestamp, finalized?)
+    std::map<MsgId, std::pair<std::int64_t, bool>> pending;
+    std::set<MsgId> delivered;
+    std::int64_t seq = 0;
+  };
+
+  bool step_sender(const MulticastMessage& m);
+  int try_deliver(ProcessId p);
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  Options options_;
+  Rng rng_;
+  sim::Time now_ = 0;
+  std::uint64_t wire_messages_ = 0;
+
+  std::vector<MulticastMessage> workload_;
+  std::map<MsgId, MulticastMessage> by_id_;
+  std::map<MsgId, PerMessage> state_;
+  std::vector<PerProcess> procs_;
+  RunRecord record_;
+};
+
+// ---- partitioned solutions ----------------------------------------------------
+
+class PartitionedMulticast {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 1u << 22;
+  };
+
+  // `partitions` must be pairwise disjoint and every destination group must
+  // be a union of them (the standard decomposability assumption, §7).
+  PartitionedMulticast(const groups::GroupSystem& system,
+                       const sim::FailurePattern& pattern,
+                       std::vector<ProcessSet> partitions, Options options);
+
+  void submit(MulticastMessage m);
+  RunRecord run();
+
+  // Messages that blocked because a required partition is entirely crashed.
+  const std::vector<MsgId>& blocked() const { return blocked_; }
+
+  // The finest valid decomposition of a group system: the equivalence classes
+  // of "member of exactly the same groups".
+  static std::vector<ProcessSet> finest_partitions(
+      const groups::GroupSystem& system);
+
+ private:
+  struct PerPartition {
+    std::int64_t clock = 0;
+  };
+  struct PerMessage {
+    std::map<int, std::int64_t> proposals;  // partition -> proposed ts
+    std::int64_t final_ts = -1;
+  };
+  struct PerProcess {
+    std::map<MsgId, std::pair<std::int64_t, bool>> pending;
+    std::int64_t seq = 0;
+  };
+
+  std::vector<int> partitions_of_group(groups::GroupId g) const;
+  bool partition_alive(int part) const;
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  std::vector<ProcessSet> partitions_;
+  Options options_;
+  Rng rng_;
+  sim::Time now_ = 0;
+
+  std::vector<MulticastMessage> workload_;
+  std::map<MsgId, MulticastMessage> by_id_;
+  std::map<MsgId, PerMessage> state_;
+  std::vector<PerPartition> parts_;
+  std::vector<PerProcess> procs_;
+  std::vector<MsgId> blocked_;
+  RunRecord record_;
+};
+
+// ---- [36]: genuine multicast from a perfect failure detector -----------------
+
+// The §6.1 strict solution instantiated with exact (lag-0) indicators is the
+// generalization of Schiper & Pedone's perfect-failure-detector algorithm;
+// this preset makes the relationship explicit for the Table 1 harness.
+inline MuMulticast::Options perfect_fd_options(std::uint64_t seed) {
+  MuMulticast::Options opt;
+  opt.seed = seed;
+  opt.strict = true;
+  opt.fd_lag = 0;
+  return opt;
+}
+
+}  // namespace gam::amcast

@@ -1,0 +1,435 @@
+#include "amcast/mu_multicast.hpp"
+
+#include <algorithm>
+
+namespace gam::amcast {
+
+using groups::GroupId;
+using objects::LogEntry;
+
+// Per-process protocol state: the PHASE map of line 4 plus bookkeeping that
+// keeps one-shot actions one-shot.
+struct MuMulticast::PerProcess {
+  std::map<MsgId, Phase> phase;
+  std::int64_t delivered_seq = 0;
+  // Cached F(p) material (the group system is immutable).
+  std::vector<groups::FamilyMask> families;
+  std::map<GroupId, groups::FamilyMask> cons_family;  // H(p,g) as a mask
+};
+
+MuMulticast::MuMulticast(const groups::GroupSystem& system,
+                         const sim::FailurePattern& pattern, Options options)
+    : system_(system),
+      pattern_(pattern),
+      options_(options),
+      oracle_(system, pattern, options.fd_lag),
+      rng_(options.seed) {
+  GAM_EXPECTS(system.process_count() == pattern.process_count());
+  if (options_.strict) {
+    // One indicator 1^{g∩h} per pair of intersecting groups (g = h gives
+    // 1^g). Scope g∪h as in §6.1.
+    for (GroupId g = 0; g < system_.group_count(); ++g)
+      for (GroupId h = g; h < system_.group_count(); ++h) {
+        ProcessSet inter = system_.intersection(g, h);
+        if (inter.empty()) continue;
+        indicators_.emplace_back(pattern_, inter,
+                                 system_.group(g) | system_.group(h),
+                                 options_.fd_lag);
+      }
+  }
+  procs_.resize(static_cast<size_t>(system.process_count()));
+  for (ProcessId p = 0; p < system.process_count(); ++p) {
+    auto st = std::make_unique<PerProcess>();
+    st->families = system_.families_of_process(p);
+    for (GroupId g : system_.groups_of(p)) {
+      groups::FamilyMask mask = 0;
+      for (GroupId h : system_.cyclic_neighbors(p, g))
+        mask |= (groups::FamilyMask{1} << h);
+      st->cons_family[g] = mask;
+    }
+    procs_[static_cast<size_t>(p)] = std::move(st);
+  }
+}
+
+MuMulticast::~MuMulticast() = default;
+
+void MuMulticast::submit(MulticastMessage m) {
+  GAM_EXPECTS(m.id >= 0 && !by_id_.count(m.id));
+  GAM_EXPECTS(m.dst >= 0 && m.dst < system_.group_count());
+  GAM_EXPECTS(system_.group(m.dst).contains(m.src));  // closed dissemination
+  workload_.push_back(m);
+  by_id_[m.id] = m;
+  group_sequence_[m.dst].push_back(m.id);
+}
+
+MuMulticast::LogKey MuMulticast::log_key(GroupId g, GroupId h) const {
+  return {std::min(g, h), std::max(g, h)};
+}
+
+std::int64_t MuMulticast::journal_key(LogKey k) const {
+  return static_cast<std::int64_t>(k.first) * 64 + k.second;
+}
+
+objects::Log& MuMulticast::log(GroupId g, GroupId h) {
+  LogKey k = log_key(g, h);
+  auto it = logs_.find(k);
+  if (it == logs_.end())
+    it = logs_
+             .emplace(k, objects::Log(journal_key(k),
+                                      options_.track_log_history))
+             .first;
+  return it->second;
+}
+
+std::string MuMulticast::validate_log_invariants() const {
+  for (const auto& [key, l] : logs_) {
+    std::string err = l.check_history();
+    if (!err.empty())
+      return "LOG(g" + std::to_string(key.first) + ",g" +
+             std::to_string(key.second) + "): " + err;
+  }
+  return {};
+}
+
+const objects::Log& MuMulticast::log_of(GroupId g, GroupId h) const {
+  static const objects::Log empty;
+  auto it = logs_.find(log_key(g, h));
+  return it == logs_.end() ? empty : it->second;
+}
+
+Phase MuMulticast::phase_of(ProcessId p, MsgId m) const {
+  const auto& ph = procs_[static_cast<size_t>(p)]->phase;
+  auto it = ph.find(m);
+  return it == ph.end() ? Phase::kStart : it->second;
+}
+
+// ---- preconditions -----------------------------------------------------------
+
+bool MuMulticast::sigma_allows(ProcessId p, groups::GroupId g) const {
+  if (!options_.sigma_gated) return true;
+  auto q = oracle_.sigma(g, g).query(p, now_);
+  return q && q->subset_of(options_.fair_set);
+}
+
+bool MuMulticast::may_multicast(ProcessId p, const MulticastMessage& m) const {
+  if (m.src == p) return true;
+  // Proposition 1's helping: a destination member may multicast on behalf of
+  // a submitter that crashed before issuing the message.
+  return options_.helping && system_.group(m.dst).contains(p) &&
+         pattern_.crashed(m.src, now_);
+}
+
+bool MuMulticast::multicast_eligible(ProcessId by,
+                                     const MulticastMessage& m) const {
+  // Group-sequential issuance (§4.1): whoever multicasts the k-th message to
+  // g (its sender, or a Prop-1 helper) must have delivered every earlier
+  // message to g first. Without helping, a predecessor whose sender crashed
+  // before multicasting it is skipped — it will never enter the protocol;
+  // with helping it will, so the issuer must wait for it.
+  const auto& seq = group_sequence_.at(m.dst);
+  for (MsgId prev : seq) {
+    if (prev == m.id) break;
+    const MulticastMessage& pm = by_id_.at(prev);
+    bool entered =
+        log_of(pm.dst, pm.dst).contains(LogEntry::message(prev));
+    if (entered) {
+      if (phase_of(by, prev) != Phase::kDeliver) return false;
+    } else if (options_.helping) {
+      return false;  // a helper will issue prev; wait for it
+    } else {
+      if (!pattern_.crashed(pm.src, now_)) return false;  // may still send
+    }
+  }
+  return true;
+}
+
+bool MuMulticast::pending_enabled(ProcessId p, const MulticastMessage& m) const {
+  const objects::Log& lg = log_of(m.dst, m.dst);
+  if (!lg.contains(LogEntry::message(m.id))) return false;
+  for (const LogEntry& e : lg.messages_before(LogEntry::message(m.id)))
+    if (phase_of(p, e.m) < Phase::kCommit) return false;
+  return true;
+}
+
+bool MuMulticast::commit_enabled(ProcessId p, const MulticastMessage& m) const {
+  const objects::Log& lg = log_of(m.dst, m.dst);
+  for (GroupId h : oracle_.gamma().gamma_of_group(p, m.dst, now_)) {
+    bool found = false;
+    for (const LogEntry& e : lg.entries_if([&](const LogEntry& e) {
+           return e.kind == LogEntry::kPosTuple && e.m == m.id && e.h == h;
+         })) {
+      (void)e;
+      found = true;
+      break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool MuMulticast::stabilize_enabled(ProcessId p, const MulticastMessage& m,
+                                    GroupId h) const {
+  const objects::Log& lgh = log_of(m.dst, h);
+  if (log_of(m.dst, m.dst).contains(LogEntry::stab_tuple(m.id, h)))
+    return false;  // effect already applied (append is idempotent)
+  for (const LogEntry& e : lgh.messages_before(LogEntry::message(m.id)))
+    if (phase_of(p, e.m) < Phase::kStable) return false;
+  return true;
+}
+
+std::vector<GroupId> MuMulticast::stable_wait_groups(ProcessId p,
+                                                     GroupId g) const {
+  if (!options_.strict) return oracle_.gamma().gamma_of_group(p, g, now_);
+  // Strict variant (§6.1): wait on every intersecting group unless its
+  // intersection with g is flagged dead by 1^{g∩h}.
+  std::vector<GroupId> out;
+  size_t idx = 0;
+  for (GroupId a = 0; a < system_.group_count(); ++a)
+    for (GroupId b = a; b < system_.group_count(); ++b) {
+      if (system_.intersection(a, b).empty()) continue;
+      if (a == g || b == g) {
+        GroupId h = (a == g) ? b : a;
+        auto flag = indicators_[idx].query(p, now_);
+        if (!(flag && *flag)) out.push_back(h);
+      }
+      ++idx;
+    }
+  return out;
+}
+
+bool MuMulticast::stable_enabled(ProcessId p, const MulticastMessage& m) const {
+  const objects::Log& lg = log_of(m.dst, m.dst);
+  for (GroupId h : stable_wait_groups(p, m.dst))
+    if (!lg.contains(LogEntry::stab_tuple(m.id, h))) return false;
+  return true;
+}
+
+bool MuMulticast::deliver_enabled(ProcessId p, const MulticastMessage& m) const {
+  for (GroupId h : system_.groups_of(p)) {
+    if (!system_.intersection(m.dst, h).contains(p)) continue;
+    const objects::Log& l = log_of(m.dst, h);
+    if (!l.contains(LogEntry::message(m.id))) continue;
+    for (const LogEntry& e : l.messages_before(LogEntry::message(m.id)))
+      if (phase_of(p, e.m) != Phase::kDeliver) return false;
+  }
+  return true;
+}
+
+// ---- actions -----------------------------------------------------------------
+
+bool MuMulticast::try_multicast(ProcessId p) {
+  for (const MulticastMessage& m : workload_) {
+    if (!may_multicast(p, m)) continue;
+    if (phase_of(p, m.id) != Phase::kStart) continue;
+    if (log_of(m.dst, m.dst).contains(LogEntry::message(m.id))) continue;
+    if (!multicast_eligible(p, m) || !sigma_allows(p, m.dst)) continue;
+    log(m.dst, m.dst).append(LogEntry::message(m.id), p, &journal_);
+    record_.multicast.push_back(m);
+    record_.multicast_time.push_back(now_);
+    if (trace_) trace_->record({now_, p, TraceEvent::kMulticast, m.id, -1, -1});
+    return true;
+  }
+  return false;
+}
+
+bool MuMulticast::try_pending(ProcessId p) {
+  auto& st = *procs_[static_cast<size_t>(p)];
+  for (GroupId g : system_.groups_of(p)) {
+    const objects::Log& lg = log_of(g, g);
+    for (const LogEntry& e : lg.entries_if(
+             [](const LogEntry& e) { return e.kind == LogEntry::kMessage; })) {
+      const MulticastMessage& m = by_id_.at(e.m);
+      if (phase_of(p, m.id) != Phase::kStart) continue;
+      if (!pending_enabled(p, m) || !sigma_allows(p, m.dst)) continue;
+      for (GroupId h : system_.groups_of(p)) {
+        std::int64_t i = log(m.dst, h).append(LogEntry::message(m.id), p,
+                                              &journal_);
+        log(m.dst, m.dst).append(LogEntry::pos_tuple(m.id, h, i), p,
+                                 &journal_);
+      }
+      st.phase[m.id] = Phase::kPending;
+      if (trace_)
+        trace_->record({now_, p, TraceEvent::kPending, m.id, -1, -1});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MuMulticast::try_commit(ProcessId p) {
+  auto& st = *procs_[static_cast<size_t>(p)];
+  for (auto& [mid, phase] : st.phase) {
+    if (phase != Phase::kPending) continue;
+    const MulticastMessage& m = by_id_.at(mid);
+    if (!commit_enabled(p, m) || !sigma_allows(p, m.dst)) continue;
+    const objects::Log& lg = log_of(m.dst, m.dst);
+    std::int64_t k = 0;
+    for (const LogEntry& e : lg.entries_if([&](const LogEntry& e) {
+           return e.kind == LogEntry::kPosTuple && e.m == mid;
+         }))
+      k = std::max(k, e.i);
+    ConsKey key{mid, st.cons_family.at(m.dst)};
+    k = consensus_[key].propose(k, p, &journal_, mid);
+    for (GroupId h : system_.groups_of(p))
+      log(m.dst, h).bump_and_lock(LogEntry::message(mid), k, p, &journal_);
+    phase = Phase::kCommit;
+    if (trace_) trace_->record({now_, p, TraceEvent::kCommit, mid, -1, k});
+    return true;
+  }
+  return false;
+}
+
+bool MuMulticast::try_stabilize(ProcessId p) {
+  auto& st = *procs_[static_cast<size_t>(p)];
+  for (auto& [mid, phase] : st.phase) {
+    if (phase != Phase::kCommit) continue;
+    const MulticastMessage& m = by_id_.at(mid);
+    if (!sigma_allows(p, m.dst)) continue;
+    for (GroupId h : system_.groups_of(p)) {
+      if (!stabilize_enabled(p, m, h)) continue;
+      log(m.dst, m.dst).append(LogEntry::stab_tuple(mid, h), p, &journal_);
+      if (trace_)
+        trace_->record({now_, p, TraceEvent::kStabilize, mid, h, -1});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MuMulticast::try_stable(ProcessId p) {
+  auto& st = *procs_[static_cast<size_t>(p)];
+  for (auto& [mid, phase] : st.phase) {
+    if (phase != Phase::kCommit) continue;
+    if (!stable_enabled(p, by_id_.at(mid))) continue;
+    if (!sigma_allows(p, by_id_.at(mid).dst)) continue;
+    phase = Phase::kStable;
+    if (trace_) trace_->record({now_, p, TraceEvent::kStable, mid, -1, -1});
+    return true;
+  }
+  return false;
+}
+
+bool MuMulticast::try_deliver(ProcessId p) {
+  auto& st = *procs_[static_cast<size_t>(p)];
+  for (auto& [mid, phase] : st.phase) {
+    if (phase != Phase::kStable) continue;
+    if (!deliver_enabled(p, by_id_.at(mid))) continue;
+    if (!sigma_allows(p, by_id_.at(mid).dst)) continue;
+    phase = Phase::kDeliver;
+    record_.deliveries.push_back({p, mid, now_, st.delivered_seq++});
+    if (trace_) trace_->record({now_, p, TraceEvent::kDeliver, mid, -1, -1});
+    return true;
+  }
+  return false;
+}
+
+bool MuMulticast::step_process(ProcessId p) {
+  if (pattern_.crashed(p, now_)) return false;
+  if (!options_.fair_set.empty() && !options_.fair_set.contains(p))
+    return false;
+  bool fired = try_deliver(p) || try_stable(p) || try_stabilize(p) ||
+               try_commit(p) || try_pending(p) || try_multicast(p);
+  if (fired) {
+    if (!options_.external_clock) ++now_;
+    ++record_.steps;
+    record_.active.insert(p);
+  }
+  return fired;
+}
+
+bool MuMulticast::action_enabled_somewhere() const {
+  // Conservative: replay the per-action guards without effects.
+  for (ProcessId p = 0; p < system_.process_count(); ++p) {
+    if (pattern_.crashed(p, now_)) continue;
+    if (!options_.fair_set.empty() && !options_.fair_set.contains(p)) continue;
+    const auto& st = *procs_[static_cast<size_t>(p)];
+    for (auto& [mid, phase] : st.phase) {
+      const MulticastMessage& m = by_id_.at(mid);
+      if (!sigma_allows(p, m.dst)) continue;
+      switch (phase) {
+        case Phase::kStart:
+          break;  // handled by the log scan below
+        case Phase::kPending:
+          if (commit_enabled(p, m)) return true;
+          break;
+        case Phase::kCommit: {
+          if (stable_enabled(p, m)) return true;
+          for (GroupId h : system_.groups_of(p))
+            if (stabilize_enabled(p, m, h)) return true;
+          break;
+        }
+        case Phase::kStable:
+          if (deliver_enabled(p, m)) return true;
+          break;
+        case Phase::kDeliver:
+          break;
+      }
+    }
+    for (GroupId g : system_.groups_of(p)) {
+      const objects::Log& lg = log_of(g, g);
+      for (const LogEntry& e : lg.entries_if([](const LogEntry& e) {
+             return e.kind == LogEntry::kMessage;
+           })) {
+        if (phase_of(p, e.m) != Phase::kStart) continue;
+        if (!sigma_allows(p, g)) continue;
+        if (pending_enabled(p, by_id_.at(e.m))) return true;
+      }
+    }
+    for (const MulticastMessage& m : workload_) {
+      if (!may_multicast(p, m) || phase_of(p, m.id) != Phase::kStart)
+        continue;
+      if (log_of(m.dst, m.dst).contains(LogEntry::message(m.id))) continue;
+      if (multicast_eligible(p, m) && sigma_allows(p, m.dst)) return true;
+    }
+  }
+  return false;
+}
+
+bool MuMulticast::quiescent() const { return !action_enabled_somewhere(); }
+
+RunRecord MuMulticast::run() {
+  // Time must be able to pass even when every guard is momentarily false:
+  // γ and the indicators change output when crashes land, and crash times are
+  // expressed on the same clock as the steps. Idle rounds therefore advance
+  // the clock until the last failure-detector transition is behind us.
+  sim::Time t_stab = 0;
+  for (ProcessId p = 0; p < pattern_.process_count(); ++p)
+    if (pattern_.faulty(p))
+      t_stab = std::max(t_stab,
+                        pattern_.crash_time(p) + options_.fd_lag + 1);
+
+  std::vector<ProcessId> order(static_cast<size_t>(system_.process_count()));
+  for (ProcessId p = 0; p < system_.process_count(); ++p)
+    order[static_cast<size_t>(p)] = p;
+
+  while (record_.steps < options_.max_steps) {
+    for (size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng_.below(i)]);
+    bool fired = false;
+    for (ProcessId p : order) {
+      if (record_.steps >= options_.max_steps) break;
+      if (step_process(p)) fired = true;
+    }
+    if (!fired) {
+      if (now_ < t_stab) {
+        ++now_;
+        continue;
+      }
+      record_.quiescent = true;
+      break;
+    }
+  }
+  if (!record_.quiescent && !action_enabled_somewhere())
+    record_.quiescent = true;
+  record_.active |= journal_.active();
+  return record_;
+}
+
+RunRecord MuMulticast::snapshot() const {
+  RunRecord r = record_;
+  r.active |= journal_.active();
+  r.quiescent = !action_enabled_somewhere();
+  return r;
+}
+
+}  // namespace gam::amcast

@@ -1,0 +1,178 @@
+// Algorithm 1 (paper §4.3): genuine group-sequential atomic multicast from
+// the candidate failure detector μ = (∧ Σ_{g∩h}) ∧ (∧ Ω_g) ∧ γ.
+//
+// The implementation follows the paper action by action. A process p keeps a
+// phase per message addressed to it; the actions
+//
+//   multicast  (lines  5- 7)  append m to LOG_g at the sender,
+//   pending    (lines  8-15)  propagate m into every LOG_{g∩h} with h ∈ G(p),
+//   commit     (lines 16-24)  agree on the highest position via CONS_{m,f}
+//                             and bumpAndLock m there in every local log,
+//   stabilize  (lines 25-29)  announce that m's predecessors in LOG_{g∩h}
+//                             are stable by appending (m,h) to LOG_g,
+//   stable     (lines 30-33)  wait for those announcements from every group
+//                             of γ(g),
+//   deliver    (lines 34-37)  deliver once every <_L-predecessor is delivered,
+//
+// fire under exactly the preconditions of the pseudo-code. The logs and
+// consensus objects are the wait-free linearizable objects of
+// objects/ideal.hpp; Σ and Ω enter through them (see DESIGN.md), γ and the
+// per-group leaders enter through the μ oracle.
+//
+// Options toggle the §6.1 strict variant (the stable action waits on the
+// indicator 1^{g∩h} for *every* intersecting h, instead of on γ) and a
+// restriction of the scheduler to a subset of processes (P-fair runs, used by
+// the §6.2 group-parallelism experiments).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "amcast/trace.hpp"
+#include "amcast/types.hpp"
+#include "fd/detectors.hpp"
+#include "groups/group_system.hpp"
+#include "objects/ideal.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace gam::amcast {
+
+class MuMulticast {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 1u << 20;
+    sim::Time fd_lag = 0;     // slack of the μ components
+    bool strict = false;      // §6.1: strict atomic multicast via 1^{g∩h}
+    // When non-empty, only these processes are scheduled (P-fair runs).
+    ProcessSet fair_set;
+    // Quorum gating (emulation harness, §5): an action of p for a message
+    // addressed to g is enabled only while Σ_g's current quorum lies inside
+    // fair_set — the behaviour of an implementation whose objects need live
+    // quorums among the instance's participants. Requires a fair_set.
+    bool sigma_gated = false;
+    // Helping (Proposition 1's reduction): when the submitter of a message
+    // has crashed before multicasting it, any destination-group member that
+    // has delivered all of the message's group predecessors may multicast it
+    // on the submitter's behalf. This turns the group-sequential core into
+    // the vanilla primitive: every submitted message with a correct
+    // destination member is eventually delivered.
+    bool helping = false;
+    // External clock (emulation harness): the orchestrator owns the clock via
+    // set_time(); steps do not advance it.
+    bool external_clock = false;
+    // Journal every log mutation so validate_log_invariants() can check the
+    // Table-2 base invariants post-run (tests; small overhead).
+    bool track_log_history = false;
+  };
+
+  MuMulticast(const groups::GroupSystem& system,
+              const sim::FailurePattern& pattern, Options options);
+  ~MuMulticast();
+
+  MuMulticast(const MuMulticast&) = delete;
+  MuMulticast& operator=(const MuMulticast&) = delete;
+
+  // Queues a message. Messages to the same group are issued group-
+  // sequentially in submission order (§4.1): the k-th message to g becomes
+  // eligible for multicast once its sender has delivered the first k-1.
+  void submit(MulticastMessage m);
+
+  // Runs the action system until quiescence or the step budget. Returns the
+  // run record for the spec checkers.
+  RunRecord run();
+
+  // Single-step interface for fine-grained tests: executes one enabled action
+  // of process p (if any) at the current time; returns whether one fired.
+  bool step_process(ProcessId p);
+  bool quiescent() const;
+  RunRecord snapshot() const;
+  // The record accumulated so far, without evaluating quiescence (cheap; used
+  // by the emulation harness that polls deliveries every tick).
+  const RunRecord& partial_record() const { return record_; }
+
+  // With track_log_history: replays every log's operation journal against the
+  // Table-2 base invariants (Claims 2-8). Empty string = all hold.
+  std::string validate_log_invariants() const;
+
+  // Optional structured tracing: every action firing is recorded into the
+  // attached trace (owned by the caller; must outlive the run).
+  void attach_trace(Trace* trace) { trace_ = trace; }
+
+  // Introspection for tests.
+  Phase phase_of(ProcessId p, MsgId m) const;
+  const objects::Log& log_of(groups::GroupId g, groups::GroupId h) const;
+  const fd::MuOracle& oracle() const { return oracle_; }
+  sim::Time now() const { return now_; }
+  void advance_time(sim::Time dt) { now_ += dt; }
+  void set_time(sim::Time t) { now_ = t; }
+
+ private:
+  struct PerProcess;
+  struct ConsKey {
+    MsgId m;
+    groups::FamilyMask f;
+    bool operator<(const ConsKey& o) const {
+      return std::tie(m, f) < std::tie(o.m, o.f);
+    }
+  };
+
+  using LogKey = std::pair<groups::GroupId, groups::GroupId>;  // normalized
+
+  objects::Log& log(groups::GroupId g, groups::GroupId h);
+  LogKey log_key(groups::GroupId g, groups::GroupId h) const;
+  std::int64_t journal_key(LogKey k) const;
+
+  // The actions; each returns true when it fired for some message.
+  bool try_multicast(ProcessId p);
+  bool try_pending(ProcessId p);
+  bool try_commit(ProcessId p);
+  bool try_stabilize(ProcessId p);
+  bool try_stable(ProcessId p);
+  bool try_deliver(ProcessId p);
+
+  bool action_enabled_somewhere() const;
+
+  // Helpers over preconditions.
+  bool pending_enabled(ProcessId p, const MulticastMessage& m) const;
+  bool commit_enabled(ProcessId p, const MulticastMessage& m) const;
+  bool stabilize_enabled(ProcessId p, const MulticastMessage& m,
+                         groups::GroupId h) const;
+  bool stable_enabled(ProcessId p, const MulticastMessage& m) const;
+  bool deliver_enabled(ProcessId p, const MulticastMessage& m) const;
+  bool multicast_eligible(ProcessId by, const MulticastMessage& m) const;
+  bool may_multicast(ProcessId p, const MulticastMessage& m) const;
+  bool sigma_allows(ProcessId p, groups::GroupId g) const;
+
+  std::vector<groups::GroupId> stable_wait_groups(ProcessId p,
+                                                  groups::GroupId g) const;
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  Options options_;
+  fd::MuOracle oracle_;
+  std::vector<fd::IndicatorOracle> indicators_;  // strict variant, per pair
+  Rng rng_;
+  sim::Time now_ = 0;
+
+  std::vector<MulticastMessage> workload_;           // submission order
+  std::map<MsgId, MulticastMessage> by_id_;
+  std::map<groups::GroupId, std::vector<MsgId>> group_sequence_;
+
+  std::map<LogKey, objects::Log> logs_;
+  std::map<ConsKey, objects::Consensus> consensus_;
+  objects::AccessJournal journal_;
+
+  std::vector<std::unique_ptr<PerProcess>> procs_;
+
+  Trace* trace_ = nullptr;
+  RunRecord record_;
+};
+
+}  // namespace gam::amcast

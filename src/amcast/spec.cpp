@@ -1,0 +1,219 @@
+#include "amcast/spec.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace gam::amcast {
+
+namespace {
+
+std::map<MsgId, MulticastMessage> multicast_index(const RunRecord& run) {
+  std::map<MsgId, MulticastMessage> idx;
+  for (const auto& m : run.multicast) idx[m.id] = m;
+  return idx;
+}
+
+// Per process, the messages it delivered in local order.
+std::map<ProcessId, std::vector<MsgId>> local_orders(const RunRecord& run) {
+  std::map<ProcessId, std::vector<MsgId>> per;
+  std::vector<Delivery> sorted = run.deliveries;
+  std::sort(sorted.begin(), sorted.end(), [](const Delivery& a, const Delivery& b) {
+    return std::make_pair(a.p, a.local_seq) < std::make_pair(b.p, b.local_seq);
+  });
+  for (const auto& d : sorted) per[d.p].push_back(d.m);
+  return per;
+}
+
+// Cycle detection over an adjacency map (DFS, three colors).
+bool has_cycle(const std::map<MsgId, std::set<MsgId>>& adj) {
+  std::map<MsgId, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<MsgId, std::set<MsgId>::const_iterator>> stack;
+  for (const auto& [start, _] : adj) {
+    if (color[start] != 0) continue;
+    color[start] = 1;
+    stack.emplace_back(start, adj.at(start).begin());
+    while (!stack.empty()) {
+      auto& [u, it] = stack.back();
+      if (it == adj.at(u).end()) {
+        color[u] = 2;
+        stack.pop_back();
+        continue;
+      }
+      MsgId v = *it;
+      ++it;
+      auto found = adj.find(v);
+      if (found == adj.end()) continue;
+      if (color[v] == 1) return true;
+      if (color[v] == 0) {
+        color[v] = 1;
+        stack.emplace_back(v, found->second.begin());
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::pair<MsgId, MsgId>> delivery_relation(
+    const RunRecord& run, const groups::GroupSystem& system) {
+  auto idx = multicast_index(run);
+  auto per = local_orders(run);
+  std::set<std::pair<MsgId, MsgId>> edges;
+  for (const auto& [p, order] : per) {
+    std::set<MsgId> delivered_here(order.begin(), order.end());
+    // m ↦p m' when p ∈ dst(m) ∩ dst(m'), p delivers m, and at that point has
+    // not delivered m' (either m' comes later at p, or never).
+    for (size_t i = 0; i < order.size(); ++i) {
+      MsgId m = order[i];
+      const auto& dm = idx.at(m);
+      // later deliveries at p
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        MsgId m2 = order[j];
+        if (system.intersection(dm.dst, idx.at(m2).dst).contains(p))
+          edges.emplace(m, m2);
+      }
+      // messages addressed to p but never delivered by p
+      for (const auto& [m2, dm2] : idx) {
+        if (m2 == m || delivered_here.count(m2)) continue;
+        if (system.intersection(dm.dst, dm2.dst).contains(p))
+          edges.emplace(m, m2);
+      }
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+SpecResult check_integrity(const RunRecord& run,
+                           const groups::GroupSystem& system) {
+  SpecResult r;
+  auto idx = multicast_index(run);
+  std::set<std::pair<ProcessId, MsgId>> seen;
+  for (const auto& d : run.deliveries) {
+    if (!seen.emplace(d.p, d.m).second)
+      r.fail("message " + std::to_string(d.m) + " delivered twice at p" +
+             std::to_string(d.p));
+    auto it = idx.find(d.m);
+    if (it == idx.end()) {
+      r.fail("message " + std::to_string(d.m) + " delivered but never multicast");
+      continue;
+    }
+    if (!system.group(it->second.dst).contains(d.p))
+      r.fail("p" + std::to_string(d.p) + " delivered message " +
+             std::to_string(d.m) + " outside its destination group");
+  }
+  return r;
+}
+
+SpecResult check_termination(const RunRecord& run,
+                             const groups::GroupSystem& system,
+                             const sim::FailurePattern& pattern) {
+  SpecResult r;
+  if (!run.quiescent) {
+    r.fail("run did not reach quiescence within its step budget");
+    return r;
+  }
+  std::set<MsgId> delivered_somewhere;
+  for (const auto& d : run.deliveries) delivered_somewhere.insert(d.m);
+  std::map<ProcessId, std::set<MsgId>> delivered_at;
+  for (const auto& d : run.deliveries) delivered_at[d.p].insert(d.m);
+
+  for (const auto& m : run.multicast) {
+    bool must_deliver = pattern.correct(m.src) || delivered_somewhere.count(m.id);
+    if (!must_deliver) continue;
+    for (ProcessId p : system.group(m.dst)) {
+      if (!pattern.correct(p)) continue;
+      if (!delivered_at[p].count(m.id))
+        r.fail("correct p" + std::to_string(p) + " never delivered message " +
+               std::to_string(m.id) + " addressed to g" +
+               std::to_string(m.dst));
+    }
+  }
+  return r;
+}
+
+SpecResult check_ordering(const RunRecord& run,
+                          const groups::GroupSystem& system) {
+  SpecResult r;
+  std::map<MsgId, std::set<MsgId>> adj;
+  for (const auto& m : run.multicast) adj[m.id];  // ensure nodes exist
+  for (auto& [a, b] : delivery_relation(run, system)) adj[a].insert(b);
+  if (has_cycle(adj)) r.fail("delivery relation ↦ has a cycle");
+  return r;
+}
+
+SpecResult check_minimality(const RunRecord& run,
+                            const groups::GroupSystem& system) {
+  SpecResult r;
+  ProcessSet addressed;
+  for (const auto& m : run.multicast) addressed |= system.group(m.dst);
+  ProcessSet offenders = run.active - addressed;
+  if (!offenders.empty())
+    r.fail("processes " + offenders.to_string() +
+           " took steps although no message was addressed to them");
+  return r;
+}
+
+SpecResult check_strict_ordering(const RunRecord& run,
+                                 const groups::GroupSystem& system) {
+  SpecResult r;
+  std::map<MsgId, std::set<MsgId>> adj;
+  for (const auto& m : run.multicast) adj[m.id];
+  for (auto& [a, b] : delivery_relation(run, system)) adj[a].insert(b);
+
+  // m ⤳ m' : first delivery of m happened before m' was multicast.
+  std::map<MsgId, Time> first_delivery;
+  for (const auto& d : run.deliveries) {
+    auto it = first_delivery.find(d.m);
+    if (it == first_delivery.end() || d.t < it->second)
+      first_delivery[d.m] = d.t;
+  }
+  for (size_t i = 0; i < run.multicast.size(); ++i) {
+    MsgId m2 = run.multicast[i].id;
+    Time sent = run.multicast_time[i];
+    for (auto& [m, t] : first_delivery)
+      if (m != m2 && t < sent) adj[m].insert(m2);
+  }
+  if (has_cycle(adj)) r.fail("↦ ∪ ⤳ has a cycle (strict ordering violated)");
+  return r;
+}
+
+SpecResult check_pairwise_ordering(const RunRecord& run) {
+  SpecResult r;
+  auto per = local_orders(run);
+  // Relative positions per process; any two processes delivering the same two
+  // messages must agree on their order.
+  std::map<std::pair<MsgId, MsgId>, ProcessId> seen;  // ordered pair -> witness
+  for (const auto& [p, order] : per) {
+    std::map<MsgId, size_t> at;
+    for (size_t i = 0; i < order.size(); ++i) at[order[i]] = i;
+    for (size_t i = 0; i < order.size(); ++i)
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        auto key = std::make_pair(order[i], order[j]);
+        auto rev = std::make_pair(order[j], order[i]);
+        seen.emplace(key, p);
+        auto conflict = seen.find(rev);
+        if (conflict != seen.end())
+          r.fail("p" + std::to_string(p) + " and p" +
+                 std::to_string(conflict->second) +
+                 " deliver messages " + std::to_string(order[i]) + "," +
+                 std::to_string(order[j]) + " in opposite orders");
+      }
+  }
+  return r;
+}
+
+SpecResult check_all(const RunRecord& run, const groups::GroupSystem& system,
+                     const sim::FailurePattern& pattern) {
+  SpecResult r = check_integrity(run, system);
+  if (!r.ok) return r;
+  r = check_ordering(run, system);
+  if (!r.ok) return r;
+  r = check_minimality(run, system);
+  if (!r.ok) return r;
+  return check_termination(run, system, pattern);
+}
+
+}  // namespace gam::amcast

@@ -1,0 +1,125 @@
+// Structured execution traces for Algorithm 1.
+//
+// Debugging a distributed algorithm from its final state is hopeless; the
+// tracer records every action firing (which process, which action, which
+// message, at what time) and can render a run as a per-process timeline or
+// as a per-message lifecycle — the view the paper's proofs reason in
+// (start → pending → commit → stable → deliver).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "amcast/types.hpp"
+
+namespace gam::amcast {
+
+struct TraceEvent {
+  enum Action : std::int8_t {
+    kMulticast,
+    kPending,
+    kCommit,
+    kStabilize,
+    kStable,
+    kDeliver,
+  };
+
+  Time t = 0;
+  ProcessId p = -1;
+  Action action = kMulticast;
+  MsgId m = -1;
+  groups::GroupId h = -1;       // stabilize only
+  std::int64_t position = -1;   // commit: the agreed position k
+};
+
+inline const char* action_name(TraceEvent::Action a) {
+  switch (a) {
+    case TraceEvent::kMulticast: return "multicast";
+    case TraceEvent::kPending: return "pending";
+    case TraceEvent::kCommit: return "commit";
+    case TraceEvent::kStabilize: return "stabilize";
+    case TraceEvent::kStable: return "stable";
+    case TraceEvent::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+class Trace {
+ public:
+  void record(TraceEvent e) { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // One line per action, in firing order.
+  std::string render_timeline() const {
+    std::string out;
+    char line[128];
+    for (const TraceEvent& e : events_) {
+      if (e.action == TraceEvent::kStabilize)
+        std::snprintf(line, sizeof line, "t=%-5llu p%-2d %-9s m%lld (h=g%d)\n",
+                      static_cast<unsigned long long>(e.t), e.p,
+                      action_name(e.action), static_cast<long long>(e.m), e.h);
+      else if (e.action == TraceEvent::kCommit)
+        std::snprintf(line, sizeof line, "t=%-5llu p%-2d %-9s m%lld (k=%lld)\n",
+                      static_cast<unsigned long long>(e.t), e.p,
+                      action_name(e.action), static_cast<long long>(e.m),
+                      static_cast<long long>(e.position));
+      else
+        std::snprintf(line, sizeof line, "t=%-5llu p%-2d %-9s m%lld\n",
+                      static_cast<unsigned long long>(e.t), e.p,
+                      action_name(e.action), static_cast<long long>(e.m));
+      out += line;
+    }
+    return out;
+  }
+
+  // Per-message lifecycle: for each message, the time each phase was reached
+  // at each process.
+  std::string render_lifecycles() const {
+    std::map<MsgId, std::vector<const TraceEvent*>> per;
+    for (const TraceEvent& e : events_) per[e.m].push_back(&e);
+    std::string out;
+    char line[128];
+    for (auto& [m, evs] : per) {
+      std::snprintf(line, sizeof line, "m%lld:\n", static_cast<long long>(m));
+      out += line;
+      for (const TraceEvent* e : evs) {
+        std::snprintf(line, sizeof line, "    %-9s p%-2d t=%llu\n",
+                      action_name(e->action), e->p,
+                      static_cast<unsigned long long>(e->t));
+        out += line;
+      }
+    }
+    return out;
+  }
+
+  // The phase-progression sanity check of Claim 14: per (process, message),
+  // actions must appear in protocol order. Empty string = consistent.
+  std::string check_progression() const {
+    std::map<std::pair<ProcessId, MsgId>, int> last;
+    for (const TraceEvent& e : events_) {
+      if (e.action == TraceEvent::kStabilize) continue;  // repeatable per h
+      auto key = std::make_pair(e.p, e.m);
+      auto it = last.find(key);
+      int rank = static_cast<int>(e.action);
+      if (it != last.end() && rank <= it->second)
+        return "phase regression for m" + std::to_string(e.m) + " at p" +
+               std::to_string(e.p);
+      last[key] = rank;
+    }
+    return {};
+  }
+
+  size_t count(TraceEvent::Action a) const {
+    size_t n = 0;
+    for (const TraceEvent& e : events_) n += e.action == a;
+    return n;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gam::amcast

@@ -1,0 +1,64 @@
+// Common types for the atomic-multicast implementations and their checkers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "groups/group_system.hpp"
+#include "objects/ideal.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::amcast {
+
+using objects::MsgId;
+using groups::GroupId;
+using sim::Time;
+
+// One multicast request: message `id` sent by `src` to destination group
+// `dst` (closed dissemination: src must belong to the group, §2.2).
+struct MulticastMessage {
+  MsgId id = -1;
+  GroupId dst = -1;
+  ProcessId src = -1;
+  std::int64_t payload = 0;
+};
+
+// The phases a message moves through in Algorithm 1 (line 4 and §4.3).
+enum class Phase : std::int8_t {
+  kStart = 0,
+  kPending = 1,
+  kCommit = 2,
+  kStable = 3,
+  kDeliver = 4,
+};
+
+// A delivery event: process p delivered message m as its k-th delivery at
+// global time t.
+struct Delivery {
+  ProcessId p = -1;
+  MsgId m = -1;
+  Time t = 0;
+  std::int64_t local_seq = 0;
+};
+
+// The observable outcome of a run, shared by every implementation so the
+// spec checkers (spec.hpp) apply uniformly.
+struct RunRecord {
+  // Messages that were actually multicast (entered the protocol), with the
+  // time the multicast operation executed.
+  std::vector<MulticastMessage> multicast;
+  std::vector<Time> multicast_time;
+
+  std::vector<Delivery> deliveries;
+
+  // Processes that took at least one protocol step (for Minimality).
+  ProcessSet active;
+
+  // True when the run reached quiescence within its step budget.
+  bool quiescent = false;
+
+  std::uint64_t steps = 0;
+};
+
+}  // namespace gam::amcast

@@ -1,0 +1,72 @@
+// Workload generators shared by tests, benches and examples.
+#pragma once
+
+#include <vector>
+
+#include "amcast/types.hpp"
+#include "groups/group_system.hpp"
+#include "util/rng.hpp"
+
+namespace gam::amcast {
+
+// `per_group` messages to every group, senders rotating over the group
+// members (closed dissemination). Message ids are globally unique and the
+// submission order interleaves the groups round-robin, which maximizes
+// cross-group contention for the cyclic topologies.
+inline std::vector<MulticastMessage> round_robin_workload(
+    const groups::GroupSystem& system, int per_group) {
+  std::vector<MulticastMessage> out;
+  MsgId next = 0;
+  for (int k = 0; k < per_group; ++k) {
+    for (groups::GroupId g = 0; g < system.group_count(); ++g) {
+      std::vector<ProcessId> members(system.group(g).begin(),
+                                     system.group(g).end());
+      MulticastMessage m;
+      m.id = next++;
+      m.dst = g;
+      m.src = members[static_cast<size_t>(k) % members.size()];
+      m.payload = m.id;
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+// `count` messages to uniformly random groups from uniformly random members.
+inline std::vector<MulticastMessage> random_workload(
+    const groups::GroupSystem& system, int count, Rng& rng) {
+  std::vector<MulticastMessage> out;
+  for (MsgId id = 0; id < count; ++id) {
+    auto g = static_cast<groups::GroupId>(
+        rng.below(static_cast<std::uint64_t>(system.group_count())));
+    std::vector<ProcessId> members(system.group(g).begin(),
+                                   system.group(g).end());
+    MulticastMessage m;
+    m.id = id;
+    m.dst = g;
+    m.src = members[static_cast<size_t>(rng.below(members.size()))];
+    m.payload = id;
+    out.push_back(m);
+  }
+  return out;
+}
+
+// Messages addressed to a single group only (the isolation workloads of the
+// group-parallelism experiments).
+inline std::vector<MulticastMessage> single_group_workload(
+    const groups::GroupSystem& system, groups::GroupId g, int count) {
+  std::vector<MulticastMessage> out;
+  std::vector<ProcessId> members(system.group(g).begin(),
+                                 system.group(g).end());
+  for (MsgId id = 0; id < count; ++id) {
+    MulticastMessage m;
+    m.id = id;
+    m.dst = g;
+    m.src = members[static_cast<size_t>(id) % members.size()];
+    m.payload = id;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace gam::amcast

@@ -1,0 +1,156 @@
+#include "emulation/gamma_emulation.hpp"
+
+#include <algorithm>
+
+namespace gam::emulation {
+
+namespace {
+
+ProcessSet family_processes(const groups::GroupSystem& system,
+                            groups::FamilyMask f) {
+  ProcessSet s;
+  for (groups::GroupId g : groups::family_members(f)) s |= system.group(g);
+  return s;
+}
+
+}  // namespace
+
+GammaEmulation::GammaEmulation(const groups::GroupSystem& system,
+                               const sim::FailurePattern& pattern,
+                               std::uint64_t seed, ProcessSet failure_prone)
+    : system_(system), pattern_(pattern) {
+  if (failure_prone.empty())
+    failure_prone = ProcessSet::universe(system.process_count());
+  Rng rng(seed);
+
+  for (groups::FamilyMask f : system.cyclic_families()) {
+    auto cycles = system.hamiltonian_cycles(f);
+    for (size_t c = 0; c < cycles.size(); ++c) {
+      const auto& cycle = cycles[c];
+      size_t k = cycle.size() - 1;
+      // Expand the cycle into its 2k rotations/directions.
+      for (size_t start = 0; start < k; ++start) {
+        for (int dir = 0; dir < 2; ++dir) {
+          groups::ClosedPath pi;
+          for (size_t i = 0; i <= k; ++i) {
+            size_t idx = dir == 0 ? (start + i) % k : (start + k - i) % k;
+            pi.push_back(cycle[idx]);
+          }
+          ProcessSet first_edge =
+              system.intersection(pi[0], pi[1]);
+          if (!first_edge.subset_of(failure_prone)) continue;
+          PathChain pc;
+          pc.family = f;
+          pc.pi = pi;
+          pc.cycle_class = static_cast<int>(c);
+          pc.direction = system.path_direction(pi);
+          pc.signal_time.assign(k, std::nullopt);
+          Instance::Options opt;
+          // Everyone in f participates except the last edge's intersection
+          // π[0] ∩ π[|π|-2].
+          opt.participants =
+              family_processes(system, f) -
+              system.intersection(pi[0], pi[k - 1]);
+          opt.seed = rng.next() | 1;
+          pc.instance = std::make_unique<Instance>(system, pattern, opt);
+          // Line 4-5: each member of π[0]∩π[1] multicasts (p, 0) to π[0].
+          for (ProcessId p : first_edge) {
+            pc.instance->submit({pc.next_msg_id, pi[0], p, 0});
+            pc.stage_of[pc.next_msg_id++] = 0;
+          }
+          paths_.push_back(std::move(pc));
+        }
+      }
+    }
+  }
+}
+
+void GammaEmulation::advance_chain(PathChain& pc, Time t) {
+  size_t k = pc.pi.size() - 1;
+  // signal(π, i) fires when a delivery of the stage-i message happens at a
+  // member of π[i] ∩ π[i+1] (line 7-8); the signal broadcast and the next
+  // multicast cost one tick.
+  for (const auto& d : pc.instance->deliveries()) {
+    auto it = pc.stage_of.find(d.m);
+    GAM_INVARIANT(it != pc.stage_of.end());
+    int i = it->second;
+    if (static_cast<size_t>(i) >= k) continue;
+    if (pc.signal_time[static_cast<size_t>(i)]) continue;
+    ProcessSet edge = system_.intersection(pc.pi[static_cast<size_t>(i)],
+                                           pc.pi[static_cast<size_t>(i) + 1]);
+    if (!edge.contains(d.p)) continue;
+    pc.signal_time[static_cast<size_t>(i)] = d.t + 1;
+    // Line 10: the deliverer multicasts (p, i+1) to π[i+1], up to the
+    // antepenultimate group (i < |π|-2).
+    if (static_cast<size_t>(i) + 1 < k) {
+      pc.instance->submit(
+          {pc.next_msg_id, pc.pi[static_cast<size_t>(i) + 1], d.p, i + 1});
+      pc.stage_of[pc.next_msg_id++] = i + 1;
+    }
+    (void)t;
+  }
+}
+
+void GammaEmulation::run(Time horizon) {
+  for (Time t = ran_to_; t < horizon; ++t) {
+    for (PathChain& pc : paths_) {
+      pc.instance->tick(t);
+      advance_chain(pc, t);
+    }
+  }
+  ran_to_ = std::max(ran_to_, horizon);
+}
+
+bool GammaEmulation::path_failed(const PathChain& pc, Time t) const {
+  size_t k = pc.pi.size() - 1;
+  // (a) the chain reached the antepenultimate edge: signal (π, |π|-3).
+  if (k >= 2 && pc.signal_time[k - 2] && *pc.signal_time[k - 2] <= t)
+    return true;
+  // (b) an equivalent opposite-direction chain crossed the same edge from the
+  // other side: signal (π, j-1) here and signal (π', 0) there with π'[0] =
+  // π[j], π'[1] = π[j-1].
+  for (size_t j = 1; j < k; ++j) {
+    if (!pc.signal_time[j - 1] || *pc.signal_time[j - 1] > t) continue;
+    for (const PathChain& other : paths_) {
+      if (other.family != pc.family || other.cycle_class != pc.cycle_class)
+        continue;
+      if (other.direction == pc.direction) continue;
+      if (other.pi[0] != pc.pi[j] || other.pi[1] != pc.pi[j - 1]) continue;
+      if (other.signal_time[0] && *other.signal_time[0] <= t) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<groups::FamilyMask> GammaEmulation::query(ProcessId p,
+                                                      Time t) const {
+  std::vector<groups::FamilyMask> out;
+  for (groups::FamilyMask f : system_.families_of_process(p)) {
+    // f is output while some equivalence class of cpaths(f) has no failed
+    // path (line 16). Classes with no instances (first edge not
+    // failure-prone) count as unfailed.
+    std::map<int, bool> class_failed;
+    std::map<int, bool> class_seen;
+    for (const PathChain& pc : paths_) {
+      if (pc.family != f) continue;
+      class_seen[pc.cycle_class] = true;
+      if (path_failed(pc, t)) class_failed[pc.cycle_class] = true;
+    }
+    bool alive = false;
+    if (class_seen.empty()) alive = true;
+    for (auto& [c, seen] : class_seen)
+      if (!class_failed.count(c)) alive = true;
+    if (alive) out.push_back(f);
+  }
+  return out;
+}
+
+int GammaEmulation::signals_sent() const {
+  int n = 0;
+  for (const PathChain& pc : paths_)
+    for (const auto& s : pc.signal_time)
+      if (s) ++n;
+  return n;
+}
+
+}  // namespace gam::emulation

@@ -1,0 +1,77 @@
+// Algorithm 3 (paper §5.2): emulating the cyclicity detector γ from a
+// black-box genuine atomic-multicast solution A.
+//
+// For every cyclic family f and closed path π ∈ cpaths(f) whose first edge
+// intersection π[0]∩π[1] is failure-prone, an instance A_π runs in which all
+// processes of f except the *last* edge intersection π[0]∩π[|π|-2]
+// participate. The members of π[0]∩π[1] multicast stage-0 messages to π[0];
+// whenever the stage-i message is delivered at a member of π[i]∩π[i+1], that
+// member signals (π, i) to the family and multicasts the stage-(i+1) message
+// to π[i+1]. A chain can only advance past its blocked first stage by
+// exploiting an actually-dead intersection (A's own γ gate refuses to deliver
+// while every family covering the skipped edge is alive), so:
+//
+//   - flag failed[π] when the chain reaches the antepenultimate edge
+//     (signal (π, |π|-3)), or when the chain of an equivalent
+//     opposite-direction path π' crosses the same edge from the other side;
+//   - output f while some equivalence class of cpaths(f) has no failed path.
+//
+// NOTE. The chains certify the *Hamiltonian* faultiness reading — every cycle
+// of f is broken — which is the paper's formal definition. The oracle γ used
+// by Algorithm 1 (fd/detectors.hpp) implements the pairwise reading that
+// Lemma 25 needs; the two coincide exactly when no family has a chord (true
+// of triangles and of every failure the paper's Figure 1 discusses). See
+// group_system.hpp and DESIGN.md.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "emulation/instance.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace gam::emulation {
+
+class GammaEmulation {
+ public:
+  GammaEmulation(const groups::GroupSystem& system,
+                 const sim::FailurePattern& pattern, std::uint64_t seed,
+                 ProcessSet failure_prone = {});  // empty = everyone
+
+  void run(Time horizon);
+
+  // The emulated γ(p, t): cyclic families of F(p) still considered alive.
+  std::vector<groups::FamilyMask> query(ProcessId p, Time t) const;
+
+  // Introspection for tests/benches.
+  int path_count() const { return static_cast<int>(paths_.size()); }
+  int signals_sent() const;
+
+ private:
+  struct PathChain {
+    groups::FamilyMask family;
+    groups::ClosedPath pi;
+    int cycle_class;  // equivalence class = Hamiltonian cycle index within f
+    int direction;    // dir(π)
+    std::unique_ptr<Instance> instance;
+    int next_stage = 0;  // next message index to launch (stage 0 pre-launched)
+    // signal_time[i]: when signal (π, i) was broadcast (edge i crossed).
+    std::vector<std::optional<Time>> signal_time;
+    amcast::MsgId next_msg_id = 0;
+    // message id -> stage index, for matching deliveries.
+    std::map<amcast::MsgId, int> stage_of;
+  };
+
+  bool path_failed(const PathChain& pc, Time t) const;
+  void advance_chain(PathChain& pc, Time t);
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  std::vector<PathChain> paths_;
+  Time ran_to_ = 0;
+};
+
+}  // namespace gam::emulation

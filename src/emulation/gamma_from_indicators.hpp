@@ -1,0 +1,72 @@
+// Proposition 51 (paper §6.1): ∧_{g,h∈G} 1^{g∩h} is stronger than γ.
+//
+// Construction: for each cyclic family f and each equivalence class of
+// cpaths(f) — i.e. each Hamiltonian cycle of f — wait until some edge (g,h)
+// on the cycle has its indicator 1^{g∩h} raised; once that holds for every
+// class, stop outputting f. One tick models the intra-family broadcast of the
+// indicator observation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace gam::emulation {
+
+class GammaFromIndicators {
+ public:
+  GammaFromIndicators(const groups::GroupSystem& system,
+                      const sim::FailurePattern& pattern,
+                      sim::Time indicator_lag = 0)
+      : system_(system) {
+    for (groups::GroupId g = 0; g < system.group_count(); ++g)
+      for (groups::GroupId h = g + 1; h < system.group_count(); ++h) {
+        ProcessSet inter = system.intersection(g, h);
+        if (inter.empty()) continue;
+        indicators_.emplace(
+            std::make_pair(g, h),
+            fd::IndicatorOracle(pattern, inter,
+                                system.group(g) | system.group(h),
+                                indicator_lag));
+      }
+  }
+
+  std::vector<groups::FamilyMask> query(ProcessId p, sim::Time t) const {
+    std::vector<groups::FamilyMask> out;
+    for (groups::FamilyMask f : system_.families_of_process(p)) {
+      bool all_classes_broken = true;
+      for (const auto& cycle : system_.hamiltonian_cycles(f)) {
+        bool some_edge_flagged = false;
+        for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+          auto key = std::minmax(cycle[i], cycle[i + 1]);
+          auto it = indicators_.find({key.first, key.second});
+          if (it == indicators_.end()) continue;
+          // Query at any scope member; one tick of propagation to the family.
+          ProcessSet scope = system_.group(cycle[i]) |
+                             system_.group(cycle[i + 1]);
+          for (ProcessId q : scope) {
+            auto v = it->second.query(q, t > 0 ? t - 1 : 0);
+            if (v && *v) {
+              some_edge_flagged = true;
+              break;
+            }
+          }
+          if (some_edge_flagged) break;
+        }
+        if (!some_edge_flagged) all_classes_broken = false;
+      }
+      if (!all_classes_broken) out.push_back(f);
+    }
+    return out;
+  }
+
+ private:
+  const groups::GroupSystem& system_;
+  std::map<std::pair<groups::GroupId, groups::GroupId>, fd::IndicatorOracle>
+      indicators_;
+};
+
+}  // namespace gam::emulation

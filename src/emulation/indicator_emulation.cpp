@@ -1,0 +1,47 @@
+#include "emulation/indicator_emulation.hpp"
+
+namespace gam::emulation {
+
+IndicatorEmulation::IndicatorEmulation(const groups::GroupSystem& system,
+                                       const sim::FailurePattern& pattern,
+                                       GroupId g, GroupId h,
+                                       std::uint64_t seed)
+    : system_(system), g_(g), h_(h) {
+  GAM_EXPECTS(!system.intersection(g, h).empty());
+  scope_ = system.group(g) | system.group(h);
+  Rng rng(seed);
+  amcast::MsgId next_id = 0;
+  // Line 2: B = A_g at p ∈ g∖h, A_h at p ∈ h∖g; the intersection itself runs
+  // no instance (the indicator gives it no useful information anyway).
+  for (auto [grp, other] : {std::pair{g, h}, std::pair{h, g}}) {
+    ProcessSet side = system.group(grp) - system.group(other);
+    if (side.empty()) continue;
+    Instance::Options opt;
+    opt.participants = side;
+    opt.strict = true;  // A solves strict atomic multicast (§6.1 necessity)
+    opt.seed = rng.next() | 1;
+    sides_.emplace_back(system, pattern, opt);
+    for (ProcessId p : side) sides_.back().submit({next_id++, grp, p, p});
+  }
+}
+
+void IndicatorEmulation::run(Time horizon) {
+  for (Time t = ran_to_; t < horizon; ++t) {
+    for (Instance& side : sides_) {
+      side.tick(t);
+      auto d = side.first_delivery();
+      // Line 7: the deliverer broadcasts "failed" to g∪h; one tick of
+      // propagation delay.
+      if (d && (!failed_time_ || *d + 1 < *failed_time_))
+        failed_time_ = *d + 1;
+    }
+  }
+  ran_to_ = std::max(ran_to_, horizon);
+}
+
+std::optional<bool> IndicatorEmulation::query(ProcessId p, Time t) const {
+  if (!scope_.contains(p)) return std::nullopt;
+  return failed_time_ && *failed_time_ <= t;
+}
+
+}  // namespace gam::emulation

@@ -1,0 +1,44 @@
+// Algorithm 4 (paper §6.1): emulating the indicator 1^{g∩h} from a black-box
+// solution A to *strict* atomic multicast.
+//
+// The processes of g∖h run an instance A_g (each multicasting its identity to
+// g) in which the intersection g∩h never takes a step; symmetrically h∖g runs
+// A_h. Strictness forces A to consult g∩h before delivering — our strict
+// MuMulticast waits on (m, h)-stabilization tuples that only g∩h can write,
+// unless its indicator reports the intersection dead — so a delivery in
+// either instance certifies that g∩h has crashed (accuracy), and once g∩h has
+// crashed both instances are indistinguishable from runs where it never
+// existed, so they deliver (completeness). The deliverer then broadcasts
+// "failed" to g∪h.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "emulation/instance.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace gam::emulation {
+
+class IndicatorEmulation {
+ public:
+  IndicatorEmulation(const groups::GroupSystem& system,
+                     const sim::FailurePattern& pattern, GroupId g, GroupId h,
+                     std::uint64_t seed);
+
+  void run(Time horizon);
+
+  // H(p, t) of the emulated 1^{g∩h}; ⊥ outside g∪h.
+  std::optional<bool> query(ProcessId p, Time t) const;
+
+ private:
+  const groups::GroupSystem& system_;
+  GroupId g_, h_;
+  ProcessSet scope_;  // g ∪ h
+  std::vector<Instance> sides_;
+  std::optional<Time> failed_time_;
+  Time ran_to_ = 0;
+};
+
+}  // namespace gam::emulation

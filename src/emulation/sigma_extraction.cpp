@@ -1,0 +1,94 @@
+#include "emulation/sigma_extraction.hpp"
+
+#include <algorithm>
+
+namespace gam::emulation {
+
+SigmaExtraction::SigmaExtraction(const groups::GroupSystem& system,
+                                 const sim::FailurePattern& pattern,
+                                 std::vector<GroupId> targets,
+                                 std::uint64_t seed)
+    : system_(system), pattern_(pattern), targets_(std::move(targets)) {
+  GAM_EXPECTS(!targets_.empty() && targets_.size() <= 2);
+  scope_ = system_.group(targets_[0]);
+  for (GroupId g : targets_) scope_ &= system_.group(g);
+  GAM_EXPECTS(!scope_.empty());
+
+  Rng rng(seed);
+  amcast::MsgId next_id = 0;
+  for (GroupId g : targets_) {
+    const ProcessSet members = system_.group(g);
+    // Every non-empty subset x of g hosts one instance A_{g,x}.
+    std::vector<ProcessId> ids(members.begin(), members.end());
+    auto n = ids.size();
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+      ProcessSet x;
+      for (size_t i = 0; i < n; ++i)
+        if ((mask >> i) & 1) x.insert(ids[i]);
+      Instance::Options opt;
+      opt.participants = x;
+      opt.sigma_gated = true;
+      opt.seed = rng.next() | 1;
+      probes_.push_back(Probe{g, x, Instance(system_, pattern_, opt),
+                              std::nullopt});
+      // Line 5-7: each participant multicasts its identity to g.
+      for (ProcessId p : x)
+        probes_.back().instance.submit({next_id++, g, p, p});
+    }
+  }
+}
+
+void SigmaExtraction::run(Time horizon) {
+  for (Time t = ran_to_; t < horizon; ++t) {
+    for (Probe& pr : probes_) {
+      pr.instance.tick(t);
+      if (!pr.responsive) pr.responsive = pr.instance.first_delivery();
+    }
+  }
+  ran_to_ = std::max(ran_to_, horizon);
+}
+
+Time SigmaExtraction::rank(ProcessId q, Time t) const {
+  // One "alive" heartbeat per tick while q is alive: the count received by
+  // time t is min(t, crash time). The rank of a correct process grows
+  // forever; a faulty one's rank freezes — the defining property of [6]'s
+  // ranking function.
+  return std::min(t, pattern_.crash_time(q));
+}
+
+Time SigmaExtraction::rank_set(ProcessSet x, Time t) const {
+  Time r = t;
+  for (ProcessId q : x) r = std::min(r, rank(q, t));
+  return r;
+}
+
+std::optional<ProcessSet> SigmaExtraction::query(ProcessId p, Time t) const {
+  if (!scope_.contains(p)) return std::nullopt;  // lines 11-12
+  ProcessSet out;
+  for (GroupId g : targets_) {
+    // Q_g at p: the responsive subsets containing p, plus g itself (line 3).
+    ProcessSet best = system_.group(g);
+    Time best_rank = rank_set(best, t);
+    for (const Probe& pr : probes_) {
+      if (pr.g != g || !pr.x.contains(p)) continue;
+      // Line 8-9: x joins Q_g at p when A_{g,x} delivers *at p*.
+      bool delivered_at_p = false;
+      for (const auto& d : pr.instance.deliveries())
+        if (d.p == p && d.t <= t) {
+          delivered_at_p = true;
+          break;
+        }
+      if (!delivered_at_p) continue;
+      Time r = rank_set(pr.x, t);
+      if (r > best_rank ||
+          (r == best_rank && pr.x.size() < best.size())) {
+        best = pr.x;
+        best_rank = r;
+      }
+    }
+    out |= best;  // line 14: qr_g = argmax rank
+  }
+  return out & scope_;  // line 15
+}
+
+}  // namespace gam::emulation

@@ -1,0 +1,65 @@
+// Algorithm 2 (paper §5.1): emulating Σ_{∩_{g∈G} g} from a black-box genuine
+// atomic-multicast solution A, for G a set of at most two intersecting
+// destination groups.
+//
+// For every g ∈ G and every non-empty x ⊆ g, an instance A_{g,x} runs in
+// which exactly the processes of x participate, each multicasting its
+// identity to g. An instance that delivers marks x "responsive" (variable
+// Q_g). Queries return (∪_g qr_g) ∩ (∩_g g), where qr_g is the responsive
+// subset with the highest rank — the rank of a process counts the "alive"
+// heartbeats received from it, so the rank of a set keeps growing iff all its
+// members are correct ([6]).
+//
+// The probed A is quorum-gated (Instance::Options::sigma_gated): a step for a
+// message addressed to g needs Σ_g's current quorum inside the participant
+// set, which is how an implementation whose objects require live quorums
+// behaves. That dependency is exactly what the extraction turns back into a
+// quorum failure detector.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "emulation/instance.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+
+namespace gam::emulation {
+
+class SigmaExtraction {
+ public:
+  // `targets` holds one or two intersecting group ids.
+  SigmaExtraction(const groups::GroupSystem& system,
+                  const sim::FailurePattern& pattern,
+                  std::vector<GroupId> targets, std::uint64_t seed);
+
+  // Drives every instance for `horizon` global ticks.
+  void run(Time horizon);
+
+  // H(p, t) of the emulated Σ_{∩g}; ⊥ outside the intersection.
+  std::optional<ProcessSet> query(ProcessId p, Time t) const;
+
+  ProcessSet intersection_scope() const { return scope_; }
+
+  // rank(q, t): heartbeats received from q by time t (monotone while q lives).
+  Time rank(ProcessId q, Time t) const;
+  Time rank_set(ProcessSet x, Time t) const;
+
+ private:
+  struct Probe {
+    GroupId g;
+    ProcessSet x;
+    Instance instance;
+    std::optional<Time> responsive;  // first delivery time
+  };
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  std::vector<GroupId> targets_;
+  ProcessSet scope_;
+  std::vector<Probe> probes_;
+  Time ran_to_ = 0;
+};
+
+}  // namespace gam::emulation

@@ -1,0 +1,146 @@
+// Checkers for the failure-detector class axioms (paper §3, §6.1).
+//
+// Both the oracles and the emulation algorithms (Algorithms 2-5) must satisfy
+// the class axioms; these checkers validate recorded query traces against
+// them. "Eventually forever" clauses are checked on the trace suffix: callers
+// must sample well past the last crash so the detector has stabilized —
+// which the classes guarantee happens at some finite time.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::fd {
+
+template <typename T>
+struct Sample {
+  ProcessId p;
+  Time t;
+  T value;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;
+
+  void fail(std::string msg) {
+    if (ok) error = std::move(msg);
+    ok = false;
+  }
+};
+
+// Σ: (Intersection) any two sampled quorums, at any processes and times,
+// intersect; (Liveness) the final sample of every correct in-scope process
+// contains only correct processes.
+inline CheckResult check_sigma(const std::vector<Sample<ProcessSet>>& samples,
+                               const sim::FailurePattern& pattern,
+                               ProcessSet scope) {
+  CheckResult r;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].value.empty())
+      r.fail("sigma returned an empty quorum");
+    for (size_t j = i + 1; j < samples.size(); ++j)
+      if (!samples[i].value.intersects(samples[j].value))
+        r.fail("sigma quorums " + samples[i].value.to_string() + " and " +
+               samples[j].value.to_string() + " do not intersect");
+  }
+  std::map<ProcessId, ProcessSet> last;
+  for (const auto& s : samples) last[s.p] = s.value;  // samples are in t-order
+  for (auto& [p, q] : last) {
+    if (!pattern.correct(p) || !scope.contains(p)) continue;
+    if (!q.subset_of(pattern.correct_set()))
+      r.fail("final sigma quorum at p" + std::to_string(p) +
+             " contains a faulty process: " + q.to_string());
+  }
+  return r;
+}
+
+// Ω: the final samples of all correct in-scope processes agree on a single
+// correct member of the scope.
+inline CheckResult check_omega(const std::vector<Sample<ProcessId>>& samples,
+                               const sim::FailurePattern& pattern,
+                               ProcessSet scope) {
+  CheckResult r;
+  if ((scope & pattern.correct_set()).empty()) return r;  // vacuous
+  std::map<ProcessId, ProcessId> last;
+  for (const auto& s : samples) last[s.p] = s.value;
+  ProcessId leader = -1;
+  for (auto& [p, l] : last) {
+    if (!pattern.correct(p) || !scope.contains(p)) continue;
+    if (leader == -1) leader = l;
+    if (l != leader)
+      r.fail("correct processes disagree on the omega leader");
+  }
+  if (leader != -1 && (!pattern.correct(leader) || !scope.contains(leader)))
+    r.fail("final omega leader p" + std::to_string(leader) +
+           " is faulty or out of scope");
+  return r;
+}
+
+// γ: (Accuracy) whenever a family of F(p) is missing from a sample at (p,t),
+// the family is faulty at t; (Completeness) the final sample of every correct
+// process omits every family of F(p) that is (eventually) faulty.
+inline CheckResult check_gamma(
+    const std::vector<Sample<std::vector<groups::FamilyMask>>>& samples,
+    const groups::GroupSystem& system, const sim::FailurePattern& pattern) {
+  CheckResult r;
+  std::map<ProcessId, std::vector<groups::FamilyMask>> last;
+  for (const auto& s : samples) {
+    const auto fp = system.families_of_process(s.p);
+    for (groups::FamilyMask f : fp) {
+      bool output =
+          std::find(s.value.begin(), s.value.end(), f) != s.value.end();
+      if (!output && !system.family_faulty_at(f, pattern, s.t))
+        r.fail("gamma accuracy: family " + system.family_to_string(f) +
+               " omitted at p" + std::to_string(s.p) + " while correct at t=" +
+               std::to_string(s.t));
+    }
+    last[s.p] = s.value;
+  }
+  for (auto& [p, fams] : last) {
+    if (!pattern.correct(p)) continue;
+    for (groups::FamilyMask f : system.families_of_process(p)) {
+      bool output = std::find(fams.begin(), fams.end(), f) != fams.end();
+      if (output && system.family_faulty(f, pattern))
+        r.fail("gamma completeness: faulty family " +
+               system.family_to_string(f) + " still output at p" +
+               std::to_string(p) + " in the final sample");
+    }
+  }
+  return r;
+}
+
+// 1^P: (Accuracy) true only when the watched set is crashed at the sample
+// time; (Completeness) if the watched set is faulty, the final sample at
+// every correct in-scope process is true.
+inline CheckResult check_indicator(const std::vector<Sample<bool>>& samples,
+                                   const sim::FailurePattern& pattern,
+                                   ProcessSet watched, ProcessSet scope) {
+  CheckResult r;
+  std::map<ProcessId, bool> last;
+  for (const auto& s : samples) {
+    if (s.value && !pattern.set_faulty_at(watched, s.t))
+      r.fail("indicator accuracy: true at t=" + std::to_string(s.t) +
+             " while " + watched.to_string() + " still has a live member");
+    last[s.p] = s.value;
+  }
+  if (pattern.set_faulty(watched)) {
+    for (auto& [p, v] : last) {
+      if (!pattern.correct(p) || !scope.contains(p)) continue;
+      if (!v)
+        r.fail("indicator completeness: final sample false at p" +
+               std::to_string(p) + " although " + watched.to_string() +
+               " is faulty");
+    }
+  }
+  return r;
+}
+
+}  // namespace gam::fd

@@ -1,0 +1,179 @@
+#include "fd/detectors.hpp"
+
+#include <algorithm>
+
+namespace gam::fd {
+
+namespace {
+
+// The "view time" of a laggy detector: what it believes at t is the truth at
+// t - lag (clamped at 0). Lagging a crash-monotone signal preserves every
+// "eventually" clause of the classes while exercising the transient slack.
+Time lagged(Time t, Time lag) { return t > lag ? t - lag : 0; }
+
+}  // namespace
+
+// ---- Σ_P ---------------------------------------------------------------------
+
+SigmaOracle::SigmaOracle(const sim::FailurePattern& pattern, ProcessSet scope,
+                         Time lag)
+    : pattern_(&pattern), scope_(scope), lag_(lag), last_survivor_(-1) {
+  // The quorum of last resort: the scope member that crashes last. Once the
+  // whole scope is dead, returning {last_survivor_} keeps Intersection valid
+  // because that process belongs to every earlier alive-set. Correct members
+  // never crash, so any of them qualifies.
+  Time best = 0;
+  for (ProcessId p : scope_) {
+    Time ct = pattern_->crash_time(p);
+    if (last_survivor_ == -1 || ct > best ||
+        (ct == best && p < last_survivor_)) {
+      best = ct;
+      last_survivor_ = p;
+    }
+    if (ct == sim::kNever) {  // a correct member: stop looking
+      last_survivor_ = p;
+      break;
+    }
+  }
+}
+
+ProcessSet SigmaOracle::quorum_at(Time t) const {
+  Time view = lagged(t, lag_);
+  ProcessSet alive;
+  for (ProcessId q : scope_)
+    if (pattern_->alive(q, view)) alive.insert(q);
+  if (!alive.empty()) return alive;
+  return ProcessSet::single(last_survivor_);
+}
+
+std::optional<ProcessSet> SigmaOracle::query(ProcessId p, Time t) const {
+  if (!scope_.contains(p)) return std::nullopt;
+  return quorum_at(t);
+}
+
+// ---- Ω_P ---------------------------------------------------------------------
+
+OmegaOracle::OmegaOracle(const sim::FailurePattern& pattern, ProcessSet scope,
+                         Time lag)
+    : pattern_(&pattern), scope_(scope), lag_(lag) {}
+
+std::optional<ProcessId> OmegaOracle::query(ProcessId p, Time t) const {
+  if (!scope_.contains(p)) return std::nullopt;
+  Time view = lagged(t, lag_);
+  // The smallest scope member still alive at the view time. Faulty processes
+  // all crash eventually, so this converges to the smallest correct member —
+  // exactly one leader, forever, as Leadership demands.
+  for (ProcessId q : scope_)
+    if (pattern_->alive(q, view)) return q;
+  return scope_.min();  // whole scope dead: Leadership is vacuous
+}
+
+// ---- γ -----------------------------------------------------------------------
+
+GammaOracle::GammaOracle(const groups::GroupSystem& system,
+                         const sim::FailurePattern& pattern, Time lag)
+    : system_(&system), pattern_(&pattern), lag_(lag) {
+  families_of_.resize(static_cast<size_t>(system.process_count()));
+  for (ProcessId p = 0; p < system.process_count(); ++p)
+    families_of_[static_cast<size_t>(p)] = system.families_of_process(p);
+  for (groups::FamilyMask f : system.cyclic_families())
+    faulty_time_.emplace_back(f, family_faulty_time(f));
+}
+
+Time GammaOracle::family_faulty_time(groups::FamilyMask f) const {
+  if (!system_->family_faulty(f, *pattern_)) return sim::kNever;
+  // Family faultiness is crash-monotone; the transition can only happen when
+  // some edge intersection finishes crashing. Probe those instants in order.
+  auto members = groups::family_members(f);
+  std::vector<Time> candidates;
+  for (size_t i = 0; i < members.size(); ++i)
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      ProcessSet inter = system_->intersection(members[i], members[j]);
+      if (inter.empty()) continue;
+      Time ct = pattern_->set_crash_time(inter);
+      if (ct != sim::kNever) candidates.push_back(ct);
+    }
+  std::sort(candidates.begin(), candidates.end());
+  for (Time t : candidates)
+    if (system_->family_faulty_at(f, *pattern_, t)) return t;
+  GAM_INVARIANT(false);  // family_faulty(f) implied a finite transition time
+  return sim::kNever;
+}
+
+std::vector<groups::FamilyMask> GammaOracle::query(ProcessId p, Time t) const {
+  std::vector<groups::FamilyMask> out;
+  for (groups::FamilyMask f : families_of_[static_cast<size_t>(p)]) {
+    auto it = std::find_if(faulty_time_.begin(), faulty_time_.end(),
+                           [f](const auto& e) { return e.first == f; });
+    GAM_INVARIANT(it != faulty_time_.end());
+    Time ft = it->second;
+    // Keep the family until lag steps after it became faulty. Accuracy holds
+    // (we only ever omit after ft), Completeness holds (omitted forever from
+    // ft + lag on).
+    bool omitted = ft != sim::kNever && t >= ft + lag_;
+    if (!omitted) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<groups::GroupId> GammaOracle::gamma_of_group(ProcessId p,
+                                                         groups::GroupId g,
+                                                         Time t) const {
+  // h ranges over the groups with g∩h ≠ ∅ such that g and h belong to a
+  // family still output by γ; h = g qualifies whenever such a family exists
+  // (g∩g = g ≠ ∅), which the stable/commit preconditions of Algorithm 1 rely
+  // on (Lemma 22 applies it with dst(m') = g).
+  std::vector<groups::GroupId> out;
+  for (groups::FamilyMask f : query(p, t)) {
+    if (!groups::family_contains(f, g)) continue;
+    for (groups::GroupId h : groups::family_members(f)) {
+      if (h != g && system_->intersection(g, h).empty()) continue;
+      if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- 1^P ---------------------------------------------------------------------
+
+IndicatorOracle::IndicatorOracle(const sim::FailurePattern& pattern,
+                                 ProcessSet watched, ProcessSet scope,
+                                 Time lag)
+    : pattern_(&pattern), watched_(watched), scope_(scope), lag_(lag) {}
+
+std::optional<bool> IndicatorOracle::query(ProcessId p, Time t) const {
+  if (!scope_.contains(p)) return std::nullopt;
+  Time ct = pattern_->set_crash_time(watched_);
+  if (ct == sim::kNever) return false;
+  return t >= ct + lag_;
+}
+
+// ---- μ -----------------------------------------------------------------------
+
+MuOracle::MuOracle(const groups::GroupSystem& system,
+                   const sim::FailurePattern& pattern, Time lag)
+    : system_(&system), gamma_(system, pattern, lag) {
+  int n = system.group_count();
+  sigmas_.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (groups::GroupId g = 0; g < n; ++g)
+    for (groups::GroupId h = 0; h < n; ++h)
+      sigmas_.emplace_back(pattern, system.intersection(g, h), lag);
+  omegas_.reserve(static_cast<size_t>(n));
+  for (groups::GroupId g = 0; g < n; ++g)
+    omegas_.emplace_back(pattern, system.group(g), lag);
+}
+
+const SigmaOracle& MuOracle::sigma(groups::GroupId g, groups::GroupId h) const {
+  int n = system_->group_count();
+  GAM_EXPECTS(g >= 0 && g < n && h >= 0 && h < n);
+  return sigmas_[static_cast<size_t>(g) * static_cast<size_t>(n) +
+                 static_cast<size_t>(h)];
+}
+
+const OmegaOracle& MuOracle::omega(groups::GroupId g) const {
+  GAM_EXPECTS(g >= 0 && g < system_->group_count());
+  return omegas_[static_cast<size_t>(g)];
+}
+
+}  // namespace gam::fd

@@ -1,0 +1,152 @@
+// Failure-detector transformations: the reductions that order the classes of
+// Table 1 (D' ≤ D when D' is constructible from D).
+//
+//   P ⇒ Σ_P        a perfect detector yields quorums (the alive set),
+//   P ⇒ Ω_P        ... and an eventual leader (min alive),
+//   P ⇒ 1^W        ... and every indicator,
+//   P ⇒ γ          ... and the cyclicity detector (via Proposition 51's
+//                  construction, emulation/gamma_from_indicators.hpp),
+//   ◇P             the eventually-perfect detector, for completeness of the
+//                  classical hierarchy: suspicions may be wrong for a finite
+//                  prefix, then match the crash set exactly.
+//
+// Each transformation is a small adapter over a P-history; the tests check
+// that the produced histories satisfy the target class's axioms, which is
+// the operational content of "P is stronger than everything in the paper's
+// candidate" (§1, [36] uses exactly this).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "fd/detectors.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace gam::fd {
+
+// ◇P: before `stabilization`, suspicions are arbitrary (here: seeded noise);
+// afterwards they equal the crash set. Strong completeness + eventual strong
+// accuracy.
+class EventuallyPerfectOracle {
+ public:
+  EventuallyPerfectOracle(const sim::FailurePattern& pattern,
+                          Time stabilization, std::uint64_t seed)
+      : pattern_(&pattern), stabilization_(stabilization), seed_(seed) {}
+
+  // The suspected set at (p, t).
+  ProcessSet query(ProcessId p, Time t) const {
+    ProcessSet truth = pattern_->failed_at(t);
+    if (t >= stabilization_) return truth;
+    // Transient noise: deterministically suspect some alive processes and
+    // miss some crashed ones — everything ◇P permits before stabilization.
+    Rng rng(seed_ ^ (static_cast<std::uint64_t>(p) << 40) ^ t);
+    ProcessSet out = truth;
+    for (ProcessId q = 0; q < pattern_->process_count(); ++q) {
+      if (rng.chance(0.2)) out.insert(q);
+      if (rng.chance(0.2)) out.erase(q);
+    }
+    return out;
+  }
+
+ private:
+  const sim::FailurePattern* pattern_;
+  Time stabilization_;
+  std::uint64_t seed_;
+};
+
+// Σ_P from P: the quorum at t is the scope's not-yet-suspected set; once the
+// whole scope is suspected, fall back to the last unsuspected member.
+// Intersection holds because P's accuracy makes suspected = crashed, so the
+// produced quorums are exactly the oracle Σ's alive-sets.
+class SigmaFromPerfect {
+ public:
+  SigmaFromPerfect(const PerfectOracle& perfect, ProcessSet scope)
+      : perfect_(&perfect), scope_(scope) {}
+
+  std::optional<ProcessSet> query(ProcessId p, Time t) const {
+    if (!scope_.contains(p)) return std::nullopt;
+    ProcessSet alive = scope_ - perfect_->query(p, t);
+    if (!alive.empty()) {
+      last_seen_ = alive.min();
+      return alive;
+    }
+    return ProcessSet::single(last_seen_);
+  }
+
+ private:
+  const PerfectOracle* perfect_;
+  ProcessSet scope_;
+  mutable ProcessId last_seen_ = -1;
+};
+
+// Ω_P from P: elect the smallest unsuspected member of the scope.
+class OmegaFromPerfect {
+ public:
+  OmegaFromPerfect(const PerfectOracle& perfect, ProcessSet scope)
+      : perfect_(&perfect), scope_(scope) {}
+
+  std::optional<ProcessId> query(ProcessId p, Time t) const {
+    if (!scope_.contains(p)) return std::nullopt;
+    ProcessSet alive = scope_ - perfect_->query(p, t);
+    return alive.empty() ? scope_.min() : alive.min();
+  }
+
+ private:
+  const PerfectOracle* perfect_;
+  ProcessSet scope_;
+};
+
+// 1^W from P: true exactly when the whole watched set is suspected. P's
+// strong accuracy makes this accurate; completeness gives completeness.
+class IndicatorFromPerfect {
+ public:
+  IndicatorFromPerfect(const PerfectOracle& perfect, ProcessSet watched,
+                       ProcessSet scope)
+      : perfect_(&perfect), watched_(watched), scope_(scope) {}
+
+  std::optional<bool> query(ProcessId p, Time t) const {
+    if (!scope_.contains(p)) return std::nullopt;
+    return watched_.subset_of(perfect_->query(p, t));
+  }
+
+ private:
+  const PerfectOracle* perfect_;
+  ProcessSet watched_;
+  ProcessSet scope_;
+};
+
+// γ from P: declare a family faulty as soon as P shows one of its group
+// intersections fully crashed (the operational predicate of Lemma 25).
+class GammaFromPerfect {
+ public:
+  GammaFromPerfect(const groups::GroupSystem& system,
+                   const PerfectOracle& perfect)
+      : system_(&system), perfect_(&perfect) {}
+
+  std::vector<groups::FamilyMask> query(ProcessId p, Time t) const {
+    ProcessSet crashed = perfect_->query(p, t);
+    std::vector<groups::FamilyMask> out;
+    for (groups::FamilyMask f : system_->families_of_process(p)) {
+      bool faulty = false;
+      auto members = groups::family_members(f);
+      for (size_t i = 0; i < members.size() && !faulty; ++i)
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          ProcessSet inter = system_->intersection(members[i], members[j]);
+          if (!inter.empty() && inter.subset_of(crashed)) {
+            faulty = true;
+            break;
+          }
+        }
+      if (!faulty) out.push_back(f);
+    }
+    return out;
+  }
+
+ private:
+  const groups::GroupSystem* system_;
+  const PerfectOracle* perfect_;
+};
+
+}  // namespace gam::fd

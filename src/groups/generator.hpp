@@ -1,0 +1,89 @@
+// Random destination-group topologies for property sweeps and benches.
+#pragma once
+
+#include <vector>
+
+#include "groups/group_system.hpp"
+#include "util/rng.hpp"
+
+namespace gam::groups {
+
+struct TopologySpec {
+  int process_count = 6;
+  int group_count = 4;
+  int min_group_size = 2;
+  int max_group_size = 3;
+  // Chance that two consecutive groups are forced to share a process, which
+  // controls how many intersections (and cyclic families) appear.
+  double overlap_bias = 0.5;
+};
+
+inline GroupSystem random_group_system(const TopologySpec& spec, Rng& rng) {
+  GAM_EXPECTS(spec.process_count > 0 && spec.group_count > 0);
+  GAM_EXPECTS(spec.min_group_size >= 1 &&
+              spec.min_group_size <= spec.max_group_size);
+  std::vector<ProcessSet> groups;
+  for (int g = 0; g < spec.group_count; ++g) {
+    int size = static_cast<int>(
+        rng.range(spec.min_group_size,
+                  std::min(spec.max_group_size, spec.process_count)));
+    ProcessSet s;
+    // Bias toward overlapping the previous group to create intersections.
+    if (!groups.empty() && rng.chance(spec.overlap_bias)) {
+      const ProcessSet& prev = groups.back();
+      std::vector<ProcessId> ids(prev.begin(), prev.end());
+      s.insert(ids[static_cast<size_t>(rng.below(ids.size()))]);
+    }
+    while (s.size() < size)
+      s.insert(static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(spec.process_count))));
+    groups.push_back(s);
+  }
+  return GroupSystem(spec.process_count, std::move(groups));
+}
+
+// A ring of k groups, each of size `width`+1, where group i shares exactly
+// one process with group i+1 (mod k): the canonical cyclic-family topology.
+// Uses k*(width) processes.
+inline GroupSystem ring_system(int k, int width = 1) {
+  GAM_EXPECTS(k >= 3 && width >= 1);
+  int n = k * width;
+  GAM_EXPECTS(n <= ProcessSet::kMaxProcesses);
+  std::vector<ProcessSet> groups;
+  for (int i = 0; i < k; ++i) {
+    ProcessSet s;
+    for (int j = 0; j < width; ++j) s.insert(i * width + j);
+    s.insert(((i + 1) % k) * width);  // share the next group's anchor
+    groups.push_back(s);
+  }
+  return GroupSystem(n, std::move(groups));
+}
+
+// A chain of k groups (acyclic intersection graph, F = ∅): group i shares one
+// process with group i+1.
+inline GroupSystem chain_system(int k, int width = 2) {
+  GAM_EXPECTS(k >= 1 && width >= 2);
+  int n = k * (width - 1) + 1;
+  GAM_EXPECTS(n <= ProcessSet::kMaxProcesses);
+  std::vector<ProcessSet> groups;
+  for (int i = 0; i < k; ++i) {
+    ProcessSet s;
+    for (int j = 0; j < width; ++j) s.insert(i * (width - 1) + j);
+    groups.push_back(s);
+  }
+  return GroupSystem(n, std::move(groups));
+}
+
+// k pairwise-disjoint groups of the given size.
+inline GroupSystem disjoint_system(int k, int size = 2) {
+  GAM_EXPECTS(k >= 1 && size >= 1 && k * size <= ProcessSet::kMaxProcesses);
+  std::vector<ProcessSet> groups;
+  for (int i = 0; i < k; ++i) {
+    ProcessSet s;
+    for (int j = 0; j < size; ++j) s.insert(i * size + j);
+    groups.push_back(s);
+  }
+  return GroupSystem(k * size, std::move(groups));
+}
+
+}  // namespace gam::groups

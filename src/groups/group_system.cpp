@@ -1,0 +1,266 @@
+#include "groups/group_system.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace gam::groups {
+
+std::vector<GroupId> family_members(FamilyMask f) {
+  std::vector<GroupId> out;
+  for (int g = 0; f != 0; ++g, f >>= 1)
+    if (f & 1u) out.push_back(g);
+  return out;
+}
+
+GroupSystem::GroupSystem(int process_count, std::vector<ProcessSet> groups)
+    : process_count_(process_count), groups_(std::move(groups)) {
+  GAM_EXPECTS(process_count_ > 0 &&
+              process_count_ <= ProcessSet::kMaxProcesses);
+  GAM_EXPECTS(!groups_.empty());
+  GAM_EXPECTS(groups_.size() <= 20);  // exhaustive family enumeration bound
+  groups_of_.resize(static_cast<size_t>(process_count_));
+  for (GroupId g = 0; g < group_count(); ++g) {
+    const ProcessSet& s = groups_[static_cast<size_t>(g)];
+    GAM_EXPECTS(!s.empty());
+    GAM_EXPECTS(s.subset_of(ProcessSet::universe(process_count_)));
+    for (ProcessId p : s) groups_of_[static_cast<size_t>(p)].push_back(g);
+  }
+}
+
+ProcessSet GroupSystem::covered_processes() const {
+  ProcessSet s;
+  for (const auto& g : groups_) s |= g;
+  return s;
+}
+
+bool GroupSystem::hamiltonian(const std::vector<GroupId>& members,
+                              const std::vector<std::uint32_t>& adj) const {
+  auto n = members.size();
+  if (n < 3) return false;
+  // Held-Karp reachability DP anchored at vertex 0.
+  std::uint32_t full = (n >= 32) ? ~0u : ((1u << n) - 1);
+  // dp[mask] = set of end vertices v such that a simple path 0 -> v visits
+  // exactly `mask` (mask always contains bit 0).
+  std::vector<std::uint32_t> dp(full + 1u, 0);
+  dp[1] = 1u;  // the trivial path at vertex 0
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & 1u) == 0 || dp[mask] == 0) continue;
+    std::uint32_t ends = dp[mask];
+    while (ends != 0) {
+      auto v = static_cast<unsigned>(std::countr_zero(ends));
+      ends &= ends - 1;
+      std::uint32_t nexts = adj[v] & ~mask;
+      while (nexts != 0) {
+        auto w = static_cast<unsigned>(std::countr_zero(nexts));
+        nexts &= nexts - 1;
+        dp[mask | (1u << w)] |= (1u << w);
+      }
+    }
+  }
+  // Hamiltonian cycle: some end v of a full path with an edge back to 0.
+  return (dp[full] & adj[0]) != 0;
+}
+
+const std::vector<FamilyMask>& GroupSystem::cyclic_families() const {
+  if (families_computed_) return cyclic_families_;
+  int n = group_count();
+  for (FamilyMask f = 0; f < (FamilyMask{1} << n); ++f) {
+    if (family_size(f) < 3) continue;
+    if (is_cyclic(f)) cyclic_families_.push_back(f);
+  }
+  families_computed_ = true;
+  return cyclic_families_;
+}
+
+bool GroupSystem::is_cyclic(FamilyMask f) const {
+  if (family_size(f) < 3) return false;
+  auto members = family_members(f);
+  auto adj = adjacency(members, [](const ProcessSet&) { return true; });
+  return hamiltonian(members, adj);
+}
+
+std::vector<FamilyMask> GroupSystem::families_of_group(GroupId g) const {
+  GAM_EXPECTS(valid(g));
+  std::vector<FamilyMask> out;
+  for (FamilyMask f : cyclic_families())
+    if (family_contains(f, g)) out.push_back(f);
+  return out;
+}
+
+std::vector<FamilyMask> GroupSystem::families_of_process(ProcessId p) const {
+  GAM_EXPECTS(p >= 0 && p < process_count_);
+  std::vector<FamilyMask> out;
+  for (FamilyMask f : cyclic_families()) {
+    auto members = family_members(f);
+    bool in_some_intersection = false;
+    for (size_t i = 0; i < members.size() && !in_some_intersection; ++i)
+      for (size_t j = i + 1; j < members.size(); ++j)
+        if (intersection(members[i], members[j]).contains(p)) {
+          in_some_intersection = true;
+          break;
+        }
+    if (in_some_intersection) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<GroupId> GroupSystem::cyclic_neighbors(ProcessId p,
+                                                   GroupId g) const {
+  // H(p, g) = {h : ∃f' ∈ F(p). g,h ∈ f' ∧ g∩h ≠ ∅}; h = g qualifies whenever
+  // some family of F(p) contains g (g∩g = g ≠ ∅). Lemma 30 proves H(·, g) is
+  // the same at every member of a correct family, which makes it a sound
+  // consensus-object key in Algorithm 1 (line 20).
+  std::vector<GroupId> out;
+  for (FamilyMask f : families_of_process(p)) {
+    if (!family_contains(f, g)) continue;
+    for (GroupId h : family_members(f)) {
+      if (h != g && intersection(g, h).empty()) continue;
+      if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ClosedPath> GroupSystem::hamiltonian_cycles(FamilyMask f) const {
+  auto members = family_members(f);
+  auto n = members.size();
+  std::vector<ClosedPath> cycles;
+  if (n < 3) return cycles;
+  auto adj = adjacency(members, [](const ProcessSet&) { return true; });
+
+  // Backtracking enumeration anchored at position 0; reflections are deduped
+  // by requiring path[1] < path[n-1] (positions, both adjacent to 0 in the
+  // cycle).
+  std::vector<unsigned> path{0};
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  auto emit = [&] {
+    ClosedPath cp;
+    cp.reserve(n + 1);
+    for (unsigned pos : path) cp.push_back(members[pos]);
+    cp.push_back(members[0]);
+    cycles.push_back(std::move(cp));
+  };
+  auto backtrack = [&](auto&& self) -> void {
+    if (path.size() == n) {
+      if ((adj[path.back()] & 1u) != 0 && path[1] < path[n - 1]) emit();
+      return;
+    }
+    std::uint32_t nexts = adj[path.back()];
+    while (nexts != 0) {
+      auto w = static_cast<unsigned>(std::countr_zero(nexts));
+      nexts &= nexts - 1;
+      if (used[w]) continue;
+      used[w] = true;
+      path.push_back(w);
+      self(self);
+      path.pop_back();
+      used[w] = false;
+    }
+  };
+  backtrack(backtrack);
+  return cycles;
+}
+
+std::vector<ClosedPath> GroupSystem::cpaths(FamilyMask f) const {
+  std::vector<ClosedPath> out;
+  for (const ClosedPath& cycle : hamiltonian_cycles(f)) {
+    auto k = cycle.size() - 1;  // number of distinct vertices
+    // Every rotation, in both directions.
+    for (size_t start = 0; start < k; ++start) {
+      ClosedPath fwd, bwd;
+      fwd.reserve(k + 1);
+      bwd.reserve(k + 1);
+      for (size_t i = 0; i <= k; ++i)
+        fwd.push_back(cycle[(start + i) % k]);
+      for (size_t i = 0; i <= k; ++i)
+        bwd.push_back(cycle[(start + k - i) % k]);
+      out.push_back(std::move(fwd));
+      out.push_back(std::move(bwd));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::pair<GroupId, GroupId>> edge_set(const ClosedPath& p) {
+  std::vector<std::pair<GroupId, GroupId>> edges;
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    GroupId a = p[i], b = p[i + 1];
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+bool GroupSystem::paths_equivalent(const ClosedPath& a, const ClosedPath& b) {
+  return edge_set(a) == edge_set(b);
+}
+
+int GroupSystem::path_direction(const ClosedPath& pi) const {
+  GAM_EXPECTS(pi.size() >= 4 && pi.front() == pi.back());
+  auto k = pi.size() - 1;
+  // Locate the smallest group id on the cycle; the canonical orientation
+  // leaves it toward its smaller neighbor.
+  size_t at = 0;
+  for (size_t i = 1; i < k; ++i)
+    if (pi[i] < pi[at]) at = i;
+  GroupId succ = pi[(at + 1) % k];
+  GroupId pred = pi[(at + k - 1) % k];
+  return succ < pred ? 1 : -1;
+}
+
+bool GroupSystem::family_faulty_at(FamilyMask f,
+                                   const sim::FailurePattern& pattern,
+                                   sim::Time t) const {
+  auto members = family_members(f);
+  for (size_t i = 0; i < members.size(); ++i)
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      ProcessSet inter = intersection(members[i], members[j]);
+      if (!inter.empty() && pattern.set_faulty_at(inter, t)) return true;
+    }
+  return false;
+}
+
+bool GroupSystem::family_faulty(FamilyMask f,
+                                const sim::FailurePattern& pattern) const {
+  auto members = family_members(f);
+  for (size_t i = 0; i < members.size(); ++i)
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      ProcessSet inter = intersection(members[i], members[j]);
+      if (!inter.empty() && pattern.set_faulty(inter)) return true;
+    }
+  return false;
+}
+
+bool GroupSystem::family_faulty_hamiltonian_at(
+    FamilyMask f, const sim::FailurePattern& pattern, sim::Time t) const {
+  auto members = family_members(f);
+  auto adj = adjacency(members, [&](const ProcessSet& inter) {
+    return !pattern.set_faulty_at(inter, t);
+  });
+  return !hamiltonian(members, adj);
+}
+
+std::string GroupSystem::family_to_string(FamilyMask f) const {
+  std::string out = "{";
+  bool first = true;
+  for (GroupId g : family_members(f)) {
+    if (!first) out += ",";
+    out += "g" + std::to_string(g);
+    first = false;
+  }
+  return out + "}";
+}
+
+GroupSystem figure1_system() {
+  return GroupSystem(5, {ProcessSet{0, 1}, ProcessSet{1, 2},
+                         ProcessSet{0, 2, 3}, ProcessSet{0, 3, 4}});
+}
+
+}  // namespace gam::groups

@@ -1,0 +1,183 @@
+// Destination groups, intersection graphs, and cyclic families (paper, §2-§3).
+//
+// The atomic-multicast problem is fully determined by the set G of destination
+// groups. This module owns:
+//   - G itself and the derived maps G(p) (groups containing p) and pairwise
+//     intersections g∩h;
+//   - the intersection graph of any family f ⊆ G (vertices = groups, edge
+//     g—h iff g∩h ≠ ∅);
+//   - the set F of *cyclic families*: families of ≥3 groups whose intersection
+//     graph is Hamiltonian, together with cpaths(f), the closed paths visiting
+//     all groups of f;
+//   - the "family faulty at t" predicate: every closed path of f visits an
+//     edge (g,h) with g∩h fully crashed at t.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::groups {
+
+using GroupId = int;
+
+// A family of destination groups as a bitmask over group ids.
+using FamilyMask = std::uint64_t;
+
+inline FamilyMask family_of(std::initializer_list<GroupId> gs) {
+  FamilyMask m = 0;
+  for (GroupId g : gs) m |= (FamilyMask{1} << g);
+  return m;
+}
+
+inline bool family_contains(FamilyMask f, GroupId g) {
+  return ((f >> g) & 1u) != 0;
+}
+
+inline int family_size(FamilyMask f) { return std::popcount(f); }
+
+std::vector<GroupId> family_members(FamilyMask f);
+
+// A closed path in an intersection graph: a sequence of group ids with
+// front() == back(), visiting every group of the family exactly once
+// (a Hamiltonian cycle read from some start, in some direction).
+using ClosedPath = std::vector<GroupId>;
+
+class GroupSystem {
+ public:
+  GroupSystem(int process_count, std::vector<ProcessSet> groups);
+
+  int process_count() const { return process_count_; }
+  int group_count() const { return static_cast<int>(groups_.size()); }
+  const ProcessSet& group(GroupId g) const {
+    GAM_EXPECTS(valid(g));
+    return groups_[static_cast<size_t>(g)];
+  }
+  const std::vector<ProcessSet>& groups() const { return groups_; }
+
+  ProcessSet intersection(GroupId g, GroupId h) const {
+    return group(g) & group(h);
+  }
+  bool intersecting(GroupId g, GroupId h) const {
+    return intersection(g, h).intersects(ProcessSet::universe(process_count_));
+  }
+
+  // G(p): ids of the groups containing p.
+  const std::vector<GroupId>& groups_of(ProcessId p) const {
+    GAM_EXPECTS(p >= 0 && p < process_count_);
+    return groups_of_[static_cast<size_t>(p)];
+  }
+
+  // All processes that belong to at least one group.
+  ProcessSet covered_processes() const;
+
+  // ---- cyclic families -----------------------------------------------------
+
+  // F: every family f ⊆ G with |f| >= 3 whose intersection graph is
+  // Hamiltonian. Computed once, lazily; |G| must stay below 20 for the
+  // exhaustive enumeration (far beyond the topologies in the paper).
+  const std::vector<FamilyMask>& cyclic_families() const;
+
+  bool is_cyclic(FamilyMask f) const;
+
+  // F(g): the cyclic families containing group g.
+  std::vector<FamilyMask> families_of_group(GroupId g) const;
+
+  // F(p): the cyclic families f with p ∈ g∩h for distinct g,h ∈ f.
+  std::vector<FamilyMask> families_of_process(ProcessId p) const;
+
+  // H(p, g) from Lemma 30: the groups h with g∩h ≠ ∅ such that some cyclic
+  // family f ∈ F(p) contains both g and h.
+  std::vector<GroupId> cyclic_neighbors(ProcessId p, GroupId g) const;
+
+  // cpaths(f): all closed paths in the intersection graph of f visiting every
+  // group — i.e. every rotation and direction of every Hamiltonian cycle.
+  std::vector<ClosedPath> cpaths(FamilyMask f) const;
+
+  // Distinct Hamiltonian cycles of f up to rotation and reflection (one
+  // canonical representative per ≡-equivalence class of cpaths).
+  std::vector<ClosedPath> hamiltonian_cycles(FamilyMask f) const;
+
+  // Two closed paths are equivalent when they visit the same edges.
+  static bool paths_equivalent(const ClosedPath& a, const ClosedPath& b);
+
+  // dir(π): +1 when π follows its cycle's canonical orientation, -1 otherwise.
+  int path_direction(const ClosedPath& pi) const;
+
+  // ---- failure-dependent notions --------------------------------------------
+
+  // f is faulty at time t when some group intersection inside f — a pair of
+  // distinct members g,h with g∩h ≠ ∅ — is entirely crashed at t.
+  //
+  // NOTE ON THE DEFINITION. The paper phrases faultiness per closed path
+  // ("every π ∈ cpaths(f) visits an edge (g,h) with g∩h faulty"), which reads
+  // as a Hamiltonicity condition (family_faulty_hamiltonian_at below). The two
+  // readings agree on triangles and on every example in the paper (Figure 1),
+  // but diverge when a family survives the death of a *chord*: there the
+  // path reading keeps the family alive while Algorithm 1's commit action
+  // waits forever for tuples that only the dead intersection could write.
+  // Lemma 25 states exactly the property liveness needs — "if g∩h is faulty
+  // then every cyclic family containing g and h is eventually faulty" — and
+  // that property holds by construction under the pairwise reading, which is
+  // therefore the operational predicate used by the γ oracle. See
+  // tests/test_mu_multicast.cpp (ChordTopologyStaysLive) and DESIGN.md.
+  bool family_faulty_at(FamilyMask f, const sim::FailurePattern& pattern,
+                        sim::Time t) const;
+
+  // f is eventually faulty in this pattern (faulty at t = ∞).
+  bool family_faulty(FamilyMask f, const sim::FailurePattern& pattern) const;
+
+  // The literal per-path reading: after removing the edges whose
+  // intersections are dead at t, the intersection graph of f is no longer
+  // Hamiltonian. Exposed for the Algorithm 3 emulation machinery and the
+  // bench that contrasts the two readings.
+  bool family_faulty_hamiltonian_at(FamilyMask f,
+                                    const sim::FailurePattern& pattern,
+                                    sim::Time t) const;
+
+  std::string family_to_string(FamilyMask f) const;
+
+ private:
+  bool valid(GroupId g) const { return g >= 0 && g < group_count(); }
+
+  // Is the graph over `members` with the given adjacency Hamiltonian?
+  bool hamiltonian(const std::vector<GroupId>& members,
+                   const std::vector<std::uint32_t>& adj) const;
+
+  // Adjacency (bitmask over positions in `members`) of the intersection graph
+  // restricted to `members`, keeping only edges whose intersections pass
+  // `edge_alive`.
+  template <typename EdgeAlive>
+  std::vector<std::uint32_t> adjacency(const std::vector<GroupId>& members,
+                                       EdgeAlive&& edge_alive) const {
+    auto n = members.size();
+    std::vector<std::uint32_t> adj(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        ProcessSet inter = intersection(members[i], members[j]);
+        if (!inter.empty() && edge_alive(inter)) {
+          adj[i] |= (1u << j);
+          adj[j] |= (1u << i);
+        }
+      }
+    }
+    return adj;
+  }
+
+  int process_count_;
+  std::vector<ProcessSet> groups_;
+  std::vector<std::vector<GroupId>> groups_of_;
+  mutable std::vector<FamilyMask> cyclic_families_;
+  mutable bool families_computed_ = false;
+};
+
+// The running example of the paper (Figure 1): P = {p0..p4} with
+// g0 = {p0,p1}, g1 = {p1,p2}, g2 = {p0,p2,p3}, g3 = {p0,p3,p4}.
+// (The paper numbers from 1; we number from 0.)
+GroupSystem figure1_system();
+
+}  // namespace gam::groups

@@ -1,0 +1,136 @@
+// A multi-writer multi-reader atomic register from Σ (ABD emulation, [15]).
+//
+// One cell of the QuorumStore, with timestamps (counter, writer-id) packed so
+// concurrent writers never tie. write = snapshot (learn the max timestamp) +
+// store; read = snapshot (which already performs the ABD write-back).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "objects/quorum_store.hpp"
+
+namespace gam::objects {
+
+class AbdRegister {
+ public:
+  // `store` is this process's QuorumStore replica for the register's scope.
+  explicit AbdRegister(std::shared_ptr<QuorumStore> store, ProcessId self)
+      : store_(std::move(store)), self_(self) {}
+
+  static constexpr QuorumStore::CellId kCell = 0;
+
+  void write(std::int64_t value, std::function<void()> done) {
+    store_->snapshot([this, value, done = std::move(done)](
+                         const QuorumStore::Snapshot& snap) {
+      std::int64_t max_ts = -1;
+      auto it = snap.find(kCell);
+      if (it != snap.end()) max_ts = it->second.ts;
+      // Pack (counter, writer) so that two writers never produce equal
+      // timestamps: ts = counter * 64 + self.
+      std::int64_t counter = max_ts < 0 ? 0 : max_ts / 64 + 1;
+      store_->write(kCell, counter * 64 + self_, value, std::move(done));
+    });
+  }
+
+  void read(std::function<void(std::optional<std::int64_t>)> done) {
+    store_->snapshot([done = std::move(done)](
+                         const QuorumStore::Snapshot& snap) {
+      auto it = snap.find(kCell);
+      if (it == snap.end())
+        done(std::nullopt);
+      else
+        done(it->second.value);
+    });
+  }
+
+  bool busy() const { return store_->busy(); }
+
+ private:
+  std::shared_ptr<QuorumStore> store_;
+  ProcessId self_;
+};
+
+// Gafni's adopt-commit from Σ-replicated single-writer cells (paper §4.3:
+// "Adopt-commit objects are implemented using Σ_{g∩h}").
+//
+// Phase 1: write A[self] = v, snapshot; if only v is visible, carry
+// (v, commit-candidate), else carry (some seen value, adopt-candidate).
+// Phase 2: write B[self], snapshot; commit when every visible phase-2 entry
+// is a commit-candidate for one value, adopt that value when any is, adopt
+// the carried value otherwise.
+class QuorumAdoptCommit {
+ public:
+  enum class Grade { kCommit, kAdopt };
+  struct Outcome {
+    Grade grade;
+    std::int64_t value;
+  };
+
+  QuorumAdoptCommit(std::shared_ptr<QuorumStore> store, ProcessId self)
+      : store_(std::move(store)), self_(self) {}
+
+  void propose(std::int64_t v, std::function<void(Outcome)> done) {
+    GAM_EXPECTS(v >= 0);  // packing reserves the low bit for the flag
+    done_ = std::move(done);
+    store_->write(a_cell(self_), 1, v, [this, v] { phase1_snapshot(v); });
+  }
+
+  bool busy() const { return store_->busy(); }
+
+ private:
+  static QuorumStore::CellId a_cell(ProcessId p) { return p; }
+  static QuorumStore::CellId b_cell(ProcessId p) { return 64 + p; }
+  static std::int64_t pack(std::int64_t v, bool commit) {
+    return v * 2 + (commit ? 1 : 0);
+  }
+
+  void phase1_snapshot(std::int64_t v) {
+    store_->snapshot([this, v](const QuorumStore::Snapshot& snap) {
+      bool all_equal = true;
+      std::int64_t seen = -1;
+      for (auto& [cell, val] : snap) {
+        if (cell >= 64) continue;  // B cells
+        if (seen < 0) seen = val.value;
+        if (val.value != v) all_equal = false;
+      }
+      std::int64_t carry = all_equal ? v : seen;
+      bool candidate = all_equal;
+      store_->write(b_cell(self_), 1, pack(carry, candidate),
+                    [this, carry, candidate] { phase2_snapshot(carry, candidate); });
+    });
+  }
+
+  void phase2_snapshot(std::int64_t carry, bool candidate) {
+    store_->snapshot([this, carry, candidate](
+                         const QuorumStore::Snapshot& snap) {
+      bool all_commit = true;
+      std::int64_t commit_value = -1;
+      for (auto& [cell, val] : snap) {
+        if (cell < 64) continue;  // A cells
+        bool flag = (val.value & 1) != 0;
+        std::int64_t v = val.value / 2;
+        if (flag)
+          commit_value = v;
+        else
+          all_commit = false;
+      }
+      Outcome out;
+      if (all_commit && commit_value >= 0)
+        out = {Grade::kCommit, commit_value};
+      else if (commit_value >= 0)
+        out = {Grade::kAdopt, commit_value};
+      else
+        out = {Grade::kAdopt, carry};
+      (void)candidate;
+      auto done = std::move(done_);
+      done(out);
+    });
+  }
+
+  std::shared_ptr<QuorumStore> store_;
+  ProcessId self_;
+  std::function<void(Outcome)> done_;
+};
+
+}  // namespace gam::objects

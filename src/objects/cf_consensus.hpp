@@ -1,0 +1,53 @@
+// Contention-free fast consensus (paper §4.3, citing [2]): a consensus object
+// guarded by an adopt-commit object. propose first runs the adopt-commit over
+// the *intersection* g∩h; when it commits — which it always does while
+// processes execute operations in the same order, i.e. without contention —
+// the result is final and only the processes of g∩h ever took steps. On
+// adopt, the adopted value is handed to a full consensus implemented in the
+// *enclosing group* g (Ω_g ∧ Σ_g).
+//
+// This is exactly the mechanism behind Proposition 47: when no message is
+// addressed to h during a run, operations on LOG_{g∩h} stay on the fast path
+// and genuineness is preserved.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "objects/abd_register.hpp"
+#include "objects/consensus_mp.hpp"
+
+namespace gam::objects {
+
+class CfFastConsensus {
+ public:
+  // `ac_store` must be scoped to g∩h, `cons` to g.
+  CfFastConsensus(std::shared_ptr<QuorumStore> ac_store, ProcessId self,
+                  std::shared_ptr<IndulgentConsensus> cons)
+      : ac_(std::make_shared<QuorumAdoptCommit>(std::move(ac_store), self)),
+        cons_(std::move(cons)) {}
+
+  void propose(std::int64_t v, std::function<void(std::int64_t)> done) {
+    ac_->propose(v, [this, done = std::move(done)](
+                        QuorumAdoptCommit::Outcome out) {
+      if (out.grade == QuorumAdoptCommit::Grade::kCommit) {
+        // Fast path: adopt-commit agreement guarantees every other process
+        // adopts this value, so a committed value is already the consensus.
+        fast_ = true;
+        done(out.value);
+        return;
+      }
+      cons_->propose(out.value, done);
+    });
+  }
+
+  // Whether the last completed propose finished on the fast (g∩h-only) path.
+  bool took_fast_path() const { return fast_; }
+
+ private:
+  std::shared_ptr<QuorumAdoptCommit> ac_;
+  std::shared_ptr<IndulgentConsensus> cons_;
+  bool fast_ = false;
+};
+
+}  // namespace gam::objects

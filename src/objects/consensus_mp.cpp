@@ -1,0 +1,127 @@
+#include "objects/consensus_mp.hpp"
+
+namespace gam::objects {
+
+namespace {
+constexpr int kStallLimit = 8;  // idle ticks before a ballot is retried
+}
+
+void IndulgentConsensus::propose(std::int64_t v,
+                                 std::function<void(std::int64_t)> done) {
+  GAM_EXPECTS(!proposal_.has_value());
+  proposal_ = v;
+  done_ = std::move(done);
+  if (decided_) {
+    auto d = done_;
+    if (d) d(*decided_);
+  }
+}
+
+void IndulgentConsensus::start_ballot(sim::Context& ctx) {
+  ++round_;
+  current_ballot_ = make_ballot(round_);
+  accept_phase_ = false;
+  promisers_ = {};
+  accepters_ = {};
+  best_accepted_ballot_ = -1;
+  chosen_value_ = *proposal_;
+  stall_ = 0;
+  ctx.send_to_set(scope_, protocol_id_, kPrepare, {current_ballot_});
+}
+
+bool IndulgentConsensus::on_idle(sim::Context& ctx) {
+  if (!proposal_ || decided_) return false;
+  // Only the Ω-designated leader drives ballots; everyone else periodically
+  // forwards its proposal to the leader. This is what makes the protocol live
+  // under contention once Ω stabilizes — even when the stable leader never
+  // proposed itself.
+  auto leader = omega_->query(self_, ctx.now());
+  if (!leader) return false;
+  if (*leader != self_) {
+    if (++stall_ > kStallLimit) {
+      stall_ = 0;
+      ctx.send(*leader, protocol_id_, kForward, {*proposal_});
+      return true;
+    }
+    return false;
+  }
+  if (current_ballot_ < 0 || ++stall_ > kStallLimit) {
+    start_ballot(ctx);
+    return true;
+  }
+  return false;
+}
+
+void IndulgentConsensus::decide(sim::Context& ctx, std::int64_t v) {
+  if (decided_) return;
+  decided_ = v;
+  ctx.send_to_set(scope_, protocol_id_, kDecide, {v});
+  auto done = done_;
+  if (done) done(v);
+}
+
+void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
+  switch (m.type) {
+    case kPrepare: {
+      std::int64_t b = m.data[0];
+      if (b > promised_) promised_ = b;
+      if (b >= promised_)
+        ctx.send(m.src, protocol_id_, kPromise,
+                 {b, accepted_ballot_, accepted_value_});
+      break;
+    }
+    case kPromise: {
+      std::int64_t b = m.data[0];
+      if (b != current_ballot_ || accept_phase_ || decided_) break;
+      promisers_.insert(m.src);
+      if (m.data[1] > best_accepted_ballot_) {
+        best_accepted_ballot_ = m.data[1];
+        chosen_value_ = m.data[2];
+      }
+      auto q = sigma_->query(self_, ctx.now());
+      if (q && q->subset_of(promisers_)) {
+        accept_phase_ = true;
+        stall_ = 0;
+        ctx.send_to_set(scope_, protocol_id_, kAccept,
+                        {current_ballot_, chosen_value_});
+      }
+      break;
+    }
+    case kAccept: {
+      std::int64_t b = m.data[0];
+      if (b >= promised_) {
+        promised_ = b;
+        accepted_ballot_ = b;
+        accepted_value_ = m.data[1];
+        ctx.send(m.src, protocol_id_, kAccepted, {b});
+      }
+      break;
+    }
+    case kAccepted: {
+      std::int64_t b = m.data[0];
+      if (b != current_ballot_ || !accept_phase_ || decided_) break;
+      accepters_.insert(m.src);
+      auto q = sigma_->query(self_, ctx.now());
+      if (q && q->subset_of(accepters_)) decide(ctx, chosen_value_);
+      break;
+    }
+    case kDecide: {
+      if (!decided_) {
+        decided_ = m.data[0];
+        auto done = done_;
+        if (done) done(*decided_);
+      }
+      break;
+    }
+    case kForward: {
+      // Adopt a forwarded proposal when we have none of our own; the idle
+      // loop then drives it if we are (still) the leader.
+      if (!proposal_ && !decided_) proposal_ = m.data[0];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace gam::objects

@@ -1,0 +1,94 @@
+// Indulgent consensus from Ω ∧ Σ (paper §4: obstruction-free consensus from
+// registers, boosted with Ω [25]; realized here in its message-passing form,
+// a single-decree Paxos).
+//
+// Every scope member is an acceptor; the process that its Ω module names as
+// leader acts as proposer. Ballots are (round, process) pairs packed into one
+// integer so competing proposers never collide. Safety never depends on Ω or
+// timing (indulgence); termination follows once Ω stabilizes on one correct
+// leader and Σ's quorums contain only correct processes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fd/detectors.hpp"
+#include "objects/protocol_host.hpp"
+#include "sim/world.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::objects {
+
+class IndulgentConsensus : public SubProtocol {
+ public:
+  IndulgentConsensus(std::int32_t protocol_id, ProcessId self,
+                     ProcessSet scope, const fd::SigmaOracle& sigma,
+                     const fd::OmegaOracle& omega)
+      : protocol_id_(protocol_id),
+        self_(self),
+        scope_(scope),
+        sigma_(&sigma),
+        omega_(&omega) {
+    GAM_EXPECTS(scope.contains(self));
+  }
+
+  // Proposes v; `done` fires with the decided value. A process may propose at
+  // most once, but learns and reports the decision even if another proposal
+  // wins.
+  void propose(std::int64_t v, std::function<void(std::int64_t)> done);
+
+  std::optional<std::int64_t> decided() const { return decided_; }
+
+  void on_message(sim::Context& ctx, const sim::Message& m) override;
+  bool on_idle(sim::Context& ctx) override;
+  bool wants_step() const override {
+    return proposal_.has_value() && !decided_.has_value();
+  }
+
+ private:
+  enum MsgType : std::int32_t {
+    kPrepare = 1,   // [ballot]
+    kPromise = 2,   // [ballot, accepted_ballot, accepted_value] (-1 if none)
+    kAccept = 3,    // [ballot, value]
+    kAccepted = 4,  // [ballot]
+    kDecide = 5,    // [value]
+    kForward = 6,   // [value] — a non-leader proposer hands its value to the
+                    // Ω leader, which drives it as its own (liveness when the
+                    // stable leader did not itself propose)
+  };
+
+  std::int64_t make_ballot(std::int64_t round) const {
+    return round * 64 + self_;
+  }
+  void start_ballot(sim::Context& ctx);
+  void decide(sim::Context& ctx, std::int64_t v);
+
+  std::int32_t protocol_id_;
+  ProcessId self_;
+  ProcessSet scope_;
+  const fd::SigmaOracle* sigma_;
+  const fd::OmegaOracle* omega_;
+
+  // Acceptor state.
+  std::int64_t promised_ = -1;
+  std::int64_t accepted_ballot_ = -1;
+  std::int64_t accepted_value_ = -1;
+
+  // Proposer state.
+  std::optional<std::int64_t> proposal_;
+  std::int64_t round_ = 0;
+  std::int64_t current_ballot_ = -1;
+  bool accept_phase_ = false;
+  std::int64_t chosen_value_ = -1;
+  ProcessSet promisers_;
+  ProcessSet accepters_;
+  std::int64_t best_accepted_ballot_ = -1;
+  // Idle ticks since the current ballot started; a stalled ballot (lost
+  // leadership race, dead quorum member) is retried with a higher ballot.
+  int stall_ = 0;
+
+  std::optional<std::int64_t> decided_;
+  std::function<void(std::int64_t)> done_;
+};
+
+}  // namespace gam::objects

@@ -1,0 +1,301 @@
+// Ideal linearizable shared objects (paper §4.3, "Logs" and footnote 2).
+//
+// The failure-detector model allows computability results to use any number
+// of wait-free linearizable shared objects; Algorithm 1 is written against
+// logs and consensus objects. This header provides those objects directly as
+// linearizable sequential code (the simulator serializes every access), with
+// an access journal so that genuineness — which processes took steps on which
+// objects — stays a checkable property of a run. The message-passing
+// constructions of the same objects from Σ and Ω live in
+// objects/{abd_register,adopt_commit,consensus,universal_log}.hpp and are
+// validated separately (DESIGN.md, "Two object layers").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::objects {
+
+using MsgId = std::int64_t;
+
+// A datum stored in a log. Algorithm 1 stores three shapes in the same log:
+// plain messages m, position tuples (m, h, i) and stabilization tuples (m, h).
+struct LogEntry {
+  enum Kind : std::int8_t { kMessage = 0, kPosTuple = 1, kStabTuple = 2 };
+
+  Kind kind = kMessage;
+  MsgId m = -1;
+  std::int32_t h = -1;  // group id for tuples, -1 for messages
+  std::int64_t i = -1;  // log position for kPosTuple, -1 otherwise
+
+  static LogEntry message(MsgId m) { return {kMessage, m, -1, -1}; }
+  static LogEntry pos_tuple(MsgId m, std::int32_t h, std::int64_t i) {
+    return {kPosTuple, m, h, i};
+  }
+  static LogEntry stab_tuple(MsgId m, std::int32_t h) {
+    return {kStabTuple, m, h, -1};
+  }
+
+  // The a-priori total order (<) over data items used to break slot ties.
+  friend bool operator<(const LogEntry& a, const LogEntry& b) {
+    return std::tie(a.kind, a.m, a.h, a.i) < std::tie(b.kind, b.m, b.h, b.i);
+  }
+  friend bool operator==(const LogEntry& a, const LogEntry& b) = default;
+};
+
+// Access journal: which process performed which kind of operation on which
+// object. The Minimality checker consumes this.
+struct Access {
+  ProcessId by;
+  std::int64_t object;  // opaque object key supplied by the owner
+  enum Op : std::int8_t { kAppend, kBump, kRead, kPropose } op;
+};
+
+class AccessJournal {
+ public:
+  void record(ProcessId by, std::int64_t object, Access::Op op) {
+    accesses_.push_back({by, object, op});
+    active_.insert(by);
+  }
+  const std::vector<Access>& accesses() const { return accesses_; }
+  // Processes that performed at least one *mutating* object access.
+  ProcessSet active() const { return active_; }
+  void clear() {
+    accesses_.clear();
+    active_ = {};
+  }
+
+ private:
+  std::vector<Access> accesses_;
+  ProcessSet active_;
+};
+
+// The log object of §4.3: an infinite array of slots numbered from 1, each
+// holding zero or more data items. append inserts at the head (the first free
+// slot after which only free slots exist); bumpAndLock moves a datum to
+// max(current, k) and freezes it there. The induced order d <_L d' compares
+// slots, then the a-priori order on data items.
+//
+// With history tracking enabled, every mutation is journaled and
+// check_history() validates the base invariants of the paper's Table 2
+// against the actual operation sequence: presence is stable (Claim 2),
+// positions only grow (Claim 3), locks are permanent (Claim 4), a locked
+// datum's position is frozen (Claim 5), and the order below a locked datum
+// is frozen (Claims 6-8 follow from those three plus the slot order).
+class Log {
+ public:
+  explicit Log(std::int64_t key = 0, bool track_history = false)
+      : key_(key), track_history_(track_history) {}
+
+  std::int64_t key() const { return key_; }
+
+  struct HistoryEvent {
+    enum Kind : std::int8_t { kAppend, kBump } kind;
+    LogEntry entry;
+    std::int64_t arg;       // bump target (0 for appends)
+    std::int64_t slot;      // slot after the operation
+    bool locked_after;
+  };
+
+  const std::vector<HistoryEvent>& history() const { return history_; }
+
+  // Replays the journaled operations and verifies the Table-2 invariants.
+  // Returns an empty string on success, a diagnostic otherwise.
+  std::string check_history() const {
+    struct State {
+      std::int64_t slot;
+      bool locked;
+    };
+    std::map<std::pair<std::int8_t, std::tuple<std::int64_t, std::int32_t,
+                                               std::int64_t>>,
+             State>
+        seen;
+    auto key_of = [](const LogEntry& e) {
+      return std::make_pair(static_cast<std::int8_t>(e.kind),
+                            std::make_tuple(e.m, static_cast<std::int64_t>(e.h),
+                                            e.i));
+    };
+    for (const HistoryEvent& ev : history_) {
+      auto k = key_of(ev.entry);
+      auto it = seen.find(k);
+      if (it == seen.end()) {
+        if (ev.kind == HistoryEvent::kBump)
+          return "Claim 2: bump of a datum never appended";
+        seen.emplace(k, State{ev.slot, ev.locked_after});
+        continue;
+      }
+      State& st = it->second;
+      if (ev.slot < st.slot) return "Claim 3: position decreased";
+      if (st.locked && !ev.locked_after) return "Claim 4: lock dropped";
+      if (st.locked && ev.slot != st.slot)
+        return "Claim 5: locked datum moved";
+      st.slot = ev.slot;
+      st.locked = ev.locked_after;
+    }
+    return {};
+  }
+
+  // Inserts d at the head slot; no-op if d is already present. Returns the
+  // position of d.
+  std::int64_t append(const LogEntry& d, ProcessId by,
+                      AccessJournal* journal = nullptr) {
+    if (journal) journal->record(by, key_, Access::kAppend);
+    if (auto* it = find(d)) {
+      if (track_history_)
+        history_.push_back(
+            {HistoryEvent::kAppend, d, 0, it->slot, it->locked});
+      return it->slot;
+    }
+    items_.push_back({d, head_, false});
+    if (track_history_)
+      history_.push_back({HistoryEvent::kAppend, d, 0, head_, false});
+    return head_++;
+  }
+
+  // Position of d, or 0 when absent.
+  std::int64_t pos(const LogEntry& d) const {
+    const Item* it = find(d);
+    return it ? it->slot : 0;
+  }
+
+  bool contains(const LogEntry& d) const { return find(d) != nullptr; }
+
+  // Moves d from its slot l to slot max(k, l), then locks it. Locked data can
+  // no longer be bumped. Precondition: d is in the log.
+  void bump_and_lock(const LogEntry& d, std::int64_t k, ProcessId by,
+                     AccessJournal* journal = nullptr) {
+    if (journal) journal->record(by, key_, Access::kBump);
+    Item* it = find(d);
+    GAM_EXPECTS(it != nullptr);
+    if (!it->locked) {
+      it->slot = std::max(it->slot, k);
+      it->locked = true;
+      head_ = std::max(head_, it->slot + 1);
+    }
+    if (track_history_)
+      history_.push_back({HistoryEvent::kBump, d, k, it->slot, it->locked});
+  }
+
+  bool locked(const LogEntry& d) const {
+    const Item* it = find(d);
+    return it != nullptr && it->locked;
+  }
+
+  // d <_L d': both present, and (slot, entry) lexicographic order.
+  bool before(const LogEntry& d, const LogEntry& d2) const {
+    const Item* a = find(d);
+    const Item* b = find(d2);
+    if (!a || !b) return false;
+    return std::make_pair(a->slot, a->entry) < std::make_pair(b->slot, b->entry);
+  }
+
+  // All entries matching `pred`, in <_L order.
+  template <typename Pred>
+  std::vector<LogEntry> entries_if(Pred&& pred) const {
+    std::vector<const Item*> sel;
+    for (const Item& it : items_)
+      if (pred(it.entry)) sel.push_back(&it);
+    std::sort(sel.begin(), sel.end(), [](const Item* a, const Item* b) {
+      return std::make_pair(a->slot, a->entry) <
+             std::make_pair(b->slot, b->entry);
+    });
+    std::vector<LogEntry> out;
+    out.reserve(sel.size());
+    for (const Item* it : sel) out.push_back(it->entry);
+    return out;
+  }
+
+  std::vector<LogEntry> all_entries() const {
+    return entries_if([](const LogEntry&) { return true; });
+  }
+
+  // Message entries strictly before d in <_L order.
+  std::vector<LogEntry> messages_before(const LogEntry& d) const {
+    std::vector<LogEntry> out;
+    for (const LogEntry& e :
+         entries_if([](const LogEntry& e) { return e.kind == LogEntry::kMessage; }))
+      if (before(e, d)) out.push_back(e);
+    return out;
+  }
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  struct Item {
+    LogEntry entry;
+    std::int64_t slot;
+    bool locked;
+  };
+
+  const Item* find(const LogEntry& d) const {
+    for (const Item& it : items_)
+      if (it.entry == d) return &it;
+    return nullptr;
+  }
+  Item* find(const LogEntry& d) {
+    return const_cast<Item*>(std::as_const(*this).find(d));
+  }
+
+  std::int64_t key_;
+  bool track_history_ = false;
+  std::vector<Item> items_;
+  std::vector<HistoryEvent> history_;
+  std::int64_t head_ = 1;  // slots are numbered from 1
+};
+
+// Ideal consensus: the first proposal decides. Validity, agreement and
+// termination are immediate from the serialization.
+class Consensus {
+ public:
+  std::int64_t propose(std::int64_t v, ProcessId by,
+                       AccessJournal* journal = nullptr,
+                       std::int64_t key = 0) {
+    if (journal) journal->record(by, key, Access::kPropose);
+    if (!decided_) decided_ = v;
+    return *decided_;
+  }
+
+  std::optional<std::int64_t> decided() const { return decided_; }
+
+ private:
+  std::optional<std::int64_t> decided_;
+};
+
+// Ideal adopt-commit (Gafni): if every proposal equals the first one, commit;
+// otherwise adopt the first value. Satisfies AC-validity, AC-agreement and
+// the commit-on-agreement property used by §4.3's contention-free fast path.
+class AdoptCommit {
+ public:
+  enum class Grade { kCommit, kAdopt };
+  struct Outcome {
+    Grade grade;
+    std::int64_t value;
+  };
+
+  Outcome propose(std::int64_t v, ProcessId by,
+                  AccessJournal* journal = nullptr, std::int64_t key = 0) {
+    if (journal) journal->record(by, key, Access::kPropose);
+    if (!first_) {
+      first_ = v;
+      return {Grade::kCommit, v};
+    }
+    if (*first_ == v && !conflict_) return {Grade::kCommit, v};
+    conflict_ = true;
+    return {Grade::kAdopt, *first_};
+  }
+
+ private:
+  std::optional<std::int64_t> first_;
+  bool conflict_ = false;
+};
+
+}  // namespace gam::objects

@@ -1,0 +1,74 @@
+// Hosting of multiple protocol instances on one simulated process.
+//
+// The message-passing object constructions (ABD registers, adopt-commit,
+// indulgent consensus, the universal log) each run as a sub-protocol: a small
+// state machine that reacts to addressed messages and may want idle steps
+// (retries, leader duties). A ProtocolHost owns the sub-protocols of one
+// process and multiplexes the World's steps onto them via the `protocol`
+// field of the wire messages.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "sim/world.hpp"
+#include "util/contracts.hpp"
+
+namespace gam::objects {
+
+class SubProtocol {
+ public:
+  virtual ~SubProtocol() = default;
+  virtual void on_message(sim::Context& ctx, const sim::Message& m) = 0;
+  // One idle slot: do local work (start rounds, retry). Return true if any
+  // work was done.
+  virtual bool on_idle(sim::Context& ctx) {
+    (void)ctx;
+    return false;
+  }
+  virtual bool wants_step() const { return false; }
+};
+
+class ProtocolHost : public sim::Actor {
+ public:
+  void add(std::int32_t protocol_id, std::shared_ptr<SubProtocol> p) {
+    GAM_EXPECTS(!subs_.count(protocol_id));
+    subs_[protocol_id] = std::move(p);
+  }
+
+  SubProtocol* find(std::int32_t protocol_id) {
+    auto it = subs_.find(protocol_id);
+    return it == subs_.end() ? nullptr : it->second.get();
+  }
+
+  void on_step(sim::Context& ctx, const sim::Message* m) override {
+    if (m) {
+      if (SubProtocol* sub = find(m->protocol)) sub->on_message(ctx, *m);
+      return;
+    }
+    for (auto& [id, sub] : subs_)
+      if (sub->wants_step() && sub->on_idle(ctx)) return;
+  }
+
+  bool wants_step() const override {
+    for (auto& [id, sub] : subs_)
+      if (sub->wants_step()) return true;
+    return false;
+  }
+
+ private:
+  std::map<std::int32_t, std::shared_ptr<SubProtocol>> subs_;
+};
+
+// Installs a ProtocolHost on every process of `world` and returns pointers.
+inline std::vector<ProtocolHost*> install_hosts(sim::World& world) {
+  std::vector<ProtocolHost*> hosts;
+  for (ProcessId p = 0; p < world.process_count(); ++p) {
+    auto host = std::make_unique<ProtocolHost>();
+    hosts.push_back(host.get());
+    world.install(p, std::move(host));
+  }
+  return hosts;
+}
+
+}  // namespace gam::objects

@@ -1,0 +1,142 @@
+#include "objects/quorum_store.hpp"
+
+namespace gam::objects {
+
+void QuorumStore::write(CellId cell, std::int64_t ts, std::int64_t value,
+                        std::function<void()> done) {
+  GAM_EXPECTS(op_ == Op::kNone);
+  op_ = Op::kWrite;
+  started_ = false;
+  staged_.clear();
+  staged_[cell] = {ts, value};
+  write_done_ = std::move(done);
+}
+
+void QuorumStore::snapshot(std::function<void(const Snapshot&)> done) {
+  GAM_EXPECTS(op_ == Op::kNone);
+  op_ = Op::kSnapshotRead;
+  started_ = false;
+  staged_.clear();
+  snapshot_done_ = std::move(done);
+}
+
+bool QuorumStore::on_idle(sim::Context& ctx) {
+  if (op_ == Op::kNone) return false;
+  if (!started_) {
+    start_round(ctx);
+    return true;
+  }
+  if (quorum_reached(ctx.now())) {
+    finish_op(ctx);
+    return true;
+  }
+  return false;
+}
+
+void QuorumStore::start_round(sim::Context& ctx) {
+  started_ = true;
+  ++seq_;
+  responders_ = {};
+  std::vector<std::int64_t> data{seq_};
+  if (op_ == Op::kWrite || op_ == Op::kSnapshotWriteBack) {
+    data.push_back(static_cast<std::int64_t>(staged_.size()));
+    for (auto& [cell, v] : staged_) {
+      data.push_back(cell);
+      data.push_back(v.ts);
+      data.push_back(v.value);
+    }
+    ctx.send_to_set(scope_, protocol_id_, kStoreReq, data);
+  } else {
+    ctx.send_to_set(scope_, protocol_id_, kLoadReq, data);
+  }
+}
+
+bool QuorumStore::quorum_reached(sim::Time now) const {
+  auto q = sigma_->query(self_, now);
+  return q && q->subset_of(responders_);
+}
+
+void QuorumStore::merge_into(Snapshot& dst,
+                             const std::vector<std::int64_t>& data,
+                             size_t offset, size_t n) const {
+  for (size_t k = 0; k < n; ++k) {
+    CellId cell = data[offset + 3 * k];
+    Versioned v{data[offset + 3 * k + 1], data[offset + 3 * k + 2]};
+    auto it = dst.find(cell);
+    if (it == dst.end() || it->second.ts < v.ts) dst[cell] = v;
+  }
+}
+
+void QuorumStore::finish_op(sim::Context& ctx) {
+  ++rounds_;
+  switch (op_) {
+    case Op::kWrite: {
+      op_ = Op::kNone;
+      auto done = std::move(write_done_);
+      if (done) done();
+      break;
+    }
+    case Op::kSnapshotRead: {
+      // ABD write-back: install the merged view at a quorum before
+      // returning, so a later read cannot observe an older value.
+      op_ = Op::kSnapshotWriteBack;
+      started_ = false;
+      if (!staged_.empty()) {
+        start_round(ctx);
+      } else {
+        op_ = Op::kNone;
+        auto done = std::move(snapshot_done_);
+        if (done) done(staged_);
+      }
+      break;
+    }
+    case Op::kSnapshotWriteBack: {
+      op_ = Op::kNone;
+      auto done = std::move(snapshot_done_);
+      if (done) done(staged_);
+      break;
+    }
+    case Op::kNone:
+      GAM_INVARIANT(false);
+  }
+}
+
+void QuorumStore::on_message(sim::Context& ctx, const sim::Message& m) {
+  switch (m.type) {
+    case kStoreReq: {
+      auto n = static_cast<size_t>(m.data[1]);
+      merge_into(cells_, m.data, 2, n);
+      ctx.send(m.src, protocol_id_, kStoreAck, {m.data[0]});
+      break;
+    }
+    case kLoadReq: {
+      std::vector<std::int64_t> data{m.data[0],
+                                     static_cast<std::int64_t>(cells_.size())};
+      for (auto& [cell, v] : cells_) {
+        data.push_back(cell);
+        data.push_back(v.ts);
+        data.push_back(v.value);
+      }
+      ctx.send(m.src, protocol_id_, kLoadRep, data);
+      break;
+    }
+    case kStoreAck: {
+      if (m.data[0] != seq_ || op_ == Op::kNone) break;
+      if (op_ != Op::kWrite && op_ != Op::kSnapshotWriteBack) break;
+      responders_.insert(m.src);
+      if (quorum_reached(ctx.now())) finish_op(ctx);
+      break;
+    }
+    case kLoadRep: {
+      if (m.data[0] != seq_ || op_ != Op::kSnapshotRead) break;
+      merge_into(staged_, m.data, 2, static_cast<size_t>(m.data[1]));
+      responders_.insert(m.src);
+      if (quorum_reached(ctx.now())) finish_op(ctx);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace gam::objects

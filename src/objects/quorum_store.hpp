@@ -1,0 +1,105 @@
+// Quorum-replicated single-writer cells from Σ (paper §4, "Σ_g permits to
+// build shared atomic registers in g" [15]).
+//
+// Every process of the scope replicates a map cell-id -> (timestamp, value).
+// A write installs a higher-timestamped value at a quorum; a snapshot reads
+// the cells of a quorum and merges by timestamp, then writes the merged view
+// back to a quorum before returning (the ABD write-back, which is what makes
+// reads linearizable). Quorums come from the Σ oracle: completion requires
+// the current Σ output to be a subset of the responders, and Σ's Intersection
+// property gives regularity while its Liveness property gives termination at
+// correct processes.
+//
+// AbdRegister (a MWMR atomic register), QuorumAdoptCommit and the consensus
+// constructions are built on top of this primitive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "objects/protocol_host.hpp"
+#include "sim/world.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::objects {
+
+// One instance per process; all instances of a scope share a protocol id.
+class QuorumStore : public SubProtocol {
+ public:
+  using CellId = std::int64_t;
+  struct Versioned {
+    std::int64_t ts = -1;
+    std::int64_t value = 0;
+  };
+  using Snapshot = std::map<CellId, Versioned>;
+
+  QuorumStore(std::int32_t protocol_id, ProcessId self, ProcessSet scope,
+              const fd::SigmaOracle& sigma)
+      : protocol_id_(protocol_id), self_(self), scope_(scope), sigma_(&sigma) {
+    GAM_EXPECTS(scope.contains(self));
+  }
+
+  // ---- client API (one outstanding operation per process) -------------------
+
+  // Install (ts, value) into `cell` at a quorum, then invoke `done`.
+  void write(CellId cell, std::int64_t ts, std::int64_t value,
+             std::function<void()> done);
+
+  // Read a quorum's view of all cells, write the merged view back to a
+  // quorum, then invoke `done` with the merge.
+  void snapshot(std::function<void(const Snapshot&)> done);
+
+  bool busy() const { return op_ != Op::kNone; }
+
+  // ---- SubProtocol -----------------------------------------------------------
+
+  void on_message(sim::Context& ctx, const sim::Message& m) override;
+  // Idle steps start the pending round, and re-check quorum coverage while a
+  // round is in flight: Σ's output can shrink onto the responders *after* the
+  // last ack arrived (a replica crash), so completion cannot be driven by
+  // message arrival alone.
+  bool on_idle(sim::Context& ctx) override;
+  bool wants_step() const override { return op_ != Op::kNone; }
+
+  // Total quorum round-trips completed (benches report this).
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  enum class Op { kNone, kWrite, kSnapshotRead, kSnapshotWriteBack };
+  enum MsgType : std::int32_t {
+    kStoreReq = 1,   // data: [seq, n, (cell, ts, value) * n]
+    kStoreAck = 2,   // data: [seq]
+    kLoadReq = 3,    // data: [seq]
+    kLoadRep = 4,    // data: [seq, n, (cell, ts, value) * n]
+  };
+
+  void start_round(sim::Context& ctx);
+  bool quorum_reached(sim::Time now) const;
+  void finish_op(sim::Context& ctx);
+  void merge_into(Snapshot& dst, const std::vector<std::int64_t>& data,
+                  size_t offset, size_t n) const;
+
+  std::int32_t protocol_id_;
+  ProcessId self_;
+  ProcessSet scope_;
+  const fd::SigmaOracle* sigma_;
+
+  // Replica state.
+  Snapshot cells_;
+
+  // Client state.
+  Op op_ = Op::kNone;
+  bool started_ = false;
+  std::int64_t seq_ = 0;
+  ProcessSet responders_;
+  Snapshot staged_;    // payload being written / merged snapshot
+  std::function<void()> write_done_;
+  std::function<void(const Snapshot&)> snapshot_done_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace gam::objects

@@ -1,0 +1,153 @@
+#include "objects/universal_log.hpp"
+
+#include <algorithm>
+
+namespace gam::objects {
+
+namespace {
+constexpr int kStallLimit = 8;
+}
+
+void UniversalLog::submit(std::int64_t op,
+                          std::function<void(std::int64_t)> applied) {
+  pending_.push_back({op, std::move(applied)});
+}
+
+std::int64_t UniversalLog::first_unlearned() const {
+  return static_cast<std::int64_t>(learned_.size());
+}
+
+void UniversalLog::learn(std::int64_t inst, std::int64_t value) {
+  decided_.emplace(inst, value);
+  while (true) {
+    auto it = decided_.find(first_unlearned());
+    if (it == decided_.end()) break;
+    learned_.push_back(it->second);
+    std::int64_t pos = static_cast<std::int64_t>(learned_.size()) - 1;
+    if (on_learn_) on_learn_(learned_.back(), pos);
+    // Resolve own pending submissions that just got ordered.
+    for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+      if (p->op != learned_.back()) continue;
+      auto cb = std::move(p->applied);
+      pending_.erase(p);
+      if (cb) cb(pos);
+      break;
+    }
+  }
+}
+
+void UniversalLog::drive(sim::Context& ctx) {
+  // Drive the first unlearned instance with the oldest pending op. Re-submits
+  // of an op already decided in a *later* instance cannot happen: we only
+  // drive ops still pending, and learn() removes them the moment they appear.
+  std::int64_t inst = first_unlearned();
+  ProposerState& ps = proposers_[inst];
+  ++ps.round;
+  ps.ballot = ps.round * 64 + self_;
+  ps.accept_phase = false;
+  ps.promisers = {};
+  ps.accepters = {};
+  ps.best_accepted_ballot = -1;
+  ps.value = pending_.front().op;
+  ps.stall = 0;
+  ctx.send_to_set(scope_, protocol_id_, kPrepare, {inst, ps.ballot});
+}
+
+bool UniversalLog::on_idle(sim::Context& ctx) {
+  if (pending_.empty()) return false;
+  auto leader = omega_->query(self_, ctx.now());
+  if (!leader) return false;
+  if (*leader != self_) {
+    // Non-leaders periodically hand their oldest pending op to the leader so
+    // the log progresses even when the stable leader has nothing to submit.
+    if (++forward_stall_ > kStallLimit) {
+      forward_stall_ = 0;
+      ctx.send(*leader, protocol_id_, kForward, {pending_.front().op});
+      return true;
+    }
+    return false;
+  }
+  std::int64_t inst = first_unlearned();
+  auto it = proposers_.find(inst);
+  if (it == proposers_.end() || ++it->second.stall > kStallLimit) {
+    drive(ctx);
+    return true;
+  }
+  return false;
+}
+
+void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
+  std::int64_t inst = m.data[0];
+  switch (m.type) {
+    case kPrepare: {
+      auto& ac = acceptors_[inst];
+      std::int64_t b = m.data[1];
+      if (b > ac.promised) ac.promised = b;
+      if (b >= ac.promised)
+        ctx.send(m.src, protocol_id_, kPromise,
+                 {inst, b, ac.accepted_ballot, ac.accepted_value});
+      break;
+    }
+    case kPromise: {
+      auto it = proposers_.find(inst);
+      if (it == proposers_.end()) break;
+      ProposerState& ps = it->second;
+      if (m.data[1] != ps.ballot || ps.accept_phase || decided_.count(inst))
+        break;
+      ps.promisers.insert(m.src);
+      if (m.data[2] > ps.best_accepted_ballot) {
+        ps.best_accepted_ballot = m.data[2];
+        ps.value = m.data[3];
+      }
+      auto q = sigma_->query(self_, ctx.now());
+      if (q && q->subset_of(ps.promisers)) {
+        ps.accept_phase = true;
+        ps.stall = 0;
+        ctx.send_to_set(scope_, protocol_id_, kAccept,
+                        {inst, ps.ballot, ps.value});
+      }
+      break;
+    }
+    case kAccept: {
+      auto& ac = acceptors_[inst];
+      std::int64_t b = m.data[1];
+      if (b >= ac.promised) {
+        ac.promised = b;
+        ac.accepted_ballot = b;
+        ac.accepted_value = m.data[2];
+        ctx.send(m.src, protocol_id_, kAccepted, {inst, b});
+      }
+      break;
+    }
+    case kAccepted: {
+      auto it = proposers_.find(inst);
+      if (it == proposers_.end()) break;
+      ProposerState& ps = it->second;
+      if (m.data[1] != ps.ballot || !ps.accept_phase || decided_.count(inst))
+        break;
+      ps.accepters.insert(m.src);
+      auto q = sigma_->query(self_, ctx.now());
+      if (q && q->subset_of(ps.accepters)) {
+        ctx.send_to_set(scope_, protocol_id_, kDecide, {inst, ps.value});
+        learn(inst, ps.value);
+      }
+      break;
+    }
+    case kDecide: {
+      if (!decided_.count(inst)) learn(inst, m.data[1]);
+      break;
+    }
+    case kForward: {
+      std::int64_t op = m.data[0];
+      bool known = std::find(learned_.begin(), learned_.end(), op) !=
+                   learned_.end();
+      for (const Pending& p : pending_) known = known || p.op == op;
+      if (!known) pending_.push_back({op, nullptr});
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace gam::objects

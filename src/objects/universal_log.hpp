@@ -1,0 +1,103 @@
+// A universal construction (Herlihy [28]) specialised to logs: a replicated,
+// totally-ordered operation log built from an unbounded sequence of consensus
+// instances, each decided by the Ω ∧ Σ machinery of consensus_mp.hpp.
+//
+// This is the construction Algorithm 1's §4.3 refers to for LOG_g: group
+// members submit operations; instance k of multi-decree Paxos fixes the k-th
+// operation; every member applies the decided prefix in order. (The
+// contention-free fast variant for LOG_{g∩h} lives in cf_consensus.hpp.)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "objects/protocol_host.hpp"
+#include "sim/world.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::objects {
+
+class UniversalLog : public SubProtocol {
+ public:
+  UniversalLog(std::int32_t protocol_id, ProcessId self, ProcessSet scope,
+               const fd::SigmaOracle& sigma, const fd::OmegaOracle& omega)
+      : protocol_id_(protocol_id),
+        self_(self),
+        scope_(scope),
+        sigma_(&sigma),
+        omega_(&omega) {
+    GAM_EXPECTS(scope.contains(self));
+  }
+
+  // Submit an operation; it will appear exactly once in the decided log.
+  // `applied` fires when the operation's position is learned locally.
+  void submit(std::int64_t op, std::function<void(std::int64_t pos)> applied);
+
+  // The locally learned decided prefix.
+  const std::vector<std::int64_t>& learned() const { return learned_; }
+
+  // Observer invoked at *this replica* for every op as it enters the learned
+  // prefix (op, position). Replication clients (state machines, the
+  // replicated multicast) apply commands from here.
+  void set_on_learn(std::function<void(std::int64_t, std::int64_t)> cb) {
+    on_learn_ = std::move(cb);
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& m) override;
+  bool on_idle(sim::Context& ctx) override;
+  bool wants_step() const override { return !pending_.empty(); }
+
+ private:
+  enum MsgType : std::int32_t {
+    kPrepare = 1,   // [inst, ballot]
+    kPromise = 2,   // [inst, ballot, accepted_ballot, accepted_value]
+    kAccept = 3,    // [inst, ballot, value]
+    kAccepted = 4,  // [inst, ballot]
+    kDecide = 5,    // [inst, value]
+    kForward = 6,   // [op] — hand the op to the Ω leader to drive
+  };
+
+  struct AcceptorState {
+    std::int64_t promised = -1;
+    std::int64_t accepted_ballot = -1;
+    std::int64_t accepted_value = -1;
+  };
+  struct ProposerState {
+    std::int64_t ballot = -1;
+    bool accept_phase = false;
+    std::int64_t value = -1;  // value being driven in this instance
+    std::int64_t best_accepted_ballot = -1;
+    ProcessSet promisers;
+    ProcessSet accepters;
+    int stall = 0;
+    std::int64_t round = 0;
+  };
+
+  void learn(std::int64_t inst, std::int64_t value);
+  void drive(sim::Context& ctx);
+  std::int64_t first_unlearned() const;
+
+  std::int32_t protocol_id_;
+  ProcessId self_;
+  ProcessSet scope_;
+  const fd::SigmaOracle* sigma_;
+  const fd::OmegaOracle* omega_;
+
+  std::map<std::int64_t, AcceptorState> acceptors_;
+  std::map<std::int64_t, ProposerState> proposers_;
+  std::map<std::int64_t, std::int64_t> decided_;  // inst -> value
+  std::vector<std::int64_t> learned_;             // contiguous prefix
+
+  struct Pending {
+    std::int64_t op;
+    std::function<void(std::int64_t)> applied;
+  };
+  std::vector<Pending> pending_;  // own + forwarded ops not yet in the log
+  std::function<void(std::int64_t, std::int64_t)> on_learn_;
+  int forward_stall_ = 0;
+};
+
+}  // namespace gam::objects

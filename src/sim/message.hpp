@@ -1,0 +1,92 @@
+// Messages and the message buffer (paper, Appendix A).
+//
+// The model's BUFF holds every message sent but not yet received. A receive
+// attempt by p either removes a message addressed to p or returns the null
+// message, and the well-formedness rules require that a process taking
+// infinitely many steps eventually receives everything addressed to it. The
+// simulator enforces that with seeded-random but fair message selection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace gam::sim {
+
+// A wire message. Protocols multiplex on (protocol, type) and encode their
+// payloads into `data`; keeping the payload as flat integers keeps the
+// simulator allocation-light and every run byte-reproducible.
+struct Message {
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  std::int32_t protocol = 0;  // which protocol instance this belongs to
+  std::int32_t type = 0;      // protocol-specific discriminator
+  std::vector<std::int64_t> data;
+};
+
+class MessageBuffer {
+ public:
+  void send(Message m) {
+    GAM_EXPECTS(m.dst >= 0 && m.dst < ProcessSet::kMaxProcesses);
+    auto d = static_cast<size_t>(m.dst);
+    if (d >= queues_.size()) queues_.resize(d + 1);
+    queues_[d].push_back(std::move(m));
+    ++size_;
+  }
+
+  // Broadcast to every member of `dst` (the sender included if present).
+  void send_to_set(const Message& proto, ProcessSet dst) {
+    for (ProcessId p : dst) {
+      Message m = proto;
+      m.dst = p;
+      send(std::move(m));
+    }
+  }
+
+  bool has_message_for(ProcessId p) const {
+    auto d = static_cast<size_t>(p);
+    return d < queues_.size() && !queues_[d].empty();
+  }
+
+  // Remove and return a message addressed to p, chosen uniformly among the
+  // pending ones. Uniform choice plus an unbounded run yields the fairness
+  // the model demands (every message is eventually received). Returns
+  // nullopt when the buffer holds nothing for p (the "null message" case).
+  std::optional<Message> receive(ProcessId p, Rng& rng) {
+    auto d = static_cast<size_t>(p);
+    if (d >= queues_.size() || queues_[d].empty()) return std::nullopt;
+    auto& q = queues_[d];
+    auto idx = static_cast<size_t>(rng.below(q.size()));
+    Message m = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    --size_;
+    return m;
+  }
+
+  // FIFO variant used by tests that need deterministic delivery order.
+  std::optional<Message> receive_fifo(ProcessId p) {
+    auto d = static_cast<size_t>(p);
+    if (d >= queues_.size() || queues_[d].empty()) return std::nullopt;
+    Message m = std::move(queues_[d].front());
+    queues_[d].pop_front();
+    --size_;
+    return m;
+  }
+
+  size_t size() const { return size_; }
+  size_t pending_for(ProcessId p) const {
+    auto d = static_cast<size_t>(p);
+    return d < queues_.size() ? queues_[d].size() : 0;
+  }
+
+ private:
+  std::vector<std::deque<Message>> queues_;
+  size_t size_ = 0;
+};
+
+}  // namespace gam::sim

@@ -1,0 +1,190 @@
+// The simulation world: processes as deterministic automata taking
+// asynchronous steps against a message buffer and a failure pattern
+// (paper, Appendix A).
+//
+// A step of process p consists of (1) receiving one message addressed to p or
+// the null message, (2) querying its failure-detector modules, (3) a local
+// state change, and (4) sending messages. The world serializes steps on a
+// global clock that the processes themselves cannot read; failure-detector
+// oracles (src/fd) read it to produce histories consistent with the failure
+// pattern.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "sim/message.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace gam::sim {
+
+class World;
+
+// The face a process sees during one of its steps.
+class Context {
+ public:
+  Context(World& world, ProcessId self, Time now)
+      : world_(world), self_(self), now_(now) {}
+
+  ProcessId self() const { return self_; }
+  Time now() const { return now_; }
+
+  void send(ProcessId dst, std::int32_t protocol, std::int32_t type,
+            std::vector<std::int64_t> data = {});
+  void send_to_set(ProcessSet dst, std::int32_t protocol, std::int32_t type,
+                   std::vector<std::int64_t> data = {});
+
+ private:
+  World& world_;
+  ProcessId self_;
+  Time now_;
+};
+
+// A deterministic automaton. `on_step` is invoked with the received message
+// (nullptr encodes the null message m_⊥). `wants_step` lets the world detect
+// quiescence: a process that has no pending message and does not want a step
+// is skipped, and the run ends when that holds system-wide.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_step(Context& ctx, const Message* m) = 0;
+  virtual bool wants_step() const { return false; }
+};
+
+struct StepStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class World {
+ public:
+  World(FailurePattern pattern, std::uint64_t seed)
+      : pattern_(std::move(pattern)),
+        rng_(seed),
+        actors_(static_cast<size_t>(pattern_.process_count())),
+        stats_(static_cast<size_t>(pattern_.process_count())) {}
+
+  int process_count() const { return pattern_.process_count(); }
+  const FailurePattern& pattern() const { return pattern_; }
+  Time now() const { return now_; }
+
+  void install(ProcessId p, std::unique_ptr<Actor> actor) {
+    GAM_EXPECTS(p >= 0 && p < process_count());
+    actors_[static_cast<size_t>(p)] = std::move(actor);
+  }
+
+  Actor* actor(ProcessId p) { return actors_[static_cast<size_t>(p)].get(); }
+
+  // Executes one step of process p at the current time, if p is alive and
+  // installed. Returns false when p cannot take a step.
+  bool step_process(ProcessId p) {
+    auto i = static_cast<size_t>(p);
+    if (!actors_[i] || pattern_.crashed(p, now_)) return false;
+    auto msg = buffer_.receive(p, rng_);
+    Context ctx(*this, p, now_);
+    sending_as_ = p;
+    actors_[i]->on_step(ctx, msg ? &*msg : nullptr);
+    sending_as_ = -1;
+    ++stats_[i].steps;
+    if (msg) ++stats_[i].messages_received;
+    ++now_;
+    return true;
+  }
+
+  // Runs until quiescence (no live process has a pending message or wants a
+  // step) or until `max_steps` steps have executed. Returns true on
+  // quiescence. Scheduling: seeded-random permutation per round, which makes
+  // every run fair for the processes that keep taking steps.
+  bool run_until_quiescent(std::uint64_t max_steps) {
+    std::uint64_t executed = 0;
+    while (executed < max_steps) {
+      bool progressed = false;
+      auto order = random_order();
+      for (ProcessId p : order) {
+        if (executed >= max_steps) break;
+        if (pattern_.crashed(p, now_)) continue;
+        bool runnable = buffer_.has_message_for(p) ||
+                        (actors_[static_cast<size_t>(p)] &&
+                         actors_[static_cast<size_t>(p)]->wants_step());
+        if (!runnable) continue;
+        if (step_process(p)) {
+          progressed = true;
+          ++executed;
+        }
+      }
+      if (!progressed) return true;  // quiescent
+    }
+    return !any_runnable();
+  }
+
+  const StepStats& stats(ProcessId p) const {
+    return stats_[static_cast<size_t>(p)];
+  }
+
+  // Processes that took at least one step (for Minimality checking).
+  ProcessSet active_processes() const {
+    ProcessSet s;
+    for (int p = 0; p < process_count(); ++p)
+      if (stats_[static_cast<size_t>(p)].steps > 0) s.insert(p);
+    return s;
+  }
+
+  MessageBuffer& buffer() { return buffer_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class Context;
+
+  bool any_runnable() const {
+    for (int p = 0; p < process_count(); ++p) {
+      if (pattern_.crashed(p, now_)) continue;
+      if (buffer_.has_message_for(p)) return true;
+      const auto& a = actors_[static_cast<size_t>(p)];
+      if (a && a->wants_step()) return true;
+    }
+    return false;
+  }
+
+  std::vector<ProcessId> random_order() {
+    std::vector<ProcessId> order(static_cast<size_t>(process_count()));
+    for (int p = 0; p < process_count(); ++p)
+      order[static_cast<size_t>(p)] = p;
+    for (size_t i = order.size(); i > 1; --i) {
+      auto j = static_cast<size_t>(rng_.below(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    return order;
+  }
+
+  FailurePattern pattern_;
+  Rng rng_;
+  Time now_ = 0;
+  MessageBuffer buffer_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<StepStats> stats_;
+  ProcessId sending_as_ = -1;
+};
+
+inline void Context::send(ProcessId dst, std::int32_t protocol,
+                          std::int32_t type, std::vector<std::int64_t> data) {
+  Message m;
+  m.src = self_;
+  m.dst = dst;
+  m.protocol = protocol;
+  m.type = type;
+  m.data = std::move(data);
+  ++world_.stats_[static_cast<size_t>(self_)].messages_sent;
+  world_.buffer_.send(std::move(m));
+}
+
+inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
+                                 std::int32_t type,
+                                 std::vector<std::int64_t> data) {
+  for (ProcessId p : dst) send(p, protocol, type, data);
+}
+
+}  // namespace gam::sim

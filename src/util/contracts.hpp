@@ -1,0 +1,30 @@
+// Lightweight precondition / postcondition / invariant checks, in the spirit
+// of the GSL's Expects/Ensures. Violations abort with a diagnostic: in a
+// simulator used to validate distributed-computing theorems, a silently
+// corrupted run is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gam {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace gam
+
+#define GAM_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::gam::contract_failure("Precondition", #cond, __FILE__, __LINE__))
+
+#define GAM_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::gam::contract_failure("Postcondition", #cond, __FILE__, __LINE__))
+
+#define GAM_INVARIANT(cond)                                          \
+  ((cond) ? static_cast<void>(0)                                     \
+          : ::gam::contract_failure("Invariant", #cond, __FILE__, __LINE__))

@@ -1,0 +1,142 @@
+// A value-type set of process identifiers backed by a 64-bit mask.
+//
+// The paper's model (Appendix A) works over a finite process universe P; every
+// structure in this library (destination groups, quorums, failure patterns,
+// cyclic-family intersections) manipulates subsets of P. Sixty-four processes
+// is far beyond anything the constructions need, and the flat representation
+// keeps set algebra O(1) which matters for the simulation forests of
+// Algorithm 5 and the family enumeration of Section 3.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace gam {
+
+using ProcessId = int;
+
+class ProcessSet {
+ public:
+  static constexpr int kMaxProcesses = 64;
+
+  constexpr ProcessSet() = default;
+  constexpr ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId p : ids) insert_unchecked(p);
+  }
+
+  static constexpr ProcessSet universe(int n) {
+    ProcessSet s;
+    s.bits_ = (n >= kMaxProcesses) ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  static constexpr ProcessSet single(ProcessId p) {
+    ProcessSet s;
+    s.insert_unchecked(p);
+    return s;
+  }
+
+  constexpr bool contains(ProcessId p) const {
+    return p >= 0 && p < kMaxProcesses && ((bits_ >> p) & 1u) != 0;
+  }
+
+  void insert(ProcessId p) {
+    GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
+    insert_unchecked(p);
+  }
+
+  void erase(ProcessId p) {
+    GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return std::popcount(bits_); }
+
+  constexpr ProcessSet operator|(ProcessSet o) const { return from_bits(bits_ | o.bits_); }
+  constexpr ProcessSet operator&(ProcessSet o) const { return from_bits(bits_ & o.bits_); }
+  constexpr ProcessSet operator-(ProcessSet o) const { return from_bits(bits_ & ~o.bits_); }
+  constexpr ProcessSet operator^(ProcessSet o) const { return from_bits(bits_ ^ o.bits_); }
+  ProcessSet& operator|=(ProcessSet o) { bits_ |= o.bits_; return *this; }
+  ProcessSet& operator&=(ProcessSet o) { bits_ &= o.bits_; return *this; }
+  ProcessSet& operator-=(ProcessSet o) { bits_ &= ~o.bits_; return *this; }
+
+  constexpr bool operator==(const ProcessSet&) const = default;
+
+  constexpr bool intersects(ProcessSet o) const { return (bits_ & o.bits_) != 0; }
+  constexpr bool subset_of(ProcessSet o) const { return (bits_ & ~o.bits_) == 0; }
+
+  // Smallest member; the set must be non-empty.
+  ProcessId min() const {
+    GAM_EXPECTS(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  // Largest member; the set must be non-empty.
+  ProcessId max() const {
+    GAM_EXPECTS(!empty());
+    return 63 - std::countl_zero(bits_);
+  }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  static constexpr ProcessSet from_bits(std::uint64_t b) {
+    ProcessSet s;
+    s.bits_ = b;
+    return s;
+  }
+
+  // Iteration over members in increasing id order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ProcessId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const ProcessId*;
+    using reference = ProcessId;
+
+    constexpr iterator() = default;
+    constexpr explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    ProcessId operator*() const { return std::countr_zero(rest_); }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    constexpr bool operator==(const iterator&) const = default;
+
+   private:
+    std::uint64_t rest_ = 0;
+  };
+  iterator begin() const { return iterator{bits_}; }
+  iterator end() const { return iterator{0}; }
+
+  std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (ProcessId p : *this) {
+      if (!first) out += ",";
+      out += "p" + std::to_string(p);
+      first = false;
+    }
+    return out + "}";
+  }
+
+ private:
+  constexpr void insert_unchecked(ProcessId p) {
+    bits_ |= (std::uint64_t{1} << p);
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace gam

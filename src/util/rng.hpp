@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All nondeterminism in a run (scheduling, message pick, crash times) flows
+// from a single seed so that every execution — including the adversarial ones
+// the proofs quantify over — is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace gam {
+
+// splitmix64: tiny, fast, and passes BigCrush; ideal for seeding and for the
+// simulator's scheduling choices where statistical perfection is not needed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    GAM_EXPECTS(n > 0);
+    // Rejection-free scaling is fine here: bias is < 2^-53 for simulator-size n.
+    return next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    GAM_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  // Derive an independent stream (for per-process or per-module randomness).
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gam

@@ -1,0 +1,233 @@
+#include "fd/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fd/checkers.hpp"
+#include "groups/group_system.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace gam::fd {
+namespace {
+
+using groups::figure1_system;
+using sim::FailurePattern;
+using sim::Time;
+
+// Sample every oracle at every in-scope process over a time grid and feed the
+// traces to the class-axiom checkers. The grid extends well past the last
+// crash + lag so the "eventually" clauses have stabilized.
+constexpr Time kHorizon = 200;
+constexpr Time kSampleEnd = 600;
+
+template <typename Oracle, typename T>
+std::vector<Sample<T>> sample_oracle(const Oracle& oracle, ProcessSet scope,
+                                     Time end) {
+  std::vector<Sample<T>> out;
+  for (Time t = 0; t <= end; t += 7)
+    for (ProcessId p : scope)
+      if (auto v = oracle.query(p, t)) out.push_back({p, t, *v});
+  return out;
+}
+
+struct SweepParam {
+  std::uint64_t seed;
+  Time lag;
+};
+
+class DetectorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DetectorSweep, SigmaAxiomsHoldOnEveryScope) {
+  auto [seed, lag] = GetParam();
+  Rng rng(seed);
+  auto sys = figure1_system();
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 4,
+                              .horizon = kHorizon};
+  FailurePattern pat = env.sample(rng);
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g)
+    for (groups::GroupId h = g; h < sys.group_count(); ++h) {
+      ProcessSet scope = sys.intersection(g, h);
+      if (scope.empty()) continue;
+      SigmaOracle sigma(pat, scope, lag);
+      auto samples = sample_oracle<SigmaOracle, ProcessSet>(sigma, scope,
+                                                            kSampleEnd);
+      auto r = check_sigma(samples, pat, scope);
+      EXPECT_TRUE(r.ok) << "Σ_{g" << g << "∩g" << h << "}: " << r.error;
+    }
+}
+
+TEST_P(DetectorSweep, OmegaAxiomsHoldOnEveryGroup) {
+  auto [seed, lag] = GetParam();
+  Rng rng(seed ^ 0x5555);
+  auto sys = figure1_system();
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 4,
+                              .horizon = kHorizon};
+  FailurePattern pat = env.sample(rng);
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g) {
+    ProcessSet scope = sys.group(g);
+    OmegaOracle omega(pat, scope, lag);
+    auto samples =
+        sample_oracle<OmegaOracle, ProcessId>(omega, scope, kSampleEnd);
+    auto r = check_omega(samples, pat, scope);
+    EXPECT_TRUE(r.ok) << "Ω_{g" << g << "}: " << r.error;
+  }
+}
+
+TEST_P(DetectorSweep, GammaAxiomsHold) {
+  auto [seed, lag] = GetParam();
+  Rng rng(seed ^ 0xaaaa);
+  auto sys = figure1_system();
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 4,
+                              .horizon = kHorizon};
+  FailurePattern pat = env.sample(rng);
+  GammaOracle gamma(sys, pat, lag);
+  std::vector<Sample<std::vector<groups::FamilyMask>>> samples;
+  for (Time t = 0; t <= kSampleEnd; t += 7)
+    for (ProcessId p = 0; p < 5; ++p)
+      samples.push_back({p, t, gamma.query(p, t)});
+  auto r = check_gamma(samples, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_P(DetectorSweep, IndicatorAxiomsHold) {
+  auto [seed, lag] = GetParam();
+  Rng rng(seed ^ 0x1234);
+  auto sys = figure1_system();
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 4,
+                              .horizon = kHorizon};
+  FailurePattern pat = env.sample(rng);
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g)
+    for (groups::GroupId h = g + 1; h < sys.group_count(); ++h) {
+      ProcessSet watched = sys.intersection(g, h);
+      if (watched.empty()) continue;
+      ProcessSet scope = sys.group(g) | sys.group(h);
+      IndicatorOracle ind(pat, watched, scope, lag);
+      auto samples = sample_oracle<IndicatorOracle, bool>(ind, scope,
+                                                          kSampleEnd);
+      auto r = check_indicator(samples, pat, watched, scope);
+      EXPECT_TRUE(r.ok) << "1^{g" << g << "∩g" << h << "}: " << r.error;
+    }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    for (Time lag : {Time{0}, Time{5}, Time{50}})
+      out.push_back({seed, lag});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DetectorSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_lag" + std::to_string(info.param.lag);
+                         });
+
+// ---- targeted, non-randomized behaviours ------------------------------------
+
+TEST(SigmaOracle, BotOutsideScope) {
+  FailurePattern pat(4);
+  SigmaOracle sigma(pat, ProcessSet{1, 2});
+  EXPECT_FALSE(sigma.query(0, 10).has_value());
+  EXPECT_TRUE(sigma.query(1, 10).has_value());
+}
+
+TEST(SigmaOracle, SingletonScopeReturnsItself) {
+  FailurePattern pat(3);
+  SigmaOracle sigma(pat, ProcessSet{2});
+  EXPECT_EQ(*sigma.query(2, 0), ProcessSet{2});
+}
+
+TEST(SigmaOracle, QuorumShrinksToCorrectSet) {
+  FailurePattern pat(3);
+  pat.crash_at(0, 10);
+  SigmaOracle sigma(pat, ProcessSet{0, 1, 2});
+  EXPECT_EQ(*sigma.query(1, 0), (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(*sigma.query(1, 50), (ProcessSet{1, 2}));
+}
+
+TEST(SigmaOracle, IntersectionHeldEvenWhenWholeScopeDies) {
+  FailurePattern pat(3);
+  pat.crash_at(0, 5);
+  pat.crash_at(1, 20);  // last survivor of the scope
+  SigmaOracle sigma(pat, ProcessSet{0, 1});
+  // Post-mortem quorums fall back to the last survivor, so every pair of
+  // quorums across all times still intersects.
+  auto early = *sigma.query(0, 0);
+  auto late = *sigma.query(1, 100);
+  EXPECT_TRUE(early.intersects(late));
+  EXPECT_EQ(late, ProcessSet{1});
+}
+
+TEST(OmegaOracle, ConvergesToSmallestCorrect) {
+  FailurePattern pat(4);
+  pat.crash_at(0, 30);
+  OmegaOracle omega(pat, ProcessSet{0, 1, 3});
+  EXPECT_EQ(*omega.query(1, 0), 0);    // p0 alive: plausible leader
+  EXPECT_EQ(*omega.query(1, 100), 1);  // after the crash: min correct
+  EXPECT_EQ(*omega.query(3, 100), 1);  // all members agree
+}
+
+TEST(GammaOracle, Figure1StabilizesToFPrime) {
+  // Paper §3: with Correct = {p0, p3, p4} (paper p1,p4,p5), γ at p0 returns
+  // {f, f', f''} initially and stabilizes to {f'} once p1 (paper p2) fails.
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 40);
+  pat.crash_at(2, 60);
+  GammaOracle gamma(sys, pat, 0);
+  auto before = gamma.query(0, 0);
+  EXPECT_EQ(before.size(), 3u);
+  auto after = gamma.query(0, 100);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], groups::family_of({0, 2, 3}));
+  // γ(g0) then names exactly g2 and g3 (plus g0 itself, see Lemma 22).
+  auto gg = gamma.gamma_of_group(0, 0, 100);
+  EXPECT_EQ(gg, (std::vector<groups::GroupId>{0, 2, 3}));
+}
+
+TEST(GammaOracle, LagDelaysRemovalButNeverAccuracy) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 10);
+  GammaOracle gamma(sys, pat, 25);
+  groups::FamilyMask f = groups::family_of({0, 1, 2});
+  auto at_20 = gamma.query(0, 20);  // family faulty but lag keeps it
+  EXPECT_NE(std::find(at_20.begin(), at_20.end(), f), at_20.end());
+  auto at_40 = gamma.query(0, 40);
+  EXPECT_EQ(std::find(at_40.begin(), at_40.end(), f), at_40.end());
+}
+
+TEST(IndicatorOracle, FlipsExactlyAtCrashPlusLag) {
+  FailurePattern pat(4);
+  pat.crash_at(1, 10);
+  pat.crash_at(2, 30);
+  IndicatorOracle ind(pat, ProcessSet{1, 2}, ProcessSet::universe(4), 5);
+  EXPECT_FALSE(*ind.query(0, 30));
+  EXPECT_FALSE(*ind.query(0, 34));
+  EXPECT_TRUE(*ind.query(0, 35));
+}
+
+TEST(MuOracle, ComponentsAreWired) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  MuOracle mu(sys, pat);
+  EXPECT_EQ(mu.sigma(2, 3).scope(), (ProcessSet{0, 3}));
+  EXPECT_EQ(mu.sigma(0, 0).scope(), (ProcessSet{0, 1}));
+  EXPECT_EQ(mu.omega(1).scope(), (ProcessSet{1, 2}));
+  EXPECT_EQ(mu.gamma().query(0, 0).size(), 3u);
+  // Non-intersecting pair: Σ_∅ is ⊥ everywhere.
+  EXPECT_FALSE(mu.sigma(1, 3).query(1, 0).has_value());
+}
+
+TEST(PerfectOracle, ExactCrashSet) {
+  FailurePattern pat(3);
+  pat.crash_at(2, 7);
+  PerfectOracle p(pat);
+  EXPECT_EQ(p.query(0, 6), ProcessSet{});
+  EXPECT_EQ(p.query(0, 7), ProcessSet{2});
+}
+
+}  // namespace
+}  // namespace gam::fd

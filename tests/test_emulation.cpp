@@ -1,0 +1,319 @@
+// Tests for the necessity constructions (§5, §6): the emulated detectors must
+// satisfy their class axioms when extracted from the black-box algorithm.
+#include <gtest/gtest.h>
+
+#include "emulation/gamma_emulation.hpp"
+#include "emulation/gamma_from_indicators.hpp"
+#include "emulation/indicator_emulation.hpp"
+#include "emulation/omega_extraction.hpp"
+#include "emulation/sigma_extraction.hpp"
+#include "fd/checkers.hpp"
+#include "groups/generator.hpp"
+#include "groups/group_system.hpp"
+
+namespace gam::emulation {
+namespace {
+
+using groups::figure1_system;
+using sim::FailurePattern;
+
+constexpr Time kCrashHorizon = 60;
+constexpr Time kRunHorizon = 500;
+
+// ---- Algorithm 2: Σ extraction -------------------------------------------------
+
+class SigmaExtractionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigmaExtractionSweep, AxiomsOnTwoGroupIntersection) {
+  std::uint64_t seed = GetParam();
+  auto sys = figure1_system();
+  Rng rng(seed);
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 3,
+                              .horizon = kCrashHorizon};
+  FailurePattern pat = env.sample(rng);
+  // Target: Σ_{g2∩g3} = Σ_{p0,p3}.
+  SigmaExtraction ext(sys, pat, {2, 3}, seed);
+  ext.run(kRunHorizon);
+
+  std::vector<fd::Sample<ProcessSet>> samples;
+  for (Time t = 0; t <= kRunHorizon; t += 13)
+    for (ProcessId p : ext.intersection_scope()) {
+      if (pat.crashed(p, t)) continue;  // only observable history matters
+      auto q = ext.query(p, t);
+      ASSERT_TRUE(q.has_value());
+      samples.push_back({p, t, *q});
+    }
+  auto r = fd::check_sigma(samples, pat, ext.intersection_scope());
+  EXPECT_TRUE(r.ok) << r.error << " seed=" << seed
+                    << " faulty=" << pat.faulty_set().to_string();
+}
+
+TEST_P(SigmaExtractionSweep, AxiomsOnSingleGroup) {
+  std::uint64_t seed = GetParam() ^ 0x9999;
+  auto sys = figure1_system();
+  Rng rng(seed);
+  sim::EnvironmentSampler env{.process_count = 5, .max_failures = 2,
+                              .horizon = kCrashHorizon};
+  FailurePattern pat = env.sample(rng);
+  SigmaExtraction ext(sys, pat, {3}, seed);  // Σ_{g3}
+  ext.run(kRunHorizon);
+
+  std::vector<fd::Sample<ProcessSet>> samples;
+  for (Time t = 0; t <= kRunHorizon; t += 13)
+    for (ProcessId p : ext.intersection_scope()) {
+      if (pat.crashed(p, t)) continue;
+      auto q = ext.query(p, t);
+      ASSERT_TRUE(q.has_value());
+      samples.push_back({p, t, *q});
+    }
+  auto r = fd::check_sigma(samples, pat, ext.intersection_scope());
+  EXPECT_TRUE(r.ok) << r.error << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SigmaExtractionSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(SigmaExtraction, BotOutsideIntersection) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  SigmaExtraction ext(sys, pat, {2, 3}, 1);
+  ext.run(50);
+  EXPECT_FALSE(ext.query(1, 10).has_value());  // p1 ∉ g2∩g3
+  EXPECT_TRUE(ext.query(0, 10).has_value());
+}
+
+TEST(SigmaExtraction, RankFreezesForFaultyProcesses) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(3, 20);
+  SigmaExtraction ext(sys, pat, {2, 3}, 1);
+  EXPECT_EQ(ext.rank(3, 10), 10u);
+  EXPECT_EQ(ext.rank(3, 100), 20u);  // frozen at the crash
+  EXPECT_EQ(ext.rank(0, 100), 100u);
+  EXPECT_EQ(ext.rank_set(ProcessSet{0, 3}, 100), 20u);
+}
+
+// ---- Algorithm 4: 1^{g∩h} emulation ---------------------------------------------
+
+TEST(IndicatorEmulation, AccurateWhileIntersectionAlive) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);  // nobody crashes
+  IndicatorEmulation ind(sys, pat, 0, 1, 7);  // 1^{g0∩g1} = 1^{p1}
+  ind.run(kRunHorizon);
+  for (Time t = 0; t <= kRunHorizon; t += 17)
+    for (ProcessId p : sys.group(0) | sys.group(1)) {
+      auto v = ind.query(p, t);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_FALSE(*v) << "false positive at p" << p << " t=" << t;
+    }
+}
+
+TEST(IndicatorEmulation, CompleteOnceIntersectionDies) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 30);  // g0∩g1 = {p1}
+  IndicatorEmulation ind(sys, pat, 0, 1, 7);
+  ind.run(kRunHorizon);
+  std::vector<fd::Sample<bool>> samples;
+  for (Time t = 0; t <= kRunHorizon; t += 17)
+    for (ProcessId p : sys.group(0) | sys.group(1)) {
+      if (pat.crashed(p, t)) continue;
+      auto v = ind.query(p, t);
+      ASSERT_TRUE(v.has_value());
+      samples.push_back({p, t, *v});
+    }
+  auto r = fd::check_indicator(samples, pat, sys.intersection(0, 1),
+                               sys.group(0) | sys.group(1));
+  EXPECT_TRUE(r.ok) << r.error;
+  // And it is genuinely complete: the final samples are true.
+  EXPECT_TRUE(*ind.query(0, kRunHorizon));
+  EXPECT_TRUE(*ind.query(2, kRunHorizon));
+}
+
+TEST(IndicatorEmulation, LargerIntersectionNeedsAllMembersDead) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(0, 25);  // g2∩g3 = {p0,p3}: p0 dies, p3 lives
+  IndicatorEmulation ind(sys, pat, 2, 3, 3);
+  ind.run(kRunHorizon);
+  EXPECT_FALSE(*ind.query(2, kRunHorizon));
+}
+
+// ---- Algorithm 3: γ emulation ----------------------------------------------------
+
+TEST(GammaEmulation, AccurateInFailureFreeRuns) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  GammaEmulation gamma(sys, pat, 5);
+  gamma.run(kRunHorizon);
+  // No family may ever be dropped: every chain is blocked on its excluded
+  // edge, whose intersection is alive.
+  for (ProcessId p = 0; p < 5; ++p) {
+    auto fams = gamma.query(p, kRunHorizon);
+    EXPECT_EQ(fams.size(), sys.families_of_process(p).size())
+        << "at p" << p;
+  }
+  EXPECT_EQ(gamma.signals_sent(), 0);
+}
+
+TEST(GammaEmulation, CompleteOnFigure1IntersectionCrash) {
+  // Killing p1 = g0∩g1 breaks the unique cycles of f = {g0,g1,g2} and
+  // f'' = {g0,g1,g2,g3}; f' = {g0,g2,g3} must survive.
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 25);
+  GammaEmulation gamma(sys, pat, 11);
+  gamma.run(kRunHorizon);
+  auto at_p0 = gamma.query(0, kRunHorizon);
+  ASSERT_EQ(at_p0.size(), 1u)
+      << "expected only f' to survive at p0";
+  EXPECT_EQ(at_p0[0], groups::family_of({0, 2, 3}));
+  // Accuracy along the way: a family is only dropped once it is faulty under
+  // the Hamiltonian reading.
+  for (Time t = 0; t <= kRunHorizon; t += 23) {
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (pat.crashed(p, t)) continue;
+      auto fams = gamma.query(p, t);
+      for (groups::FamilyMask f : sys.families_of_process(p)) {
+        bool output = std::count(fams.begin(), fams.end(), f) > 0;
+        if (!output) {
+          EXPECT_TRUE(sys.family_faulty_hamiltonian_at(f, pat, t))
+              << "family " << sys.family_to_string(f)
+              << " dropped while correct (t=" << t << ", p" << p << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GammaEmulation, RingSweepAccuracyAndCompleteness) {
+  // Rings of k groups: exactly one cyclic family (the whole ring). Killing
+  // one anchor process breaks one edge of the unique Hamiltonian cycle — the
+  // family must eventually be dropped everywhere, never before the crash.
+  for (int k : {3, 4, 5}) {
+    auto sys = groups::ring_system(k, 1);
+    FailurePattern pat(sys.process_count());
+    pat.crash_at(0, 30);  // p0 anchors the edge g_{k-1}—g0
+    GammaEmulation gamma(sys, pat, static_cast<std::uint64_t>(k) * 13);
+    gamma.run(700);
+    groups::FamilyMask ring = 0;
+    for (groups::GroupId g = 0; g < k; ++g)
+      ring |= (groups::FamilyMask{1} << g);
+    for (ProcessId p = 1; p < sys.process_count(); ++p) {
+      if (sys.families_of_process(p).empty()) continue;
+      // Accuracy before the crash...
+      auto before = gamma.query(p, 29);
+      EXPECT_EQ(std::count(before.begin(), before.end(), ring), 1)
+          << "k=" << k << " p" << p;
+      // ...completeness at the horizon.
+      auto after = gamma.query(p, 700);
+      EXPECT_EQ(std::count(after.begin(), after.end(), ring), 0)
+          << "k=" << k << " p" << p;
+    }
+  }
+}
+
+TEST(GammaEmulation, InstancesExistPerPathWithFailureProneFirstEdge) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  GammaEmulation all(sys, pat, 1);
+  // f and f' are triangles (6 paths each), f'' a 4-cycle (8 paths): 20.
+  EXPECT_EQ(all.path_count(), 20);
+  // Restricting the failure-prone set prunes instances whose first edge
+  // cannot fail.
+  GammaEmulation some(sys, pat, 1, ProcessSet{1});  // only p1 may crash
+  EXPECT_LT(some.path_count(), all.path_count());
+  EXPECT_GT(some.path_count(), 0);
+}
+
+// ---- Proposition 51: γ from indicators -------------------------------------------
+
+TEST(GammaFromIndicators, MatchesOracleGammaOnFigure1) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 30);
+  GammaFromIndicators derived(sys, pat);
+  // After the crash has propagated, the derived γ agrees with the
+  // Hamiltonian-reading ground truth.
+  for (ProcessId p = 0; p < 5; ++p) {
+    if (pat.faulty(p)) continue;
+    auto fams = derived.query(p, 200);
+    for (groups::FamilyMask f : sys.families_of_process(p)) {
+      bool output = std::count(fams.begin(), fams.end(), f) > 0;
+      EXPECT_EQ(output, !sys.family_faulty_hamiltonian_at(f, pat, 199))
+          << sys.family_to_string(f) << " at p" << p;
+    }
+  }
+}
+
+TEST(GammaFromIndicators, NeverDropsCorrectFamilies) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(4, 10);  // p4 is in no intersection: no family is affected
+  GammaFromIndicators derived(sys, pat);
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(derived.query(p, 500).size(),
+              sys.families_of_process(p).size());
+}
+
+// ---- Algorithm 5: Ω_{g∩h} extraction ----------------------------------------------
+
+TEST(OmegaExtraction, StableAgreedLeaderFailureFree) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  OmegaExtraction ext(sys, pat, 2, 3);  // g2∩g3 = {p0,p3}
+  auto l0 = ext.query(0, 100);
+  auto l3 = ext.query(3, 100);
+  ASSERT_TRUE(l0 && l3);
+  EXPECT_EQ(*l0, *l3);
+  EXPECT_TRUE(*l0 == 0 || *l0 == 3);
+  EXPECT_FALSE(ext.query(1, 100).has_value());  // outside the intersection
+  // Stability: the same leader at later times.
+  EXPECT_EQ(*ext.query(0, 500), *l0);
+}
+
+TEST(OmegaExtraction, LeaderMovesOffCrashedMember) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(0, 50);
+  OmegaExtraction ext(sys, pat, 2, 3);
+  auto late = ext.query(3, 200);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(*late, 3);  // the only correct member of {p0, p3}
+}
+
+TEST(OmegaExtraction, SweepAlwaysElectsCorrectMemberEventually) {
+  auto sys = figure1_system();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    sim::EnvironmentSampler env{.process_count = 5, .max_failures = 1,
+                                .horizon = 50,
+                                .failure_prone = ProcessSet{0, 3}};
+    FailurePattern pat = env.sample(rng);
+    if ((pat.correct_set() & ProcessSet{0, 3}).empty()) continue;
+    OmegaExtraction ext(sys, pat, 2, 3, {.seed = seed});
+    std::optional<ProcessId> leader;
+    for (ProcessId p : ProcessSet{0, 3}) {
+      if (pat.faulty(p)) continue;
+      auto l = ext.query(p, 400);
+      ASSERT_TRUE(l.has_value());
+      if (!leader) leader = *l;
+      EXPECT_EQ(*l, *leader) << "seed " << seed;
+    }
+    ASSERT_TRUE(leader.has_value());
+    EXPECT_TRUE(pat.correct(*leader)) << "seed " << seed;
+    EXPECT_TRUE((ProcessSet{0, 3}).contains(*leader));
+  }
+}
+
+TEST(OmegaExtraction, ValencyEndpointsAreAsConstructed) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  OmegaExtraction ext(sys, pat, 2, 3);
+  // I_0: everyone multicasts to g2 -> g-valent; I_v: to g3 -> h-valent.
+  EXPECT_TRUE(ext.valency(0, 10) & 1);
+  EXPECT_TRUE(ext.valency(2, 10) & 2);
+}
+
+}  // namespace
+}  // namespace gam::emulation

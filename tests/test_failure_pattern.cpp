@@ -1,0 +1,170 @@
+#include "sim/failure_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/message.hpp"
+#include "sim/world.hpp"
+
+namespace gam::sim {
+namespace {
+
+TEST(FailurePattern, NobodyCrashesByDefault) {
+  FailurePattern f(4);
+  EXPECT_EQ(f.faulty_set(), ProcessSet{});
+  EXPECT_EQ(f.correct_set(), ProcessSet::universe(4));
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(f.correct(p));
+    EXPECT_TRUE(f.alive(p, 1'000'000));
+  }
+}
+
+TEST(FailurePattern, CrashIsMonotone) {
+  FailurePattern f(3);
+  f.crash_at(1, 10);
+  EXPECT_TRUE(f.alive(1, 9));
+  EXPECT_TRUE(f.crashed(1, 10));  // crash time is inclusive
+  EXPECT_TRUE(f.crashed(1, 11));
+  EXPECT_TRUE(f.faulty(1));
+  EXPECT_FALSE(f.faulty(0));
+  // F(t) ⊆ F(t+1) for sampled times
+  for (Time t = 0; t < 20; ++t)
+    EXPECT_TRUE(f.failed_at(t).subset_of(f.failed_at(t + 1)));
+}
+
+TEST(FailurePattern, SetFaultyPredicates) {
+  FailurePattern f(4);
+  f.crash_at(0, 5);
+  f.crash_at(1, 15);
+  ProcessSet s{0, 1};
+  EXPECT_FALSE(f.set_faulty_at(s, 10));  // p1 still alive
+  EXPECT_TRUE(f.set_faulty_at(s, 15));
+  EXPECT_TRUE(f.set_faulty(s));
+  EXPECT_EQ(f.set_crash_time(s), 15u);
+  EXPECT_FALSE(f.set_faulty(ProcessSet{0, 2}));
+  EXPECT_EQ(f.set_crash_time(ProcessSet{0, 2}), kNever);
+  // The empty set is never "faulty at t".
+  EXPECT_FALSE(f.set_faulty_at(ProcessSet{}, 100));
+}
+
+TEST(EnvironmentSampler, RespectsBounds) {
+  Rng rng(99);
+  EnvironmentSampler env{.process_count = 6, .max_failures = 2, .horizon = 100};
+  for (int i = 0; i < 200; ++i) {
+    FailurePattern f = env.sample(rng);
+    EXPECT_LE(f.faulty_set().size(), 2);
+    for (ProcessId p : f.faulty_set()) EXPECT_LT(f.crash_time(p), 100u);
+  }
+}
+
+TEST(EnvironmentSampler, FailureProneRestriction) {
+  Rng rng(7);
+  EnvironmentSampler env{.process_count = 5,
+                         .max_failures = 3,
+                         .horizon = 50,
+                         .failure_prone = ProcessSet{0, 1}};
+  for (int i = 0; i < 100; ++i) {
+    FailurePattern f = env.sample(rng);
+    EXPECT_TRUE(f.faulty_set().subset_of(ProcessSet{0, 1}));
+  }
+}
+
+TEST(MessageBuffer, SendReceiveRoundTrip) {
+  MessageBuffer buf;
+  Rng rng(1);
+  Message m;
+  m.src = 0;
+  m.dst = 2;
+  m.protocol = 7;
+  m.type = 3;
+  m.data = {1, 2, 3};
+  buf.send(m);
+  EXPECT_TRUE(buf.has_message_for(2));
+  EXPECT_FALSE(buf.has_message_for(1));
+  auto got = buf.receive(2, rng);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->protocol, 7);
+  EXPECT_EQ(got->data, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_FALSE(buf.receive(2, rng).has_value());
+}
+
+TEST(MessageBuffer, BroadcastToSet) {
+  MessageBuffer buf;
+  Message proto;
+  proto.src = 0;
+  proto.type = 1;
+  buf.send_to_set(proto, ProcessSet{1, 2, 3});
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.pending_for(1), 1u);
+  EXPECT_EQ(buf.pending_for(0), 0u);
+}
+
+TEST(MessageBuffer, RandomReceiveIsFair) {
+  // Every pending message is eventually received when receives keep coming.
+  MessageBuffer buf;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.type = i;
+    buf.send(m);
+  }
+  std::set<int> seen;
+  while (buf.has_message_for(1)) seen.insert(buf.receive(1, rng)->type);
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+// A tiny ping-pong protocol to exercise World end to end.
+class PingPong : public Actor {
+ public:
+  PingPong(ProcessId peer, int rounds, bool starts)
+      : peer_(peer), rounds_(rounds), starts_(starts) {}
+
+  void on_step(Context& ctx, const Message* m) override {
+    if (starts_ && !started_) {
+      started_ = true;
+      ctx.send(peer_, 0, 0);
+      return;
+    }
+    if (m && count_ < rounds_) {
+      ++count_;
+      if (count_ < rounds_) ctx.send(peer_, 0, 0);
+    }
+  }
+  bool wants_step() const override { return starts_ && !started_; }
+  int count() const { return count_; }
+
+ private:
+  ProcessId peer_;
+  int rounds_;
+  bool starts_;
+  bool started_ = false;
+  int count_ = 0;
+};
+
+TEST(World, PingPongReachesQuiescence) {
+  FailurePattern f(2);
+  World w(f, 123);
+  w.install(0, std::make_unique<PingPong>(1, 10, true));
+  w.install(1, std::make_unique<PingPong>(0, 10, false));
+  EXPECT_TRUE(w.run_until_quiescent(10'000));
+  EXPECT_GT(w.stats(0).messages_sent, 0u);
+  EXPECT_EQ(w.buffer().size(), 0u);
+  EXPECT_TRUE(w.active_processes().contains(0));
+  EXPECT_TRUE(w.active_processes().contains(1));
+}
+
+TEST(World, CrashedProcessTakesNoSteps) {
+  FailurePattern f(2);
+  f.crash_at(1, 0);  // p1 crashed from the start
+  World w(f, 1);
+  w.install(0, std::make_unique<PingPong>(1, 5, true));
+  w.install(1, std::make_unique<PingPong>(0, 5, false));
+  EXPECT_TRUE(w.run_until_quiescent(10'000));
+  EXPECT_EQ(w.stats(1).steps, 0u);
+}
+
+}  // namespace
+}  // namespace gam::sim

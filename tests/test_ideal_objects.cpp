@@ -1,0 +1,172 @@
+#include "objects/ideal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gam::objects {
+namespace {
+
+TEST(LogEntry, Factories) {
+  auto m = LogEntry::message(7);
+  EXPECT_EQ(m.kind, LogEntry::kMessage);
+  EXPECT_EQ(m.m, 7);
+  auto pt = LogEntry::pos_tuple(7, 2, 5);
+  EXPECT_EQ(pt.kind, LogEntry::kPosTuple);
+  EXPECT_EQ(pt.h, 2);
+  EXPECT_EQ(pt.i, 5);
+  auto st = LogEntry::stab_tuple(7, 2);
+  EXPECT_EQ(st.kind, LogEntry::kStabTuple);
+  EXPECT_NE(m, pt);
+  EXPECT_NE(pt, st);
+}
+
+TEST(LogEntry, TotalOrderIsStrict) {
+  auto a = LogEntry::message(1);
+  auto b = LogEntry::message(2);
+  auto c = LogEntry::pos_tuple(1, 0, 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(a < c);  // kind is the major key
+}
+
+TEST(Log, AppendAssignsIncreasingSlotsFromOne) {
+  Log log;
+  EXPECT_EQ(log.append(LogEntry::message(1), 0), 1);
+  EXPECT_EQ(log.append(LogEntry::message(2), 0), 2);
+  EXPECT_EQ(log.append(LogEntry::message(3), 0), 3);
+}
+
+TEST(Log, AppendIsIdempotent) {
+  Log log;
+  log.append(LogEntry::message(1), 0);
+  EXPECT_EQ(log.append(LogEntry::message(1), 1), 1);  // same position
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(Log, PosReturnsZeroWhenAbsent) {
+  Log log;
+  EXPECT_EQ(log.pos(LogEntry::message(9)), 0);
+  log.append(LogEntry::message(9), 0);
+  EXPECT_EQ(log.pos(LogEntry::message(9)), 1);
+}
+
+TEST(Log, BumpMovesToMaxOfCurrentAndTarget) {
+  Log log;
+  log.append(LogEntry::message(1), 0);  // slot 1
+  log.bump_and_lock(LogEntry::message(1), 5, 0);
+  EXPECT_EQ(log.pos(LogEntry::message(1)), 5);
+  EXPECT_TRUE(log.locked(LogEntry::message(1)));
+
+  log.append(LogEntry::message(2), 0);  // head moved past the bump: slot 6
+  EXPECT_EQ(log.pos(LogEntry::message(2)), 6);
+}
+
+TEST(Log, BumpBelowCurrentKeepsCurrent) {
+  Log log;
+  log.append(LogEntry::message(1), 0);
+  log.append(LogEntry::message(2), 0);  // slot 2
+  log.bump_and_lock(LogEntry::message(2), 1, 0);
+  EXPECT_EQ(log.pos(LogEntry::message(2)), 2);  // max(1, 2)
+}
+
+TEST(Log, LockedDatumCannotBeBumpedAgain) {
+  Log log;
+  log.append(LogEntry::message(1), 0);
+  log.bump_and_lock(LogEntry::message(1), 4, 0);
+  log.bump_and_lock(LogEntry::message(1), 9, 0);  // no-op: already locked
+  EXPECT_EQ(log.pos(LogEntry::message(1)), 4);
+}
+
+TEST(Log, OrderComparesSlotsThenEntries) {
+  Log log;
+  log.append(LogEntry::message(5), 0);  // slot 1
+  log.append(LogEntry::message(3), 0);  // slot 2
+  EXPECT_TRUE(log.before(LogEntry::message(5), LogEntry::message(3)));
+  // Bump both into the same slot: ties break by the a-priori order (<).
+  log.bump_and_lock(LogEntry::message(5), 7, 0);
+  log.bump_and_lock(LogEntry::message(3), 7, 0);
+  EXPECT_TRUE(log.before(LogEntry::message(3), LogEntry::message(5)));
+  EXPECT_FALSE(log.before(LogEntry::message(5), LogEntry::message(3)));
+}
+
+TEST(Log, BeforeIsFalseWhenEitherAbsent) {
+  Log log;
+  log.append(LogEntry::message(1), 0);
+  EXPECT_FALSE(log.before(LogEntry::message(1), LogEntry::message(2)));
+  EXPECT_FALSE(log.before(LogEntry::message(2), LogEntry::message(1)));
+}
+
+TEST(Log, MessagesBeforeFiltersKindAndOrder) {
+  Log log;
+  log.append(LogEntry::message(1), 0);
+  log.append(LogEntry::pos_tuple(1, 0, 1), 0);
+  log.append(LogEntry::message(2), 0);
+  log.append(LogEntry::message(3), 0);
+  auto before = log.messages_before(LogEntry::message(3));
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0].m, 1);
+  EXPECT_EQ(before[1].m, 2);
+}
+
+TEST(Log, EntriesIfSortedByLogOrder) {
+  Log log;
+  log.append(LogEntry::message(4), 0);
+  log.append(LogEntry::message(2), 0);
+  log.bump_and_lock(LogEntry::message(4), 10, 0);
+  auto msgs = log.entries_if(
+      [](const LogEntry& e) { return e.kind == LogEntry::kMessage; });
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].m, 2);  // slot 2 < slot 10
+  EXPECT_EQ(msgs[1].m, 4);
+}
+
+TEST(Log, JournalRecordsAccesses) {
+  AccessJournal j;
+  Log log(42);
+  log.append(LogEntry::message(1), 3, &j);
+  log.bump_and_lock(LogEntry::message(1), 2, 4, &j);
+  ASSERT_EQ(j.accesses().size(), 2u);
+  EXPECT_EQ(j.accesses()[0].by, 3);
+  EXPECT_EQ(j.accesses()[0].object, 42);
+  EXPECT_EQ(j.accesses()[0].op, Access::kAppend);
+  EXPECT_EQ(j.accesses()[1].op, Access::kBump);
+  EXPECT_EQ(j.active(), (ProcessSet{3, 4}));
+}
+
+TEST(Consensus, FirstProposalWins) {
+  Consensus c;
+  EXPECT_EQ(c.propose(10, 0), 10);
+  EXPECT_EQ(c.propose(20, 1), 10);
+  EXPECT_EQ(c.propose(10, 2), 10);
+  EXPECT_EQ(*c.decided(), 10);
+}
+
+TEST(Consensus, UndecidedInitially) {
+  Consensus c;
+  EXPECT_FALSE(c.decided().has_value());
+}
+
+TEST(AdoptCommit, AllSameValueCommits) {
+  AdoptCommit ac;
+  auto r1 = ac.propose(5, 0);
+  auto r2 = ac.propose(5, 1);
+  EXPECT_EQ(r1.grade, AdoptCommit::Grade::kCommit);
+  EXPECT_EQ(r2.grade, AdoptCommit::Grade::kCommit);
+  EXPECT_EQ(r1.value, 5);
+  EXPECT_EQ(r2.value, 5);
+}
+
+TEST(AdoptCommit, ConflictAdoptsFirstValue) {
+  AdoptCommit ac;
+  auto r1 = ac.propose(5, 0);
+  auto r2 = ac.propose(7, 1);
+  auto r3 = ac.propose(5, 2);  // matches first value but after conflict
+  EXPECT_EQ(r1.grade, AdoptCommit::Grade::kCommit);
+  EXPECT_EQ(r2.grade, AdoptCommit::Grade::kAdopt);
+  EXPECT_EQ(r2.value, 5);  // agreement: everyone carries the first value
+  EXPECT_EQ(r3.grade, AdoptCommit::Grade::kAdopt);
+  EXPECT_EQ(r3.value, 5);
+}
+
+}  // namespace
+}  // namespace gam::objects

@@ -1,0 +1,274 @@
+// Property tests around the paper's proofs:
+//   - the Table-2 base invariants (Claims 2-8), checked against the actual
+//     log-operation journals of Algorithm 1 runs and against randomized op
+//     sequences on the Log object;
+//   - realism of the detector oracles (outputs at time t must not depend on
+//     crashes after t, Appendix A / [14]);
+//   - the strictness ladder of §6.1: Proposition 51 (indicators ⇒ γ) and
+//     Corollary 52 (γ cannot reconstruct the indicators).
+#include <gtest/gtest.h>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/spec.hpp"
+#include "amcast/workload.hpp"
+#include "fd/detectors.hpp"
+#include "groups/generator.hpp"
+#include "groups/group_system.hpp"
+#include "objects/ideal.hpp"
+
+namespace gam {
+namespace {
+
+using amcast::MuMulticast;
+using groups::figure1_system;
+using objects::Log;
+using objects::LogEntry;
+using sim::FailurePattern;
+using sim::Time;
+
+// ---- Table-2 invariants ------------------------------------------------------
+
+TEST(LogHistory, CleanSequencePasses) {
+  Log log(0, /*track_history=*/true);
+  log.append(LogEntry::message(1), 0);
+  log.append(LogEntry::message(2), 0);
+  log.bump_and_lock(LogEntry::message(1), 5, 0);
+  log.append(LogEntry::message(1), 1);  // idempotent re-append
+  log.bump_and_lock(LogEntry::message(1), 9, 1);  // locked: no-op
+  EXPECT_EQ(log.check_history(), "");
+  EXPECT_EQ(log.history().size(), 5u);
+}
+
+TEST(LogHistory, RandomizedOpSequencesKeepInvariants) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    Log log(round, /*track_history=*/true);
+    for (int op = 0; op < 200; ++op) {
+      auto m = static_cast<objects::MsgId>(rng.below(20));
+      if (rng.chance(0.6)) {
+        log.append(LogEntry::message(m), 0);
+      } else if (log.contains(LogEntry::message(m))) {
+        log.bump_and_lock(LogEntry::message(m),
+                          static_cast<std::int64_t>(rng.below(40)), 0);
+      }
+    }
+    ASSERT_EQ(log.check_history(), "") << "round " << round;
+  }
+}
+
+TEST(LogHistory, MuMulticastRunsKeepInvariants) {
+  // Claims 2-8 on the real logs of Algorithm 1, across topologies and
+  // failure patterns.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto sys = figure1_system();
+    Rng rng(seed);
+    sim::EnvironmentSampler env{.process_count = 5, .max_failures = 2,
+                                .horizon = 150};
+    FailurePattern pat = env.sample(rng);
+    MuMulticast mc(sys, pat, {.seed = seed, .track_log_history = true});
+    for (auto& m : amcast::round_robin_workload(sys, 3)) mc.submit(m);
+    mc.run();
+    EXPECT_EQ(mc.validate_log_invariants(), "") << "seed " << seed;
+  }
+}
+
+TEST(LogHistory, LockedOrderIsStable) {
+  // Claim 6: G(L.locked(d) ∧ d <_L d' ⇒ G(d <_L d')). Once m1 is locked below
+  // m2, no later operation may reorder them.
+  Log log(0, true);
+  log.append(LogEntry::message(1), 0);
+  log.append(LogEntry::message(2), 0);
+  log.bump_and_lock(LogEntry::message(1), 1, 0);  // locked at slot 1
+  ASSERT_TRUE(log.before(LogEntry::message(1), LogEntry::message(2)));
+  log.bump_and_lock(LogEntry::message(2), 7, 0);
+  EXPECT_TRUE(log.before(LogEntry::message(1), LogEntry::message(2)));
+  EXPECT_EQ(log.check_history(), "");
+}
+
+TEST(LogHistory, Claim7NewDataLandsAboveLockedData) {
+  // Claim 7: if d' is locked and d joins later, then d' <_L d.
+  Log log(0, true);
+  log.append(LogEntry::message(1), 0);
+  log.bump_and_lock(LogEntry::message(1), 4, 0);
+  log.append(LogEntry::message(2), 0);  // head moved past slot 4
+  EXPECT_TRUE(log.before(LogEntry::message(1), LogEntry::message(2)));
+}
+
+// ---- realism of the oracles ----------------------------------------------------
+
+// Two patterns with a common prefix up to T must induce identical observable
+// histories up to T (queries at processes still alive).
+template <typename Query>
+void expect_realistic(const FailurePattern& a, const FailurePattern& b,
+                      Time common_until, Query&& q) {
+  for (Time t = 0; t <= common_until; t += 3)
+    for (ProcessId p = 0; p < a.process_count(); ++p) {
+      if (a.crashed(p, t) || b.crashed(p, t)) continue;
+      EXPECT_EQ(q(a, p, t), q(b, p, t))
+          << "divergence at p" << p << " t=" << t;
+    }
+}
+
+TEST(Realism, SigmaDependsOnlyOnThePast) {
+  FailurePattern a(4), b(4);
+  a.crash_at(2, 50);  // diverge after t=49
+  b.crash_at(1, 80);
+  expect_realistic(a, b, 49, [](const FailurePattern& f, ProcessId p, Time t) {
+    fd::SigmaOracle sigma(f, ProcessSet::universe(4));
+    auto v = sigma.query(p, t);
+    return v ? v->bits() : ~0ull;
+  });
+}
+
+TEST(Realism, OmegaDependsOnlyOnThePast) {
+  FailurePattern a(4), b(4);
+  a.crash_at(0, 30);
+  expect_realistic(a, b, 29, [](const FailurePattern& f, ProcessId p, Time t) {
+    fd::OmegaOracle omega(f, ProcessSet::universe(4));
+    auto v = omega.query(p, t);
+    return v ? *v : -1;
+  });
+}
+
+TEST(Realism, GammaDependsOnlyOnThePast) {
+  auto sys = figure1_system();
+  FailurePattern a(5), b(5);
+  a.crash_at(1, 40);
+  b.crash_at(0, 70);
+  expect_realistic(a, b, 39, [&](const FailurePattern& f, ProcessId p, Time t) {
+    fd::GammaOracle gamma(sys, f);
+    return gamma.query(p, t).size();
+  });
+}
+
+TEST(Realism, IndicatorDependsOnlyOnThePast) {
+  FailurePattern a(4), b(4);
+  a.crash_at(1, 25);
+  expect_realistic(a, b, 24, [](const FailurePattern& f, ProcessId p, Time t) {
+    fd::IndicatorOracle ind(f, ProcessSet{1}, ProcessSet::universe(4));
+    auto v = ind.query(p, t);
+    return v ? static_cast<int>(*v) : -1;
+  });
+}
+
+// ---- the §6.1 strictness ladder -------------------------------------------------
+
+TEST(Corollary52, GammaCannotReconstructTheIndicator) {
+  // Corollary 52's argument, mechanized: take F = {f} with f = {g,h,h'} and
+  // two failure patterns — in both, h' is faulty from the start (so f is
+  // faulty and γ's output is pinned); in the second, g∩h additionally dies.
+  // The γ histories are identical, yet 1^{g∩h} must eventually output true in
+  // the second pattern only: no algorithm fed by γ alone can emulate it.
+  groups::GroupSystem sys(4, {ProcessSet{0, 1},    // g
+                              ProcessSet{1, 2},    // h
+                              ProcessSet{2, 3, 0}});  // h'
+  ASSERT_EQ(sys.cyclic_families().size(), 1u);
+
+  FailurePattern f1(4), f2(4);
+  // h' dies entirely at t=0 in both patterns.
+  for (ProcessId p : sys.group(2)) {
+    f1.crash_at(p, 0);
+    f2.crash_at(p, 0);
+  }
+  f2.crash_at(1, 0);  // g∩h = {p1} additionally dies in f2 (p1 ∉ h')
+
+  fd::GammaOracle g1(sys, f1), g2(sys, f2);
+  for (Time t = 0; t <= 100; t += 5)
+    for (ProcessId p = 0; p < 4; ++p)
+      EXPECT_EQ(g1.query(p, t), g2.query(p, t))
+          << "γ distinguishes the patterns at p" << p << " t=" << t;
+
+  fd::IndicatorOracle i1(f1, sys.intersection(0, 1),
+                         sys.group(0) | sys.group(1));
+  fd::IndicatorOracle i2(f2, sys.intersection(0, 1),
+                         sys.group(0) | sys.group(1));
+  // The indicator must answer differently — information γ provably lacks.
+  EXPECT_FALSE(*i1.query(0, 100));
+  EXPECT_TRUE(*i2.query(0, 100));
+}
+
+TEST(Proposition51, IndicatorsAreStrictlyAboveGamma) {
+  // The other direction of the ladder: the indicators reconstruct γ (the
+  // construction lives in emulation/gamma_from_indicators.hpp and is tested
+  // in test_emulation.cpp); here we check the ordering claim on histories —
+  // whenever γ omits a family, some indicator of each of its cycles fired.
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 30);
+  fd::GammaOracle gamma(sys, pat);
+  for (Time t : {Time{31}, Time{60}, Time{200}}) {
+    for (groups::FamilyMask f : sys.families_of_process(0)) {
+      auto out = gamma.query(0, t);
+      bool omitted = std::count(out.begin(), out.end(), f) == 0;
+      if (!omitted) continue;
+      // Some intersecting pair inside f is dead, so its 1^{g∩h} is true.
+      bool witnessed = false;
+      for (groups::GroupId a : groups::family_members(f))
+        for (groups::GroupId b : groups::family_members(f)) {
+          if (a >= b) continue;
+          ProcessSet inter = sys.intersection(a, b);
+          if (inter.empty()) continue;
+          fd::IndicatorOracle ind(pat, inter, sys.group(a) | sys.group(b));
+          if (*ind.query(0, t)) witnessed = true;
+        }
+      EXPECT_TRUE(witnessed) << "family omitted with no dead intersection";
+    }
+  }
+}
+
+// ---- random-topology property sweep ---------------------------------------------
+
+struct RandomSweepCase {
+  std::uint64_t seed;
+  bool helping;
+  bool strict;
+};
+
+class RandomTopologySweep : public ::testing::TestWithParam<RandomSweepCase> {};
+
+TEST_P(RandomTopologySweep, AllPropertiesHoldOnRandomTopologies) {
+  auto [seed, helping, strict] = GetParam();
+  Rng rng(seed);
+  groups::TopologySpec spec;
+  spec.process_count = static_cast<int>(rng.range(4, 8));
+  spec.group_count = static_cast<int>(rng.range(2, 5));
+  spec.min_group_size = 2;
+  spec.max_group_size = 3;
+  spec.overlap_bias = 0.6;
+  auto sys = groups::random_group_system(spec, rng);
+
+  sim::EnvironmentSampler env{.process_count = sys.process_count(),
+                              .max_failures = 2, .horizon = 300};
+  FailurePattern pat = env.sample(rng);
+
+  MuMulticast mc(sys, pat,
+                 {.seed = seed ^ 0xabc, .strict = strict, .helping = helping,
+                  .track_log_history = true});
+  for (auto& m : amcast::round_robin_workload(sys, 3)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = amcast::check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error << " [procs=" << sys.process_count()
+                    << " groups=" << sys.group_count()
+                    << " faulty=" << pat.faulty_set().to_string() << "]";
+  EXPECT_EQ(mc.validate_log_invariants(), "");
+  if (strict) {
+    auto s = amcast::check_strict_ordering(rec, sys);
+    EXPECT_TRUE(s.ok) << s.error;
+  }
+}
+
+std::vector<RandomSweepCase> random_sweep_cases() {
+  std::vector<RandomSweepCase> out;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed)
+    out.push_back({seed, seed % 2 == 0, seed % 5 == 0});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTopologySweep,
+                         ::testing::ValuesIn(random_sweep_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace gam

@@ -1,0 +1,130 @@
+#include "util/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gam {
+namespace {
+
+TEST(ProcessSet, EmptyByDefault) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ProcessSet, InitializerListAndContains) {
+  ProcessSet s{0, 3, 7};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(-1));
+  EXPECT_FALSE(s.contains(64));
+}
+
+TEST(ProcessSet, Universe) {
+  ProcessSet u = ProcessSet::universe(5);
+  EXPECT_EQ(u.size(), 5);
+  for (int p = 0; p < 5; ++p) EXPECT_TRUE(u.contains(p));
+  EXPECT_FALSE(u.contains(5));
+  EXPECT_EQ(ProcessSet::universe(64).size(), 64);
+}
+
+TEST(ProcessSet, InsertErase) {
+  ProcessSet s;
+  s.insert(5);
+  EXPECT_TRUE(s.contains(5));
+  s.erase(5);
+  EXPECT_TRUE(s.empty());
+  s.erase(5);  // erasing an absent member is a no-op
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  ProcessSet a{0, 1, 2};
+  ProcessSet b{2, 3};
+  EXPECT_EQ((a | b), (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), (ProcessSet{2}));
+  EXPECT_EQ((a - b), (ProcessSet{0, 1}));
+  EXPECT_EQ((a ^ b), (ProcessSet{0, 1, 3}));
+}
+
+TEST(ProcessSet, SubsetAndIntersects) {
+  ProcessSet a{1, 2};
+  ProcessSet b{0, 1, 2, 3};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(ProcessSet{0, 3}));
+  EXPECT_TRUE(ProcessSet{}.subset_of(a));
+}
+
+TEST(ProcessSet, MinMax) {
+  ProcessSet s{3, 9, 41};
+  EXPECT_EQ(s.min(), 3);
+  EXPECT_EQ(s.max(), 41);
+  EXPECT_EQ(ProcessSet::single(63).max(), 63);
+}
+
+TEST(ProcessSet, IterationIsSortedAndComplete) {
+  ProcessSet s{9, 0, 5, 63};
+  std::vector<ProcessId> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<ProcessId>{0, 5, 9, 63}));
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ((ProcessSet{1, 2}).to_string(), "{p1,p2}");
+  EXPECT_EQ(ProcessSet{}.to_string(), "{}");
+}
+
+TEST(ProcessSet, RandomizedAgainstStdSet) {
+  Rng rng(42);
+  ProcessSet s;
+  std::set<ProcessId> ref;
+  for (int i = 0; i < 2000; ++i) {
+    auto p = static_cast<ProcessId>(rng.below(64));
+    if (rng.chance(0.5)) {
+      s.insert(p);
+      ref.insert(p);
+    } else {
+      s.erase(p);
+      ref.erase(p);
+    }
+    ASSERT_EQ(s.size(), static_cast<int>(ref.size()));
+    ASSERT_EQ(s.empty(), ref.empty());
+    ASSERT_EQ(s.contains(p), ref.count(p) > 0);
+  }
+  std::vector<ProcessId> got(s.begin(), s.end());
+  std::vector<ProcessId> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Rng, DeterministicAndForkIndependent) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+  Rng c(7);
+  Rng d = c.fork();
+  EXPECT_NE(c.next(), d.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.range(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace gam

@@ -1,0 +1,408 @@
+// Tests for the message-passing object constructions: ABD registers and
+// adopt-commit from Σ, indulgent consensus and the universal log from Ω ∧ Σ,
+// and the contention-free fast consensus behind Proposition 47.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/detectors.hpp"
+#include "objects/abd_register.hpp"
+#include "objects/cf_consensus.hpp"
+#include "objects/protocol_host.hpp"
+#include "objects/quorum_store.hpp"
+#include "objects/universal_log.hpp"
+#include "sim/world.hpp"
+
+namespace gam::objects {
+namespace {
+
+using sim::FailurePattern;
+
+struct Fixture {
+  // `scope` processes replicate one QuorumStore under protocol id `pid`.
+  Fixture(FailurePattern pat, std::uint64_t seed)
+      : pattern(std::move(pat)), world(pattern, seed) {
+    hosts = install_hosts(world);
+  }
+
+  std::shared_ptr<QuorumStore> add_store(std::int32_t pid, ProcessId p,
+                                         ProcessSet scope,
+                                         const fd::SigmaOracle& sigma) {
+    auto s = std::make_shared<QuorumStore>(pid, p, scope, sigma);
+    hosts[static_cast<size_t>(p)]->add(pid, s);
+    return s;
+  }
+
+  FailurePattern pattern;
+  sim::World world;
+  std::vector<ProtocolHost*> hosts;
+};
+
+// ---- QuorumStore / AbdRegister ------------------------------------------------
+
+TEST(QuorumStore, WriteThenSnapshotSeesValue) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 1);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  std::vector<std::shared_ptr<QuorumStore>> stores;
+  for (ProcessId p = 0; p < 3; ++p)
+    stores.push_back(fx.add_store(1, p, scope, sigma));
+
+  bool wrote = false;
+  stores[0]->write(7, 1, 42, [&] { wrote = true; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  EXPECT_TRUE(wrote);
+
+  std::optional<QuorumStore::Snapshot> snap;
+  stores[1]->snapshot([&](const QuorumStore::Snapshot& s) { snap = s; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_TRUE(snap->count(7));
+  EXPECT_EQ(snap->at(7).value, 42);
+}
+
+TEST(QuorumStore, HigherTimestampWins) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 2);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  std::vector<std::shared_ptr<QuorumStore>> stores;
+  for (ProcessId p = 0; p < 3; ++p)
+    stores.push_back(fx.add_store(1, p, scope, sigma));
+
+  stores[0]->write(0, 5, 100, [] {});
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  stores[1]->write(0, 3, 200, [] {});  // stale timestamp: must not clobber
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+
+  std::optional<QuorumStore::Snapshot> snap;
+  stores[2]->snapshot([&](const QuorumStore::Snapshot& s) { snap = s; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  EXPECT_EQ(snap->at(0).value, 100);
+}
+
+TEST(QuorumStore, SurvivesMinorityCrash) {
+  FailurePattern pat(3);
+  pat.crash_at(2, 0);
+  Fixture fx(pat, 3);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  std::vector<std::shared_ptr<QuorumStore>> stores;
+  for (ProcessId p = 0; p < 3; ++p)
+    stores.push_back(fx.add_store(1, p, scope, sigma));
+
+  bool wrote = false;
+  stores[0]->write(1, 1, 7, [&] { wrote = true; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  EXPECT_TRUE(wrote);
+}
+
+TEST(AbdRegister, ReadsLastWrite) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 4);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  std::vector<std::shared_ptr<QuorumStore>> stores;
+  for (ProcessId p = 0; p < 3; ++p)
+    stores.push_back(fx.add_store(1, p, scope, sigma));
+
+  AbdRegister w0(stores[0], 0), w1(stores[1], 1), r2(stores[2], 2);
+  bool done = false;
+  w0.write(11, [&] { done = true; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  ASSERT_TRUE(done);
+  w1.write(22, [&] {});
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+
+  std::optional<std::int64_t> got;
+  r2.read([&](std::optional<std::int64_t> v) { got = *v; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  EXPECT_EQ(got, 22);
+}
+
+TEST(AbdRegister, EmptyRegisterReadsNothing) {
+  FailurePattern pat(2);
+  Fixture fx(pat, 5);
+  ProcessSet scope = ProcessSet::universe(2);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  auto s0 = fx.add_store(1, 0, scope, sigma);
+  fx.add_store(1, 1, scope, sigma);
+  AbdRegister r(s0, 0);
+  bool called = false;
+  std::optional<std::int64_t> got = 99;
+  r.read([&](std::optional<std::int64_t> v) {
+    called = true;
+    got = v;
+  });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+}
+
+// ---- QuorumAdoptCommit ---------------------------------------------------------
+
+TEST(QuorumAdoptCommit, SoloProposerCommits) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 6);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  auto s0 = fx.add_store(1, 0, scope, sigma);
+  fx.add_store(1, 1, scope, sigma);
+  fx.add_store(1, 2, scope, sigma);
+  QuorumAdoptCommit ac(s0, 0);
+  std::optional<QuorumAdoptCommit::Outcome> out;
+  ac.propose(9, [&](QuorumAdoptCommit::Outcome o) { out = o; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->grade, QuorumAdoptCommit::Grade::kCommit);
+  EXPECT_EQ(out->value, 9);
+}
+
+TEST(QuorumAdoptCommit, SequentialSameValueAllCommit) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 7);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  std::vector<std::shared_ptr<QuorumStore>> stores;
+  for (ProcessId p = 0; p < 3; ++p)
+    stores.push_back(fx.add_store(1, p, scope, sigma));
+  for (ProcessId p = 0; p < 3; ++p) {
+    QuorumAdoptCommit ac(stores[static_cast<size_t>(p)], p);
+    std::optional<QuorumAdoptCommit::Outcome> out;
+    ac.propose(4, [&](QuorumAdoptCommit::Outcome o) { out = o; });
+    ASSERT_TRUE(fx.world.run_until_quiescent(50'000));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->grade, QuorumAdoptCommit::Grade::kCommit);
+    EXPECT_EQ(out->value, 4);
+  }
+}
+
+TEST(QuorumAdoptCommit, ConcurrentConflictNeverCommitsTwoValues) {
+  // Across many seeds, run two concurrent conflicting proposals; AC-agreement
+  // demands that if any process commits v, every returned value equals v.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    FailurePattern pat(3);
+    Fixture fx(pat, seed);
+    ProcessSet scope = ProcessSet::universe(3);
+    fd::SigmaOracle sigma(fx.pattern, scope);
+    std::vector<std::shared_ptr<QuorumStore>> stores;
+    for (ProcessId p = 0; p < 3; ++p)
+      stores.push_back(fx.add_store(1, p, scope, sigma));
+    QuorumAdoptCommit ac0(stores[0], 0), ac1(stores[1], 1);
+    std::optional<QuorumAdoptCommit::Outcome> o0, o1;
+    ac0.propose(10, [&](QuorumAdoptCommit::Outcome o) { o0 = o; });
+    ac1.propose(20, [&](QuorumAdoptCommit::Outcome o) { o1 = o; });
+    ASSERT_TRUE(fx.world.run_until_quiescent(100'000));
+    ASSERT_TRUE(o0 && o1);
+    EXPECT_TRUE(o0->value == 10 || o0->value == 20);
+    EXPECT_TRUE(o1->value == 10 || o1->value == 20);
+    bool commit0 = o0->grade == QuorumAdoptCommit::Grade::kCommit;
+    bool commit1 = o1->grade == QuorumAdoptCommit::Grade::kCommit;
+    if (commit0) {
+      EXPECT_EQ(o1->value, o0->value) << "seed " << seed;
+    }
+    if (commit1) {
+      EXPECT_EQ(o0->value, o1->value) << "seed " << seed;
+    }
+  }
+}
+
+// ---- IndulgentConsensus ----------------------------------------------------------
+
+TEST(IndulgentConsensus, AllProposersAgree) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FailurePattern pat(3);
+    Fixture fx(pat, seed);
+    ProcessSet scope = ProcessSet::universe(3);
+    fd::SigmaOracle sigma(fx.pattern, scope);
+    fd::OmegaOracle omega(fx.pattern, scope);
+    std::vector<std::shared_ptr<IndulgentConsensus>> cons;
+    for (ProcessId p = 0; p < 3; ++p) {
+      auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
+      fx.hosts[static_cast<size_t>(p)]->add(2, c);
+      cons.push_back(c);
+    }
+    std::vector<std::optional<std::int64_t>> got(3);
+    for (ProcessId p = 0; p < 3; ++p)
+      cons[static_cast<size_t>(p)]->propose(
+          100 + p, [&got, p](std::int64_t v) { got[static_cast<size_t>(p)] = v; });
+    ASSERT_TRUE(fx.world.run_until_quiescent(200'000)) << "seed " << seed;
+    ASSERT_TRUE(got[0] && got[1] && got[2]) << "seed " << seed;
+    EXPECT_EQ(*got[0], *got[1]);
+    EXPECT_EQ(*got[1], *got[2]);
+    EXPECT_GE(*got[0], 100);
+    EXPECT_LE(*got[0], 102);
+  }
+}
+
+TEST(IndulgentConsensus, DecidesDespiteMinorityCrash) {
+  FailurePattern pat(3);
+  pat.crash_at(0, 10);  // p0 is the initial Ω leader: the worst victim
+  Fixture fx(pat, 77);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  fd::OmegaOracle omega(fx.pattern, scope);
+  std::vector<std::shared_ptr<IndulgentConsensus>> cons;
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(2, c);
+    cons.push_back(c);
+  }
+  std::optional<std::int64_t> got1, got2;
+  cons[1]->propose(1, [&](std::int64_t v) { got1 = v; });
+  cons[2]->propose(2, [&](std::int64_t v) { got2 = v; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(400'000));
+  ASSERT_TRUE(got1 && got2);
+  EXPECT_EQ(*got1, *got2);
+}
+
+TEST(IndulgentConsensus, NonLeaderProposalReachesDecisionViaForwarding) {
+  FailurePattern pat(3);
+  Fixture fx(pat, 11);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  fd::OmegaOracle omega(fx.pattern, scope);  // stable leader: p0
+  std::vector<std::shared_ptr<IndulgentConsensus>> cons;
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(2, c);
+    cons.push_back(c);
+  }
+  // Only p2 — never the leader — proposes.
+  std::optional<std::int64_t> got;
+  cons[2]->propose(55, [&](std::int64_t v) { got = v; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(200'000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 55);
+}
+
+// ---- UniversalLog ------------------------------------------------------------------
+
+TEST(UniversalLog, AllMembersLearnTheSameSequence) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    FailurePattern pat(3);
+    Fixture fx(pat, seed * 31);
+    ProcessSet scope = ProcessSet::universe(3);
+    fd::SigmaOracle sigma(fx.pattern, scope);
+    fd::OmegaOracle omega(fx.pattern, scope);
+    std::vector<std::shared_ptr<UniversalLog>> logs;
+    for (ProcessId p = 0; p < 3; ++p) {
+      auto l = std::make_shared<UniversalLog>(3, p, scope, sigma, omega);
+      fx.hosts[static_cast<size_t>(p)]->add(3, l);
+      logs.push_back(l);
+    }
+    // Each member submits two ops; op values encode (proposer, seq).
+    int applied = 0;
+    for (ProcessId p = 0; p < 3; ++p)
+      for (int k = 0; k < 2; ++k)
+        logs[static_cast<size_t>(p)]->submit(
+            p * 10 + k, [&](std::int64_t) { ++applied; });
+    ASSERT_TRUE(fx.world.run_until_quiescent(400'000)) << "seed " << seed;
+    EXPECT_EQ(applied, 6);
+    ASSERT_EQ(logs[0]->learned().size(), 6u) << "seed " << seed;
+    EXPECT_EQ(logs[0]->learned(), logs[1]->learned());
+    EXPECT_EQ(logs[1]->learned(), logs[2]->learned());
+    // Exactly-once: all six distinct ops appear.
+    auto sorted = logs[0]->learned();
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::int64_t>{0, 1, 10, 11, 20, 21}));
+  }
+}
+
+TEST(UniversalLog, ProgressAfterLeaderCrash) {
+  FailurePattern pat(3);
+  pat.crash_at(0, 50);
+  Fixture fx(pat, 13);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(fx.pattern, scope);
+  fd::OmegaOracle omega(fx.pattern, scope);
+  std::vector<std::shared_ptr<UniversalLog>> logs;
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto l = std::make_shared<UniversalLog>(3, p, scope, sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(3, l);
+    logs.push_back(l);
+  }
+  int applied = 0;
+  logs[1]->submit(100, [&](std::int64_t) { ++applied; });
+  logs[2]->submit(200, [&](std::int64_t) { ++applied; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(400'000));
+  EXPECT_EQ(applied, 2);
+  EXPECT_EQ(logs[1]->learned(), logs[2]->learned());
+  EXPECT_EQ(logs[1]->learned().size(), 2u);
+}
+
+// ---- CfFastConsensus (Proposition 47) ------------------------------------------
+
+TEST(CfFastConsensus, ContentionFreeStaysInIntersection) {
+  // g = {0,1,2,3}, g∩h = {1,2}. A contention-free propose must complete on
+  // the adopt-commit fast path, and only the intersection processes (plus
+  // nobody else) take steps.
+  FailurePattern pat(4);
+  Fixture fx(pat, 17);
+  ProcessSet g = ProcessSet::universe(4);
+  ProcessSet inter{1, 2};
+  fd::SigmaOracle sigma_inter(fx.pattern, inter);
+  fd::SigmaOracle sigma_g(fx.pattern, g);
+  fd::OmegaOracle omega_g(fx.pattern, g);
+
+  std::vector<std::shared_ptr<QuorumStore>> ac_stores(4);
+  std::vector<std::shared_ptr<IndulgentConsensus>> cons(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (inter.contains(p)) {
+      ac_stores[static_cast<size_t>(p)] =
+          std::make_shared<QuorumStore>(5, p, inter, sigma_inter);
+      fx.hosts[static_cast<size_t>(p)]->add(5, ac_stores[static_cast<size_t>(p)]);
+    }
+    cons[static_cast<size_t>(p)] =
+        std::make_shared<IndulgentConsensus>(6, p, g, sigma_g, omega_g);
+    fx.hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+  }
+
+  CfFastConsensus cf1(ac_stores[1], 1, cons[1]);
+  std::optional<std::int64_t> got;
+  cf1.propose(33, [&](std::int64_t v) { got = v; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(100'000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 33);
+  EXPECT_TRUE(cf1.took_fast_path());
+  // Proposition 47's genuineness: processes outside g∩h never stepped.
+  EXPECT_EQ(fx.world.stats(0).steps, 0u);
+  EXPECT_EQ(fx.world.stats(3).steps, 0u);
+}
+
+TEST(CfFastConsensus, ConflictFallsBackToGroupConsensus) {
+  FailurePattern pat(4);
+  Fixture fx(pat, 19);
+  ProcessSet g = ProcessSet::universe(4);
+  ProcessSet inter{1, 2};
+  fd::SigmaOracle sigma_inter(fx.pattern, inter);
+  fd::SigmaOracle sigma_g(fx.pattern, g);
+  fd::OmegaOracle omega_g(fx.pattern, g);
+
+  std::vector<std::shared_ptr<QuorumStore>> ac_stores(4);
+  std::vector<std::shared_ptr<IndulgentConsensus>> cons(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (inter.contains(p)) {
+      ac_stores[static_cast<size_t>(p)] =
+          std::make_shared<QuorumStore>(5, p, inter, sigma_inter);
+      fx.hosts[static_cast<size_t>(p)]->add(5, ac_stores[static_cast<size_t>(p)]);
+    }
+    cons[static_cast<size_t>(p)] =
+        std::make_shared<IndulgentConsensus>(6, p, g, sigma_g, omega_g);
+    fx.hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+  }
+
+  CfFastConsensus cf1(ac_stores[1], 1, cons[1]);
+  CfFastConsensus cf2(ac_stores[2], 2, cons[2]);
+  std::optional<std::int64_t> g1, g2;
+  cf1.propose(41, [&](std::int64_t v) { g1 = v; });
+  cf2.propose(42, [&](std::int64_t v) { g2 = v; });
+  ASSERT_TRUE(fx.world.run_until_quiescent(400'000));
+  ASSERT_TRUE(g1 && g2);
+  EXPECT_EQ(*g1, *g2);
+  EXPECT_TRUE(*g1 == 41 || *g1 == 42);
+}
+
+}  // namespace
+}  // namespace gam::objects

@@ -1,0 +1,197 @@
+// Stress and scale tests: larger topologies, heavier workloads, crash storms
+// and adversarially-timed failures. Everything must stay within the spec.
+#include <gtest/gtest.h>
+
+#include "amcast/baselines.hpp"
+#include "amcast/mu_multicast.hpp"
+#include "amcast/spec.hpp"
+#include "amcast/workload.hpp"
+#include "groups/generator.hpp"
+
+namespace gam::amcast {
+namespace {
+
+using groups::chain_system;
+using groups::disjoint_system;
+using groups::ring_system;
+using sim::FailurePattern;
+
+TEST(Stress, LargeRingHeavyLoad) {
+  auto sys = ring_system(8, 2);  // 16 processes, 8 groups in a cycle
+  FailurePattern pat(sys.process_count());
+  MuMulticast mc(sys, pat, {.seed = 1, .max_steps = 1u << 22});
+  for (auto& m : round_robin_workload(sys, 10)) mc.submit(m);  // 80 messages
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(rec.deliveries.size(), 80u * 3);  // each group has 3 members
+}
+
+TEST(Stress, LongChainManyMessages) {
+  auto sys = chain_system(10, 2);  // 11 processes, 10 groups in a path
+  FailurePattern pat(sys.process_count());
+  MuMulticast mc(sys, pat, {.seed = 2, .max_steps = 1u << 22});
+  for (auto& m : round_robin_workload(sys, 12)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stress, ManyDisjointGroups) {
+  auto sys = disjoint_system(16, 3);  // 48 processes
+  FailurePattern pat(sys.process_count());
+  MuMulticast mc(sys, pat, {.seed = 3, .max_steps = 1u << 22});
+  for (auto& m : round_robin_workload(sys, 6)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(rec.deliveries.size(), 16u * 6 * 3);
+}
+
+TEST(Stress, CrashStormOnRing) {
+  // Kill one anchor process of every second ring edge mid-run.
+  auto sys = ring_system(6, 2);
+  FailurePattern pat(sys.process_count());
+  pat.crash_at(0, 40);
+  pat.crash_at(4, 60);
+  pat.crash_at(8, 80);
+  MuMulticast mc(sys, pat, {.seed = 4, .max_steps = 1u << 22});
+  for (auto& m : round_robin_workload(sys, 5)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stress, SimultaneousCrashes) {
+  // All victims at the exact same instant: the hardest case for γ's
+  // transition bookkeeping.
+  auto sys = groups::figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 50);
+  pat.crash_at(2, 50);
+  MuMulticast mc(sys, pat, {.seed = 5});
+  for (auto& m : round_robin_workload(sys, 4)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stress, CrashAtTimeZero) {
+  auto sys = groups::figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(0, 0);  // the most-connected process never takes a step
+  MuMulticast mc(sys, pat, {.seed = 6});
+  for (auto& m : round_robin_workload(sys, 3)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stress, OnlyOneSurvivor) {
+  auto sys = groups::GroupSystem(4, {ProcessSet::universe(4)});
+  FailurePattern pat(4);
+  pat.crash_at(0, 10);
+  pat.crash_at(1, 20);
+  pat.crash_at(2, 30);
+  MuMulticast mc(sys, pat, {.seed = 7, .helping = true});
+  for (auto& m : single_group_workload(sys, 0, 5)) mc.submit(m);
+  auto rec = mc.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+  // p3 alone must still deliver whatever entered the log.
+  int at_p3 = 0;
+  for (auto& d : rec.deliveries) at_p3 += d.p == 3;
+  EXPECT_EQ(static_cast<size_t>(at_p3), rec.multicast.size());
+}
+
+TEST(Stress, EverybodyDies) {
+  auto sys = groups::figure1_system();
+  FailurePattern pat(5);
+  for (ProcessId p = 0; p < 5; ++p) pat.crash_at(p, 20 + 5 * p);
+  MuMulticast mc(sys, pat, {.seed = 8});
+  for (auto& m : round_robin_workload(sys, 3)) mc.submit(m);
+  auto rec = mc.run();
+  // No obligations remain (nobody is correct), but safety must still hold on
+  // whatever was delivered before the lights went out.
+  EXPECT_TRUE(check_integrity(rec, sys).ok);
+  EXPECT_TRUE(check_ordering(rec, sys).ok);
+  EXPECT_TRUE(check_minimality(rec, sys).ok);
+  EXPECT_TRUE(check_termination(rec, sys, pat).ok);  // vacuous
+}
+
+TEST(Stress, AdversarialCrashTimesSweep) {
+  // Sweep the crash instant of the busiest process across the whole run:
+  // every prefix boundary must be safe.
+  auto sys = groups::figure1_system();
+  for (sim::Time crash_at = 0; crash_at <= 120; crash_at += 8) {
+    FailurePattern pat(5);
+    pat.crash_at(0, crash_at);
+    MuMulticast mc(sys, pat, {.seed = 9 + crash_at});
+    for (auto& m : round_robin_workload(sys, 3)) mc.submit(m);
+    auto rec = mc.run();
+    auto r = check_all(rec, sys, pat);
+    ASSERT_TRUE(r.ok) << r.error << " crash_at=" << crash_at;
+  }
+}
+
+TEST(Stress, BroadcastBaselineAtScale) {
+  auto sys = disjoint_system(12, 2);
+  FailurePattern pat(sys.process_count());
+  BroadcastMulticast bc(sys, pat, {.seed = 10});
+  for (auto& m : round_robin_workload(sys, 8)) bc.submit(m);
+  auto rec = bc.run();
+  EXPECT_TRUE(check_integrity(rec, sys).ok);
+  EXPECT_TRUE(check_ordering(rec, sys).ok);
+  EXPECT_TRUE(check_termination(rec, sys, pat).ok);
+  // Total work is quadratic-ish: every process consumes every message.
+  EXPECT_GE(rec.steps, 12u * 8 * 24);
+}
+
+TEST(Stress, SkeenAtScaleFailureFree) {
+  auto sys = ring_system(6, 2);
+  FailurePattern pat(sys.process_count());
+  SkeenMulticast sk(sys, pat, {.seed = 11});
+  for (auto& m : round_robin_workload(sys, 8)) sk.submit(m);
+  auto rec = sk.run();
+  auto r = check_all(rec, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stress, DeterministicReplay) {
+  // Same seed => byte-identical run records (the whole point of the seeded
+  // simulator).
+  auto sys = ring_system(4, 2);
+  FailurePattern pat(sys.process_count());
+  pat.crash_at(2, 33);
+  auto run_once = [&] {
+    MuMulticast mc(sys, pat, {.seed = 12345});
+    for (auto& m : round_robin_workload(sys, 4)) mc.submit(m);
+    return mc.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].p, b.deliveries[i].p);
+    EXPECT_EQ(a.deliveries[i].m, b.deliveries[i].m);
+    EXPECT_EQ(a.deliveries[i].t, b.deliveries[i].t);
+  }
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(Stress, DifferentSeedsDifferentSchedulesSameSpec) {
+  auto sys = ring_system(4, 2);
+  FailurePattern pat(sys.process_count());
+  std::set<std::uint64_t> step_counts;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    MuMulticast mc(sys, pat, {.seed = seed});
+    for (auto& m : round_robin_workload(sys, 4)) mc.submit(m);
+    auto rec = mc.run();
+    ASSERT_TRUE(check_all(rec, sys, pat).ok);
+    step_counts.insert(rec.steps ^ (rec.deliveries.front().t << 32));
+  }
+  EXPECT_GT(step_counts.size(), 1u);  // schedules genuinely differ
+}
+
+}  // namespace
+}  // namespace gam::amcast

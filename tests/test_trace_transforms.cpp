@@ -1,0 +1,169 @@
+// Tests for the execution tracer and the detector-hierarchy transformations.
+#include <gtest/gtest.h>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/trace.hpp"
+#include "amcast/workload.hpp"
+#include "fd/checkers.hpp"
+#include "fd/transforms.hpp"
+#include "groups/group_system.hpp"
+
+namespace gam {
+namespace {
+
+using amcast::MuMulticast;
+using amcast::Trace;
+using amcast::TraceEvent;
+using groups::figure1_system;
+using sim::FailurePattern;
+using sim::Time;
+
+// ---- Trace ---------------------------------------------------------------------
+
+TEST(Trace, RecordsEveryActionOfARun) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  MuMulticast mc(sys, pat, {.seed = 3});
+  Trace trace;
+  mc.attach_trace(&trace);
+  for (auto& m : amcast::round_robin_workload(sys, 2)) mc.submit(m);
+  auto rec = mc.run();
+
+  EXPECT_EQ(trace.count(TraceEvent::kMulticast), rec.multicast.size());
+  EXPECT_EQ(trace.count(TraceEvent::kDeliver), rec.deliveries.size());
+  // Every delivery is preceded by pending, commit and stable for the same
+  // (process, message): the phase progression of Claim 14.
+  EXPECT_EQ(trace.check_progression(), "");
+  EXPECT_GE(trace.count(TraceEvent::kCommit), rec.deliveries.size());
+}
+
+TEST(Trace, TimelineAndLifecyclesRender) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  MuMulticast mc(sys, pat, {.seed = 9});
+  Trace trace;
+  mc.attach_trace(&trace);
+  mc.submit({0, 0, 0, 0});
+  mc.run();
+  auto timeline = trace.render_timeline();
+  EXPECT_NE(timeline.find("multicast"), std::string::npos);
+  EXPECT_NE(timeline.find("deliver"), std::string::npos);
+  auto lifecycle = trace.render_lifecycles();
+  EXPECT_NE(lifecycle.find("m0:"), std::string::npos);
+}
+
+TEST(Trace, ProgressionCheckerCatchesRegression) {
+  Trace t;
+  t.record({0, 0, TraceEvent::kCommit, 1, -1, -1});
+  t.record({1, 0, TraceEvent::kPending, 1, -1, -1});  // backwards!
+  EXPECT_NE(t.check_progression(), "");
+}
+
+TEST(Trace, CommitEventsCarryTheAgreedPosition) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  MuMulticast mc(sys, pat, {.seed = 4});
+  Trace trace;
+  mc.attach_trace(&trace);
+  for (auto& m : amcast::round_robin_workload(sys, 2)) mc.submit(m);
+  mc.run();
+  for (const auto& e : trace.events()) {
+    if (e.action == TraceEvent::kCommit) {
+      EXPECT_GE(e.position, 1);
+    }
+  }
+}
+
+// ---- transformations -------------------------------------------------------------
+
+TEST(Transforms, SigmaFromPerfectSatisfiesSigmaAxioms) {
+  FailurePattern pat(4);
+  pat.crash_at(0, 20);
+  pat.crash_at(3, 60);
+  fd::PerfectOracle perfect(pat);
+  ProcessSet scope = ProcessSet::universe(4);
+  fd::SigmaFromPerfect sigma(perfect, scope);
+  std::vector<fd::Sample<ProcessSet>> samples;
+  for (Time t = 0; t <= 300; t += 7)
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (pat.crashed(p, t)) continue;
+      if (auto v = sigma.query(p, t)) samples.push_back({p, t, *v});
+    }
+  auto r = fd::check_sigma(samples, pat, scope);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Transforms, OmegaFromPerfectSatisfiesOmegaAxioms) {
+  FailurePattern pat(4);
+  pat.crash_at(0, 20);
+  fd::PerfectOracle perfect(pat);
+  ProcessSet scope = ProcessSet::universe(4);
+  fd::OmegaFromPerfect omega(perfect, scope);
+  std::vector<fd::Sample<ProcessId>> samples;
+  for (Time t = 0; t <= 300; t += 7)
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (pat.crashed(p, t)) continue;
+      if (auto v = omega.query(p, t)) samples.push_back({p, t, *v});
+    }
+  auto r = fd::check_omega(samples, pat, scope);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Transforms, IndicatorFromPerfectSatisfiesIndicatorAxioms) {
+  FailurePattern pat(4);
+  pat.crash_at(1, 15);
+  pat.crash_at(2, 40);
+  fd::PerfectOracle perfect(pat);
+  ProcessSet watched{1, 2};
+  ProcessSet scope = ProcessSet::universe(4);
+  fd::IndicatorFromPerfect ind(perfect, watched, scope);
+  std::vector<fd::Sample<bool>> samples;
+  for (Time t = 0; t <= 300; t += 7)
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (pat.crashed(p, t)) continue;
+      if (auto v = ind.query(p, t)) samples.push_back({p, t, *v});
+    }
+  auto r = fd::check_indicator(samples, pat, watched, scope);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Transforms, GammaFromPerfectSatisfiesGammaAxioms) {
+  auto sys = figure1_system();
+  FailurePattern pat(5);
+  pat.crash_at(1, 30);
+  fd::PerfectOracle perfect(pat);
+  fd::GammaFromPerfect gamma(sys, perfect);
+  std::vector<fd::Sample<std::vector<groups::FamilyMask>>> samples;
+  for (Time t = 0; t <= 300; t += 7)
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (pat.crashed(p, t)) continue;
+      samples.push_back({p, t, gamma.query(p, t)});
+    }
+  auto r = fd::check_gamma(samples, sys, pat);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Transforms, EventuallyPerfectConvergesToTruth) {
+  FailurePattern pat(5);
+  pat.crash_at(2, 10);
+  fd::EventuallyPerfectOracle ep(pat, /*stabilization=*/100, 7);
+  // Before stabilization the output may be wrong; after it, exact.
+  bool any_noise = false;
+  for (Time t = 0; t < 100; t += 3)
+    for (ProcessId p = 0; p < 5; ++p)
+      any_noise = any_noise || (ep.query(p, t) != pat.failed_at(t));
+  EXPECT_TRUE(any_noise);  // ◇P is genuinely weaker than P early on
+  for (Time t = 100; t <= 200; t += 10)
+    for (ProcessId p = 0; p < 5; ++p)
+      EXPECT_EQ(ep.query(p, t), pat.failed_at(t));
+}
+
+TEST(Transforms, EventuallyPerfectIsDeterministicPerSeed) {
+  FailurePattern pat(3);
+  fd::EventuallyPerfectOracle a(pat, 50, 9), b(pat, 50, 9);
+  for (Time t = 0; t < 50; t += 5)
+    EXPECT_EQ(a.query(1, t), b.query(1, t));
+}
+
+}  // namespace
+}  // namespace gam
