@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convoy.dir/bench_convoy.cpp.o"
+  "CMakeFiles/bench_convoy.dir/bench_convoy.cpp.o.d"
+  "bench_convoy"
+  "bench_convoy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convoy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

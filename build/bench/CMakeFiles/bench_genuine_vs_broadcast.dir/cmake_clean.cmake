@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_genuine_vs_broadcast.dir/bench_genuine_vs_broadcast.cpp.o"
+  "CMakeFiles/bench_genuine_vs_broadcast.dir/bench_genuine_vs_broadcast.cpp.o.d"
+  "bench_genuine_vs_broadcast"
+  "bench_genuine_vs_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_genuine_vs_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_log_service.dir/replicated_log_service.cpp.o"
+  "CMakeFiles/replicated_log_service.dir/replicated_log_service.cpp.o.d"
+  "replicated_log_service"
+  "replicated_log_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_log_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

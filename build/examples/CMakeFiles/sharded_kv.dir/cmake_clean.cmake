@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_kv.dir/sharded_kv.cpp.o"
+  "CMakeFiles/sharded_kv.dir/sharded_kv.cpp.o.d"
+  "sharded_kv"
+  "sharded_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

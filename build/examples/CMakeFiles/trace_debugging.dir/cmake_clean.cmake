@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_debugging.dir/trace_debugging.cpp.o"
+  "CMakeFiles/trace_debugging.dir/trace_debugging.cpp.o.d"
+  "trace_debugging"
+  "trace_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

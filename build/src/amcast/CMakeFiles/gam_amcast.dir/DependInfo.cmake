@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amcast/baselines.cpp" "src/amcast/CMakeFiles/gam_amcast.dir/baselines.cpp.o" "gcc" "src/amcast/CMakeFiles/gam_amcast.dir/baselines.cpp.o.d"
+  "/root/repo/src/amcast/mu_multicast.cpp" "src/amcast/CMakeFiles/gam_amcast.dir/mu_multicast.cpp.o" "gcc" "src/amcast/CMakeFiles/gam_amcast.dir/mu_multicast.cpp.o.d"
+  "/root/repo/src/amcast/replicated_multicast.cpp" "src/amcast/CMakeFiles/gam_amcast.dir/replicated_multicast.cpp.o" "gcc" "src/amcast/CMakeFiles/gam_amcast.dir/replicated_multicast.cpp.o.d"
+  "/root/repo/src/amcast/spec.cpp" "src/amcast/CMakeFiles/gam_amcast.dir/spec.cpp.o" "gcc" "src/amcast/CMakeFiles/gam_amcast.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/groups/CMakeFiles/gam_groups.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/gam_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/gam_objects.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

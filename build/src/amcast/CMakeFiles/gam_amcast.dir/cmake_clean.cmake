@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_amcast.dir/baselines.cpp.o"
+  "CMakeFiles/gam_amcast.dir/baselines.cpp.o.d"
+  "CMakeFiles/gam_amcast.dir/mu_multicast.cpp.o"
+  "CMakeFiles/gam_amcast.dir/mu_multicast.cpp.o.d"
+  "CMakeFiles/gam_amcast.dir/replicated_multicast.cpp.o"
+  "CMakeFiles/gam_amcast.dir/replicated_multicast.cpp.o.d"
+  "CMakeFiles/gam_amcast.dir/spec.cpp.o"
+  "CMakeFiles/gam_amcast.dir/spec.cpp.o.d"
+  "libgam_amcast.a"
+  "libgam_amcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_amcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgam_amcast.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_emulation.dir/gamma_emulation.cpp.o"
+  "CMakeFiles/gam_emulation.dir/gamma_emulation.cpp.o.d"
+  "CMakeFiles/gam_emulation.dir/indicator_emulation.cpp.o"
+  "CMakeFiles/gam_emulation.dir/indicator_emulation.cpp.o.d"
+  "CMakeFiles/gam_emulation.dir/omega_extraction.cpp.o"
+  "CMakeFiles/gam_emulation.dir/omega_extraction.cpp.o.d"
+  "CMakeFiles/gam_emulation.dir/sigma_extraction.cpp.o"
+  "CMakeFiles/gam_emulation.dir/sigma_extraction.cpp.o.d"
+  "libgam_emulation.a"
+  "libgam_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

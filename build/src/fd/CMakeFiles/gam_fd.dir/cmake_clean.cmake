@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_fd.dir/detectors.cpp.o"
+  "CMakeFiles/gam_fd.dir/detectors.cpp.o.d"
+  "libgam_fd.a"
+  "libgam_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

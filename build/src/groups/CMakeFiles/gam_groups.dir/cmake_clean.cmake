@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_groups.dir/group_system.cpp.o"
+  "CMakeFiles/gam_groups.dir/group_system.cpp.o.d"
+  "libgam_groups.a"
+  "libgam_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

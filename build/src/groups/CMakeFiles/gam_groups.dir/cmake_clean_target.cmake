@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgam_groups.a"
+)

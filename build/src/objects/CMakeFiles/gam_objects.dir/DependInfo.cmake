@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/consensus_mp.cpp" "src/objects/CMakeFiles/gam_objects.dir/consensus_mp.cpp.o" "gcc" "src/objects/CMakeFiles/gam_objects.dir/consensus_mp.cpp.o.d"
+  "/root/repo/src/objects/quorum_store.cpp" "src/objects/CMakeFiles/gam_objects.dir/quorum_store.cpp.o" "gcc" "src/objects/CMakeFiles/gam_objects.dir/quorum_store.cpp.o.d"
+  "/root/repo/src/objects/universal_log.cpp" "src/objects/CMakeFiles/gam_objects.dir/universal_log.cpp.o" "gcc" "src/objects/CMakeFiles/gam_objects.dir/universal_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fd/CMakeFiles/gam_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/groups/CMakeFiles/gam_groups.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

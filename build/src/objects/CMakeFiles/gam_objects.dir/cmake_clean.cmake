@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_objects.dir/consensus_mp.cpp.o"
+  "CMakeFiles/gam_objects.dir/consensus_mp.cpp.o.d"
+  "CMakeFiles/gam_objects.dir/quorum_store.cpp.o"
+  "CMakeFiles/gam_objects.dir/quorum_store.cpp.o.d"
+  "CMakeFiles/gam_objects.dir/universal_log.cpp.o"
+  "CMakeFiles/gam_objects.dir/universal_log.cpp.o.d"
+  "libgam_objects.a"
+  "libgam_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

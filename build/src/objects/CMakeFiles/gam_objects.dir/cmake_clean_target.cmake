@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgam_objects.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_pattern.dir/test_failure_pattern.cpp.o"
+  "CMakeFiles/test_failure_pattern.dir/test_failure_pattern.cpp.o.d"
+  "test_failure_pattern"
+  "test_failure_pattern.pdb"
+  "test_failure_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generators_and_edges.dir/test_generators_and_edges.cpp.o"
+  "CMakeFiles/test_generators_and_edges.dir/test_generators_and_edges.cpp.o.d"
+  "test_generators_and_edges"
+  "test_generators_and_edges.pdb"
+  "test_generators_and_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generators_and_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

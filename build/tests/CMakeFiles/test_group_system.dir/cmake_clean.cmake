@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_system.dir/test_group_system.cpp.o"
+  "CMakeFiles/test_group_system.dir/test_group_system.cpp.o.d"
+  "test_group_system"
+  "test_group_system.pdb"
+  "test_group_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

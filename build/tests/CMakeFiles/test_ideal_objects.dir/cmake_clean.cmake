@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ideal_objects.dir/test_ideal_objects.cpp.o"
+  "CMakeFiles/test_ideal_objects.dir/test_ideal_objects.cpp.o.d"
+  "test_ideal_objects"
+  "test_ideal_objects.pdb"
+  "test_ideal_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ideal_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mu_multicast.dir/test_mu_multicast.cpp.o"
+  "CMakeFiles/test_mu_multicast.dir/test_mu_multicast.cpp.o.d"
+  "test_mu_multicast"
+  "test_mu_multicast.pdb"
+  "test_mu_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mu_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicated_multicast.dir/test_replicated_multicast.cpp.o"
+  "CMakeFiles/test_replicated_multicast.dir/test_replicated_multicast.cpp.o.d"
+  "test_replicated_multicast"
+  "test_replicated_multicast.pdb"
+  "test_replicated_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicated_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

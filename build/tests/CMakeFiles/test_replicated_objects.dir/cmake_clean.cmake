@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicated_objects.dir/test_replicated_objects.cpp.o"
+  "CMakeFiles/test_replicated_objects.dir/test_replicated_objects.cpp.o.d"
+  "test_replicated_objects"
+  "test_replicated_objects.pdb"
+  "test_replicated_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicated_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

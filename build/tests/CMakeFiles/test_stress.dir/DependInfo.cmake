@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/test_stress.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_stress.dir/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/groups/CMakeFiles/gam_groups.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/gam_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/gam_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/amcast/CMakeFiles/gam_amcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulation/CMakeFiles/gam_emulation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_transforms.dir/test_trace_transforms.cpp.o"
+  "CMakeFiles/test_trace_transforms.dir/test_trace_transforms.cpp.o.d"
+  "test_trace_transforms"
+  "test_trace_transforms.pdb"
+  "test_trace_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_process_set[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_group_system[1]_include.cmake")
+include("/root/repo/build/tests/test_detectors[1]_include.cmake")
+include("/root/repo/build/tests/test_ideal_objects[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_mu_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_replicated_objects[1]_include.cmake")
+include("/root/repo/build/tests/test_emulation[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_generators_and_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_replicated_multicast[1]_include.cmake")
