@@ -21,6 +21,7 @@
 #include "objects/cf_consensus.hpp"
 #include "objects/protocol_host.hpp"
 #include "sim/world.hpp"
+#include "sweep.hpp"
 
 using namespace gam;
 using namespace gam::amcast;
@@ -50,45 +51,59 @@ void ablation_family_reading() {
               "and commit would wait on p0 forever)\n\n");
 }
 
-void ablation_fast_path() {
+// One seeded fast-path trial: returns how many of the two proposals took the
+// contention-free path. Builds a whole private World, so trials fan out
+// across the sweep pool.
+int fast_path_trial(double conflict, std::uint64_t seed) {
+  sim::FailurePattern pat(4);
+  sim::World world(pat, seed);
+  auto hosts = objects::install_hosts(world);
+  ProcessSet g = ProcessSet::universe(4), inter{1, 2};
+  fd::SigmaOracle si(pat, inter), sg(pat, g);
+  fd::OmegaOracle og(pat, g);
+  std::vector<std::shared_ptr<objects::QuorumStore>> st(4);
+  std::vector<std::shared_ptr<objects::IndulgentConsensus>> cons(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (inter.contains(p)) {
+      st[static_cast<size_t>(p)] =
+          std::make_shared<objects::QuorumStore>(5, p, inter, si);
+      hosts[static_cast<size_t>(p)]->add(5, st[static_cast<size_t>(p)]);
+    }
+    cons[static_cast<size_t>(p)] =
+        std::make_shared<objects::IndulgentConsensus>(6, p, g, sg, og);
+    hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+  }
+  objects::CfFastConsensus cf1(st[1], 1, cons[1]);
+  objects::CfFastConsensus cf2(st[2], 2, cons[2]);
+  Rng rng(seed * 77);
+  bool disagree = rng.chance(conflict);
+  int done = 0;
+  cf1.propose(10, [&](std::int64_t) { ++done; });
+  cf2.propose(disagree ? 20 : 10, [&](std::int64_t) { ++done; });
+  world.run_until_quiescent(400'000);
+  (void)done;
+  return cf1.took_fast_path() + cf2.took_fast_path();
+}
+
+void ablation_fast_path(const bench::SweepRunner& pool) {
   std::printf("B. contention-free fast consensus (Prop 47): fast-path rate vs "
               "contention\n");
   // g = 4 processes, g∩h = {1,2}. `conflict_rate` of the proposals disagree.
-  for (double conflict : {0.0, 0.25, 0.5, 1.0}) {
-    int fast = 0, total = 0;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-      sim::FailurePattern pat(4);
-      sim::World world(pat, seed);
-      auto hosts = objects::install_hosts(world);
-      ProcessSet g = ProcessSet::universe(4), inter{1, 2};
-      fd::SigmaOracle si(pat, inter), sg(pat, g);
-      fd::OmegaOracle og(pat, g);
-      std::vector<std::shared_ptr<objects::QuorumStore>> st(4);
-      std::vector<std::shared_ptr<objects::IndulgentConsensus>> cons(4);
-      for (ProcessId p = 0; p < 4; ++p) {
-        if (inter.contains(p)) {
-          st[static_cast<size_t>(p)] =
-              std::make_shared<objects::QuorumStore>(5, p, inter, si);
-          hosts[static_cast<size_t>(p)]->add(5, st[static_cast<size_t>(p)]);
-        }
-        cons[static_cast<size_t>(p)] =
-            std::make_shared<objects::IndulgentConsensus>(6, p, g, sg, og);
-        hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
-      }
-      objects::CfFastConsensus cf1(st[1], 1, cons[1]);
-      objects::CfFastConsensus cf2(st[2], 2, cons[2]);
-      Rng rng(seed * 77);
-      bool disagree = rng.chance(conflict);
-      int done = 0;
-      cf1.propose(10, [&](std::int64_t) { ++done; });
-      cf2.propose(disagree ? 20 : 10, [&](std::int64_t) { ++done; });
-      world.run_until_quiescent(400'000);
-      total += 2;
-      fast += cf1.took_fast_path() + cf2.took_fast_path();
-      (void)done;
-    }
-    std::printf("   conflict=%.2f: fast-path %d/%d proposals\n", conflict,
-                fast, total);
+  const std::vector<double> conflicts{0.0, 0.25, 0.5, 1.0};
+  constexpr int kSeeds = 20;
+  std::vector<int> fast(conflicts.size() * kSeeds);
+  pool.run(static_cast<int>(fast.size()), [&](int i) {
+    auto ci = static_cast<size_t>(i) / kSeeds;
+    auto seed = static_cast<std::uint64_t>(i % kSeeds) + 1;
+    fast[static_cast<size_t>(i)] = fast_path_trial(conflicts[ci], seed);
+    return bench::RunResult{};
+  });
+  for (size_t ci = 0; ci < conflicts.size(); ++ci) {
+    int hits = 0;
+    for (int s = 0; s < kSeeds; ++s)
+      hits += fast[ci * kSeeds + static_cast<size_t>(s)];
+    std::printf("   conflict=%.2f: fast-path %d/%d proposals\n", conflicts[ci],
+                hits, 2 * kSeeds);
   }
   std::printf("   (without contention nobody outside g∩h takes a step — "
               "genuineness of LOG_{g∩h})\n\n");
@@ -139,9 +154,10 @@ void ablation_lag() {
 }  // namespace
 
 int main() {
+  bench::SweepRunner pool;
   std::printf("Design ablations (DESIGN.md, 'Key design decisions')\n\n");
   ablation_family_reading();
-  ablation_fast_path();
+  ablation_fast_path(pool);
   ablation_helping();
   ablation_lag();
   return 0;

@@ -6,11 +6,17 @@
 // flat. The strongly genuine variation (§6.2) asks for delivery when the
 // destination group runs in isolation; the P-fair run at the bottom shows
 // Algorithm 1 achieving that for acyclic topologies.
+//
+// Each topology configuration is an independent run, so the configurations
+// fan out across the sweep pool (bench/sweep.hpp); each job builds its own
+// GroupSystem and protocol and writes only its own result row.
 #include <cstdio>
+#include <vector>
 
 #include "amcast/mu_multicast.hpp"
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
+#include "sweep.hpp"
 
 using namespace gam;
 using namespace gam::amcast;
@@ -60,56 +66,95 @@ double mean_latency(const RunRecord& rec) {
   return counted ? total / counted : 0;
 }
 
+enum Topology { kDisjoint, kChain, kRing, kIsolation };
+
+struct Config {
+  Topology topo;
+  int k;
+};
+
+struct Row {
+  double latency = 0;
+  double steps_per_delivery = 0;
+  size_t deliveries = 0;
+  int group0_size = 0;  // isolation rows only
+};
+
 }  // namespace
 
 int main() {
   constexpr int kPerGroup = 4;
+
+  std::vector<Config> configs;
+  for (int k : {2, 4, 6, 8}) configs.push_back({kDisjoint, k});
+  for (int k : {2, 4, 6, 8}) configs.push_back({kChain, k});
+  for (int k : {3, 4, 5, 6}) configs.push_back({kRing, k});
+  for (int k : {4, 8}) configs.push_back({kIsolation, k});
+
+  bench::SweepRunner pool;
   std::printf(
       "Convoy effect: mean delivery latency (steps) vs topology, %d "
-      "msgs/group\n\n",
-      kPerGroup);
+      "msgs/group (pool of %d)\n\n",
+      kPerGroup, pool.threads());
+
+  std::vector<Row> rows(configs.size());
+  pool.run(static_cast<int>(configs.size()), [&](int i) {
+    const Config& c = configs[static_cast<size_t>(i)];
+    Row& row = rows[static_cast<size_t>(i)];
+    if (c.topo == kIsolation) {
+      // Group parallelism (§6.2): on an acyclic topology, a group in
+      // isolation delivers without anyone else taking steps.
+      auto sys = groups::chain_system(c.k, 2);
+      sim::FailurePattern pat(sys.process_count());
+      auto rec = run_rounds(sys, pat, {{0, 0, sys.group(0).min(), 0}}, 9,
+                            sys.group(0));
+      row = {mean_latency(rec), 0, rec.deliveries.size(),
+             sys.group(0).size()};
+      return bench::RunResult{};
+    }
+    auto sys = c.topo == kDisjoint ? groups::disjoint_system(c.k, 2)
+               : c.topo == kChain  ? groups::chain_system(c.k, 2)
+                                   : groups::ring_system(c.k, 2);
+    sim::FailurePattern pat(sys.process_count());
+    auto rec = run_rounds(sys, pat, round_robin_workload(sys, kPerGroup), 5);
+    row = {mean_latency(rec),
+           static_cast<double>(rec.steps) /
+               static_cast<double>(rec.deliveries.size()),
+           rec.deliveries.size(), 0};
+    return bench::RunResult{};
+  });
 
   std::printf("%-26s %8s %14s %12s\n", "topology", "groups",
               "latency(rounds)", "steps/deliv");
-  for (int k : {2, 4, 6, 8}) {
-    auto sys = groups::disjoint_system(k, 2);
-    sim::FailurePattern pat(sys.process_count());
-    auto rec = run_rounds(sys, pat, round_robin_workload(sys, kPerGroup), 5);
-    std::printf("%-26s %8d %14.1f %12.2f\n", "disjoint (parallel)", k,
-                mean_latency(rec),
-                static_cast<double>(rec.steps) / rec.deliveries.size());
-  }
-  std::printf("\n");
-  for (int k : {2, 4, 6, 8}) {
-    auto sys = groups::chain_system(k, 2);
-    sim::FailurePattern pat(sys.process_count());
-    auto rec = run_rounds(sys, pat, round_robin_workload(sys, kPerGroup), 5);
-    std::printf("%-26s %8d %14.1f %12.2f\n", "chain (convoy, F=0)", k,
-                mean_latency(rec),
-                static_cast<double>(rec.steps) / rec.deliveries.size());
-  }
-  std::printf("\n");
-  for (int k : {3, 4, 5, 6}) {
-    auto sys = groups::ring_system(k, 2);
-    sim::FailurePattern pat(sys.process_count());
-    auto rec = run_rounds(sys, pat, round_robin_workload(sys, kPerGroup), 5);
-    std::printf("%-26s %8d %14.1f %12.2f\n", "ring (cyclic family)", k,
-                mean_latency(rec),
-                static_cast<double>(rec.steps) / rec.deliveries.size());
-  }
-
-  // Group parallelism (§6.2): on an acyclic topology, a group in isolation
-  // delivers without anyone else taking steps.
-  std::printf("\nIsolation (P-fair) runs on the chain topology:\n");
-  for (int k : {4, 8}) {
-    auto sys = groups::chain_system(k, 2);
-    sim::FailurePattern pat(sys.process_count());
-    auto rec = run_rounds(sys, pat, {{0, 0, sys.group(0).min(), 0}}, 9,
-                          sys.group(0));
-    std::printf("  chain k=%d, only g0 scheduled: delivered %zu/%d copies, "
-                "latency %.1f\n",
-                k, rec.deliveries.size(), sys.group(0).size(),
-                mean_latency(rec));
+  Topology last_topo = kDisjoint;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
+    const Row& row = rows[i];
+    if (c.topo != last_topo) {
+      std::printf("\n");
+      last_topo = c.topo;
+    }
+    switch (c.topo) {
+      case kDisjoint:
+        std::printf("%-26s %8d %14.1f %12.2f\n", "disjoint (parallel)", c.k,
+                    row.latency, row.steps_per_delivery);
+        break;
+      case kChain:
+        std::printf("%-26s %8d %14.1f %12.2f\n", "chain (convoy, F=0)", c.k,
+                    row.latency, row.steps_per_delivery);
+        break;
+      case kRing:
+        std::printf("%-26s %8d %14.1f %12.2f\n", "ring (cyclic family)", c.k,
+                    row.latency, row.steps_per_delivery);
+        break;
+      case kIsolation:
+        if (configs[i - 1].topo != kIsolation)
+          std::printf("Isolation (P-fair) runs on the chain topology:\n");
+        std::printf("  chain k=%d, only g0 scheduled: delivered %zu/%d "
+                    "copies, latency %.1f\n",
+                    c.k, row.deliveries, row.group0_size, row.latency);
+        break;
+    }
   }
   std::printf(
       "\nExpected shape: disjoint latency flat; chain/ring latency grows with "

@@ -6,13 +6,19 @@
 // block forever. Algorithm 1 keeps delivering at the correct destinations —
 // "our results question the common assumption of partitioning the
 // destination groups" (§8).
+//
+// Each (victim, protocol) cell is an independent run, fanned across the
+// sweep pool (bench/sweep.hpp); each job builds its own GroupSystem and
+// protocol and writes only its own slot.
 #include <cstdio>
+#include <vector>
 
 #include "amcast/baselines.hpp"
 #include "amcast/mu_multicast.hpp"
 #include "amcast/spec.hpp"
 #include "amcast/workload.hpp"
 #include "groups/group_system.hpp"
+#include "sweep.hpp"
 
 using namespace gam;
 using namespace gam::amcast;
@@ -37,49 +43,62 @@ size_t obligations(const RunRecord& rec, const groups::GroupSystem& sys,
   return n;
 }
 
+sim::FailurePattern victim_pattern(int victim) {
+  sim::FailurePattern pat(5);
+  if (victim >= 0) pat.crash_at(victim, 30);
+  return pat;
+}
+
 }  // namespace
 
 int main() {
-  auto sys = groups::figure1_system();
   constexpr int kPerGroup = 3;
+  const std::vector<int> victims{-1, 0, 1, 2, 3, 4};
 
+  bench::SweepRunner pool;
   std::printf(
-      "Fault tolerance on Figure 1 (%d msgs/group, victim crashes at t=30)\n\n",
-      kPerGroup);
+      "Fault tolerance on Figure 1 (%d msgs/group, victim crashes at t=30, "
+      "pool of %d)\n\n",
+      kPerGroup, pool.threads());
   std::printf("%-10s | %-30s | %-30s\n", "victim", "Algorithm 1 (mu)",
               "partitioned (finest)");
   std::printf("%-10s | %-30s | %-30s\n", "", "delivered/expected  term",
               "delivered/expected  blocked");
   std::printf("%s\n", std::string(78, '-').c_str());
 
-  for (int victim = -1; victim < 5; ++victim) {
-    sim::FailurePattern pat(5);
-    if (victim >= 0) pat.crash_at(victim, 30);
-
-    Outcome mu;
-    {
+  // Jobs 2i / 2i+1: Algorithm 1 / partitioned for victims[i].
+  std::vector<Outcome> mu_rows(victims.size()), part_rows(victims.size());
+  pool.run(static_cast<int>(2 * victims.size()), [&](int i) {
+    auto vi = static_cast<size_t>(i) / 2;
+    auto sys = groups::figure1_system();
+    sim::FailurePattern pat = victim_pattern(victims[vi]);
+    if (i % 2 == 0) {
       MuMulticast mc(sys, pat, {.seed = 31});
       for (auto& m : round_robin_workload(sys, kPerGroup)) mc.submit(m);
       auto rec = mc.run();
-      mu.delivered = rec.deliveries.size();
-      mu.expected = obligations(rec, sys, pat);
-      mu.termination = check_termination(rec, sys, pat).ok;
-    }
-    Outcome part;
-    {
+      mu_rows[vi] = {rec.deliveries.size(), obligations(rec, sys, pat),
+                     check_termination(rec, sys, pat).ok, 0};
+    } else {
       PartitionedMulticast pm(sys, pat,
                               PartitionedMulticast::finest_partitions(sys),
                               {.seed = 31});
       for (auto& m : round_robin_workload(sys, kPerGroup)) pm.submit(m);
       auto rec = pm.run();
-      part.delivered = rec.deliveries.size();
-      part.expected = obligations(rec, sys, pat);
-      part.blocked = pm.blocked().size();
+      part_rows[vi] = {rec.deliveries.size(), obligations(rec, sys, pat),
+                       false, pm.blocked().size()};
     }
+    return bench::RunResult{};
+  });
 
-    char victim_s[8];
-    std::snprintf(victim_s, sizeof victim_s, "%s",
-                  victim < 0 ? "none" : ("p" + std::to_string(victim)).c_str());
+  for (size_t vi = 0; vi < victims.size(); ++vi) {
+    int victim = victims[vi];
+    const Outcome& mu = mu_rows[vi];
+    const Outcome& part = part_rows[vi];
+    char victim_s[16];
+    if (victim < 0)
+      std::snprintf(victim_s, sizeof victim_s, "none");
+    else
+      std::snprintf(victim_s, sizeof victim_s, "p%d", victim);
     std::printf("%-10s | %10zu/%-8zu %5s | %10zu/%-8zu %7zu\n", victim_s,
                 mu.delivered, mu.expected, mu.termination ? "yes" : "NO",
                 part.delivered, part.expected, part.blocked);

@@ -1,0 +1,199 @@
+// The perf-tracking bench: parallel seed sweeps over the hot simulator paths.
+//
+// Three configurations, each swept over independent seeds:
+//   e3_mu_k16        — Algorithm 1 on the E3 workload (k=16 disjoint groups,
+//                      round-robin messages): the action-system hot path;
+//   world_paxos_k8   — ReplicatedMulticast (per-group Paxos logs inside a
+//                      sim::World network): the World/MessageBuffer hot path
+//                      the swap-and-pop + runnable-set changes target;
+//   figure1_crashes  — Algorithm 1 on Figure 1 under sampled failure
+//                      patterns: the branchy detector-driven path.
+//
+// Each sweep runs twice: sequentially (one thread — the single-core
+// steps/sec trendline) and on the thread pool (the wall-clock speedup
+// trendline; equals ~1x on a single-core host). A determinism gate compares
+// the per-seed delivery-trace hashes of both executions: a World must
+// produce bit-identical runs whether it executes inline or on the pool.
+//
+// Output: human-readable table + BENCH_sim.json (see EXPERIMENTS.md for the
+// schema). Exit code is non-zero when the determinism gate fails, so this
+// binary doubles as the ThreadSanitizer smoke test (`bench_sweep --quick`).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/replicated_multicast.hpp"
+#include "amcast/workload.hpp"
+#include "groups/generator.hpp"
+#include "sweep.hpp"
+
+using namespace gam;
+using namespace gam::amcast;
+using namespace gam::bench;
+
+namespace {
+
+struct Config {
+  bool quick = false;
+  int threads = 0;  // 0 = hardware concurrency
+  int seeds = 0;    // 0 = default per mode
+  std::string out = "BENCH_sim.json";
+};
+
+// ---- the swept workloads -----------------------------------------------------
+
+// E3 (bench_genuine_vs_broadcast): k disjoint groups of 2, Algorithm 1.
+RunResult run_e3_mu(std::uint64_t seed, int k, int per_group) {
+  auto sys = groups::disjoint_system(k, 2);
+  sim::FailurePattern pat(sys.process_count());
+  MuMulticast mc(sys, pat, {.seed = seed});
+  for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
+  return summarize(mc.run());
+}
+
+// ReplicatedMulticast: per-group Paxos logs inside a simulated network — the
+// workload that actually exercises World scheduling and the message buffer.
+RunResult run_world_paxos(std::uint64_t seed, int k, int per_group) {
+  auto sys = groups::disjoint_system(k, 3);
+  sim::FailurePattern pat(sys.process_count());
+  ReplicatedMulticast rm(sys, pat, {.seed = seed});
+  for (auto& m : round_robin_workload(sys, per_group)) rm.submit(m);
+  RunResult r = summarize(rm.run());
+  r.messages = rm.messages_sent();
+  absorb_world(r, rm.world());
+  return r;
+}
+
+// Figure 1 under sampled crashes: detector-heavy Algorithm 1 runs.
+RunResult run_figure1_crashes(std::uint64_t seed, int per_group) {
+  auto sys = groups::figure1_system();
+  Rng rng(seed);
+  sim::EnvironmentSampler env{
+      .process_count = 5, .max_failures = 2, .horizon = 100};
+  sim::FailurePattern pat = env.sample(rng);
+  MuMulticast mc(sys, pat, {.seed = seed});
+  for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
+  return summarize(mc.run());
+}
+
+void print_stats(const SweepStats& s) {
+  std::printf("  %-28s runs=%-4d threads=%-2d wall=%8.3fs  "
+              "runs/s=%8.1f  steps/s=%11.0f\n",
+              s.name.c_str(), s.runs, s.threads, s.wall_seconds,
+              s.runs_per_sec(), s.steps_per_sec());
+}
+
+// Runs one configuration sequentially and pooled; checks per-seed trace
+// hashes agree between the two executions (byte-reproducibility across
+// thread interleavings). Returns false on a determinism violation.
+bool sweep_both(const char* name, int n, const SweepRunner& seq,
+                const SweepRunner& pool,
+                const std::function<RunResult(int)>& job, BenchJson& json,
+                double* speedup_out) {
+  std::vector<RunResult> seq_results, pool_results;
+  SweepStats s1 = seq.sweep(std::string(name) + "_seq", n, job, &seq_results);
+  SweepStats sp =
+      pool.sweep(std::string(name) + "_pool", n, job, &pool_results);
+
+  bool ok = true;
+  for (int i = 0; i < n; ++i) {
+    if (seq_results[static_cast<size_t>(i)].trace_hash !=
+        pool_results[static_cast<size_t>(i)].trace_hash) {
+      std::printf("  DETERMINISM VIOLATION: %s seed-index %d "
+                  "(inline %016llx vs pool %016llx)\n",
+                  name, i,
+                  static_cast<unsigned long long>(
+                      seq_results[static_cast<size_t>(i)].trace_hash),
+                  static_cast<unsigned long long>(
+                      pool_results[static_cast<size_t>(i)].trace_hash));
+      ok = false;
+    }
+  }
+  print_stats(s1);
+  print_stats(sp);
+  double speedup = sp.wall_seconds > 0 ? s1.wall_seconds / sp.wall_seconds : 0;
+  std::printf("  %-28s speedup=%.2fx  determinism=%s\n\n", "",
+              speedup, ok ? "ok" : "VIOLATED");
+  json.add(s1);
+  json.add(sp);
+  if (speedup_out) *speedup_out = speedup;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--quick") {
+      cfg.quick = true;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      cfg.threads = std::atoi(a.c_str() + 10);
+    } else if (a.rfind("--seeds=", 0) == 0) {
+      cfg.seeds = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--out=", 0) == 0) {
+      cfg.out = a.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads=N] [--seeds=N] "
+                   "[--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int seeds = cfg.seeds > 0 ? cfg.seeds : (cfg.quick ? 4 : 32);
+  const int per_group = cfg.quick ? 2 : 4;
+  SweepRunner seq(1);
+  SweepRunner pool(cfg.threads);
+
+  std::printf("Simulator seed-sweep bench — %d seeds/config, pool of %d "
+              "thread(s)%s\n\n",
+              seeds, pool.threads(), cfg.quick ? " [quick]" : "");
+
+  BenchJson json;
+  json.field("bench", std::string("bench_sweep"));
+  json.field("quick", std::string(cfg.quick ? "true" : "false"));
+  json.field("pool_threads", pool.threads());
+  json.field("seeds_per_config", seeds);
+
+  bool ok = true;
+  double e3_speedup = 0;
+
+  ok &= sweep_both(
+      "e3_mu_k16", seeds, seq, pool,
+      [&](int i) {
+        return run_e3_mu(static_cast<std::uint64_t>(i) + 1, 16, per_group);
+      },
+      json, &e3_speedup);
+
+  ok &= sweep_both(
+      "world_paxos_k8", seeds, seq, pool,
+      [&](int i) {
+        return run_world_paxos(static_cast<std::uint64_t>(i) + 1,
+                               cfg.quick ? 4 : 8, per_group);
+      },
+      json, nullptr);
+
+  ok &= sweep_both(
+      "figure1_crashes", seeds, seq, pool,
+      [&](int i) {
+        return run_figure1_crashes(static_cast<std::uint64_t>(i) + 1,
+                                   per_group);
+      },
+      json, nullptr);
+
+  json.field("e3_pool_vs_seq_speedup", e3_speedup);
+  json.field("determinism", std::string(ok ? "ok" : "violated"));
+  if (!json.write(cfg.out)) {
+    std::fprintf(stderr, "failed to write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", cfg.out.c_str());
+  std::printf("determinism gate: %s\n", ok ? "ok" : "VIOLATED");
+  return ok ? 0 : 1;
+}

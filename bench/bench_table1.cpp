@@ -8,7 +8,12 @@
 // table: each solution satisfies exactly the properties its detector class
 // pays for, and the cross-checks show that the weaker setups break the
 // stronger variants.
+//
+// The per-seed runs are independent, so each row fans its seeds across the
+// sweep pool (bench/sweep.hpp); every job builds its own GroupSystem and
+// protocol instance, keeping runs byte-reproducible under any interleaving.
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -17,6 +22,7 @@
 #include "amcast/spec.hpp"
 #include "amcast/workload.hpp"
 #include "groups/group_system.hpp"
+#include "sweep.hpp"
 
 using namespace gam;
 using namespace gam::amcast;
@@ -46,6 +52,18 @@ struct RowResult {
     ++probe_runs;
     probe_minimality += check_minimality(rec, sys).ok;
   }
+
+  void merge(const RowResult& o) {
+    runs += o.runs;
+    integrity += o.integrity;
+    ordering += o.ordering;
+    termination += o.termination;
+    minimality += o.minimality;
+    strict += o.strict;
+    pairwise += o.pairwise;
+    probe_runs += o.probe_runs;
+    probe_minimality += o.probe_minimality;
+  }
 };
 
 const char* mark(int got, int runs) {
@@ -67,13 +85,14 @@ void print_row(const std::string& name, const std::string& detector,
 }  // namespace
 
 int main() {
-  auto sys = groups::figure1_system();
   constexpr int kSeeds = 12;
   constexpr sim::Time kHorizon = 300;
+  bench::SweepRunner pool;
 
   std::printf(
-      "Table 1 reproduction — Figure-1 topology, %d seeds, <=2 crashes each\n",
-      kSeeds);
+      "Table 1 reproduction — Figure-1 topology, %d seeds, <=2 crashes each "
+      "(pool of %d)\n",
+      kSeeds, pool.threads());
   std::printf("%-34s %-28s %4s %4s %4s %4s %6s %8s\n", "solution",
               "failure detector", "int", "ord", "term", "min", "strict",
               "pairwise");
@@ -81,27 +100,41 @@ int main() {
 
   // Genuineness probe: a single message to g3 = {p0, p3, p4}; if p1 or p2
   // take steps, the solution is not genuine.
-  std::vector<MulticastMessage> probe{{0, 3, 0, 0}};
+  const std::vector<MulticastMessage> probe{{0, 3, 0, 0}};
 
-  auto sweep = [&](auto&& make_and_run) {
-    RowResult row;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+  // make_and_run(sys, pat, seed, workload): one full protocol run. Each pool
+  // job builds a private GroupSystem — its lazy cyclic-family cache must not
+  // be shared across threads.
+  using MakeAndRun = std::function<RunRecord(
+      const groups::GroupSystem&, const sim::FailurePattern&, std::uint64_t,
+      std::vector<MulticastMessage>)>;
+
+  auto sweep = [&](const MakeAndRun& make_and_run) {
+    std::vector<RowResult> rows(kSeeds);
+    pool.run(kSeeds, [&](int i) {
+      auto seed = static_cast<std::uint64_t>(i) + 1;
+      auto sys = groups::figure1_system();
       Rng rng(seed);
       sim::EnvironmentSampler env{.process_count = 5, .max_failures = 2,
                                   .horizon = kHorizon / 3};
       sim::FailurePattern pat = env.sample(rng);
-      auto rec = make_and_run(pat, seed, round_robin_workload(sys, 3));
-      row.absorb(rec, sys, pat);
+      auto& row = rows[static_cast<size_t>(i)];
+      row.absorb(make_and_run(sys, pat, seed, round_robin_workload(sys, 3)),
+                 sys, pat);
       sim::FailurePattern clean(5);
-      row.absorb_probe(make_and_run(clean, seed, probe), sys);
-    }
-    return row;
+      row.absorb_probe(make_and_run(sys, clean, seed, probe), sys);
+      return bench::RunResult{};
+    });
+    RowResult total;
+    for (const auto& r : rows) total.merge(r);
+    return total;
   };
 
   // Row: non-genuine broadcast-based multicast (needs only Ω ∧ Σ globally).
   print_row("atomic broadcast (non-genuine)", "Omega ^ Sigma  [8,15]",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               BroadcastMulticast bc(sys, pat, {.seed = seed});
               for (auto& m : w) bc.submit(m);
               return bc.run();
@@ -109,8 +142,9 @@ int main() {
 
   // Row: Skeen's protocol, genuine but failure-free only.
   print_row("Skeen [5,22] (failure-free only)", "(none)",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               SkeenMulticast sk(sys, pat, {.seed = seed});
               for (auto& m : w) sk.submit(m);
               return sk.run();
@@ -118,8 +152,9 @@ int main() {
 
   // Row: partitioned decomposition (blocks when a partition dies).
   print_row("partitioned [32,17,21,10,...]", "per-partition Omega^Sigma",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               PartitionedMulticast pm(
                   sys, pat, PartitionedMulticast::finest_partitions(sys),
                   {.seed = seed});
@@ -129,8 +164,9 @@ int main() {
 
   // Row: Algorithm 1 with μ — the paper's contribution.
   print_row("Algorithm 1 (this paper)", "mu = ^Sigma_gh ^Omega_g ^gamma",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               MuMulticast mc(sys, pat, {.seed = seed});
               for (auto& m : w) mc.submit(m);
               return mc.run();
@@ -138,8 +174,9 @@ int main() {
 
   // Row: strict variant (§6.1) — adds real-time order via 1^{g∩h}.
   print_row("Algorithm 1 + strict (SS 6.1)", "mu ^ 1^{g@h}",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               MuMulticast mc(sys, pat, {.seed = seed, .strict = true});
               for (auto& m : w) mc.submit(m);
               return mc.run();
@@ -147,8 +184,9 @@ int main() {
 
   // Row: [36], genuine from a perfect failure detector = strict preset.
   print_row("Schiper-Pedone [36]", "P (perfect)",
-            sweep([&](const sim::FailurePattern& pat, std::uint64_t seed,
-                      std::vector<MulticastMessage> w) {
+            sweep([](const groups::GroupSystem& sys,
+                     const sim::FailurePattern& pat, std::uint64_t seed,
+                     std::vector<MulticastMessage> w) {
               MuMulticast mc(sys, pat, perfect_fd_options(seed));
               for (auto& m : w) mc.submit(m);
               return mc.run();
@@ -157,19 +195,22 @@ int main() {
   // Row: pairwise-ordering variant (§7): computably F = ∅; run Algorithm 1 on
   // an acyclic topology where γ is vacuous.
   {
-    groups::GroupSystem chain(5, {ProcessSet{0, 1}, ProcessSet{1, 2, 3},
-                                  ProcessSet{3, 4}});
-    RowResult row;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    std::vector<RowResult> rows(kSeeds);
+    pool.run(kSeeds, [&](int i) {
+      auto seed = static_cast<std::uint64_t>(i) + 1;
+      groups::GroupSystem chain(5, {ProcessSet{0, 1}, ProcessSet{1, 2, 3},
+                                    ProcessSet{3, 4}});
       Rng rng(seed);
       sim::EnvironmentSampler env{.process_count = 5, .max_failures = 2,
                                   .horizon = kHorizon / 3};
       sim::FailurePattern pat = env.sample(rng);
       MuMulticast mc(chain, pat, {.seed = seed});
       for (auto& m : round_robin_workload(chain, 3)) mc.submit(m);
-      auto rec = mc.run();
-      row.absorb(rec, chain, pat);
-    }
+      rows[static_cast<size_t>(i)].absorb(mc.run(), chain, pat);
+      return bench::RunResult{};
+    });
+    RowResult row;
+    for (const auto& r : rows) row.merge(r);
     print_row("pairwise ordering (SS 7, F=0)", "^Sigma_gh ^Omega_g", row);
   }
 

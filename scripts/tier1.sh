@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite, then run the
+# seed-sweep bench in --quick mode (which doubles as the determinism gate:
+# pooled and sequential runs of the same seeds must produce identical
+# delivery traces).
+#
+# Usage:
+#   scripts/tier1.sh                 # plain RelWithDebInfo gate
+#   GAM_SANITIZE=thread scripts/tier1.sh   # sanitized gate (own build dir);
+#                                    # the thread build gates the sweep pool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ -n "${GAM_SANITIZE:-}" ]]; then
+  BUILD_DIR="build-${GAM_SANITIZE}"
+  CMAKE_ARGS+=("-DGAM_SANITIZE=${GAM_SANITIZE}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+"$BUILD_DIR"/bench/bench_sweep --quick --out="$BUILD_DIR"/BENCH_sim_quick.json
+echo "tier1: OK ($BUILD_DIR)"

@@ -6,14 +6,23 @@ namespace gam::amcast {
 
 namespace {
 
-// Shuffled process order for one scheduling round.
-std::vector<ProcessId> round_order(int n, Rng& rng) {
-  std::vector<ProcessId> order(static_cast<size_t>(n));
-  for (int p = 0; p < n; ++p) order[static_cast<size_t>(p)] = p;
-  for (size_t i = order.size(); i > 1; --i)
-    std::swap(order[i - 1], order[rng.below(i)]);
-  return order;
-}
+// Reusable shuffled process order for the scheduling rounds — one allocation
+// per run instead of one per round.
+class RoundScheduler {
+ public:
+  explicit RoundScheduler(int n) : order_(static_cast<size_t>(n)) {
+    for (int p = 0; p < n; ++p) order_[static_cast<size_t>(p)] = p;
+  }
+
+  const std::vector<ProcessId>& shuffle(Rng& rng) {
+    for (size_t i = order_.size(); i > 1; --i)
+      std::swap(order_[i - 1], order_[rng.below(i)]);
+    return order_;
+  }
+
+ private:
+  std::vector<ProcessId> order_;
+};
 
 }  // namespace
 
@@ -27,6 +36,7 @@ BroadcastMulticast::BroadcastMulticast(const groups::GroupSystem& system,
       options_(options),
       rng_(options.seed),
       cursor_(static_cast<size_t>(system.process_count()), 0),
+      next_own_(static_cast<size_t>(system.process_count()), 0),
       local_seq_(static_cast<size_t>(system.process_count()), 0) {}
 
 void BroadcastMulticast::submit(MulticastMessage m) {
@@ -38,15 +48,17 @@ void BroadcastMulticast::submit(MulticastMessage m) {
 bool BroadcastMulticast::step_process(ProcessId p) {
   auto pi = static_cast<size_t>(p);
   // 1. Broadcast the next unsent own message (senders broadcast in
-  //    submission order; the global log induces the total order).
-  for (const MulticastMessage& m : workload_) {
-    if (m.src != p) continue;
-    if (std::find(global_log_.begin(), global_log_.end(), m.id) !=
-        global_log_.end())
-      continue;
+  //    submission order; the global log induces the total order). Only p
+  //    itself appends its messages, so a per-process cursor over the workload
+  //    replaces the former O(workload x log) rescan.
+  for (size_t& i = next_own_[pi]; i < workload_.size(); ++i) {
+    const MulticastMessage& m = workload_[i];
+    if (m.src != p || in_log_.count(m.id)) continue;
     global_log_.push_back(m.id);
+    in_log_.insert(m.id);
     record_.multicast.push_back(m);
     record_.multicast_time.push_back(now_);
+    ++i;
     return true;
   }
   // 2. Consume the next broadcast entry — *every* process pays this step for
@@ -62,9 +74,10 @@ bool BroadcastMulticast::step_process(ProcessId p) {
 }
 
 RunRecord BroadcastMulticast::run() {
+  RoundScheduler sched(system_.process_count());
   while (record_.steps < options_.max_steps) {
     bool fired = false;
-    for (ProcessId p : round_order(system_.process_count(), rng_)) {
+    for (ProcessId p : sched.shuffle(rng_)) {
       if (pattern_.crashed(p, now_)) continue;
       if (step_process(p)) {
         fired = true;
@@ -165,9 +178,10 @@ int SkeenMulticast::try_deliver(ProcessId p) {
 }
 
 RunRecord SkeenMulticast::run() {
+  RoundScheduler sched(system_.process_count());
   while (record_.steps < options_.max_steps) {
     bool fired = false;
-    for (ProcessId p : round_order(system_.process_count(), rng_)) {
+    for (ProcessId p : sched.shuffle(rng_)) {
       if (pattern_.crashed(p, now_)) continue;
       bool acted = false;
       // Sender duties.
@@ -273,9 +287,10 @@ void PartitionedMulticast::submit(MulticastMessage m) {
 }
 
 RunRecord PartitionedMulticast::run() {
+  RoundScheduler sched(system_.process_count());
   while (record_.steps < options_.max_steps) {
     bool fired = false;
-    for (ProcessId p : round_order(system_.process_count(), rng_)) {
+    for (ProcessId p : sched.shuffle(rng_)) {
       if (pattern_.crashed(p, now_)) continue;
       bool acted = false;
       // Sender: issue the next eligible message.

@@ -64,7 +64,9 @@ class BroadcastMulticast {
   std::vector<MulticastMessage> workload_;
   std::map<MsgId, MulticastMessage> by_id_;
   std::vector<MsgId> global_log_;          // the system-wide broadcast order
+  std::set<MsgId> in_log_;                 // members of global_log_, O(log n)
   std::vector<size_t> cursor_;             // per process: next log index
+  std::vector<size_t> next_own_;           // per process: next own workload idx
   std::vector<std::int64_t> local_seq_;
   RunRecord record_;
 };

@@ -37,17 +37,18 @@ void QuorumStore::start_round(sim::Context& ctx) {
   started_ = true;
   ++seq_;
   responders_ = {};
-  std::vector<std::int64_t> data{seq_};
+  sim::Payload data{seq_};
   if (op_ == Op::kWrite || op_ == Op::kSnapshotWriteBack) {
+    data.reserve(2 + 3 * staged_.size());
     data.push_back(static_cast<std::int64_t>(staged_.size()));
     for (auto& [cell, v] : staged_) {
       data.push_back(cell);
       data.push_back(v.ts);
       data.push_back(v.value);
     }
-    ctx.send_to_set(scope_, protocol_id_, kStoreReq, data);
+    ctx.send_to_set(scope_, protocol_id_, kStoreReq, std::move(data));
   } else {
-    ctx.send_to_set(scope_, protocol_id_, kLoadReq, data);
+    ctx.send_to_set(scope_, protocol_id_, kLoadReq, std::move(data));
   }
 }
 
@@ -56,8 +57,7 @@ bool QuorumStore::quorum_reached(sim::Time now) const {
   return q && q->subset_of(responders_);
 }
 
-void QuorumStore::merge_into(Snapshot& dst,
-                             const std::vector<std::int64_t>& data,
+void QuorumStore::merge_into(Snapshot& dst, const sim::Payload& data,
                              size_t offset, size_t n) const {
   for (size_t k = 0; k < n; ++k) {
     CellId cell = data[offset + 3 * k];
@@ -110,14 +110,14 @@ void QuorumStore::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     }
     case kLoadReq: {
-      std::vector<std::int64_t> data{m.data[0],
-                                     static_cast<std::int64_t>(cells_.size())};
+      sim::Payload data{m.data[0], static_cast<std::int64_t>(cells_.size())};
+      data.reserve(2 + 3 * cells_.size());
       for (auto& [cell, v] : cells_) {
         data.push_back(cell);
         data.push_back(v.ts);
         data.push_back(v.value);
       }
-      ctx.send(m.src, protocol_id_, kLoadRep, data);
+      ctx.send(m.src, protocol_id_, kLoadRep, std::move(data));
       break;
     }
     case kStoreAck: {

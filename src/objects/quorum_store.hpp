@@ -80,8 +80,8 @@ class QuorumStore : public SubProtocol {
   void start_round(sim::Context& ctx);
   bool quorum_reached(sim::Time now) const;
   void finish_op(sim::Context& ctx);
-  void merge_into(Snapshot& dst, const std::vector<std::int64_t>& data,
-                  size_t offset, size_t n) const;
+  void merge_into(Snapshot& dst, const sim::Payload& data, size_t offset,
+                  size_t n) const;
 
   std::int32_t protocol_id_;
   ProcessId self_;

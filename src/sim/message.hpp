@@ -5,13 +5,21 @@
 // message, and the well-formedness rules require that a process taking
 // infinitely many steps eventually receives everything addressed to it. The
 // simulator enforces that with seeded-random but fair message selection.
+//
+// Representation: one unordered pending pool (a flat vector) per destination.
+// A random receive picks uniformly over the pool and removes via swap-and-pop
+// — O(1) instead of the O(pending) middle-erase of an ordered queue. Uniform
+// choice over an unordered pool is all the fairness argument needs: the pool
+// order never biases the pick, so every pending message keeps a positive,
+// equal chance per receive and is eventually drained. The FIFO variant for
+// deterministic tests keeps a head cursor over the same vector.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "sim/payload.hpp"
 #include "util/contracts.hpp"
 #include "util/process_set.hpp"
 #include "util/rng.hpp"
@@ -26,32 +34,58 @@ struct Message {
   ProcessId dst = -1;
   std::int32_t protocol = 0;  // which protocol instance this belongs to
   std::int32_t type = 0;      // protocol-specific discriminator
-  std::vector<std::int64_t> data;
+  Payload data;
 };
 
 class MessageBuffer {
  public:
+  // Payload/copy accounting for the perf harness (bench/sweep.hpp).
+  struct AllocStats {
+    std::uint64_t inline_payloads = 0;  // non-empty payloads that fit inline
+    std::uint64_t heap_payloads = 0;    // payloads that spilled to the heap
+    std::uint64_t moved_sends = 0;      // sends that moved instead of copied
+  };
+
   void send(Message m) {
     GAM_EXPECTS(m.dst >= 0 && m.dst < ProcessSet::kMaxProcesses);
     auto d = static_cast<size_t>(m.dst);
     if (d >= queues_.size()) queues_.resize(d + 1);
-    queues_[d].push_back(std::move(m));
+    if (!m.data.empty()) {
+      if (m.data.spilled())
+        ++alloc_stats_.heap_payloads;
+      else
+        ++alloc_stats_.inline_payloads;
+    }
+    nonempty_.insert(m.dst);
+    queues_[d].pool.push_back(std::move(m));
     ++size_;
   }
 
-  // Broadcast to every member of `dst` (the sender included if present).
-  void send_to_set(const Message& proto, ProcessSet dst) {
+  // Broadcast to every member of `dst` (the sender included if present). The
+  // payload is copied for all recipients but the last, which receives it by
+  // move — a broadcast costs |dst| - 1 payload copies, not |dst|.
+  void send_to_set(Message proto, ProcessSet dst) {
+    if (dst.empty()) return;
+    ProcessId last = dst.max();
     for (ProcessId p : dst) {
+      if (p == last) break;
       Message m = proto;
       m.dst = p;
       send(std::move(m));
     }
+    proto.dst = last;
+    note_moved_send();
+    send(std::move(proto));
   }
 
   bool has_message_for(ProcessId p) const {
     auto d = static_cast<size_t>(p);
-    return d < queues_.size() && !queues_[d].empty();
+    return d < queues_.size() && queues_[d].live() > 0;
   }
+
+  // Destinations with at least one pending message, maintained incrementally
+  // so the World's scheduler never rescans empty queues.
+  ProcessSet nonempty_set() const { return nonempty_; }
 
   // Remove and return a message addressed to p, chosen uniformly among the
   // pending ones. Uniform choice plus an unbounded run yields the fairness
@@ -59,34 +93,63 @@ class MessageBuffer {
   // nullopt when the buffer holds nothing for p (the "null message" case).
   std::optional<Message> receive(ProcessId p, Rng& rng) {
     auto d = static_cast<size_t>(p);
-    if (d >= queues_.size() || queues_[d].empty()) return std::nullopt;
+    if (d >= queues_.size() || queues_[d].live() == 0) return std::nullopt;
     auto& q = queues_[d];
-    auto idx = static_cast<size_t>(rng.below(q.size()));
-    Message m = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-    --size_;
+    auto idx = q.head + static_cast<size_t>(rng.below(q.live()));
+    Message m = std::move(q.pool[idx]);
+    if (idx + 1 != q.pool.size()) q.pool[idx] = std::move(q.pool.back());
+    q.pool.pop_back();
+    after_removal(p, q);
     return m;
   }
 
   // FIFO variant used by tests that need deterministic delivery order.
   std::optional<Message> receive_fifo(ProcessId p) {
     auto d = static_cast<size_t>(p);
-    if (d >= queues_.size() || queues_[d].empty()) return std::nullopt;
-    Message m = std::move(queues_[d].front());
-    queues_[d].pop_front();
-    --size_;
+    if (d >= queues_.size() || queues_[d].live() == 0) return std::nullopt;
+    auto& q = queues_[d];
+    Message m = std::move(q.pool[q.head++]);
+    after_removal(p, q);
     return m;
   }
 
   size_t size() const { return size_; }
   size_t pending_for(ProcessId p) const {
     auto d = static_cast<size_t>(p);
-    return d < queues_.size() ? queues_[d].size() : 0;
+    return d < queues_.size() ? queues_[d].live() : 0;
   }
 
+  const AllocStats& alloc_stats() const { return alloc_stats_; }
+
+  // Called by senders that moved a payload into their final send themselves
+  // (Context::send_to_set), so the accounting matches either broadcast path.
+  void note_moved_send() { ++alloc_stats_.moved_sends; }
+
  private:
-  std::vector<std::deque<Message>> queues_;
+  struct Queue {
+    std::vector<Message> pool;
+    size_t head = 0;  // consumed prefix (receive_fifo); [head, end) is live
+    size_t live() const { return pool.size() - head; }
+  };
+
+  void after_removal(ProcessId p, Queue& q) {
+    --size_;
+    if (q.live() == 0) {
+      q.pool.clear();
+      q.head = 0;
+      nonempty_.erase(p);
+    } else if (q.head > 64 && q.head * 2 >= q.pool.size()) {
+      // Amortized compaction of the consumed FIFO prefix.
+      q.pool.erase(q.pool.begin(),
+                   q.pool.begin() + static_cast<std::ptrdiff_t>(q.head));
+      q.head = 0;
+    }
+  }
+
+  std::vector<Queue> queues_;
+  ProcessSet nonempty_;
   size_t size_ = 0;
+  AllocStats alloc_stats_;
 };
 
 }  // namespace gam::sim

@@ -1,0 +1,139 @@
+// Small-buffer-optimized message payload.
+//
+// Wire messages in the simulator carry a handful of flat int64 words (Paxos
+// headers, quorum-store cells); a std::vector payload meant one heap
+// allocation per message sent, which dominated the send path of large runs.
+// Payload stores up to kInlineCapacity words inline and spills to the heap
+// only for the rare large message (quorum-store snapshots). The type keeps
+// the vector-ish surface the protocol code uses: initializer-list and
+// vector construction, push_back, operator[], iteration, equality.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace gam::sim {
+
+class Payload {
+ public:
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  Payload() = default;
+  Payload(std::initializer_list<std::int64_t> xs) {
+    assign(xs.begin(), xs.size());
+  }
+  // Implicit on purpose: call sites that assemble a std::vector payload keep
+  // compiling (the copy into inline/heap storage happens once, at the send).
+  Payload(const std::vector<std::int64_t>& xs) { assign(xs.data(), xs.size()); }
+
+  Payload(const Payload& o) { assign(o.data(), o.size_); }
+  Payload(Payload&& o) noexcept { steal(o); }
+  Payload& operator=(const Payload& o) {
+    if (this != &o) {
+      release();
+      assign(o.data(), o.size_);
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~Payload() { release(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // True when the payload lives on the heap (did not fit inline).
+  bool spilled() const { return heap_ != nullptr; }
+
+  std::int64_t* data() { return heap_ ? heap_ : inline_; }
+  const std::int64_t* data() const { return heap_ ? heap_ : inline_; }
+
+  std::int64_t& operator[](std::size_t i) {
+    GAM_EXPECTS(i < size_);
+    return data()[i];
+  }
+  std::int64_t operator[](std::size_t i) const {
+    GAM_EXPECTS(i < size_);
+    return data()[i];
+  }
+
+  std::int64_t* begin() { return data(); }
+  std::int64_t* end() { return data() + size_; }
+  const std::int64_t* begin() const { return data(); }
+  const std::int64_t* end() const { return data() + size_; }
+
+  void push_back(std::int64_t x) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data()[size_++] = x;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void clear() { size_ = 0; }
+
+  bool operator==(const Payload& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+
+ private:
+  void assign(const std::int64_t* src, std::size_t n) {
+    if (n > capacity_) grow(n);
+    if (n > 0) std::memcpy(data(), src, n * sizeof(std::int64_t));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void grow(std::size_t n) {
+    std::size_t cap = std::max<std::size_t>(n, kInlineCapacity * 2);
+    auto* fresh = new std::int64_t[cap];
+    // Heapless payloads hold at most kInlineCapacity words; the explicit
+    // bound keeps the compiler's bounds checker happy.
+    std::size_t live =
+        heap_ ? size_ : std::min<std::size_t>(size_, kInlineCapacity);
+    if (live > 0) std::memcpy(fresh, data(), live * sizeof(std::int64_t));
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void steal(Payload& o) noexcept {
+    size_ = o.size_;
+    if (o.heap_) {
+      heap_ = o.heap_;
+      capacity_ = o.capacity_;
+      o.heap_ = nullptr;
+    } else if (size_ > 0) {
+      // A heapless payload holds at most kInlineCapacity words; the explicit
+      // bound also lets the compiler see the copy stays inside inline_.
+      std::memcpy(inline_, o.inline_,
+                  std::min<std::size_t>(size_, kInlineCapacity) *
+                      sizeof(std::int64_t));
+    }
+    o.size_ = 0;
+    o.capacity_ = kInlineCapacity;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = kInlineCapacity;
+    size_ = 0;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = kInlineCapacity;
+  std::int64_t* heap_ = nullptr;
+  std::int64_t inline_[kInlineCapacity];
+};
+
+}  // namespace gam::sim

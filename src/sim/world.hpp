@@ -8,6 +8,16 @@
 // global clock that the processes themselves cannot read; failure-detector
 // oracles (src/fd) read it to produce histories consistent with the failure
 // pattern.
+//
+// Scheduling is incremental: instead of rescanning all P processes every
+// round, the world keeps the runnable candidates as a bitmask — the buffer
+// maintains the set of destinations with pending messages, and the world
+// tracks a wants-step bit per actor, refreshed whenever that actor steps.
+// A round shuffles and walks only the candidates, so its cost is O(runnable).
+// The wants bits are a conservative cache (an actor's wants_step only changes
+// during its own step or between runs); quiescence is still decided by the
+// authoritative full scan `any_runnable()`, so exotic couplings cannot make
+// the world stop early.
 #pragma once
 
 #include <memory>
@@ -33,9 +43,9 @@ class Context {
   Time now() const { return now_; }
 
   void send(ProcessId dst, std::int32_t protocol, std::int32_t type,
-            std::vector<std::int64_t> data = {});
+            Payload data = {});
   void send_to_set(ProcessSet dst, std::int32_t protocol, std::int32_t type,
-                   std::vector<std::int64_t> data = {});
+                   Payload data = {});
 
  private:
   World& world_;
@@ -75,6 +85,7 @@ class World {
   void install(ProcessId p, std::unique_ptr<Actor> actor) {
     GAM_EXPECTS(p >= 0 && p < process_count());
     actors_[static_cast<size_t>(p)] = std::move(actor);
+    refresh_wants_bit(p);
   }
 
   Actor* actor(ProcessId p) { return actors_[static_cast<size_t>(p)].get(); }
@@ -92,37 +103,59 @@ class World {
     ++stats_[i].steps;
     if (msg) ++stats_[i].messages_received;
     ++now_;
+    refresh_wants_bit(p);
     return true;
   }
 
   // Runs until quiescence (no live process has a pending message or wants a
   // step) or until `max_steps` steps have executed. Returns true on
-  // quiescence. Scheduling: seeded-random permutation per round, which makes
-  // every run fair for the processes that keep taking steps.
+  // quiescence. Scheduling: seeded-random permutation of the *runnable*
+  // candidates per round, which makes every run fair for the processes that
+  // keep taking steps while costing O(runnable) instead of O(P).
   bool run_until_quiescent(std::uint64_t max_steps) {
+    refresh_wants();  // actors may have been poked between runs
     std::uint64_t executed = 0;
     while (executed < max_steps) {
+      ProcessSet candidates = buffer_.nonempty_set() | wants_;
       bool progressed = false;
-      auto order = random_order();
-      for (ProcessId p : order) {
-        if (executed >= max_steps) break;
-        if (pattern_.crashed(p, now_)) continue;
-        bool runnable = buffer_.has_message_for(p) ||
-                        (actors_[static_cast<size_t>(p)] &&
-                         actors_[static_cast<size_t>(p)]->wants_step());
-        if (!runnable) continue;
-        if (step_process(p)) {
-          progressed = true;
-          ++executed;
+      if (!candidates.empty()) {
+        shuffle_into_order(candidates);
+        for (ProcessId p : order_) {
+          if (executed >= max_steps) break;
+          if (pattern_.crashed(p, now_)) continue;
+          if (!buffer_.has_message_for(p) && !wants(p)) {
+            wants_.erase(p);  // stale cached bit
+            continue;
+          }
+          if (step_process(p)) {
+            progressed = true;
+            ++executed;
+          }
         }
       }
-      if (!progressed) return true;  // quiescent
+      if (!progressed) {
+        // The candidate walk made no step. Decide quiescence with the
+        // authoritative scan; resync the wants cache if it missed anything.
+        if (!any_runnable()) return true;
+        refresh_wants();
+      }
     }
     return !any_runnable();
   }
 
   const StepStats& stats(ProcessId p) const {
     return stats_[static_cast<size_t>(p)];
+  }
+
+  // System-wide totals (the sweep harness aggregates these).
+  StepStats total_stats() const {
+    StepStats t;
+    for (const auto& s : stats_) {
+      t.steps += s.steps;
+      t.messages_sent += s.messages_sent;
+      t.messages_received += s.messages_received;
+    }
+    return t;
   }
 
   // Processes that took at least one step (for Minimality checking).
@@ -134,30 +167,47 @@ class World {
   }
 
   MessageBuffer& buffer() { return buffer_; }
+  const MessageBuffer& buffer() const { return buffer_; }
   Rng& rng() { return rng_; }
 
  private:
   friend class Context;
 
+  bool wants(ProcessId p) const {
+    const auto& a = actors_[static_cast<size_t>(p)];
+    return a && a->wants_step();
+  }
+
+  void refresh_wants_bit(ProcessId p) {
+    if (wants(p))
+      wants_.insert(p);
+    else
+      wants_.erase(p);
+  }
+
+  void refresh_wants() {
+    wants_ = {};
+    for (int p = 0; p < process_count(); ++p)
+      if (wants(p)) wants_.insert(p);
+  }
+
   bool any_runnable() const {
     for (int p = 0; p < process_count(); ++p) {
       if (pattern_.crashed(p, now_)) continue;
       if (buffer_.has_message_for(p)) return true;
-      const auto& a = actors_[static_cast<size_t>(p)];
-      if (a && a->wants_step()) return true;
+      if (wants(p)) return true;
     }
     return false;
   }
 
-  std::vector<ProcessId> random_order() {
-    std::vector<ProcessId> order(static_cast<size_t>(process_count()));
-    for (int p = 0; p < process_count(); ++p)
-      order[static_cast<size_t>(p)] = p;
-    for (size_t i = order.size(); i > 1; --i) {
+  // Fisher-Yates over the members of `s` into the reused `order_` buffer.
+  void shuffle_into_order(ProcessSet s) {
+    order_.clear();
+    for (ProcessId p : s) order_.push_back(p);
+    for (size_t i = order_.size(); i > 1; --i) {
       auto j = static_cast<size_t>(rng_.below(i));
-      std::swap(order[i - 1], order[j]);
+      std::swap(order_[i - 1], order_[j]);
     }
-    return order;
   }
 
   FailurePattern pattern_;
@@ -166,11 +216,13 @@ class World {
   MessageBuffer buffer_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<StepStats> stats_;
+  ProcessSet wants_;                // cached wants_step bits
+  std::vector<ProcessId> order_;    // reused per-round shuffle buffer
   ProcessId sending_as_ = -1;
 };
 
 inline void Context::send(ProcessId dst, std::int32_t protocol,
-                          std::int32_t type, std::vector<std::int64_t> data) {
+                          std::int32_t type, Payload data) {
   Message m;
   m.src = self_;
   m.dst = dst;
@@ -182,9 +234,15 @@ inline void Context::send(ProcessId dst, std::int32_t protocol,
 }
 
 inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
-                                 std::int32_t type,
-                                 std::vector<std::int64_t> data) {
-  for (ProcessId p : dst) send(p, protocol, type, data);
+                                 std::int32_t type, Payload data) {
+  if (dst.empty()) return;
+  ProcessId last = dst.max();
+  for (ProcessId p : dst) {
+    if (p == last) break;
+    send(p, protocol, type, data);
+  }
+  world_.buffer_.note_moved_send();
+  send(last, protocol, type, std::move(data));
 }
 
 }  // namespace gam::sim

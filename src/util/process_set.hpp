@@ -26,7 +26,12 @@ class ProcessSet {
 
   constexpr ProcessSet() = default;
   constexpr ProcessSet(std::initializer_list<ProcessId> ids) {
-    for (ProcessId p : ids) insert_unchecked(p);
+    for (ProcessId p : ids) {
+      // Same guard as insert(): an out-of-range id would shift past the mask
+      // (UB). In a constant-evaluated context a violation fails to compile.
+      GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
+      insert_unchecked(p);
+    }
   }
 
   static constexpr ProcessSet universe(int n) {

@@ -1,0 +1,240 @@
+// Regression tests for the message-buffer hot path: the swap-and-pop pending
+// pool (uniform receive must stay fair and unbiased), the incrementally
+// maintained nonempty-destination set the World's scheduler relies on, the
+// FIFO cursor with prefix compaction, the small-buffer-optimized Payload, and
+// the copy/move accounting behind `BENCH_sim.json`'s allocs-avoided numbers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/payload.hpp"
+#include "util/rng.hpp"
+
+namespace gam::sim {
+namespace {
+
+Message make(ProcessId dst, std::int32_t type, Payload data = {}) {
+  Message m;
+  m.src = 0;
+  m.dst = dst;
+  m.type = type;
+  m.data = std::move(data);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Swap-and-pop fairness. The pool is unordered; correctness requires only
+// that the pick is uniform over the pending messages. These are statistical
+// regression tests with generous (>5 sigma) bounds, deterministic via seeds.
+
+TEST(SwapAndPop, FirstPickIsUniform) {
+  constexpr int kMsgs = 8;
+  constexpr int kTrials = 4000;
+  std::array<int, kMsgs> first{};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    MessageBuffer buf;
+    for (int t = 0; t < kMsgs; ++t) buf.send(make(1, t));
+    Rng rng(static_cast<std::uint64_t>(trial) + 1);
+    first[static_cast<size_t>(buf.receive(1, rng)->type)]++;
+  }
+  // Binomial(4000, 1/8): mean 500, sd ~21; ±6 sd.
+  for (int t = 0; t < kMsgs; ++t) {
+    EXPECT_GT(first[static_cast<size_t>(t)], 370) << "type " << t;
+    EXPECT_LT(first[static_cast<size_t>(t)], 630) << "type " << t;
+  }
+}
+
+TEST(SwapAndPop, NoStarvationUnderChurn) {
+  // Interleave receives with fresh sends; every early message must still
+  // drain in bounded time (uniform pick => geometric waiting time).
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    MessageBuffer buf;
+    Rng rng(seed);
+    for (int t = 0; t < 20; ++t) buf.send(make(1, t));
+    std::set<int> pending_old;
+    for (int t = 0; t < 20; ++t) pending_old.insert(t);
+    int next_type = 20;
+    for (int i = 0; i < 4000 && !pending_old.empty(); ++i) {
+      auto m = buf.receive(1, rng);
+      ASSERT_TRUE(m.has_value());
+      pending_old.erase(m->type);
+      // Keep the pool at ~20 pending so old messages compete forever.
+      buf.send(make(1, next_type++));
+    }
+    EXPECT_TRUE(pending_old.empty()) << "seed " << seed;
+  }
+}
+
+TEST(SwapAndPop, DrainsExactlyOnce) {
+  MessageBuffer buf;
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) buf.send(make(2, t));
+  std::set<int> seen;
+  while (buf.has_message_for(2)) {
+    auto m = buf.receive(2, rng);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(seen.insert(m->type).second) << "duplicate " << m->type;
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FIFO cursor + amortized prefix compaction.
+
+TEST(ReceiveFifo, PreservesOrderAcrossCompaction) {
+  MessageBuffer buf;
+  // 300 messages crosses the head > 64 compaction threshold several times.
+  for (int t = 0; t < 300; ++t) buf.send(make(1, t));
+  for (int t = 0; t < 150; ++t) {
+    auto m = buf.receive_fifo(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, t);
+  }
+  // Interleave sends mid-drain; order must stay global-FIFO.
+  for (int t = 300; t < 320; ++t) buf.send(make(1, t));
+  for (int t = 150; t < 320; ++t) {
+    auto m = buf.receive_fifo(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, t);
+  }
+  EXPECT_FALSE(buf.receive_fifo(1).has_value());
+}
+
+TEST(ReceiveFifo, MixesWithRandomReceive) {
+  MessageBuffer buf;
+  Rng rng(3);
+  for (int t = 0; t < 50; ++t) buf.send(make(1, t));
+  std::set<int> seen;
+  for (int i = 0; i < 25; ++i) seen.insert(buf.receive_fifo(1)->type);
+  while (buf.has_message_for(1)) seen.insert(buf.receive(1, rng)->type);
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// The incrementally maintained nonempty set must track pending_for exactly —
+// the World's scheduler trusts it to enumerate runnable candidates.
+
+TEST(NonemptySet, MatchesPendingCounts) {
+  MessageBuffer buf;
+  Rng rng(17);
+  Rng ops(99);
+  for (int step = 0; step < 2000; ++step) {
+    auto p = static_cast<ProcessId>(ops.below(6));
+    if (ops.chance(0.55)) {
+      buf.send(make(p, step));
+    } else if (buf.has_message_for(p)) {
+      if (ops.chance(0.5))
+        buf.receive(p, rng);
+      else
+        buf.receive_fifo(p);
+    }
+    for (ProcessId q = 0; q < 6; ++q) {
+      EXPECT_EQ(buf.nonempty_set().contains(q), buf.pending_for(q) > 0)
+          << "step " << step << " process " << q;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload small-buffer optimization.
+
+TEST(Payload, InlineUpToCapacity) {
+  Payload p{1, 2, 3, 4};
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_FALSE(p.spilled());
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[3], 4);
+}
+
+TEST(Payload, SpillsPastCapacity) {
+  Payload p{1, 2, 3, 4, 5};
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_TRUE(p.spilled());
+  EXPECT_EQ(p[4], 5);
+}
+
+TEST(Payload, PushBackCrossesSpillBoundary) {
+  Payload p;
+  for (std::int64_t i = 0; i < 4; ++i) p.push_back(i);
+  EXPECT_FALSE(p.spilled());
+  p.push_back(4);
+  EXPECT_TRUE(p.spilled());
+  for (std::int64_t i = 5; i < 40; ++i) p.push_back(i);
+  ASSERT_EQ(p.size(), 40u);
+  for (std::int64_t i = 0; i < 40; ++i) EXPECT_EQ(p[static_cast<size_t>(i)], i);
+}
+
+TEST(Payload, CopyIsIndependent) {
+  for (Payload original : {Payload{1, 2, 3}, Payload{1, 2, 3, 4, 5, 6}}) {
+    Payload copy = original;
+    EXPECT_EQ(copy, original);
+    copy.push_back(99);
+    EXPECT_NE(copy.size(), original.size());
+    EXPECT_EQ(original.size() > 4, original.spilled());
+  }
+}
+
+TEST(Payload, MoveTransfersContents) {
+  Payload heap{1, 2, 3, 4, 5, 6};
+  const std::int64_t* words = heap.data();
+  Payload stolen = std::move(heap);
+  EXPECT_EQ(stolen.size(), 6u);
+  EXPECT_EQ(stolen.data(), words);  // heap block moved, not copied
+  EXPECT_TRUE(heap.empty());        // NOLINT: moved-from is valid + empty
+
+  Payload inl{7, 8};
+  Payload moved = std::move(inl);
+  EXPECT_EQ(moved, (Payload{7, 8}));
+}
+
+TEST(Payload, EqualityIgnoresStorageClass) {
+  Payload inl{1, 2, 3};
+  Payload heap;
+  heap.reserve(16);  // force a spill
+  for (std::int64_t x : {1, 2, 3}) heap.push_back(x);
+  EXPECT_TRUE(heap.spilled());
+  EXPECT_FALSE(inl.spilled());
+  EXPECT_EQ(inl, heap);
+  heap.push_back(4);
+  EXPECT_FALSE(inl == heap);
+}
+
+TEST(Payload, VectorInteropKeepsCallSitesWorking) {
+  std::vector<std::int64_t> v{5, 6, 7};
+  Payload p = v;
+  EXPECT_EQ(p, (Payload{5, 6, 7}));
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Copy/move accounting: a broadcast to |dst| recipients must cost
+// |dst| - 1 payload copies, with the last send moving the payload.
+
+TEST(AllocStats, BroadcastMovesLastSend) {
+  MessageBuffer buf;
+  Message proto = make(0, 1, Payload{1, 2, 3});
+  buf.send_to_set(proto, ProcessSet{1, 2, 3, 4});
+  const auto& a = buf.alloc_stats();
+  EXPECT_EQ(a.moved_sends, 1u);
+  EXPECT_EQ(a.inline_payloads, 4u);
+  EXPECT_EQ(a.heap_payloads, 0u);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(AllocStats, CountsHeapSpills) {
+  MessageBuffer buf;
+  buf.send(make(1, 0, Payload{1, 2, 3, 4, 5, 6}));
+  buf.send(make(1, 1, Payload{1}));
+  buf.send(make(1, 2));  // empty payload: not counted either way
+  const auto& a = buf.alloc_stats();
+  EXPECT_EQ(a.heap_payloads, 1u);
+  EXPECT_EQ(a.inline_payloads, 1u);
+}
+
+}  // namespace
+}  // namespace gam::sim

@@ -28,6 +28,13 @@ TEST(ProcessSet, InitializerListAndContains) {
   EXPECT_FALSE(s.contains(64));
 }
 
+TEST(ProcessSet, InitializerListRejectsOutOfRange) {
+  // A pid outside [0, kMaxProcesses) used to shift by >= 64 (UB); now it
+  // trips the precondition.
+  EXPECT_DEATH(ProcessSet({0, 64}), "Precondition");
+  EXPECT_DEATH(ProcessSet({-1}), "Precondition");
+}
+
 TEST(ProcessSet, Universe) {
   ProcessSet u = ProcessSet::universe(5);
   EXPECT_EQ(u.size(), 5);
