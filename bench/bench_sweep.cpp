@@ -18,9 +18,13 @@
 // Output: human-readable table + BENCH_sim.json (see EXPERIMENTS.md for the
 // schema). Exit code is non-zero when the determinism gate fails, so this
 // binary doubles as the ThreadSanitizer smoke test (`bench_sweep --quick`).
+// On a gate failure the divergent seed is replayed twice inline with full
+// event recording, both traces are dumped, and the first divergent event is
+// printed (the same report `tools/trace_diff` produces offline).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +32,7 @@
 #include "amcast/replicated_multicast.hpp"
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
+#include "sim/trace.hpp"
 #include "sweep.hpp"
 
 using namespace gam;
@@ -38,45 +43,68 @@ namespace {
 
 struct Config {
   bool quick = false;
-  int threads = 0;  // 0 = hardware concurrency
-  int seeds = 0;    // 0 = default per mode
+  int threads = 0;       // 0 = hardware concurrency
+  int seeds = 0;         // 0 = default per mode
+  int seed_base = 1;     // seed of job 0 (job i runs seed_base + i)
   std::string out = "BENCH_sim.json";
+  std::string trace;     // when set, record seed 0 of each config to
+                         // <trace>.<config>.trace
 };
+
+// A swept job: runs seed-index `i`; when `rec` is non-null the run's full
+// event stream is recorded there instead of only hashed.
+using TracedJob = std::function<RunResult(int, sim::RecorderSink*)>;
 
 // ---- the swept workloads -----------------------------------------------------
 
 // E3 (bench_genuine_vs_broadcast): k disjoint groups of 2, Algorithm 1.
-RunResult run_e3_mu(std::uint64_t seed, int k, int per_group) {
+RunResult run_e3_mu(std::uint64_t seed, int k, int per_group,
+                    sim::RecorderSink* rec) {
   auto sys = groups::disjoint_system(k, 2);
   sim::FailurePattern pat(sys.process_count());
   MuMulticast mc(sys, pat, {.seed = seed});
+  sim::HashingSink hasher;
+  mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
-  return summarize(mc.run());
+  RunResult r = summarize(mc.run());
+  r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
+  return r;
 }
 
 // ReplicatedMulticast: per-group Paxos logs inside a simulated network — the
 // workload that actually exercises World scheduling and the message buffer.
-RunResult run_world_paxos(std::uint64_t seed, int k, int per_group) {
+// The hash covers the complete wire-event stream (every send, receive,
+// null-step, FD query, and delivery), not just the delivery record.
+RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
+                          sim::RecorderSink* rec) {
   auto sys = groups::disjoint_system(k, 3);
   sim::FailurePattern pat(sys.process_count());
   ReplicatedMulticast rm(sys, pat, {.seed = seed});
+  sim::HashingSink hasher;
+  rm.world().set_trace_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   for (auto& m : round_robin_workload(sys, per_group)) rm.submit(m);
   RunResult r = summarize(rm.run());
   r.messages = rm.messages_sent();
   absorb_world(r, rm.world());
+  r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
   return r;
 }
 
 // Figure 1 under sampled crashes: detector-heavy Algorithm 1 runs.
-RunResult run_figure1_crashes(std::uint64_t seed, int per_group) {
+RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
+                              sim::RecorderSink* rec) {
   auto sys = groups::figure1_system();
   Rng rng(seed);
   sim::EnvironmentSampler env{
       .process_count = 5, .max_failures = 2, .horizon = 100};
   sim::FailurePattern pat = env.sample(rng);
   MuMulticast mc(sys, pat, {.seed = seed});
+  sim::HashingSink hasher;
+  mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
-  return summarize(mc.run());
+  RunResult r = summarize(mc.run());
+  r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
+  return r;
 }
 
 void print_stats(const SweepStats& s) {
@@ -86,17 +114,45 @@ void print_stats(const SweepStats& s) {
               s.runs_per_sec(), s.steps_per_sec());
 }
 
+// On a per-seed hash mismatch: replay the seed twice inline with full event
+// recording, dump both traces next to `cfg.out`, and print the first
+// divergent event. Two agreeing inline replays that still disagree with the
+// pooled hash point at a cross-thread effect (shared state / data race); two
+// disagreeing replays localize the nondeterminism exactly.
+void dump_divergence(const Config& cfg, const char* name, int i,
+                     const TracedJob& job) {
+  sim::RecorderSink a, b;
+  job(i, &a);
+  job(i, &b);
+  std::string base = cfg.out + "." + name + ".seed" + std::to_string(i);
+  std::string pa = base + ".a.trace", pb = base + ".b.trace";
+  if (!a.write(pa) || !b.write(pb))
+    std::printf("  (failed to write %s / %s)\n", pa.c_str(), pb.c_str());
+  else
+    std::printf("  dumped inline replays: %s %s\n", pa.c_str(), pb.c_str());
+  auto div = sim::first_divergence(a.events(), b.events());
+  if (div) {
+    std::printf("%s", sim::render_divergence(a.events(), b.events(), *div).c_str());
+  } else {
+    std::printf(
+        "  inline replays agree (%zu events, hash %016llx): the divergence "
+        "only appears under the pool — suspect shared state or a data race; "
+        "rerun under GAM_SANITIZE=thread\n",
+        a.events().size(), static_cast<unsigned long long>(a.hash()));
+  }
+}
+
 // Runs one configuration sequentially and pooled; checks per-seed trace
 // hashes agree between the two executions (byte-reproducibility across
 // thread interleavings). Returns false on a determinism violation.
-bool sweep_both(const char* name, int n, const SweepRunner& seq,
-                const SweepRunner& pool,
-                const std::function<RunResult(int)>& job, BenchJson& json,
-                double* speedup_out) {
+bool sweep_both(const Config& cfg, const char* name, int n,
+                const SweepRunner& seq, const SweepRunner& pool,
+                const TracedJob& job, BenchJson& json, double* speedup_out) {
+  auto plain = [&job](int i) { return job(i, nullptr); };
   std::vector<RunResult> seq_results, pool_results;
-  SweepStats s1 = seq.sweep(std::string(name) + "_seq", n, job, &seq_results);
+  SweepStats s1 = seq.sweep(std::string(name) + "_seq", n, plain, &seq_results);
   SweepStats sp =
-      pool.sweep(std::string(name) + "_pool", n, job, &pool_results);
+      pool.sweep(std::string(name) + "_pool", n, plain, &pool_results);
 
   bool ok = true;
   for (int i = 0; i < n; ++i) {
@@ -109,6 +165,7 @@ bool sweep_both(const char* name, int n, const SweepRunner& seq,
                       seq_results[static_cast<size_t>(i)].trace_hash),
                   static_cast<unsigned long long>(
                       pool_results[static_cast<size_t>(i)].trace_hash));
+      dump_divergence(cfg, name, i, job);
       ok = false;
     }
   }
@@ -120,6 +177,19 @@ bool sweep_both(const char* name, int n, const SweepRunner& seq,
   json.add(s1);
   json.add(sp);
   if (speedup_out) *speedup_out = speedup;
+
+  // --trace=PATH: record seed-index 0 of this configuration for offline
+  // comparison with trace_diff (e.g. across binaries, flags, or seeds).
+  if (!cfg.trace.empty()) {
+    sim::RecorderSink rec;
+    job(0, &rec);
+    std::string path = cfg.trace + "." + name + ".trace";
+    if (rec.write(path))
+      std::printf("  recorded %zu events -> %s\n\n", rec.events().size(),
+                  path.c_str());
+    else
+      std::printf("  failed to write %s\n\n", path.c_str());
+  }
   return ok;
 }
 
@@ -135,12 +205,16 @@ int main(int argc, char** argv) {
       cfg.threads = std::atoi(a.c_str() + 10);
     } else if (a.rfind("--seeds=", 0) == 0) {
       cfg.seeds = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--seed-base=", 0) == 0) {
+      cfg.seed_base = std::atoi(a.c_str() + 12);
     } else if (a.rfind("--out=", 0) == 0) {
       cfg.out = a.substr(6);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      cfg.trace = a.substr(8);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
-                   "[--out=PATH]\n",
+                   "[--seed-base=N] [--out=PATH] [--trace=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -163,27 +237,29 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   double e3_speedup = 0;
+  auto seed_of = [&cfg](int i) {
+    return static_cast<std::uint64_t>(cfg.seed_base) +
+           static_cast<std::uint64_t>(i);
+  };
 
   ok &= sweep_both(
-      "e3_mu_k16", seeds, seq, pool,
-      [&](int i) {
-        return run_e3_mu(static_cast<std::uint64_t>(i) + 1, 16, per_group);
+      cfg, "e3_mu_k16", seeds, seq, pool,
+      [&](int i, sim::RecorderSink* rec) {
+        return run_e3_mu(seed_of(i), 16, per_group, rec);
       },
       json, &e3_speedup);
 
   ok &= sweep_both(
-      "world_paxos_k8", seeds, seq, pool,
-      [&](int i) {
-        return run_world_paxos(static_cast<std::uint64_t>(i) + 1,
-                               cfg.quick ? 4 : 8, per_group);
+      cfg, "world_paxos_k8", seeds, seq, pool,
+      [&](int i, sim::RecorderSink* rec) {
+        return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group, rec);
       },
       json, nullptr);
 
   ok &= sweep_both(
-      "figure1_crashes", seeds, seq, pool,
-      [&](int i) {
-        return run_figure1_crashes(static_cast<std::uint64_t>(i) + 1,
-                                   per_group);
+      cfg, "figure1_crashes", seeds, seq, pool,
+      [&](int i, sim::RecorderSink* rec) {
+        return run_figure1_crashes(seed_of(i), per_group, rec);
       },
       json, nullptr);
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "amcast/types.hpp"
+#include "sim/trace.hpp"
 #include "sim/world.hpp"
 
 namespace gam::bench {
@@ -38,31 +39,46 @@ struct RunResult {
   std::uint64_t deliveries = 0;
   std::uint64_t messages = 0;  // wire messages, when the run has a network
   bool quiescent = false;
-  std::uint64_t trace_hash = 0;  // order-sensitive hash of the delivery trace
+  std::uint64_t trace_hash = 0;  // order-sensitive hash of the event trace
   // Payload/copy accounting (World-backed runs; see MessageBuffer).
   std::uint64_t inline_payloads = 0;
   std::uint64_t heap_payloads = 0;
   std::uint64_t moved_sends = 0;
 };
 
-// FNV-1a over the full delivery trace: any reordering, retiming or content
-// change of a delivery changes the hash.
+// FNV-1a over the full delivery trace: any reordering, retiming, or content
+// change of a delivery OR of a multicast payload changes the hash. Event
+// kinds are folded as discriminators so streams that happen to produce the
+// same integer sequence under different record types cannot collide. The
+// World-backed configurations additionally fold the full wire-event stream
+// (sim::HashingSink) on top of this — see combine_hash.
 inline std::uint64_t hash_deliveries(const amcast::RunRecord& rec) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xff;
-      h *= 1099511628211ULL;
-    }
-  };
+  std::uint64_t h = sim::kTraceHashSeed;
+  auto mix = [&h](std::uint64_t x) { h = sim::trace_mix(h, x); };
   for (const auto& d : rec.deliveries) {
+    mix(static_cast<std::uint64_t>(sim::TraceEventKind::kDeliver));
     mix(static_cast<std::uint64_t>(d.p));
     mix(static_cast<std::uint64_t>(d.m));
     mix(d.t);
     mix(static_cast<std::uint64_t>(d.local_seq));
   }
-  mix(rec.multicast.size());
+  for (size_t i = 0; i < rec.multicast.size(); ++i) {
+    const auto& m = rec.multicast[i];
+    mix(static_cast<std::uint64_t>(sim::TraceEventKind::kSend));
+    mix(static_cast<std::uint64_t>(m.id));
+    mix(static_cast<std::uint64_t>(m.dst));
+    mix(static_cast<std::uint64_t>(m.src));
+    mix(static_cast<std::uint64_t>(m.payload));
+    mix(i < rec.multicast_time.size() ? rec.multicast_time[i] : 0);
+  }
   return h;
+}
+
+// Folds an event-stream hash (from a sim::HashingSink or RecorderSink
+// attached to the run) into a run's delivery hash.
+inline std::uint64_t combine_hash(std::uint64_t delivery_hash,
+                                  std::uint64_t event_hash) {
+  return sim::trace_mix(delivery_hash, event_hash);
 }
 
 inline RunResult summarize(const amcast::RunRecord& rec) {

@@ -2,7 +2,10 @@
 # Tier-1 gate: configure, build, run the full test suite, then run the
 # seed-sweep bench in --quick mode (which doubles as the determinism gate:
 # pooled and sequential runs of the same seeds must produce identical
-# delivery traces).
+# event-trace hashes), then the trace self-check (record the same seed twice,
+# trace_diff must report identical; record a mutated seed, trace_diff must
+# localize a first divergence), and finally the buffer/trace regression tests
+# under AddressSanitizer.
 #
 # Usage:
 #   scripts/tier1.sh                 # plain RelWithDebInfo gate
@@ -22,4 +25,42 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 "$BUILD_DIR"/bench/bench_sweep --quick --out="$BUILD_DIR"/BENCH_sim_quick.json
+
+# Trace self-check: the recorded event stream must be byte-reproducible for a
+# fixed seed, and trace_diff must localize an injected divergence (different
+# seed base) rather than merely flag it.
+TRACE_DIR="$BUILD_DIR/trace-selfcheck"
+rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 \
+  --out="$TRACE_DIR"/a.json --trace="$TRACE_DIR"/a >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 \
+  --out="$TRACE_DIR"/b.json --trace="$TRACE_DIR"/b >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --seed-base=2 \
+  --out="$TRACE_DIR"/c.json --trace="$TRACE_DIR"/c >/dev/null
+for cfg in e3_mu_k16 world_paxos_k8 figure1_crashes; do
+  "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/b.$cfg.trace" >/dev/null \
+    || { echo "tier1: FAIL — same-seed traces diverge ($cfg)"; exit 1; }
+done
+if "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/a.world_paxos_k8.trace" "$TRACE_DIR/c.world_paxos_k8.trace" \
+    >/dev/null; then
+  echo "tier1: FAIL — trace_diff missed a seed mutation"
+  exit 1
+fi
+echo "tier1: trace self-check OK"
+
+# The buffer/scheduler regression tests (out-of-bounds destination,
+# swap-and-pop vs FIFO-head interaction) exist to be run under ASan; do that
+# here when the main gate is unsanitized so the plain gate still covers them.
+if [[ -z "${GAM_SANITIZE:-}" ]]; then
+  ASAN_DIR=build-address
+  cmake -B "$ASAN_DIR" -S . -DGAM_SANITIZE=address >/dev/null
+  cmake --build "$ASAN_DIR" -j "$(nproc)" \
+    --target test_message_buffer test_sim_trace
+  "$ASAN_DIR"/tests/test_message_buffer
+  "$ASAN_DIR"/tests/test_sim_trace
+  echo "tier1: ASan regression tests OK"
+fi
+
 echo "tier1: OK ($BUILD_DIR)"

@@ -318,6 +318,19 @@ bool MuMulticast::try_deliver(ProcessId p) {
     phase = Phase::kDeliver;
     record_.deliveries.push_back({p, mid, now_, st.delivered_seq++});
     if (trace_) trace_->record({now_, p, TraceEvent::kDeliver, mid, -1, -1});
+    if (event_sink_) {
+      const MulticastMessage& msg = by_id_.at(mid);
+      sim::TraceEvent e;
+      e.t = now_;
+      e.p = p;
+      e.kind = sim::TraceEventKind::kDeliver;
+      e.protocol = static_cast<std::int32_t>(msg.dst);
+      e.type = static_cast<std::int32_t>(st.delivered_seq - 1);
+      e.arg = mid;
+      e.payload_hash = sim::trace_mix(sim::kTraceHashSeed,
+                                      static_cast<std::uint64_t>(msg.payload));
+      event_sink_->on_event(e);
+    }
     return true;
   }
   return false;

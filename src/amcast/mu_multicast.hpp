@@ -39,6 +39,7 @@
 #include "groups/group_system.hpp"
 #include "objects/ideal.hpp"
 #include "sim/failure_pattern.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace gam::amcast {
@@ -104,6 +105,12 @@ class MuMulticast {
   // Optional structured tracing: every action firing is recorded into the
   // attached trace (owned by the caller; must outlive the run).
   void attach_trace(Trace* trace) { trace_ = trace; }
+
+  // Optional low-level event sink, shared with the World-backed engines:
+  // deliver firings are emitted as sim::TraceEvents with the message payload
+  // folded into the event hash — what the sweep's determinism gate consumes.
+  // Caller-owned; must outlive the run.
+  void set_event_sink(sim::TraceSink* sink) { event_sink_ = sink; }
 
   // Introspection for tests.
   Phase phase_of(ProcessId p, MsgId m) const;
@@ -172,6 +179,7 @@ class MuMulticast {
   std::vector<std::unique_ptr<PerProcess>> procs_;
 
   Trace* trace_ = nullptr;
+  sim::TraceSink* event_sink_ = nullptr;
   RunRecord record_;
 };
 

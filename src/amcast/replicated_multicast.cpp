@@ -26,10 +26,13 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
     for (ProcessId p : scope) {
       auto log = std::make_shared<objects::UniversalLog>(
           /*protocol=*/100 + g, p, scope, *sigmas_.back(), *omegas_.back());
-      // Delivery = the message enters this replica's learned prefix.
-      log->set_on_learn([this, p](std::int64_t op, std::int64_t) {
-        record_.deliveries.push_back(
-            {p, op, world_->now(), local_seq_[static_cast<size_t>(p)]++});
+      // Delivery = the message enters this replica's learned prefix. The
+      // event is also reported into the world's trace stream so deliveries
+      // interleave with the wire events that caused them.
+      log->set_on_learn([this, p, g](std::int64_t op, std::int64_t) {
+        std::int64_t seq = local_seq_[static_cast<size_t>(p)]++;
+        record_.deliveries.push_back({p, op, world_->now(), seq});
+        world_->trace_deliver(p, 100 + g, op, seq);
       });
       hosts_[static_cast<size_t>(p)]->add(100 + g, log);
       logs_[g].push_back(log);

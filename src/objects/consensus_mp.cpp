@@ -36,6 +36,7 @@ bool IndulgentConsensus::on_idle(sim::Context& ctx) {
   // under contention once Ω stabilizes — even when the stable leader never
   // proposed itself.
   auto leader = omega_->query(self_, ctx.now());
+  ctx.trace_fd_query(protocol_id_, /*detector=*/0);  // Ω leader read
   if (!leader) return false;
   if (*leader != self_) {
     if (++stall_ > kStallLimit) {
@@ -79,6 +80,7 @@ void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
         chosen_value_ = m.data[2];
       }
       auto q = sigma_->query(self_, ctx.now());
+      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
       if (q && q->subset_of(promisers_)) {
         accept_phase_ = true;
         stall_ = 0;
@@ -102,6 +104,7 @@ void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
       if (b != current_ballot_ || !accept_phase_ || decided_) break;
       accepters_.insert(m.src);
       auto q = sigma_->query(self_, ctx.now());
+      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
       if (q && q->subset_of(accepters_)) decide(ctx, chosen_value_);
       break;
     }

@@ -56,6 +56,7 @@ void UniversalLog::drive(sim::Context& ctx) {
 bool UniversalLog::on_idle(sim::Context& ctx) {
   if (pending_.empty()) return false;
   auto leader = omega_->query(self_, ctx.now());
+  ctx.trace_fd_query(protocol_id_, /*detector=*/0);  // Ω leader read
   if (!leader) return false;
   if (*leader != self_) {
     // Non-leaders periodically hand their oldest pending op to the leader so
@@ -100,6 +101,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
         ps.value = m.data[3];
       }
       auto q = sigma_->query(self_, ctx.now());
+      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
       if (q && q->subset_of(ps.promisers)) {
         ps.accept_phase = true;
         ps.stall = 0;
@@ -127,6 +129,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
         break;
       ps.accepters.insert(m.src);
       auto q = sigma_->query(self_, ctx.now());
+      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
       if (q && q->subset_of(ps.accepters)) {
         ctx.send_to_set(scope_, protocol_id_, kDecide, {inst, ps.value});
         learn(inst, ps.value);

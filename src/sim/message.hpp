@@ -37,6 +37,20 @@ struct Message {
   Payload data;
 };
 
+// Observation hook for every message crossing the buffer. The World installs
+// itself here so that wire accounting (per-process messages_sent) and event
+// tracing cover EVERY send path uniformly — Context::send, the broadcast
+// overloads, and direct buffer injection by tests — instead of only the paths
+// that happen to go through a Context.
+class BufferObserver {
+ public:
+  virtual ~BufferObserver() = default;
+  // Fired after `m` was appended to its destination queue.
+  virtual void on_buffer_send(const Message& m) = 0;
+  // Fired after `m` was removed by receive() or receive_fifo().
+  virtual void on_buffer_receive(const Message& m) = 0;
+};
+
 class MessageBuffer {
  public:
   // Payload/copy accounting for the perf harness (bench/sweep.hpp).
@@ -45,6 +59,9 @@ class MessageBuffer {
     std::uint64_t heap_payloads = 0;    // payloads that spilled to the heap
     std::uint64_t moved_sends = 0;      // sends that moved instead of copied
   };
+
+  // At most one observer; it must outlive the buffer (the World owns both).
+  void set_observer(BufferObserver* o) { observer_ = o; }
 
   void send(Message m) {
     GAM_EXPECTS(m.dst >= 0 && m.dst < ProcessSet::kMaxProcesses);
@@ -57,8 +74,10 @@ class MessageBuffer {
         ++alloc_stats_.inline_payloads;
     }
     nonempty_.insert(m.dst);
-    queues_[d].pool.push_back(std::move(m));
+    auto& q = queues_[d];
+    q.pool.push_back(std::move(m));
     ++size_;
+    if (observer_) observer_->on_buffer_send(q.pool.back());
   }
 
   // Broadcast to every member of `dst` (the sender included if present). The
@@ -74,7 +93,7 @@ class MessageBuffer {
       send(std::move(m));
     }
     proto.dst = last;
-    note_moved_send();
+    ++alloc_stats_.moved_sends;
     send(std::move(proto));
   }
 
@@ -100,6 +119,7 @@ class MessageBuffer {
     if (idx + 1 != q.pool.size()) q.pool[idx] = std::move(q.pool.back());
     q.pool.pop_back();
     after_removal(p, q);
+    if (observer_) observer_->on_buffer_receive(m);
     return m;
   }
 
@@ -110,6 +130,7 @@ class MessageBuffer {
     auto& q = queues_[d];
     Message m = std::move(q.pool[q.head++]);
     after_removal(p, q);
+    if (observer_) observer_->on_buffer_receive(m);
     return m;
   }
 
@@ -120,10 +141,6 @@ class MessageBuffer {
   }
 
   const AllocStats& alloc_stats() const { return alloc_stats_; }
-
-  // Called by senders that moved a payload into their final send themselves
-  // (Context::send_to_set), so the accounting matches either broadcast path.
-  void note_moved_send() { ++alloc_stats_.moved_sends; }
 
  private:
   struct Queue {
@@ -150,6 +167,7 @@ class MessageBuffer {
   ProcessSet nonempty_;
   size_t size_ = 0;
   AllocStats alloc_stats_;
+  BufferObserver* observer_ = nullptr;
 };
 
 }  // namespace gam::sim

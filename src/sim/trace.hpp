@@ -1,0 +1,322 @@
+// Structured event tracing for the simulator.
+//
+// A determinism gate that only says "hash mismatch" cannot localize *which*
+// event diverged between two runs. This layer records every observable
+// simulator event as a typed, flat record — send, receive, null-step, crash,
+// failure-detector query, protocol delivery — each stamped with (time, pid,
+// protocol, payload hash), so two runs of the same seed can be compared event
+// by event and the first divergence pinpointed (tools/trace_diff).
+//
+// Sinks:
+//   HashingSink   — folds every event into one 64-bit word; what the sweep's
+//                   determinism gate compares (near-free: no storage).
+//   RingSink      — keeps only the last N events; a crash-dump window for
+//                   long runs where full recording is too heavy.
+//   RecorderSink  — stores the full stream plus a running hash, and can
+//                   serialize it to a text file trace_diff understands.
+//
+// Emission cost: producers guard every emission with `if (sink)`, so the
+// disabled path costs one predictable branch per event. Defining GAM_NO_TRACE
+// compiles the World's emission helpers out entirely (see world.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/failure_pattern.hpp"
+#include "sim/payload.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kSend = 0,      // a message entered the buffer       (p=src, peer=dst)
+  kReceive = 1,   // a message left the buffer          (p=dst, peer=src)
+  kNullStep = 2,  // a process stepped on m_⊥           (p=stepper)
+  kCrash = 3,     // a crashed process was first skipped (arg=crash time)
+  kFdQuery = 4,   // a failure-detector module was read  (type=detector id)
+  kDeliver = 5,   // a protocol-level delivery           (arg=msg id)
+};
+
+inline const char* trace_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kReceive: return "receive";
+    case TraceEventKind::kNullStep: return "null-step";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kFdQuery: return "fd-query";
+    case TraceEventKind::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+inline std::optional<TraceEventKind> trace_kind_from(const char* name) {
+  for (auto k : {TraceEventKind::kSend, TraceEventKind::kReceive,
+                 TraceEventKind::kNullStep, TraceEventKind::kCrash,
+                 TraceEventKind::kFdQuery, TraceEventKind::kDeliver})
+    if (std::strcmp(name, trace_kind_name(k)) == 0) return k;
+  return std::nullopt;
+}
+
+// One flat record. Field use varies by kind (see the enum comments); unused
+// fields stay at their defaults so events hash and compare uniformly.
+struct TraceEvent {
+  Time t = 0;
+  ProcessId p = -1;
+  TraceEventKind kind = TraceEventKind::kNullStep;
+  std::int32_t protocol = 0;
+  std::int32_t type = 0;
+  ProcessId peer = -1;
+  std::int64_t arg = 0;
+  std::uint64_t payload_hash = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+// Order-sensitive 64-bit fold, one multiply-xor round per word (a byte-fed
+// FNV here costs ~8x more and shows up in the determinism gate, which folds
+// every wire event of a run). bench/sweep.hpp uses the same fold so hashes
+// stay comparable across layers.
+inline constexpr std::uint64_t kTraceHashSeed = 1469598103934665603ULL;
+
+inline std::uint64_t trace_mix(std::uint64_t h, std::uint64_t x) {
+  x *= 0x9e3779b97f4a7c15ULL;  // golden-ratio odd constant spreads low bits
+  x ^= x >> 32;
+  h ^= x;
+  h *= 1099511628211ULL;  // FNV prime keeps the fold order-sensitive
+  return h;
+}
+
+inline std::uint64_t hash_payload(const Payload& data) {
+  std::uint64_t h = trace_mix(kTraceHashSeed, data.size());
+  for (std::int64_t w : data) h = trace_mix(h, static_cast<std::uint64_t>(w));
+  return h;
+}
+
+// Every field enters the fold: two event streams hash alike only when they
+// agree on kind, timing, endpoints, and payload content.
+inline std::uint64_t fold_event(std::uint64_t h, const TraceEvent& e) {
+  h = trace_mix(h, static_cast<std::uint64_t>(e.kind));
+  h = trace_mix(h, e.t);
+  h = trace_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.p)));
+  h = trace_mix(h, static_cast<std::uint64_t>(e.protocol));
+  h = trace_mix(h, static_cast<std::uint64_t>(e.type));
+  h = trace_mix(h,
+                static_cast<std::uint64_t>(static_cast<std::int64_t>(e.peer)));
+  h = trace_mix(h, static_cast<std::uint64_t>(e.arg));
+  h = trace_mix(h, e.payload_hash);
+  return h;
+}
+
+inline std::uint64_t hash_events(const std::vector<TraceEvent>& events) {
+  std::uint64_t h = kTraceHashSeed;
+  for (const TraceEvent& e : events) h = fold_event(h, e);
+  return h;
+}
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
+// Hash-only: what the determinism gate runs with. No storage, no allocation.
+class HashingSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& e) override {
+    hash_ = fold_event(hash_, e);
+    ++count_;
+  }
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t hash_ = kTraceHashSeed;
+  std::uint64_t count_ = 0;
+};
+
+// Last-N window: bounded memory regardless of run length.
+class RingSink final : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity) : ring_(capacity) {
+    GAM_EXPECTS(capacity > 0);
+  }
+
+  void on_event(const TraceEvent& e) override {
+    ring_[total_ % ring_.size()] = e;
+    ++total_;
+  }
+
+  // Events sent to the sink over its lifetime (not just the retained window).
+  std::uint64_t total() const { return total_; }
+
+  // The retained window, oldest first.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    std::uint64_t n = std::min<std::uint64_t>(total_, ring_.size());
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = total_ - n; i < total_; ++i)
+      out.push_back(ring_[i % ring_.size()]);
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;
+};
+
+// Full recording plus a running hash (so a recorded run's hash can be checked
+// against a HashingSink run without replaying).
+class RecorderSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& e) override {
+    events_.push_back(e);
+    hash_ = fold_event(hash_, e);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t hash() const { return hash_; }
+  void clear() {
+    events_.clear();
+    hash_ = kTraceHashSeed;
+  }
+
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t hash_ = kTraceHashSeed;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization. One header line, then one event per line in field order
+// `t p kind protocol type peer arg payload_hash` — trivially greppable and
+// stable for trace_diff.
+
+inline std::string serialize_event(const TraceEvent& e) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%llu %d %s %d %d %d %lld %llx",
+                static_cast<unsigned long long>(e.t), e.p,
+                trace_kind_name(e.kind), e.protocol, e.type, e.peer,
+                static_cast<long long>(e.arg),
+                static_cast<unsigned long long>(e.payload_hash));
+  return line;
+}
+
+// Human-oriented rendering for diffs and logs.
+inline std::string format_event(const TraceEvent& e) {
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "t=%-6llu p%-2d %-9s proto=%-4d type=%-3d peer=%-3d "
+                "arg=%lld payload=%llx",
+                static_cast<unsigned long long>(e.t), e.p,
+                trace_kind_name(e.kind), e.protocol, e.type, e.peer,
+                static_cast<long long>(e.arg),
+                static_cast<unsigned long long>(e.payload_hash));
+  return line;
+}
+
+inline bool write_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "# gam-trace v1 events=%zu hash=%llx\n", events.size(),
+               static_cast<unsigned long long>(hash_events(events)));
+  for (const TraceEvent& e : events)
+    std::fprintf(f, "%s\n", serialize_event(e).c_str());
+  std::fclose(f);
+  return true;
+}
+
+inline bool RecorderSink::write(const std::string& path) const {
+  return write_trace(path, events_);
+}
+
+inline std::optional<std::vector<TraceEvent>> load_trace(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return std::nullopt;
+  char line[256];
+  if (!std::fgets(line, sizeof line, f) ||
+      std::strncmp(line, "# gam-trace v1", 14) != 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<TraceEvent> events;
+  while (std::fgets(line, sizeof line, f)) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    unsigned long long t = 0, payload = 0;
+    long long arg = 0;
+    int p = 0, protocol = 0, type = 0, peer = 0;
+    char kind[32];
+    if (std::sscanf(line, "%llu %d %31s %d %d %d %lld %llx", &t, &p, kind,
+                    &protocol, &type, &peer, &arg, &payload) != 8) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    auto k = trace_kind_from(kind);
+    if (!k) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    events.push_back({static_cast<Time>(t), p, *k, protocol, type, peer,
+                      static_cast<std::int64_t>(arg),
+                      static_cast<std::uint64_t>(payload)});
+  }
+  std::fclose(f);
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing. Two runs of the same seed must produce identical streams; the
+// first index where they disagree (including one stream simply ending first)
+// is where the executions forked.
+
+inline std::optional<std::size_t> first_divergence(
+    const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(a[i] == b[i])) return i;
+  if (a.size() != b.size()) return n;
+  return std::nullopt;
+}
+
+// The divergent event with `window` events of shared context before it and up
+// to `window` following events from each side.
+inline std::string render_divergence(const std::vector<TraceEvent>& a,
+                                     const std::vector<TraceEvent>& b,
+                                     std::size_t idx,
+                                     std::size_t window = 5) {
+  std::string out;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "first divergence at event %zu (A has %zu events, B has %zu)\n",
+                idx, a.size(), b.size());
+  out += head;
+  std::size_t from = idx > window ? idx - window : 0;
+  for (std::size_t i = from; i < idx; ++i)
+    out += "  = " + format_event(a[i]) + "\n";
+  auto side = [&](const char* tag, const std::vector<TraceEvent>& v) {
+    for (std::size_t i = idx; i < v.size() && i < idx + window; ++i) {
+      out += "  ";
+      out += tag;
+      out += (i == idx ? "> " : "  ");
+      out += format_event(v[i]) + "\n";
+    }
+    if (idx >= v.size()) {
+      out += "  ";
+      out += tag;
+      out += "> <end of stream>\n";
+    }
+  };
+  side("A", a);
+  side("B", b);
+  return out;
+}
+
+}  // namespace gam::sim

@@ -25,6 +25,7 @@
 
 #include "sim/failure_pattern.hpp"
 #include "sim/message.hpp"
+#include "sim/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/process_set.hpp"
 #include "util/rng.hpp"
@@ -46,6 +47,11 @@ class Context {
             Payload data = {});
   void send_to_set(ProcessSet dst, std::int32_t protocol, std::int32_t type,
                    Payload data = {});
+
+  // Records a failure-detector module read as a trace event (`detector`
+  // discriminates the module: 0 = Ω leader, 1 = Σ quorum, ...). A no-op
+  // without an attached sink.
+  void trace_fd_query(std::int32_t protocol, std::int32_t detector);
 
  private:
   World& world_;
@@ -70,13 +76,19 @@ struct StepStats {
   std::uint64_t messages_received = 0;
 };
 
-class World {
+class World : private BufferObserver {
  public:
   World(FailurePattern pattern, std::uint64_t seed)
       : pattern_(std::move(pattern)),
         rng_(seed),
         actors_(static_cast<size_t>(pattern_.process_count())),
-        stats_(static_cast<size_t>(pattern_.process_count())) {}
+        stats_(static_cast<size_t>(pattern_.process_count())) {
+    buffer_.set_observer(this);
+  }
+
+  // The buffer holds a pointer back to this world (wire accounting/tracing).
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   int process_count() const { return pattern_.process_count(); }
   const FailurePattern& pattern() const { return pattern_; }
@@ -93,9 +105,15 @@ class World {
   // Executes one step of process p at the current time, if p is alive and
   // installed. Returns false when p cannot take a step.
   bool step_process(ProcessId p) {
+    GAM_EXPECTS(p >= 0 && p < process_count());
     auto i = static_cast<size_t>(p);
-    if (!actors_[i] || pattern_.crashed(p, now_)) return false;
-    auto msg = buffer_.receive(p, rng_);
+    if (!actors_[i]) return false;
+    if (pattern_.crashed(p, now_)) {
+      trace_crash(p);
+      return false;
+    }
+    auto msg = buffer_.receive(p, rng_);  // emits the receive event, if any
+    if (!msg) trace(TraceEventKind::kNullStep, p, 0, 0, -1, nullptr);
     Context ctx(*this, p, now_);
     sending_as_ = p;
     actors_[i]->on_step(ctx, msg ? &*msg : nullptr);
@@ -115,14 +133,22 @@ class World {
   bool run_until_quiescent(std::uint64_t max_steps) {
     refresh_wants();  // actors may have been poked between runs
     std::uint64_t executed = 0;
+    // Mask to the installed universe: a message injected for an id outside
+    // [0, process_count) (possible only via direct buffer access — Context
+    // sends are validated) must never become a scheduling candidate, or the
+    // walk below would index actors_ past the end.
+    const ProcessSet universe = ProcessSet::universe(process_count());
     while (executed < max_steps) {
-      ProcessSet candidates = buffer_.nonempty_set() | wants_;
+      ProcessSet candidates = (buffer_.nonempty_set() | wants_) & universe;
       bool progressed = false;
       if (!candidates.empty()) {
         shuffle_into_order(candidates);
         for (ProcessId p : order_) {
           if (executed >= max_steps) break;
-          if (pattern_.crashed(p, now_)) continue;
+          if (pattern_.crashed(p, now_)) {
+            trace_crash(p);
+            continue;
+          }
           if (!buffer_.has_message_for(p) && !wants(p)) {
             wants_.erase(p);  // stale cached bit
             continue;
@@ -170,6 +196,21 @@ class World {
   const MessageBuffer& buffer() const { return buffer_; }
   Rng& rng() { return rng_; }
 
+  // Structured event tracing. With no sink attached (the default) every
+  // emission short-circuits on one branch; attach a HashingSink for the
+  // determinism gate, a RecorderSink for full capture, or a RingSink for a
+  // bounded crash window. The sink must outlive the runs it observes.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+  TraceSink* trace_sink() const { return trace_sink_; }
+
+  // Protocol layers report their delivery events here so they interleave with
+  // the wire events in one stream (`m` is the protocol-level message id).
+  void trace_deliver(ProcessId p, std::int32_t protocol, std::int64_t m,
+                     std::int64_t seq) {
+    trace(TraceEventKind::kDeliver, p, protocol, static_cast<std::int32_t>(seq),
+          -1, nullptr, m);
+  }
+
  private:
   friend class Context;
 
@@ -193,11 +234,62 @@ class World {
 
   bool any_runnable() const {
     for (int p = 0; p < process_count(); ++p) {
+      // A process with no installed automaton can never take a step; counting
+      // it runnable on a pending message would make run_until_quiescent spin
+      // forever without ever consuming its step budget (step_process refuses,
+      // so `executed` never advances past the while condition).
+      if (!actors_[static_cast<size_t>(p)]) continue;
       if (pattern_.crashed(p, now_)) continue;
       if (buffer_.has_message_for(p)) return true;
       if (wants(p)) return true;
     }
     return false;
+  }
+
+  // Central emission point. The `if (!trace_sink_)` branch is the entire cost
+  // of disabled tracing; defining GAM_NO_TRACE compiles even that out.
+  void trace(TraceEventKind kind, ProcessId p, std::int32_t protocol,
+             std::int32_t type, ProcessId peer, const Payload* data,
+             std::int64_t arg = 0) {
+#ifndef GAM_NO_TRACE
+    if (!trace_sink_) return;
+    TraceEvent e;
+    e.t = now_;
+    e.p = p;
+    e.kind = kind;
+    e.protocol = protocol;
+    e.type = type;
+    e.peer = peer;
+    e.arg = arg;
+    e.payload_hash = data ? hash_payload(*data) : 0;
+    trace_sink_->on_event(e);
+#else
+    (void)kind, (void)p, (void)protocol, (void)type, (void)peer, (void)data,
+        (void)arg;
+#endif
+  }
+
+  // One crash event per process, emitted the first time the scheduler skips
+  // it as crashed (the pattern itself is static, so this is the first moment
+  // the crash becomes observable in the run).
+  void trace_crash(ProcessId p) {
+    if (!trace_sink_ || crash_traced_.contains(p)) return;
+    crash_traced_.insert(p);
+    trace(TraceEventKind::kCrash, p, 0, 0, -1, nullptr,
+          static_cast<std::int64_t>(pattern_.crash_time(p)));
+  }
+
+  // BufferObserver: every wire message funnels through these, whichever send
+  // or receive overload produced it — the single place where per-process
+  // messages_sent accounting and send/receive tracing happen.
+  void on_buffer_send(const Message& m) override {
+    if (m.src >= 0 && m.src < process_count())
+      ++stats_[static_cast<size_t>(m.src)].messages_sent;
+    trace(TraceEventKind::kSend, m.src, m.protocol, m.type, m.dst, &m.data);
+  }
+
+  void on_buffer_receive(const Message& m) override {
+    trace(TraceEventKind::kReceive, m.dst, m.protocol, m.type, m.src, &m.data);
   }
 
   // Fisher-Yates over the members of `s` into the reused `order_` buffer.
@@ -219,30 +311,45 @@ class World {
   ProcessSet wants_;                // cached wants_step bits
   std::vector<ProcessId> order_;    // reused per-round shuffle buffer
   ProcessId sending_as_ = -1;
+  TraceSink* trace_sink_ = nullptr;
+  ProcessSet crash_traced_;         // crash events already emitted
 };
 
 inline void Context::send(ProcessId dst, std::int32_t protocol,
                           std::int32_t type, Payload data) {
+  // Validate against the world's process count, not the ProcessSet capacity:
+  // a destination in [process_count, kMaxProcesses) would sit in the buffer's
+  // nonempty set with no actor behind it (and, before the scheduler masked
+  // candidates, walked the scheduler into actors_ out of bounds).
+  GAM_EXPECTS(dst >= 0 && dst < world_.process_count());
   Message m;
   m.src = self_;
   m.dst = dst;
   m.protocol = protocol;
   m.type = type;
   m.data = std::move(data);
-  ++world_.stats_[static_cast<size_t>(self_)].messages_sent;
-  world_.buffer_.send(std::move(m));
+  world_.buffer_.send(std::move(m));  // stats/tracing via the buffer observer
 }
 
 inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
                                  std::int32_t type, Payload data) {
-  if (dst.empty()) return;
-  ProcessId last = dst.max();
-  for (ProcessId p : dst) {
-    if (p == last) break;
-    send(p, protocol, type, data);
-  }
-  world_.buffer_.note_moved_send();
-  send(last, protocol, type, std::move(data));
+  GAM_EXPECTS(dst.subset_of(ProcessSet::universe(world_.process_count())));
+  Message proto;
+  proto.src = self_;
+  proto.protocol = protocol;
+  proto.type = type;
+  proto.data = std::move(data);
+  // One shared broadcast path: MessageBuffer::send_to_set does the
+  // move-on-last-recipient optimization, and the buffer observer attributes
+  // every resulting wire message to this sender — the two overloads can no
+  // longer diverge on StepStats or AllocStats accounting.
+  world_.buffer_.send_to_set(std::move(proto), dst);
+}
+
+inline void Context::trace_fd_query(std::int32_t protocol,
+                                    std::int32_t detector) {
+  world_.trace(TraceEventKind::kFdQuery, self_, protocol, detector, -1,
+               nullptr);
 }
 
 }  // namespace gam::sim

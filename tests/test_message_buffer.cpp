@@ -114,6 +114,73 @@ TEST(ReceiveFifo, MixesWithRandomReceive) {
   EXPECT_EQ(seen.size(), 50u);
 }
 
+// Random receive swap-and-pops against pool.back() while receive_fifo leaves
+// a consumed prefix [0, head). The swap index must stay within the live
+// suffix: a receive must never resurrect a consumed slot or skip a live one.
+
+TEST(ReceiveFifo, RandomReceiveRespectsNonZeroHead) {
+  for (std::uint64_t seed : {1u, 7u, 23u, 91u}) {
+    MessageBuffer buf;
+    Rng rng(seed);
+    for (int t = 0; t < 40; ++t) buf.send(make(1, t));
+    std::set<int> seen;
+    // Build a consumed prefix first, then alternate the two receive paths.
+    for (int i = 0; i < 10; ++i)
+      ASSERT_TRUE(seen.insert(buf.receive_fifo(1)->type).second);
+    while (buf.has_message_for(1)) {
+      auto m = buf.pending_for(1) % 2 ? buf.receive(1, rng)
+                                      : buf.receive_fifo(1);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_TRUE(seen.insert(m->type).second)
+          << "duplicate " << m->type << " seed " << seed;
+    }
+    EXPECT_EQ(seen.size(), 40u) << "seed " << seed;
+    EXPECT_EQ(buf.size(), 0u);
+  }
+}
+
+TEST(ReceiveFifo, MixedReceivesAcrossCompaction) {
+  // 200 sends, 100 FIFO receives crosses the compaction threshold
+  // (head > 64 and head*2 >= pool.size()); the remaining live messages must
+  // then drain exactly once under an arbitrary mix of the two paths, with
+  // payloads intact.
+  MessageBuffer buf;
+  Rng rng(5);
+  for (int t = 0; t < 200; ++t)
+    buf.send(make(3, t, Payload{static_cast<std::int64_t>(t) * 3}));
+  for (int t = 0; t < 100; ++t) {
+    auto m = buf.receive_fifo(3);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, t);
+    ASSERT_EQ(m->data.size(), 1u);
+    EXPECT_EQ(m->data[0], static_cast<std::int64_t>(t) * 3);
+  }
+  // Keep churning across further compactions while draining.
+  int next_type = 200;
+  std::set<int> seen;
+  Rng ops(41);
+  for (int i = 0; i < 60; ++i) {
+    buf.send(make(3, next_type,
+                  Payload{static_cast<std::int64_t>(next_type) * 3}));
+    ++next_type;
+    auto m = ops.chance(0.5) ? buf.receive(3, rng) : buf.receive_fifo(3);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(seen.insert(m->type).second) << "duplicate " << m->type;
+    ASSERT_EQ(m->data.size(), 1u);
+    EXPECT_EQ(m->data[0], static_cast<std::int64_t>(m->type) * 3);
+  }
+  while (buf.has_message_for(3)) {
+    auto m = ops.chance(0.5) ? buf.receive(3, rng) : buf.receive_fifo(3);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(seen.insert(m->type).second) << "duplicate " << m->type;
+  }
+  // Everything sent after the pure-FIFO phase surfaced exactly once.
+  EXPECT_EQ(seen.size(), static_cast<size_t>(next_type) - 100u);
+  for (int t = 100; t < next_type; ++t)
+    EXPECT_TRUE(seen.count(t)) << "lost message " << t;
+  EXPECT_EQ(buf.size(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // The incrementally maintained nonempty set must track pending_for exactly —
 // the World's scheduler trusts it to enumerate runnable candidates.
@@ -234,6 +301,84 @@ TEST(AllocStats, CountsHeapSpills) {
   const auto& a = buf.alloc_stats();
   EXPECT_EQ(a.heap_payloads, 1u);
   EXPECT_EQ(a.inline_payloads, 1u);
+}
+
+TEST(AllocStats, InvariantUnderAnyReceiveMix) {
+  // Alloc stats are send-side only: inline + heap equals the number of
+  // non-empty-payload sends, and no mixture of receive paths (including the
+  // compactions they trigger) may move the counters.
+  MessageBuffer buf;
+  Rng rng(13);
+  Rng ops(77);
+  std::uint64_t nonempty_sends = 0;
+  for (int t = 0; t < 250; ++t) {
+    Payload p;
+    if (t % 3 == 0) {
+      p = Payload{t, t + 1};  // inline
+      ++nonempty_sends;
+    } else if (t % 3 == 1) {
+      p = Payload{1, 2, 3, 4, 5, 6};  // spilled
+      ++nonempty_sends;
+    }  // else: empty payload, uncounted
+    buf.send(make(2, t, std::move(p)));
+  }
+  const auto before = buf.alloc_stats();
+  EXPECT_EQ(before.inline_payloads + before.heap_payloads, nonempty_sends);
+  EXPECT_EQ(before.moved_sends, 0u);  // plain send() never moves-as-broadcast
+
+  // Drain with a seed-driven mix of both paths (FIFO-heavy to force
+  // compactions of the consumed prefix).
+  while (buf.has_message_for(2)) {
+    if (ops.chance(0.7))
+      buf.receive_fifo(2);
+    else
+      buf.receive(2, rng);
+  }
+  const auto after = buf.alloc_stats();
+  EXPECT_EQ(after.inline_payloads, before.inline_payloads);
+  EXPECT_EQ(after.heap_payloads, before.heap_payloads);
+  EXPECT_EQ(after.moved_sends, 0u);
+
+  // Only send_to_set moves: exactly one moved send per broadcast.
+  buf.send_to_set(make(0, 9, Payload{8}), ProcessSet{0, 1, 2});
+  buf.send_to_set(make(0, 10), ProcessSet{3, 4});  // empty payload still moves
+  EXPECT_EQ(buf.alloc_stats().moved_sends, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The observer hook is the single choke point the World uses for wire
+// accounting and event tracing; both receive paths must report through it.
+
+class CountingObserver : public BufferObserver {
+ public:
+  void on_buffer_send(const Message&) override { ++sends; }
+  void on_buffer_receive(const Message& m) override {
+    ++receives;
+    last_type = m.type;
+  }
+  int sends = 0;
+  int receives = 0;
+  std::int32_t last_type = -1;
+};
+
+TEST(BufferObserver, SeesEverySendAndBothReceivePaths) {
+  MessageBuffer buf;
+  CountingObserver obs;
+  buf.set_observer(&obs);
+  Rng rng(29);
+  for (int t = 0; t < 6; ++t) buf.send(make(1, t));
+  buf.send_to_set(make(0, 100), ProcessSet{2, 3});
+  EXPECT_EQ(obs.sends, 8);
+  auto f = buf.receive_fifo(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(obs.last_type, f->type);
+  auto r = buf.receive(1, rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(obs.last_type, r->type);
+  EXPECT_EQ(obs.receives, 2);
+  // Null receives (empty queue) are not events.
+  EXPECT_FALSE(buf.receive_fifo(5).has_value());
+  EXPECT_EQ(obs.receives, 2);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// trace_diff: localize the first divergent event between two recorded runs.
+//
+// The determinism gate (bench_sweep) and the trace self-check (scripts/
+// tier1.sh) reduce a whole run to one hash; when hashes disagree this tool
+// answers *where*. It compares two trace files event by event (format:
+// sim/trace.hpp, produced by --trace=PATH or a RecorderSink) and prints the
+// first divergent event with a window of surrounding context, or verifies a
+// single trace against a reference hash.
+//
+// Usage:
+//   trace_diff A.trace B.trace [--window=N]
+//   trace_diff A.trace --expect-hash=HEX
+//
+// Exit codes: 0 identical / hash matches, 1 divergence / hash mismatch,
+// 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s A.trace B.trace [--window=N]\n"
+               "       %s A.trace --expect-hash=HEX\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string expect_hash;
+  std::size_t window = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--window=", 0) == 0) {
+      int w = std::atoi(a.c_str() + 9);
+      if (w < 1) return usage(argv[0]);
+      window = static_cast<std::size_t>(w);
+    } else if (a.rfind("--expect-hash=", 0) == 0) {
+      expect_hash = a.substr(14);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  if (files.size() == 1 && !expect_hash.empty()) {
+    auto events = gam::sim::load_trace(files[0]);
+    if (!events) {
+      std::fprintf(stderr, "failed to load %s\n", files[0].c_str());
+      return 2;
+    }
+    std::uint64_t want = std::strtoull(expect_hash.c_str(), nullptr, 16);
+    std::uint64_t got = gam::sim::hash_events(*events);
+    if (got == want) {
+      std::printf("hash matches: %016llx (%zu events)\n",
+                  static_cast<unsigned long long>(got), events->size());
+      return 0;
+    }
+    std::printf("hash MISMATCH: trace %016llx vs expected %016llx "
+                "(%zu events)\n"
+                "(a reference hash cannot localize the divergence — record "
+                "the reference run with --trace and diff the two files)\n",
+                static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(want), events->size());
+    return 1;
+  }
+
+  if (files.size() != 2 || !expect_hash.empty()) return usage(argv[0]);
+
+  auto a = gam::sim::load_trace(files[0]);
+  auto b = gam::sim::load_trace(files[1]);
+  if (!a || !b) {
+    std::fprintf(stderr, "failed to load %s\n",
+                 (!a ? files[0] : files[1]).c_str());
+    return 2;
+  }
+
+  auto div = gam::sim::first_divergence(*a, *b);
+  if (!div) {
+    std::printf("identical: %zu events, hash %016llx\n", a->size(),
+                static_cast<unsigned long long>(gam::sim::hash_events(*a)));
+    return 0;
+  }
+  std::printf("A: %s\nB: %s\n%s", files[0].c_str(), files[1].c_str(),
+              gam::sim::render_divergence(*a, *b, *div, window).c_str());
+  return 1;
+}
