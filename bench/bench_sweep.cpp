@@ -1,13 +1,20 @@
 // The perf-tracking bench: parallel seed sweeps over the hot simulator paths.
 //
-// Three configurations, each swept over independent seeds:
+// Four configurations, each swept over independent seeds:
 //   e3_mu_k16        — Algorithm 1 on the E3 workload (k=16 disjoint groups,
 //                      round-robin messages): the action-system hot path;
+//   e3_mu_k64        — the same workload at the 64-group limit (single-member
+//                      groups, the most groups the 64-process universe
+//                      admits): scaling check for the incremental engine;
 //   world_paxos_k8   — ReplicatedMulticast (per-group Paxos logs inside a
 //                      sim::World network): the World/MessageBuffer hot path
 //                      the swap-and-pop + runnable-set changes target;
 //   figure1_crashes  — Algorithm 1 on Figure 1 under sampled failure
 //                      patterns: the branchy detector-driven path.
+//
+// --engine=scan|incremental selects MuMulticast's guard-evaluation engine
+// (default incremental); the two must produce identical per-seed trace
+// hashes — scripts/tier1.sh diffs their recorded traces as a gate.
 //
 // Each sweep runs twice: sequentially (one thread — the single-core
 // steps/sec trendline) and on the thread pool (the wall-clock speedup
@@ -49,6 +56,7 @@ struct Config {
   std::string out = "BENCH_sim.json";
   std::string trace;     // when set, record seed 0 of each config to
                          // <trace>.<config>.trace
+  MuMulticast::Engine engine = MuMulticast::Engine::kIncremental;
 };
 
 // A swept job: runs seed-index `i`; when `rec` is non-null the run's full
@@ -57,12 +65,15 @@ using TracedJob = std::function<RunResult(int, sim::RecorderSink*)>;
 
 // ---- the swept workloads -----------------------------------------------------
 
-// E3 (bench_genuine_vs_broadcast): k disjoint groups of 2, Algorithm 1.
-RunResult run_e3_mu(std::uint64_t seed, int k, int per_group,
-                    sim::RecorderSink* rec) {
-  auto sys = groups::disjoint_system(k, 2);
+// E3 (bench_genuine_vs_broadcast): k disjoint groups, Algorithm 1.
+// group_size=2 is the paper's E3 shape; the k=64 scaling config uses
+// single-member groups (64 groups × 2 members would overflow the 64-process
+// universe).
+RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
+                    MuMulticast::Engine engine, sim::RecorderSink* rec) {
+  auto sys = groups::disjoint_system(k, group_size);
   sim::FailurePattern pat(sys.process_count());
-  MuMulticast mc(sys, pat, {.seed = seed});
+  MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
@@ -92,13 +103,14 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
 
 // Figure 1 under sampled crashes: detector-heavy Algorithm 1 runs.
 RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
+                              MuMulticast::Engine engine,
                               sim::RecorderSink* rec) {
   auto sys = groups::figure1_system();
   Rng rng(seed);
   sim::EnvironmentSampler env{
       .process_count = 5, .max_failures = 2, .horizon = 100};
   sim::FailurePattern pat = env.sample(rng);
-  MuMulticast mc(sys, pat, {.seed = seed});
+  MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
@@ -211,10 +223,15 @@ int main(int argc, char** argv) {
       cfg.out = a.substr(6);
     } else if (a.rfind("--trace=", 0) == 0) {
       cfg.trace = a.substr(8);
+    } else if (a == "--engine=scan") {
+      cfg.engine = MuMulticast::Engine::kScan;
+    } else if (a == "--engine=incremental") {
+      cfg.engine = MuMulticast::Engine::kIncremental;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
-                   "[--seed-base=N] [--out=PATH] [--trace=PATH]\n",
+                   "[--seed-base=N] [--out=PATH] [--trace=PATH] "
+                   "[--engine=scan|incremental]\n",
                    argv[0]);
       return 2;
     }
@@ -224,15 +241,32 @@ int main(int argc, char** argv) {
   const int per_group = cfg.quick ? 2 : 4;
   SweepRunner seq(1);
   SweepRunner pool(cfg.threads);
+  const bool engine_incremental =
+      cfg.engine == MuMulticast::Engine::kIncremental;
+
+  if (cfg.threads == 0 && pool.threads() == 1)
+    std::fprintf(stderr,
+                 "warning: hardware-concurrency detection reported <= 1; the "
+                 "pool runs single-threaded and pool-vs-seq speedups are "
+                 "meaningless (pass --threads=N to size the pool "
+                 "explicitly)\n");
 
   std::printf("Simulator seed-sweep bench — %d seeds/config, pool of %d "
-              "thread(s)%s\n\n",
-              seeds, pool.threads(), cfg.quick ? " [quick]" : "");
+              "thread(s), %s engine%s\n\n",
+              seeds, pool.threads(),
+              engine_incremental ? "incremental" : "scan",
+              cfg.quick ? " [quick]" : "");
 
   BenchJson json;
   json.field("bench", std::string("bench_sweep"));
   json.field("quick", std::string(cfg.quick ? "true" : "false"));
-  json.field("pool_threads", pool.threads());
+  json.field("engine",
+             std::string(engine_incremental ? "incremental" : "scan"));
+  // Requested is the --threads value as given (0 = auto-detect); effective is
+  // the size the pool actually runs with. They differ when detection falls
+  // back — consumers must not read a speedup off a 1-thread "pool".
+  json.field("pool_threads_requested", cfg.threads);
+  json.field("pool_threads_effective", pool.threads());
   json.field("seeds_per_config", seeds);
 
   bool ok = true;
@@ -245,9 +279,16 @@ int main(int argc, char** argv) {
   ok &= sweep_both(
       cfg, "e3_mu_k16", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec) {
-        return run_e3_mu(seed_of(i), 16, per_group, rec);
+        return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine, rec);
       },
       json, &e3_speedup);
+
+  ok &= sweep_both(
+      cfg, "e3_mu_k64", seeds, seq, pool,
+      [&](int i, sim::RecorderSink* rec) {
+        return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine, rec);
+      },
+      json, nullptr);
 
   ok &= sweep_both(
       cfg, "world_paxos_k8", seeds, seq, pool,
@@ -259,11 +300,14 @@ int main(int argc, char** argv) {
   ok &= sweep_both(
       cfg, "figure1_crashes", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec) {
-        return run_figure1_crashes(seed_of(i), per_group, rec);
+        return run_figure1_crashes(seed_of(i), per_group, cfg.engine, rec);
       },
       json, nullptr);
 
-  json.field("e3_pool_vs_seq_speedup", e3_speedup);
+  if (pool.threads() == 1)
+    json.null_field("e3_pool_vs_seq_speedup");
+  else
+    json.field("e3_pool_vs_seq_speedup", e3_speedup);
   json.field("determinism", std::string(ok ? "ok" : "violated"));
   if (!json.write(cfg.out)) {
     std::fprintf(stderr, "failed to write %s\n", cfg.out.c_str());

@@ -204,6 +204,11 @@ class BenchJson {
   void field(const std::string& key, const std::string& v) {
     scalars_.push_back("\"" + key + "\": \"" + v + "\"");
   }
+  // An explicit JSON null — for metrics that would be meaningless rather
+  // than zero (e.g. a pool-vs-seq speedup measured with a 1-thread pool).
+  void null_field(const std::string& key) {
+    scalars_.push_back("\"" + key + "\": null");
+  }
 
   void add(const SweepStats& s) {
     char buf[512];

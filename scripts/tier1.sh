@@ -37,7 +37,7 @@ rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
   --out="$TRACE_DIR"/b.json --trace="$TRACE_DIR"/b >/dev/null
 "$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --seed-base=2 \
   --out="$TRACE_DIR"/c.json --trace="$TRACE_DIR"/c >/dev/null
-for cfg in e3_mu_k16 world_paxos_k8 figure1_crashes; do
+for cfg in e3_mu_k16 e3_mu_k64 world_paxos_k8 figure1_crashes; do
   "$BUILD_DIR"/tools/trace_diff \
     "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/b.$cfg.trace" >/dev/null \
     || { echo "tier1: FAIL — same-seed traces diverge ($cfg)"; exit 1; }
@@ -50,16 +50,32 @@ if "$BUILD_DIR"/tools/trace_diff \
 fi
 echo "tier1: trace self-check OK"
 
+# Engine-equivalence gate: the scan and incremental guard engines must record
+# byte-identical event traces for the Algorithm-1 configurations (the World
+# config does not run MuMulticast and is skipped). trace_diff localizes the
+# first divergent event on failure.
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --engine=scan \
+  --out="$TRACE_DIR"/scan.json --trace="$TRACE_DIR"/scan >/dev/null
+for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
+  "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/scan.$cfg.trace" \
+    || { echo "tier1: FAIL — scan vs incremental engines diverge ($cfg)"; \
+         exit 1; }
+done
+echo "tier1: engine-equivalence gate OK"
+
 # The buffer/scheduler regression tests (out-of-bounds destination,
-# swap-and-pop vs FIFO-head interaction) exist to be run under ASan; do that
-# here when the main gate is unsanitized so the plain gate still covers them.
+# swap-and-pop vs FIFO-head interaction) and the engine-equivalence sweep
+# exist to be run under ASan; do that here when the main gate is unsanitized
+# so the plain gate still covers them.
 if [[ -z "${GAM_SANITIZE:-}" ]]; then
   ASAN_DIR=build-address
   cmake -B "$ASAN_DIR" -S . -DGAM_SANITIZE=address >/dev/null
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
-    --target test_message_buffer test_sim_trace
+    --target test_message_buffer test_sim_trace test_engine_equivalence
   "$ASAN_DIR"/tests/test_message_buffer
   "$ASAN_DIR"/tests/test_sim_trace
+  "$ASAN_DIR"/tests/test_engine_equivalence
   echo "tier1: ASan regression tests OK"
 fi
 

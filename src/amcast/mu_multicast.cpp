@@ -7,14 +7,25 @@ namespace gam::amcast {
 using groups::GroupId;
 using objects::LogEntry;
 
-// Per-process protocol state: the PHASE map of line 4 plus bookkeeping that
-// keeps one-shot actions one-shot.
+// Per-process protocol state: the PHASE map of line 4 (dense, indexed by the
+// message's submission index) plus bookkeeping that keeps one-shot actions
+// one-shot, plus the failure-detector memos of the incremental engine.
 struct MuMulticast::PerProcess {
-  std::map<MsgId, Phase> phase;
+  std::vector<Phase> phase;  // workload_-indexed; grown by submit()
   std::int64_t delivered_seq = 0;
   // Cached F(p) material (the group system is immutable).
   std::vector<groups::FamilyMask> families;
-  std::map<GroupId, groups::FamilyMask> cons_family;  // H(p,g) as a mask
+  std::vector<groups::FamilyMask> cons_family;  // per group: H(p,g) as a mask
+
+  // Wait-set memo: μ outputs are constant between transition times, so a
+  // (process, group) wait set computed at version v is exact until the clock
+  // crosses the next transition (fd_version() changes).
+  struct WaitCache {
+    std::uint64_t version = ~std::uint64_t{0};
+    std::vector<GroupId> groups;
+  };
+  std::vector<WaitCache> gamma_memo;   // per group: γ(g) at this process
+  std::vector<WaitCache> strict_memo;  // per group: §6.1 indicator wait set
 };
 
 MuMulticast::MuMulticast(const groups::GroupSystem& system,
@@ -37,33 +48,89 @@ MuMulticast::MuMulticast(const groups::GroupSystem& system,
                                  options_.fd_lag);
       }
   }
-  procs_.resize(static_cast<size_t>(system.process_count()));
+  auto n = static_cast<size_t>(system.process_count());
+  auto gc = static_cast<size_t>(system.group_count());
+  procs_.resize(n);
   for (ProcessId p = 0; p < system.process_count(); ++p) {
     auto st = std::make_unique<PerProcess>();
     st->families = system_.families_of_process(p);
+    st->cons_family.assign(gc, 0);
     for (GroupId g : system_.groups_of(p)) {
       groups::FamilyMask mask = 0;
       for (GroupId h : system_.cyclic_neighbors(p, g))
         mask |= (groups::FamilyMask{1} << h);
-      st->cons_family[g] = mask;
+      st->cons_family[static_cast<size_t>(g)] = mask;
     }
+    st->gamma_memo.resize(gc);
+    st->strict_memo.resize(gc);
     procs_[static_cast<size_t>(p)] = std::move(st);
   }
+
+  group_sequence_.resize(gc);
+
+  // Every (g,h) log up front, flat-indexed by the journal key min*64+max.
+  // The map-on-demand scheme this replaces needed a shared mutable "empty
+  // log" fallback; pre-creating all group_count^2/2 logs (cheap: empty Log
+  // objects) keeps lookups branch-free and the engine thread-clean.
+  if (gc > 0) {
+    size_t total = (gc - 1) * 64 + gc;
+    logs_.reserve(total);
+    for (size_t idx = 0; idx < total; ++idx)
+      logs_.emplace_back(static_cast<std::int64_t>(idx),
+                         options_.track_log_history);
+  }
+
+  // The instants at which any guard input other than the logs and phases can
+  // change: μ component transitions, the strict indicators, and the raw crash
+  // predicate (read by the helping rule and by multicast_eligible).
+  fd_transitions_ = oracle_.transition_times();
+  for (ProcessId p = 0; p < pattern_.process_count(); ++p)
+    if (pattern_.faulty(p)) fd_transitions_.push_back(pattern_.crash_time(p));
+  for (const auto& ind : indicators_) {
+    auto ts = ind.transition_times();
+    fd_transitions_.insert(fd_transitions_.end(), ts.begin(), ts.end());
+  }
+  std::sort(fd_transitions_.begin(), fd_transitions_.end());
+  fd_transitions_.erase(
+      std::unique(fd_transitions_.begin(), fd_transitions_.end()),
+      fd_transitions_.end());
+  next_transition_ = static_cast<size_t>(
+      std::upper_bound(fd_transitions_.begin(), fd_transitions_.end(), now_) -
+      fd_transitions_.begin());
+
+  dirty_.assign(n, 1);
+  cached_.assign(n, ActionChoice{});
 }
 
 MuMulticast::~MuMulticast() = default;
 
 void MuMulticast::submit(MulticastMessage m) {
-  GAM_EXPECTS(m.id >= 0 && !by_id_.count(m.id));
+  GAM_EXPECTS(m.id >= 0 && !index_of_.count(m.id));
   GAM_EXPECTS(m.dst >= 0 && m.dst < system_.group_count());
   GAM_EXPECTS(system_.group(m.dst).contains(m.src));  // closed dissemination
+  auto mi = static_cast<std::int32_t>(workload_.size());
   workload_.push_back(m);
-  by_id_[m.id] = m;
-  group_sequence_[m.dst].push_back(m.id);
+  index_of_.emplace(m.id, mi);
+  // Keep by_msg_id_ ascending by id (append is the common case: workloads
+  // are generated with increasing ids).
+  auto pos = by_msg_id_.end();
+  if (!by_msg_id_.empty() && workload_[static_cast<size_t>(
+                                 by_msg_id_.back())].id > m.id)
+    pos = std::upper_bound(by_msg_id_.begin(), by_msg_id_.end(), m.id,
+                           [this](MsgId id, std::int32_t j) {
+                             return id < workload_[static_cast<size_t>(j)].id;
+                           });
+  by_msg_id_.insert(pos, mi);
+  group_sequence_[static_cast<size_t>(m.dst)].push_back(m.id);
+  for (auto& st : procs_) st->phase.push_back(Phase::kStart);
+  // Only members of the destination group can gain an enabled multicast.
+  mark_dirty(system_.group(m.dst));
 }
 
-MuMulticast::LogKey MuMulticast::log_key(GroupId g, GroupId h) const {
-  return {std::min(g, h), std::max(g, h)};
+std::size_t MuMulticast::log_index(GroupId g, GroupId h) {
+  auto lo = static_cast<size_t>(std::min(g, h));
+  auto hi = static_cast<size_t>(std::max(g, h));
+  return lo * 64 + hi;
 }
 
 std::int64_t MuMulticast::journal_key(LogKey k) const {
@@ -71,37 +138,74 @@ std::int64_t MuMulticast::journal_key(LogKey k) const {
 }
 
 objects::Log& MuMulticast::log(GroupId g, GroupId h) {
-  LogKey k = log_key(g, h);
-  auto it = logs_.find(k);
-  if (it == logs_.end())
-    it = logs_
-             .emplace(k, objects::Log(journal_key(k),
-                                      options_.track_log_history))
-             .first;
-  return it->second;
-}
-
-std::string MuMulticast::validate_log_invariants() const {
-  for (const auto& [key, l] : logs_) {
-    std::string err = l.check_history();
-    if (!err.empty())
-      return "LOG(g" + std::to_string(key.first) + ",g" +
-             std::to_string(key.second) + "): " + err;
-  }
-  return {};
+  return logs_[log_index(g, h)];
 }
 
 const objects::Log& MuMulticast::log_of(GroupId g, GroupId h) const {
-  static const objects::Log empty;
-  auto it = logs_.find(log_key(g, h));
-  return it == logs_.end() ? empty : it->second;
+  return logs_[log_index(g, h)];
+}
+
+std::string MuMulticast::validate_log_invariants() const {
+  for (GroupId g = 0; g < system_.group_count(); ++g)
+    for (GroupId h = g; h < system_.group_count(); ++h) {
+      std::string err = logs_[log_index(g, h)].check_history();
+      if (!err.empty())
+        return "LOG(g" + std::to_string(g) + ",g" + std::to_string(h) +
+               "): " + err;
+    }
+  return {};
 }
 
 Phase MuMulticast::phase_of(ProcessId p, MsgId m) const {
-  const auto& ph = procs_[static_cast<size_t>(p)]->phase;
-  auto it = ph.find(m);
-  return it == ph.end() ? Phase::kStart : it->second;
+  auto it = index_of_.find(m);
+  if (it == index_of_.end()) return Phase::kStart;
+  return phase_at(p, it->second);
 }
+
+Phase MuMulticast::phase_at(ProcessId p, std::int32_t mi) const {
+  return procs_[static_cast<size_t>(p)]->phase[static_cast<size_t>(mi)];
+}
+
+std::int32_t MuMulticast::index_of(MsgId m) const { return index_of_.at(m); }
+
+// ---- incremental bookkeeping -------------------------------------------------
+
+void MuMulticast::mark_dirty(ProcessSet ps) {
+  for (ProcessId p : ps) dirty_[static_cast<size_t>(p)] = 1;
+}
+
+void MuMulticast::mark_all_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+}
+
+void MuMulticast::clock_crossed() {
+  bool crossed = false;
+  while (next_transition_ < fd_transitions_.size() &&
+         fd_transitions_[next_transition_] <= now_) {
+    ++next_transition_;
+    crossed = true;
+  }
+  if (crossed) mark_all_dirty();
+}
+
+void MuMulticast::set_time(sim::Time t) {
+  if (t == now_) return;
+  bool backward = t < now_;
+  now_ = t;
+  if (backward) {
+    // Re-derive the transition cursor; the version keying of the wait-set
+    // memos stays exact (equal cursor == same inter-transition interval).
+    next_transition_ = static_cast<size_t>(
+        std::upper_bound(fd_transitions_.begin(), fd_transitions_.end(),
+                         now_) -
+        fd_transitions_.begin());
+    mark_all_dirty();
+  } else {
+    clock_crossed();
+  }
+}
+
+void MuMulticast::advance_time(sim::Time dt) { set_time(now_ + dt); }
 
 // ---- preconditions -----------------------------------------------------------
 
@@ -126,17 +230,17 @@ bool MuMulticast::multicast_eligible(ProcessId by,
   // message to g first. Without helping, a predecessor whose sender crashed
   // before multicasting it is skipped — it will never enter the protocol;
   // with helping it will, so the issuer must wait for it.
-  const auto& seq = group_sequence_.at(m.dst);
+  const auto& seq = group_sequence_[static_cast<size_t>(m.dst)];
   for (MsgId prev : seq) {
     if (prev == m.id) break;
-    const MulticastMessage& pm = by_id_.at(prev);
-    bool entered =
-        log_of(pm.dst, pm.dst).contains(LogEntry::message(prev));
+    std::int32_t pi = index_of(prev);
+    bool entered = log_of(m.dst, m.dst).contains(LogEntry::message(prev));
     if (entered) {
-      if (phase_of(by, prev) != Phase::kDeliver) return false;
+      if (phase_at(by, pi) != Phase::kDeliver) return false;
     } else if (options_.helping) {
       return false;  // a helper will issue prev; wait for it
     } else {
+      const MulticastMessage& pm = workload_[static_cast<size_t>(pi)];
       if (!pattern_.crashed(pm.src, now_)) return false;  // may still send
     }
   }
@@ -146,23 +250,25 @@ bool MuMulticast::multicast_eligible(ProcessId by,
 bool MuMulticast::pending_enabled(ProcessId p, const MulticastMessage& m) const {
   const objects::Log& lg = log_of(m.dst, m.dst);
   if (!lg.contains(LogEntry::message(m.id))) return false;
-  for (const LogEntry& e : lg.messages_before(LogEntry::message(m.id)))
-    if (phase_of(p, e.m) < Phase::kCommit) return false;
-  return true;
+  bool ok = true;
+  lg.for_each_before(LogEntry::message(m.id), [&](const LogEntry& e) {
+    if (e.kind == LogEntry::kMessage &&
+        phase_at(p, index_of(e.m)) < Phase::kCommit) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  return ok;
 }
 
 bool MuMulticast::commit_enabled(ProcessId p, const MulticastMessage& m) const {
   const objects::Log& lg = log_of(m.dst, m.dst);
-  for (GroupId h : oracle_.gamma().gamma_of_group(p, m.dst, now_)) {
-    bool found = false;
-    for (const LogEntry& e : lg.entries_if([&](const LogEntry& e) {
-           return e.kind == LogEntry::kPosTuple && e.m == m.id && e.h == h;
-         })) {
-      (void)e;
-      found = true;
-      break;
-    }
-    if (!found) return false;
+  for (GroupId h : gamma_groups(p, m.dst)) {
+    if (!lg.any_entry([&](const LogEntry& e) {
+          return e.kind == LogEntry::kPosTuple && e.m == m.id && e.h == h;
+        }))
+      return false;
   }
   return true;
 }
@@ -172,29 +278,53 @@ bool MuMulticast::stabilize_enabled(ProcessId p, const MulticastMessage& m,
   const objects::Log& lgh = log_of(m.dst, h);
   if (log_of(m.dst, m.dst).contains(LogEntry::stab_tuple(m.id, h)))
     return false;  // effect already applied (append is idempotent)
-  for (const LogEntry& e : lgh.messages_before(LogEntry::message(m.id)))
-    if (phase_of(p, e.m) < Phase::kStable) return false;
-  return true;
+  bool ok = true;
+  lgh.for_each_before(LogEntry::message(m.id), [&](const LogEntry& e) {
+    if (e.kind == LogEntry::kMessage &&
+        phase_at(p, index_of(e.m)) < Phase::kStable) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  return ok;
 }
 
-std::vector<GroupId> MuMulticast::stable_wait_groups(ProcessId p,
-                                                     GroupId g) const {
-  if (!options_.strict) return oracle_.gamma().gamma_of_group(p, g, now_);
+const std::vector<GroupId>& MuMulticast::gamma_groups(ProcessId p,
+                                                      GroupId g) const {
+  auto& memo =
+      procs_[static_cast<size_t>(p)]->gamma_memo[static_cast<size_t>(g)];
+  if (memo.version != fd_version()) {
+    memo.groups = oracle_.gamma().gamma_of_group(p, g, now_);
+    memo.version = fd_version();
+  }
+  return memo.groups;
+}
+
+const std::vector<GroupId>& MuMulticast::stable_wait_groups(ProcessId p,
+                                                            GroupId g) const {
+  if (!options_.strict) return gamma_groups(p, g);
   // Strict variant (§6.1): wait on every intersecting group unless its
-  // intersection with g is flagged dead by 1^{g∩h}.
-  std::vector<GroupId> out;
-  size_t idx = 0;
-  for (GroupId a = 0; a < system_.group_count(); ++a)
-    for (GroupId b = a; b < system_.group_count(); ++b) {
-      if (system_.intersection(a, b).empty()) continue;
-      if (a == g || b == g) {
-        GroupId h = (a == g) ? b : a;
-        auto flag = indicators_[idx].query(p, now_);
-        if (!(flag && *flag)) out.push_back(h);
+  // intersection with g is flagged dead by 1^{g∩h}. The indicator index walk
+  // mirrors the constructor's emplacement order.
+  auto& memo =
+      procs_[static_cast<size_t>(p)]->strict_memo[static_cast<size_t>(g)];
+  if (memo.version != fd_version()) {
+    memo.groups.clear();
+    size_t idx = 0;
+    for (GroupId a = 0; a < system_.group_count(); ++a)
+      for (GroupId b = a; b < system_.group_count(); ++b) {
+        if (system_.intersection(a, b).empty()) continue;
+        if (a == g || b == g) {
+          GroupId h = (a == g) ? b : a;
+          auto flag = indicators_[idx].query(p, now_);
+          if (!(flag && *flag)) memo.groups.push_back(h);
+        }
+        ++idx;
       }
-      ++idx;
-    }
-  return out;
+    memo.version = fd_version();
+  }
+  return memo.groups;
 }
 
 bool MuMulticast::stable_enabled(ProcessId p, const MulticastMessage& m) const {
@@ -209,190 +339,228 @@ bool MuMulticast::deliver_enabled(ProcessId p, const MulticastMessage& m) const 
     if (!system_.intersection(m.dst, h).contains(p)) continue;
     const objects::Log& l = log_of(m.dst, h);
     if (!l.contains(LogEntry::message(m.id))) continue;
-    for (const LogEntry& e : l.messages_before(LogEntry::message(m.id)))
-      if (phase_of(p, e.m) != Phase::kDeliver) return false;
+    bool ok = true;
+    l.for_each_before(LogEntry::message(m.id), [&](const LogEntry& e) {
+      if (e.kind == LogEntry::kMessage &&
+          phase_at(p, index_of(e.m)) != Phase::kDeliver) {
+        ok = false;
+        return false;
+      }
+      return true;
+    });
+    if (!ok) return false;
   }
   return true;
 }
 
-// ---- actions -----------------------------------------------------------------
+// ---- guard evaluation --------------------------------------------------------
 
-bool MuMulticast::try_multicast(ProcessId p) {
-  for (const MulticastMessage& m : workload_) {
-    if (!may_multicast(p, m)) continue;
-    if (phase_of(p, m.id) != Phase::kStart) continue;
-    if (log_of(m.dst, m.dst).contains(LogEntry::message(m.id))) continue;
-    if (!multicast_eligible(p, m) || !sigma_allows(p, m.dst)) continue;
-    log(m.dst, m.dst).append(LogEntry::message(m.id), p, &journal_);
-    record_.multicast.push_back(m);
-    record_.multicast_time.push_back(now_);
-    if (trace_) trace_->record({now_, p, TraceEvent::kMulticast, m.id, -1, -1});
-    return true;
+// The first enabled action of p in the fixed priority order. This is the
+// single source of selection semantics for both engines: kScan calls it at
+// every scheduling attempt, kIncremental only when p is dirty. Within each
+// action the iteration order matches the original scan loops exactly —
+// ascending message id for the phase-driven actions (the std::map order the
+// scan engine historically used), <_L order inside the pending log walk, and
+// submission order for multicast — so the two engines pick identical actions.
+MuMulticast::ActionChoice MuMulticast::resolve(ProcessId p) const {
+  const PerProcess& st = *procs_[static_cast<size_t>(p)];
+
+  // deliver (lines 34-37)
+  for (std::int32_t mi : by_msg_id_) {
+    if (st.phase[static_cast<size_t>(mi)] != Phase::kStable) continue;
+    const MulticastMessage& m = workload_[static_cast<size_t>(mi)];
+    if (!deliver_enabled(p, m)) continue;
+    if (!sigma_allows(p, m.dst)) continue;
+    return {ActionChoice::kDeliver, mi, -1};
   }
-  return false;
-}
 
-bool MuMulticast::try_pending(ProcessId p) {
-  auto& st = *procs_[static_cast<size_t>(p)];
+  // stable (lines 30-33)
+  for (std::int32_t mi : by_msg_id_) {
+    if (st.phase[static_cast<size_t>(mi)] != Phase::kCommit) continue;
+    const MulticastMessage& m = workload_[static_cast<size_t>(mi)];
+    if (!stable_enabled(p, m)) continue;
+    if (!sigma_allows(p, m.dst)) continue;
+    return {ActionChoice::kStable, mi, -1};
+  }
+
+  // stabilize (lines 25-29)
+  for (std::int32_t mi : by_msg_id_) {
+    if (st.phase[static_cast<size_t>(mi)] != Phase::kCommit) continue;
+    const MulticastMessage& m = workload_[static_cast<size_t>(mi)];
+    if (!sigma_allows(p, m.dst)) continue;
+    for (GroupId h : system_.groups_of(p))
+      if (stabilize_enabled(p, m, h)) return {ActionChoice::kStabilize, mi, h};
+  }
+
+  // commit (lines 16-24)
+  for (std::int32_t mi : by_msg_id_) {
+    if (st.phase[static_cast<size_t>(mi)] != Phase::kPending) continue;
+    const MulticastMessage& m = workload_[static_cast<size_t>(mi)];
+    if (!commit_enabled(p, m) || !sigma_allows(p, m.dst)) continue;
+    return {ActionChoice::kCommit, mi, -1};
+  }
+
+  // pending (lines 8-15)
   for (GroupId g : system_.groups_of(p)) {
     const objects::Log& lg = log_of(g, g);
-    for (const LogEntry& e : lg.entries_if(
-             [](const LogEntry& e) { return e.kind == LogEntry::kMessage; })) {
-      const MulticastMessage& m = by_id_.at(e.m);
-      if (phase_of(p, m.id) != Phase::kStart) continue;
-      if (!pending_enabled(p, m) || !sigma_allows(p, m.dst)) continue;
+    ActionChoice out{};
+    lg.for_each_sorted([&](const LogEntry& e) {
+      if (e.kind != LogEntry::kMessage) return true;
+      std::int32_t mi = index_of(e.m);
+      if (st.phase[static_cast<size_t>(mi)] != Phase::kStart) return true;
+      const MulticastMessage& m = workload_[static_cast<size_t>(mi)];
+      if (!pending_enabled(p, m) || !sigma_allows(p, m.dst)) return true;
+      out = {ActionChoice::kPending, mi, -1};
+      return false;
+    });
+    if (out.kind != ActionChoice::kNone) return out;
+  }
+
+  // multicast (lines 5-7)
+  for (size_t w = 0; w < workload_.size(); ++w) {
+    const MulticastMessage& m = workload_[w];
+    if (!may_multicast(p, m)) continue;
+    if (st.phase[w] != Phase::kStart) continue;
+    if (log_of(m.dst, m.dst).contains(LogEntry::message(m.id))) continue;
+    if (!multicast_eligible(p, m) || !sigma_allows(p, m.dst)) continue;
+    return {ActionChoice::kMulticast, static_cast<std::int32_t>(w), -1};
+  }
+
+  return {};
+}
+
+// ---- effects -----------------------------------------------------------------
+
+void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
+  PerProcess& st = *procs_[static_cast<size_t>(p)];
+  const MulticastMessage& m = workload_[static_cast<size_t>(c.mi)];
+  MsgId mid = m.id;
+  // Processes whose cached selection a log mutation may flip: every guard of
+  // q reading LOG_{a∩b} has a,b ∈ G(q), so the members of a's and b's groups
+  // over-approximate the readers.
+  ProcessSet dirty;
+  auto touched = [&](GroupId a, GroupId b) {
+    dirty |= system_.group(a) | system_.group(b);
+  };
+
+  switch (c.kind) {
+    case ActionChoice::kMulticast: {
+      log(m.dst, m.dst).append(LogEntry::message(mid), p, &journal_);
+      touched(m.dst, m.dst);
+      record_.multicast.push_back(m);
+      record_.multicast_time.push_back(now_);
+      if (trace_)
+        trace_->record({now_, p, TraceEvent::kMulticast, mid, -1, -1});
+      break;
+    }
+    case ActionChoice::kPending: {
       for (GroupId h : system_.groups_of(p)) {
-        std::int64_t i = log(m.dst, h).append(LogEntry::message(m.id), p,
-                                              &journal_);
-        log(m.dst, m.dst).append(LogEntry::pos_tuple(m.id, h, i), p,
-                                 &journal_);
+        std::int64_t i =
+            log(m.dst, h).append(LogEntry::message(mid), p, &journal_);
+        log(m.dst, m.dst).append(LogEntry::pos_tuple(mid, h, i), p, &journal_);
+        touched(m.dst, h);
+        touched(m.dst, m.dst);
       }
-      st.phase[m.id] = Phase::kPending;
+      st.phase[static_cast<size_t>(c.mi)] = Phase::kPending;
+      if (trace_) trace_->record({now_, p, TraceEvent::kPending, mid, -1, -1});
+      break;
+    }
+    case ActionChoice::kCommit: {
+      const objects::Log& lg = log_of(m.dst, m.dst);
+      std::int64_t k = 0;
+      for (const LogEntry& e : lg.entries_if([&](const LogEntry& e) {
+             return e.kind == LogEntry::kPosTuple && e.m == mid;
+           }))
+        k = std::max(k, e.i);
+      ConsKey key{mid, st.cons_family[static_cast<size_t>(m.dst)]};
+      k = consensus_[key].propose(k, p, &journal_, mid);
+      for (GroupId h : system_.groups_of(p)) {
+        log(m.dst, h).bump_and_lock(LogEntry::message(mid), k, p, &journal_);
+        touched(m.dst, h);
+      }
+      st.phase[static_cast<size_t>(c.mi)] = Phase::kCommit;
+      if (trace_) trace_->record({now_, p, TraceEvent::kCommit, mid, -1, k});
+      break;
+    }
+    case ActionChoice::kStabilize: {
+      log(m.dst, m.dst).append(LogEntry::stab_tuple(mid, c.h), p, &journal_);
+      touched(m.dst, m.dst);
       if (trace_)
-        trace_->record({now_, p, TraceEvent::kPending, m.id, -1, -1});
-      return true;
+        trace_->record({now_, p, TraceEvent::kStabilize, mid, c.h, -1});
+      break;
     }
-  }
-  return false;
-}
-
-bool MuMulticast::try_commit(ProcessId p) {
-  auto& st = *procs_[static_cast<size_t>(p)];
-  for (auto& [mid, phase] : st.phase) {
-    if (phase != Phase::kPending) continue;
-    const MulticastMessage& m = by_id_.at(mid);
-    if (!commit_enabled(p, m) || !sigma_allows(p, m.dst)) continue;
-    const objects::Log& lg = log_of(m.dst, m.dst);
-    std::int64_t k = 0;
-    for (const LogEntry& e : lg.entries_if([&](const LogEntry& e) {
-           return e.kind == LogEntry::kPosTuple && e.m == mid;
-         }))
-      k = std::max(k, e.i);
-    ConsKey key{mid, st.cons_family.at(m.dst)};
-    k = consensus_[key].propose(k, p, &journal_, mid);
-    for (GroupId h : system_.groups_of(p))
-      log(m.dst, h).bump_and_lock(LogEntry::message(mid), k, p, &journal_);
-    phase = Phase::kCommit;
-    if (trace_) trace_->record({now_, p, TraceEvent::kCommit, mid, -1, k});
-    return true;
-  }
-  return false;
-}
-
-bool MuMulticast::try_stabilize(ProcessId p) {
-  auto& st = *procs_[static_cast<size_t>(p)];
-  for (auto& [mid, phase] : st.phase) {
-    if (phase != Phase::kCommit) continue;
-    const MulticastMessage& m = by_id_.at(mid);
-    if (!sigma_allows(p, m.dst)) continue;
-    for (GroupId h : system_.groups_of(p)) {
-      if (!stabilize_enabled(p, m, h)) continue;
-      log(m.dst, m.dst).append(LogEntry::stab_tuple(mid, h), p, &journal_);
-      if (trace_)
-        trace_->record({now_, p, TraceEvent::kStabilize, mid, h, -1});
-      return true;
+    case ActionChoice::kStable: {
+      st.phase[static_cast<size_t>(c.mi)] = Phase::kStable;
+      if (trace_) trace_->record({now_, p, TraceEvent::kStable, mid, -1, -1});
+      break;
     }
-  }
-  return false;
-}
-
-bool MuMulticast::try_stable(ProcessId p) {
-  auto& st = *procs_[static_cast<size_t>(p)];
-  for (auto& [mid, phase] : st.phase) {
-    if (phase != Phase::kCommit) continue;
-    if (!stable_enabled(p, by_id_.at(mid))) continue;
-    if (!sigma_allows(p, by_id_.at(mid).dst)) continue;
-    phase = Phase::kStable;
-    if (trace_) trace_->record({now_, p, TraceEvent::kStable, mid, -1, -1});
-    return true;
-  }
-  return false;
-}
-
-bool MuMulticast::try_deliver(ProcessId p) {
-  auto& st = *procs_[static_cast<size_t>(p)];
-  for (auto& [mid, phase] : st.phase) {
-    if (phase != Phase::kStable) continue;
-    if (!deliver_enabled(p, by_id_.at(mid))) continue;
-    if (!sigma_allows(p, by_id_.at(mid).dst)) continue;
-    phase = Phase::kDeliver;
-    record_.deliveries.push_back({p, mid, now_, st.delivered_seq++});
-    if (trace_) trace_->record({now_, p, TraceEvent::kDeliver, mid, -1, -1});
-    if (event_sink_) {
-      const MulticastMessage& msg = by_id_.at(mid);
-      sim::TraceEvent e;
-      e.t = now_;
-      e.p = p;
-      e.kind = sim::TraceEventKind::kDeliver;
-      e.protocol = static_cast<std::int32_t>(msg.dst);
-      e.type = static_cast<std::int32_t>(st.delivered_seq - 1);
-      e.arg = mid;
-      e.payload_hash = sim::trace_mix(sim::kTraceHashSeed,
-                                      static_cast<std::uint64_t>(msg.payload));
-      event_sink_->on_event(e);
+    case ActionChoice::kDeliver: {
+      st.phase[static_cast<size_t>(c.mi)] = Phase::kDeliver;
+      record_.deliveries.push_back({p, mid, now_, st.delivered_seq++});
+      if (trace_) trace_->record({now_, p, TraceEvent::kDeliver, mid, -1, -1});
+      if (event_sink_) {
+        sim::TraceEvent e;
+        e.t = now_;
+        e.p = p;
+        e.kind = sim::TraceEventKind::kDeliver;
+        e.protocol = static_cast<std::int32_t>(m.dst);
+        e.type = static_cast<std::int32_t>(st.delivered_seq - 1);
+        e.arg = mid;
+        e.payload_hash = sim::trace_mix(
+            sim::kTraceHashSeed, static_cast<std::uint64_t>(m.payload));
+        event_sink_->on_event(e);
+      }
+      break;
     }
-    return true;
+    case ActionChoice::kNone:
+      break;
   }
-  return false;
+
+  dirty.insert(p);  // own phase (and one-shot state) changed
+  mark_dirty(dirty);
 }
+
+// ---- scheduling --------------------------------------------------------------
 
 bool MuMulticast::step_process(ProcessId p) {
   if (pattern_.crashed(p, now_)) return false;
   if (!options_.fair_set.empty() && !options_.fair_set.contains(p))
     return false;
-  bool fired = try_deliver(p) || try_stable(p) || try_stabilize(p) ||
-               try_commit(p) || try_pending(p) || try_multicast(p);
-  if (fired) {
-    if (!options_.external_clock) ++now_;
-    ++record_.steps;
-    record_.active.insert(p);
+  ActionChoice c;
+  if (options_.engine == Engine::kScan) {
+    c = resolve(p);
+  } else {
+    auto i = static_cast<size_t>(p);
+    if (dirty_[i]) {
+      cached_[i] = resolve(p);
+      dirty_[i] = 0;
+    }
+    c = cached_[i];
   }
-  return fired;
+  if (c.kind == ActionChoice::kNone) return false;
+  execute(p, c);
+  if (!options_.external_clock) {
+    ++now_;
+    clock_crossed();
+  }
+  ++record_.steps;
+  record_.active.insert(p);
+  return true;
 }
 
 bool MuMulticast::action_enabled_somewhere() const {
-  // Conservative: replay the per-action guards without effects.
   for (ProcessId p = 0; p < system_.process_count(); ++p) {
     if (pattern_.crashed(p, now_)) continue;
     if (!options_.fair_set.empty() && !options_.fair_set.contains(p)) continue;
-    const auto& st = *procs_[static_cast<size_t>(p)];
-    for (auto& [mid, phase] : st.phase) {
-      const MulticastMessage& m = by_id_.at(mid);
-      if (!sigma_allows(p, m.dst)) continue;
-      switch (phase) {
-        case Phase::kStart:
-          break;  // handled by the log scan below
-        case Phase::kPending:
-          if (commit_enabled(p, m)) return true;
-          break;
-        case Phase::kCommit: {
-          if (stable_enabled(p, m)) return true;
-          for (GroupId h : system_.groups_of(p))
-            if (stabilize_enabled(p, m, h)) return true;
-          break;
-        }
-        case Phase::kStable:
-          if (deliver_enabled(p, m)) return true;
-          break;
-        case Phase::kDeliver:
-          break;
+    if (options_.engine == Engine::kIncremental) {
+      auto i = static_cast<size_t>(p);
+      if (dirty_[i]) {
+        cached_[i] = resolve(p);
+        dirty_[i] = 0;
       }
-    }
-    for (GroupId g : system_.groups_of(p)) {
-      const objects::Log& lg = log_of(g, g);
-      for (const LogEntry& e : lg.entries_if([](const LogEntry& e) {
-             return e.kind == LogEntry::kMessage;
-           })) {
-        if (phase_of(p, e.m) != Phase::kStart) continue;
-        if (!sigma_allows(p, g)) continue;
-        if (pending_enabled(p, by_id_.at(e.m))) return true;
-      }
-    }
-    for (const MulticastMessage& m : workload_) {
-      if (!may_multicast(p, m) || phase_of(p, m.id) != Phase::kStart)
-        continue;
-      if (log_of(m.dst, m.dst).contains(LogEntry::message(m.id))) continue;
-      if (multicast_eligible(p, m) && sigma_allows(p, m.dst)) return true;
+      if (cached_[i].kind != ActionChoice::kNone) return true;
+    } else if (resolve(p).kind != ActionChoice::kNone) {
+      return true;
     }
   }
   return false;
@@ -426,6 +594,7 @@ RunRecord MuMulticast::run() {
     if (!fired) {
       if (now_ < t_stab) {
         ++now_;
+        clock_crossed();
         continue;
       }
       record_.quiescent = true;

@@ -19,6 +19,25 @@
 // objects/ideal.hpp; Σ and Ω enter through them (see DESIGN.md), γ and the
 // per-group leaders enter through the μ oracle.
 //
+// Two execution engines share one selection semantics (DESIGN.md,
+// "Incremental guarded-action engine"):
+//
+//   kScan         re-evaluates every guard of a process at every scheduling
+//                 attempt — the literal reading of the pseudo-code and the
+//                 equivalence oracle;
+//   kIncremental  caches, per process, the next action that would fire and
+//                 invalidates that cache only on the events that can change
+//                 a guard: a mutation of a log the process reads (dirtying
+//                 the members of the log's two groups), a phase change of
+//                 the process itself, or the clock crossing a failure-
+//                 detector transition time (all μ outputs are step functions
+//                 of time; the transition instants are precomputed from the
+//                 failure pattern). A clean "nothing enabled" verdict makes
+//                 a scheduling attempt O(1).
+//
+// Both engines fire the same action of the same process at every step, so
+// runs are trace-identical seed for seed (tests/test_engine_equivalence).
+//
 // Options toggle the §6.1 strict variant (the stable action waits on the
 // indicator 1^{g∩h} for *every* intersecting h, instead of on γ) and a
 // restriction of the scheduler to a subset of processes (P-fair runs, used by
@@ -31,6 +50,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "amcast/trace.hpp"
@@ -46,6 +66,11 @@ namespace gam::amcast {
 
 class MuMulticast {
  public:
+  enum class Engine : std::int8_t {
+    kScan = 0,         // full guard re-evaluation per attempt (oracle)
+    kIncremental = 1,  // dirty-tracked cached actions (default)
+  };
+
   struct Options {
     std::uint64_t seed = 1;
     std::uint64_t max_steps = 1u << 20;
@@ -71,6 +96,8 @@ class MuMulticast {
     // Journal every log mutation so validate_log_invariants() can check the
     // Table-2 base invariants post-run (tests; small overhead).
     bool track_log_history = false;
+    // Guard-evaluation engine; kScan is the reference oracle.
+    Engine engine = Engine::kIncremental;
   };
 
   MuMulticast(const groups::GroupSystem& system,
@@ -117,8 +144,8 @@ class MuMulticast {
   const objects::Log& log_of(groups::GroupId g, groups::GroupId h) const;
   const fd::MuOracle& oracle() const { return oracle_; }
   sim::Time now() const { return now_; }
-  void advance_time(sim::Time dt) { now_ += dt; }
-  void set_time(sim::Time t) { now_ = t; }
+  void advance_time(sim::Time dt);
+  void set_time(sim::Time t);
 
  private:
   struct PerProcess;
@@ -132,17 +159,32 @@ class MuMulticast {
 
   using LogKey = std::pair<groups::GroupId, groups::GroupId>;  // normalized
 
+  // The outcome of guard evaluation for one process: the first action that
+  // would fire, in the fixed priority order deliver > stable > stabilize >
+  // commit > pending > multicast (ties within an action broken by ascending
+  // message id, or by submission order for multicast).
+  struct ActionChoice {
+    enum Kind : std::int8_t {
+      kNone = 0,
+      kMulticast,
+      kPending,
+      kCommit,
+      kStabilize,
+      kStable,
+      kDeliver,
+    };
+    Kind kind = kNone;
+    std::int32_t mi = -1;       // dense message index into workload_
+    groups::GroupId h = -1;     // stabilize only
+  };
+
   objects::Log& log(groups::GroupId g, groups::GroupId h);
-  LogKey log_key(groups::GroupId g, groups::GroupId h) const;
+  static std::size_t log_index(groups::GroupId g, groups::GroupId h);
   std::int64_t journal_key(LogKey k) const;
 
-  // The actions; each returns true when it fired for some message.
-  bool try_multicast(ProcessId p);
-  bool try_pending(ProcessId p);
-  bool try_commit(ProcessId p);
-  bool try_stabilize(ProcessId p);
-  bool try_stable(ProcessId p);
-  bool try_deliver(ProcessId p);
+  // Guard evaluation (pure) and effect execution for the chosen action.
+  ActionChoice resolve(ProcessId p) const;
+  void execute(ProcessId p, const ActionChoice& c);
 
   bool action_enabled_somewhere() const;
 
@@ -157,8 +199,23 @@ class MuMulticast {
   bool may_multicast(ProcessId p, const MulticastMessage& m) const;
   bool sigma_allows(ProcessId p, groups::GroupId g) const;
 
-  std::vector<groups::GroupId> stable_wait_groups(ProcessId p,
-                                                  groups::GroupId g) const;
+  // γ(g) at p (commit/stable wait set) and the strict §6.1 wait set, both
+  // memoized per (process, group) and keyed by the failure-detector version
+  // (the number of transition times the clock has crossed): μ outputs are
+  // constant between transitions, so the memo is exact.
+  const std::vector<groups::GroupId>& gamma_groups(ProcessId p,
+                                                   groups::GroupId g) const;
+  const std::vector<groups::GroupId>& stable_wait_groups(
+      ProcessId p, groups::GroupId g) const;
+
+  Phase phase_at(ProcessId p, std::int32_t mi) const;
+  std::int32_t index_of(MsgId m) const;
+
+  // Incremental-engine bookkeeping.
+  void mark_dirty(ProcessSet ps);
+  void mark_all_dirty();
+  void clock_crossed();  // after now_ moved forward: cross transition times
+  std::uint64_t fd_version() const { return next_transition_; }
 
   const groups::GroupSystem& system_;
   const sim::FailurePattern& pattern_;
@@ -168,15 +225,29 @@ class MuMulticast {
   Rng rng_;
   sim::Time now_ = 0;
 
-  std::vector<MulticastMessage> workload_;           // submission order
-  std::map<MsgId, MulticastMessage> by_id_;
-  std::map<groups::GroupId, std::vector<MsgId>> group_sequence_;
+  std::vector<MulticastMessage> workload_;       // dense storage, submission order
+  std::unordered_map<MsgId, std::int32_t> index_of_;  // id -> dense index
+  std::vector<std::int32_t> by_msg_id_;          // dense indices, ascending id
+  std::vector<std::vector<MsgId>> group_sequence_;    // per destination group
 
-  std::map<LogKey, objects::Log> logs_;
+  // All (g,h) logs, flat-indexed min(g,h)*64 + max(g,h) (== the journal key);
+  // GroupSystem::kMaxGroups caps group ids at 64 so the packing is exact.
+  std::vector<objects::Log> logs_;
   std::map<ConsKey, objects::Consensus> consensus_;
   objects::AccessJournal journal_;
 
   std::vector<std::unique_ptr<PerProcess>> procs_;
+
+  // The sorted instants at which any μ component (or the raw crash predicate
+  // the helping rule reads) can change output; next_transition_ counts how
+  // many the clock has crossed and doubles as the memo version.
+  std::vector<sim::Time> fd_transitions_;
+  std::size_t next_transition_ = 0;
+
+  // Per-process cached selection (incremental engine). Mutable: quiescence
+  // checks are const but may refresh a dirty cache.
+  mutable std::vector<std::uint8_t> dirty_;
+  mutable std::vector<ActionChoice> cached_;
 
   Trace* trace_ = nullptr;
   sim::TraceSink* event_sink_ = nullptr;

@@ -11,6 +11,24 @@ namespace {
 // "eventually" clause of the classes while exercising the transient slack.
 Time lagged(Time t, Time lag) { return t > lag ? t - lag : 0; }
 
+void sort_unique(std::vector<Time>& ts) {
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+}
+
+// The lagged crash instants of the faulty members of `scope`: the only times
+// a lag-delayed view of "who in the scope is alive" can change.
+std::vector<Time> scope_transitions(const sim::FailurePattern& pattern,
+                                    ProcessSet scope, Time lag) {
+  std::vector<Time> ts;
+  for (ProcessId p : scope) {
+    Time ct = pattern.crash_time(p);
+    if (ct != sim::kNever) ts.push_back(ct + lag);
+  }
+  sort_unique(ts);
+  return ts;
+}
+
 }  // namespace
 
 // ---- Σ_P ---------------------------------------------------------------------
@@ -51,6 +69,10 @@ std::optional<ProcessSet> SigmaOracle::query(ProcessId p, Time t) const {
   return quorum_at(t);
 }
 
+std::vector<Time> SigmaOracle::transition_times() const {
+  return scope_transitions(*pattern_, scope_, lag_);
+}
+
 // ---- Ω_P ---------------------------------------------------------------------
 
 OmegaOracle::OmegaOracle(const sim::FailurePattern& pattern, ProcessSet scope,
@@ -66,6 +88,10 @@ std::optional<ProcessId> OmegaOracle::query(ProcessId p, Time t) const {
   for (ProcessId q : scope_)
     if (pattern_->alive(q, view)) return q;
   return scope_.min();  // whole scope dead: Leadership is vacuous
+}
+
+std::vector<Time> OmegaOracle::transition_times() const {
+  return scope_transitions(*pattern_, scope_, lag_);
 }
 
 // ---- γ -----------------------------------------------------------------------
@@ -116,6 +142,14 @@ std::vector<groups::FamilyMask> GammaOracle::query(ProcessId p, Time t) const {
   return out;
 }
 
+std::vector<Time> GammaOracle::transition_times() const {
+  std::vector<Time> ts;
+  for (const auto& [f, ft] : faulty_time_)
+    if (ft != sim::kNever) ts.push_back(ft + lag_);
+  sort_unique(ts);
+  return ts;
+}
+
 std::vector<groups::GroupId> GammaOracle::gamma_of_group(ProcessId p,
                                                          groups::GroupId g,
                                                          Time t) const {
@@ -149,6 +183,12 @@ std::optional<bool> IndicatorOracle::query(ProcessId p, Time t) const {
   return t >= ct + lag_;
 }
 
+std::vector<Time> IndicatorOracle::transition_times() const {
+  Time ct = pattern_->set_crash_time(watched_);
+  if (ct == sim::kNever) return {};
+  return {ct + lag_};
+}
+
 // ---- μ -----------------------------------------------------------------------
 
 MuOracle::MuOracle(const groups::GroupSystem& system,
@@ -174,6 +214,18 @@ const SigmaOracle& MuOracle::sigma(groups::GroupId g, groups::GroupId h) const {
 const OmegaOracle& MuOracle::omega(groups::GroupId g) const {
   GAM_EXPECTS(g >= 0 && g < system_->group_count());
   return omegas_[static_cast<size_t>(g)];
+}
+
+std::vector<Time> MuOracle::transition_times() const {
+  std::vector<Time> ts;
+  auto absorb = [&ts](std::vector<Time> more) {
+    ts.insert(ts.end(), more.begin(), more.end());
+  };
+  for (const SigmaOracle& s : sigmas_) absorb(s.transition_times());
+  for (const OmegaOracle& o : omegas_) absorb(o.transition_times());
+  absorb(gamma_.transition_times());
+  sort_unique(ts);
+  return ts;
 }
 
 }  // namespace gam::fd

@@ -44,6 +44,12 @@ class SigmaOracle {
   // H(p, t); nullopt encodes ⊥ (p outside the scope).
   std::optional<ProcessSet> query(ProcessId p, Time t) const;
 
+  // The times at which this history's output can change (sorted, deduped):
+  // the lagged crash instants of the faulty scope members. Between two
+  // consecutive transition times every query is constant — the incremental
+  // guarded-action engine invalidates its caches only at these instants.
+  std::vector<Time> transition_times() const;
+
   ProcessSet scope() const { return scope_; }
 
  private:
@@ -65,6 +71,9 @@ class OmegaOracle {
               Time lag = 0);
 
   std::optional<ProcessId> query(ProcessId p, Time t) const;
+
+  // Output-change instants (see SigmaOracle::transition_times).
+  std::vector<Time> transition_times() const;
 
   ProcessSet scope() const { return scope_; }
 
@@ -92,6 +101,10 @@ class GammaOracle {
   std::vector<groups::GroupId> gamma_of_group(ProcessId p, groups::GroupId g,
                                               Time t) const;
 
+  // The lagged family-faulty instants: outside these, γ(p, t) — and hence
+  // γ(g) — is constant in t at every process.
+  std::vector<Time> transition_times() const;
+
  private:
   const groups::GroupSystem* system_;
   const sim::FailurePattern* pattern_;
@@ -114,6 +127,9 @@ class IndicatorOracle {
                   ProcessSet scope, Time lag = 0);
 
   std::optional<bool> query(ProcessId p, Time t) const;
+
+  // The single lagged flip instant (empty when `watched` never fully crashes).
+  std::vector<Time> transition_times() const;
 
  private:
   const sim::FailurePattern* pattern_;
@@ -150,6 +166,11 @@ class MuOracle {
   // Ω_g.
   const OmegaOracle& omega(groups::GroupId g) const;
   const GammaOracle& gamma() const { return gamma_; }
+
+  // The union of every component's transition times (sorted, deduped): a
+  // consumer whose clock has not crossed one of these since it last evaluated
+  // a μ query will read exactly the same answers.
+  std::vector<Time> transition_times() const;
 
   const groups::GroupSystem& system() const { return *system_; }
 

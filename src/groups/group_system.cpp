@@ -18,7 +18,13 @@ GroupSystem::GroupSystem(int process_count, std::vector<ProcessSet> groups)
   GAM_EXPECTS(process_count_ > 0 &&
               process_count_ <= ProcessSet::kMaxProcesses);
   GAM_EXPECTS(!groups_.empty());
-  GAM_EXPECTS(groups_.size() <= 20);  // exhaustive family enumeration bound
+  if (group_count() > kMaxGroups)
+    std::fprintf(stderr,
+                 "GroupSystem: %d destination groups exceed kMaxGroups = %d "
+                 "(FamilyMask is a 64-bit group bitmask and log journal keys "
+                 "pack (g,h) as g*64+h; more groups would alias both)\n",
+                 group_count(), kMaxGroups);
+  GAM_EXPECTS(group_count() <= kMaxGroups);
   groups_of_.resize(static_cast<size_t>(process_count_));
   for (GroupId g = 0; g < group_count(); ++g) {
     const ProcessSet& s = groups_[static_cast<size_t>(g)];
@@ -65,10 +71,52 @@ bool GroupSystem::hamiltonian(const std::vector<GroupId>& members,
 const std::vector<FamilyMask>& GroupSystem::cyclic_families() const {
   if (families_computed_) return cyclic_families_;
   int n = group_count();
-  for (FamilyMask f = 0; f < (FamilyMask{1} << n); ++f) {
-    if (family_size(f) < 3) continue;
-    if (is_cyclic(f)) cyclic_families_.push_back(f);
+  // A Hamiltonian intersection graph is connected, so every cyclic family
+  // lives inside one connected component of the global intersection graph.
+  // Enumerate subsets per component: the exponential bound applies to the
+  // largest component, not to |G|.
+  std::vector<int> component(static_cast<size_t>(n), -1);
+  int components = 0;
+  for (GroupId start = 0; start < n; ++start) {
+    if (component[static_cast<size_t>(start)] != -1) continue;
+    int c = components++;
+    std::vector<GroupId> stack{start};
+    component[static_cast<size_t>(start)] = c;
+    while (!stack.empty()) {
+      GroupId g = stack.back();
+      stack.pop_back();
+      for (GroupId h = 0; h < n; ++h)
+        if (component[static_cast<size_t>(h)] == -1 &&
+            !intersection(g, h).empty()) {
+          component[static_cast<size_t>(h)] = c;
+          stack.push_back(h);
+        }
+    }
   }
+  std::vector<std::vector<GroupId>> members_of(static_cast<size_t>(components));
+  for (GroupId g = 0; g < n; ++g)
+    members_of[static_cast<size_t>(component[static_cast<size_t>(g)])]
+        .push_back(g);
+  for (const std::vector<GroupId>& members : members_of) {
+    auto k = members.size();
+    if (k < 3) continue;
+    if (k > 20)
+      std::fprintf(stderr,
+                   "GroupSystem: a connected component of the intersection "
+                   "graph has %zu groups; the exhaustive cyclic-family "
+                   "enumeration is bounded at 20 per component\n",
+                   k);
+    GAM_EXPECTS(k <= 20);  // per-component exhaustive enumeration bound
+    for (std::uint32_t sub = 1; sub < (std::uint32_t{1} << k); ++sub) {
+      if (std::popcount(sub) < 3) continue;
+      FamilyMask f = 0;
+      for (size_t i = 0; i < k; ++i)
+        if ((sub >> i) & 1u) f |= FamilyMask{1} << members[i];
+      if (is_cyclic(f)) cyclic_families_.push_back(f);
+    }
+  }
+  // Ascending mask order, exactly what the former whole-set scan produced.
+  std::sort(cyclic_families_.begin(), cyclic_families_.end());
   families_computed_ = true;
   return cyclic_families_;
 }

@@ -49,6 +49,11 @@ using ClosedPath = std::vector<GroupId>;
 
 class GroupSystem {
  public:
+  // Hard limit on |G|: FamilyMask is a 64-bit group bitmask and the log
+  // journal packs a (g,h) pair as g*64+h, so a 65th group would silently
+  // alias both encodings. Construction aborts with a diagnostic past it.
+  static constexpr int kMaxGroups = 64;
+
   GroupSystem(int process_count, std::vector<ProcessSet> groups);
 
   int process_count() const { return process_count_; }
@@ -78,8 +83,12 @@ class GroupSystem {
   // ---- cyclic families -----------------------------------------------------
 
   // F: every family f ⊆ G with |f| >= 3 whose intersection graph is
-  // Hamiltonian. Computed once, lazily; |G| must stay below 20 for the
-  // exhaustive enumeration (far beyond the topologies in the paper).
+  // Hamiltonian. Computed once, lazily. A cyclic family's intersection graph
+  // is connected, so the enumeration runs per connected component of the
+  // global intersection graph: each component may hold at most 20 groups
+  // (2^20 subsets, far beyond the topologies in the paper), while the total
+  // group count may go up to kMaxGroups — e.g. 64 pairwise-disjoint groups
+  // enumerate nothing at all.
   const std::vector<FamilyMask>& cyclic_families() const;
 
   bool is_cyclic(FamilyMask f) const;

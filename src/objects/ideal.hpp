@@ -17,6 +17,8 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +54,21 @@ struct LogEntry {
   friend bool operator==(const LogEntry& a, const LogEntry& b) = default;
 };
 
+// Hash for the membership index of Log: all four fields enter the mix so the
+// three entry shapes sharing one message id stay distinct.
+struct LogEntryHash {
+  std::size_t operator()(const LogEntry& e) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(e.kind);
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(e.m));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.h)));
+    mix(static_cast<std::uint64_t>(e.i));
+    return static_cast<std::size_t>(h);
+  }
+};
+
 // Access journal: which process performed which kind of operation on which
 // object. The Minimality checker consumes this.
 struct Access {
@@ -84,6 +101,18 @@ class AccessJournal {
 // slot after which only free slots exist); bumpAndLock moves a datum to
 // max(current, k) and freezes it there. The induced order d <_L d' compares
 // slots, then the a-priori order on data items.
+//
+// Performance contract (the guarded-action engine leans on all three):
+//   - membership (contains/pos/locked/before) is O(1) via a hash index;
+//   - head() and locked_count() are O(1) cursors maintained by the mutators;
+//   - epoch() counts *effective* mutations, so a caller holding a previous
+//     epoch can skip a log that cannot have changed its guard verdicts; the
+//     <_L-sorted view is cached per epoch, making repeated order traversals
+//     (entries_if, messages_before, for_each_before) allocation-free between
+//     mutations.
+// The sorted-view cache makes concurrent const traversals of one Log
+// instance non-thread-safe; every sweep job owns its objects (bench/sweep.hpp
+// rules), so nothing shares a Log across threads.
 //
 // With history tracking enabled, every mutation is journaled and
 // check_history() validates the base invariants of the paper's Table 2
@@ -155,7 +184,9 @@ class Log {
             {HistoryEvent::kAppend, d, 0, it->slot, it->locked});
       return it->slot;
     }
+    index_.emplace(d, static_cast<std::uint32_t>(items_.size()));
     items_.push_back({d, head_, false});
+    ++epoch_;
     if (track_history_)
       history_.push_back({HistoryEvent::kAppend, d, 0, head_, false});
     return head_++;
@@ -180,6 +211,8 @@ class Log {
       it->slot = std::max(it->slot, k);
       it->locked = true;
       head_ = std::max(head_, it->slot + 1);
+      ++locked_count_;
+      ++epoch_;
     }
     if (track_history_)
       history_.push_back({HistoryEvent::kBump, d, k, it->slot, it->locked});
@@ -201,16 +234,10 @@ class Log {
   // All entries matching `pred`, in <_L order.
   template <typename Pred>
   std::vector<LogEntry> entries_if(Pred&& pred) const {
-    std::vector<const Item*> sel;
-    for (const Item& it : items_)
-      if (pred(it.entry)) sel.push_back(&it);
-    std::sort(sel.begin(), sel.end(), [](const Item* a, const Item* b) {
-      return std::make_pair(a->slot, a->entry) <
-             std::make_pair(b->slot, b->entry);
-    });
     std::vector<LogEntry> out;
-    out.reserve(sel.size());
-    for (const Item* it : sel) out.push_back(it->entry);
+    for_each_sorted([&](const LogEntry& e) {
+      if (pred(e)) out.push_back(e);
+    });
     return out;
   }
 
@@ -218,16 +245,61 @@ class Log {
     return entries_if([](const LogEntry&) { return true; });
   }
 
+  // Visits every entry in <_L order without materializing a vector. A
+  // bool-returning fn stops the walk early by returning false.
+  template <typename Fn>
+  void for_each_sorted(Fn&& fn) const {
+    ensure_sorted();
+    for (std::uint32_t i : sorted_) {
+      if constexpr (std::is_same_v<std::invoke_result_t<Fn&, const LogEntry&>,
+                                   bool>) {
+        if (!fn(items_[i].entry)) return;
+      } else {
+        fn(items_[i].entry);
+      }
+    }
+  }
+
+  // Visits the entries strictly before d in <_L order; no-op when d is
+  // absent (matching before(), which is false unless both ends are present).
+  // Returning false from fn stops the walk early.
+  template <typename Fn>
+  void for_each_before(const LogEntry& d, Fn&& fn) const {
+    const Item* target = find(d);
+    if (target == nullptr) return;
+    ensure_sorted();
+    auto bound = std::make_pair(target->slot, target->entry);
+    for (std::uint32_t i : sorted_) {
+      const Item& it = items_[i];
+      if (std::make_pair(it.slot, it.entry) >= bound) break;
+      if (!fn(it.entry)) return;
+    }
+  }
+
+  // True when some entry matches `pred` (unordered, allocation-free).
+  template <typename Pred>
+  bool any_entry(Pred&& pred) const {
+    for (const Item& it : items_)
+      if (pred(it.entry)) return true;
+    return false;
+  }
+
   // Message entries strictly before d in <_L order.
   std::vector<LogEntry> messages_before(const LogEntry& d) const {
     std::vector<LogEntry> out;
-    for (const LogEntry& e :
-         entries_if([](const LogEntry& e) { return e.kind == LogEntry::kMessage; }))
-      if (before(e, d)) out.push_back(e);
+    for_each_before(d, [&](const LogEntry& e) {
+      if (e.kind == LogEntry::kMessage) out.push_back(e);
+      return true;
+    });
     return out;
   }
 
   size_t size() const { return items_.size(); }
+
+  // O(1) cursors and the mutation epoch (see the class comment).
+  std::int64_t head() const { return head_; }
+  std::int64_t locked_count() const { return locked_count_; }
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   struct Item {
@@ -237,19 +309,36 @@ class Log {
   };
 
   const Item* find(const LogEntry& d) const {
-    for (const Item& it : items_)
-      if (it.entry == d) return &it;
-    return nullptr;
+    auto it = index_.find(d);
+    return it == index_.end() ? nullptr : &items_[it->second];
   }
   Item* find(const LogEntry& d) {
     return const_cast<Item*>(std::as_const(*this).find(d));
   }
 
+  void ensure_sorted() const {
+    if (sorted_epoch_ == epoch_) return;
+    sorted_.resize(items_.size());
+    for (std::uint32_t i = 0; i < sorted_.size(); ++i) sorted_[i] = i;
+    std::sort(sorted_.begin(), sorted_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return std::make_pair(items_[a].slot, items_[a].entry) <
+                       std::make_pair(items_[b].slot, items_[b].entry);
+              });
+    sorted_epoch_ = epoch_;
+  }
+
   std::int64_t key_;
   bool track_history_ = false;
   std::vector<Item> items_;
+  std::unordered_map<LogEntry, std::uint32_t, LogEntryHash> index_;
   std::vector<HistoryEvent> history_;
   std::int64_t head_ = 1;  // slots are numbered from 1
+  std::int64_t locked_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  // Lazily rebuilt <_L view: item indices sorted by (slot, entry).
+  mutable std::vector<std::uint32_t> sorted_;
+  mutable std::uint64_t sorted_epoch_ = ~std::uint64_t{0};
 };
 
 // Ideal consensus: the first proposal decides. Validity, agreement and

@@ -1,7 +1,5 @@
 #include "objects/universal_log.hpp"
 
-#include <algorithm>
-
 namespace gam::objects {
 
 namespace {
@@ -11,6 +9,7 @@ constexpr int kStallLimit = 8;
 void UniversalLog::submit(std::int64_t op,
                           std::function<void(std::int64_t)> applied) {
   pending_.push_back({op, std::move(applied)});
+  known_ops_.insert(op);
 }
 
 std::int64_t UniversalLog::first_unlearned() const {
@@ -23,6 +22,7 @@ void UniversalLog::learn(std::int64_t inst, std::int64_t value) {
     auto it = decided_.find(first_unlearned());
     if (it == decided_.end()) break;
     learned_.push_back(it->second);
+    known_ops_.insert(it->second);
     std::int64_t pos = static_cast<std::int64_t>(learned_.size()) - 1;
     if (on_learn_) on_learn_(learned_.back(), pos);
     // Resolve own pending submissions that just got ordered.
@@ -142,10 +142,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
     }
     case kForward: {
       std::int64_t op = m.data[0];
-      bool known = std::find(learned_.begin(), learned_.end(), op) !=
-                   learned_.end();
-      for (const Pending& p : pending_) known = known || p.op == op;
-      if (!known) pending_.push_back({op, nullptr});
+      if (known_ops_.insert(op).second) pending_.push_back({op, nullptr});
       break;
     }
     default:

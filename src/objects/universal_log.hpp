@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "fd/detectors.hpp"
@@ -96,6 +97,10 @@ class UniversalLog : public SubProtocol {
     std::function<void(std::int64_t)> applied;
   };
   std::vector<Pending> pending_;  // own + forwarded ops not yet in the log
+  // O(1) "have I seen this op?" for forward dedup: every op currently in
+  // pending_ plus every op ever pushed into learned_. A linear scan here was
+  // quadratic in log length under heavy forwarding.
+  std::unordered_set<std::int64_t> known_ops_;
   std::function<void(std::int64_t, std::int64_t)> on_learn_;
   int forward_stall_ = 0;
 };

@@ -227,5 +227,28 @@ TEST(GroupSystem, PairwiseVsHamiltonianFaultyReadingsDivergeOnChords) {
               fig.family_faulty_hamiltonian_at(f, fp, 5));
 }
 
+TEST(GroupSystemLimits, SixtyFourGroupsConstructAndEnumerate) {
+  // kMaxGroups exactly: 64 disjoint single-member groups — the e3_mu_k64
+  // bench shape. Family enumeration must not scan 2^64 subsets (it runs per
+  // connected component of the intersection graph, and disjoint groups give
+  // 64 singleton components).
+  std::vector<ProcessSet> gs;
+  for (int g = 0; g < 64; ++g) gs.push_back(ProcessSet::single(g));
+  GroupSystem sys(64, gs);
+  EXPECT_EQ(sys.group_count(), GroupSystem::kMaxGroups);
+  EXPECT_TRUE(sys.cyclic_families().empty());
+}
+
+using GroupSystemDeathTest = ::testing::Test;
+
+TEST(GroupSystemDeathTest, SixtyFifthGroupTripsPrecondition) {
+  // A 65th group would silently alias both the FamilyMask bit and the
+  // journal's g*64+h packing; construction must die with a diagnostic
+  // naming the limit instead.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<ProcessSet> gs(65, ProcessSet{0});
+  EXPECT_DEATH(GroupSystem(1, gs), "kMaxGroups");
+}
+
 }  // namespace
 }  // namespace gam::groups

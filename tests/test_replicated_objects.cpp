@@ -332,6 +332,68 @@ TEST(UniversalLog, ProgressAfterLeaderCrash) {
   EXPECT_EQ(logs[1]->learned().size(), 2u);
 }
 
+TEST(UniversalLog, OutOfOrderDecisionsLearnInInstanceOrder) {
+  // Regression for the kForward dedup rewrite: decisions arriving out of
+  // instance order must still produce the contiguous learned prefix, and a
+  // forwarded op must be enqueued exactly once — whether it re-arrives while
+  // pending or after it has entered the learned prefix.
+  FailurePattern pat(3);
+  sim::World world(pat, 7);
+  sim::Context ctx(world, 0, 0);
+  ProcessSet scope = ProcessSet::universe(3);
+  fd::SigmaOracle sigma(pat, scope);
+  fd::OmegaOracle omega(pat, scope);
+  UniversalLog log(3, 0, scope, sigma, omega);
+
+  auto decide = [](std::int64_t inst, std::int64_t value) {
+    sim::Message m;
+    m.src = 1;
+    m.dst = 0;
+    m.protocol = 3;
+    m.type = 5;  // kDecide: [inst, value]
+    m.data = {inst, value};
+    return m;
+  };
+  auto forward = [](std::int64_t op) {
+    sim::Message m;
+    m.src = 2;
+    m.dst = 0;
+    m.protocol = 3;
+    m.type = 6;  // kForward: [op]
+    m.data = {op};
+    return m;
+  };
+
+  // Instance 2 decides first: nothing learnable yet.
+  log.on_message(ctx, decide(2, 102));
+  EXPECT_TRUE(log.learned().empty());
+
+  // A forwarded op enqueues once; the duplicate is dropped.
+  EXPECT_FALSE(log.wants_step());
+  log.on_message(ctx, forward(42));
+  EXPECT_TRUE(log.wants_step());
+  log.on_message(ctx, forward(42));
+
+  // Instance 0 lands: prefix [100]. Instance 1 lands: the buffered decision
+  // for instance 2 completes the prefix in one learn cascade.
+  log.on_message(ctx, decide(0, 100));
+  EXPECT_EQ(log.learned(), (std::vector<std::int64_t>{100}));
+  log.on_message(ctx, decide(1, 101));
+  EXPECT_EQ(log.learned(), (std::vector<std::int64_t>{100, 101, 102}));
+
+  // Duplicate decision for a learned instance is inert.
+  log.on_message(ctx, decide(1, 101));
+  EXPECT_EQ(log.learned().size(), 3u);
+
+  // Forwarding an op that is already in the learned prefix must not enqueue
+  // it again (it would be proposed — and decided — twice).
+  log.on_message(ctx, forward(101));
+  // Drain the only genuinely pending op to expose the state: 42 remains.
+  log.on_message(ctx, decide(3, 42));
+  EXPECT_EQ(log.learned(), (std::vector<std::int64_t>{100, 101, 102, 42}));
+  EXPECT_FALSE(log.wants_step());  // nothing pending: 101 was deduped
+}
+
 // ---- CfFastConsensus (Proposition 47) ------------------------------------------
 
 TEST(CfFastConsensus, ContentionFreeStaysInIntersection) {
