@@ -28,6 +28,16 @@
 // On a gate failure the divergent seed is replayed twice inline with full
 // event recording, both traces are dumped, and the first divergent event is
 // printed (the same report `tools/trace_diff` produces offline).
+//
+// --metrics=PATH adds an instrumented pass per configuration: every seed runs
+// with a private sim::Metrics registry, the registries merge in job-index
+// order (so the report is byte-identical across reruns and thread counts),
+// and seed-index 0's full event stream replays through the online invariant
+// monitors (integrity / agreement / acyclicity). The result is a
+// gam-metrics-v1 JSON report at PATH; a compact per-config summary also folds
+// into BENCH_sim.json under "metrics". Inspect or diff reports with
+// tools/metrics_report. A monitor violation fails the run (exit 1), same as
+// the determinism gate.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,8 +49,22 @@
 #include "amcast/replicated_multicast.hpp"
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
+#include "sim/metrics.hpp"
+#include "sim/monitors.hpp"
 #include "sim/trace.hpp"
 #include "sweep.hpp"
+
+// Build-time run metadata (bench/CMakeLists.txt); fallbacks keep the file
+// compiling outside that target.
+#ifndef GAM_GIT_REV
+#define GAM_GIT_REV "unknown"
+#endif
+#ifndef GAM_BUILD_TYPE
+#define GAM_BUILD_TYPE ""
+#endif
+#ifndef GAM_SANITIZE_STR
+#define GAM_SANITIZE_STR ""
+#endif
 
 using namespace gam;
 using namespace gam::amcast;
@@ -56,12 +80,20 @@ struct Config {
   std::string out = "BENCH_sim.json";
   std::string trace;     // when set, record seed 0 of each config to
                          // <trace>.<config>.trace
+  std::string metrics;   // when set, write a gam-metrics-v1 report here
   MuMulticast::Engine engine = MuMulticast::Engine::kIncremental;
 };
 
 // A swept job: runs seed-index `i`; when `rec` is non-null the run's full
-// event stream is recorded there instead of only hashed.
-using TracedJob = std::function<RunResult(int, sim::RecorderSink*)>;
+// event stream is recorded there instead of only hashed; when `met` is
+// non-null the run attaches its metrics probes to that registry.
+using TracedJob =
+    std::function<RunResult(int, sim::RecorderSink*, sim::Metrics*)>;
+
+// How a configuration's trace maps onto the invariant monitors: group
+// membership, protocol numbering, and the failure pattern of seed-index 0
+// (the seed the monitor pass replays).
+using MonitorConfigFn = std::function<sim::MonitorConfig()>;
 
 // ---- the swept workloads -----------------------------------------------------
 
@@ -70,12 +102,14 @@ using TracedJob = std::function<RunResult(int, sim::RecorderSink*)>;
 // single-member groups (64 groups × 2 members would overflow the 64-process
 // universe).
 RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
-                    MuMulticast::Engine engine, sim::RecorderSink* rec) {
+                    MuMulticast::Engine engine, sim::RecorderSink* rec,
+                    sim::Metrics* met) {
   auto sys = groups::disjoint_system(k, group_size);
   sim::FailurePattern pat(sys.process_count());
   MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
+  if (met) mc.set_metrics(met);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
   RunResult r = summarize(mc.run());
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
@@ -87,12 +121,13 @@ RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
 // The hash covers the complete wire-event stream (every send, receive,
 // null-step, FD query, and delivery), not just the delivery record.
 RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
-                          sim::RecorderSink* rec) {
+                          sim::RecorderSink* rec, sim::Metrics* met) {
   auto sys = groups::disjoint_system(k, 3);
   sim::FailurePattern pat(sys.process_count());
   ReplicatedMulticast rm(sys, pat, {.seed = seed});
   sim::HashingSink hasher;
   rm.world().set_trace_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
+  if (met) rm.set_metrics(met);
   for (auto& m : round_robin_workload(sys, per_group)) rm.submit(m);
   RunResult r = summarize(rm.run());
   r.messages = rm.messages_sent();
@@ -104,7 +139,7 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
 // Figure 1 under sampled crashes: detector-heavy Algorithm 1 runs.
 RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
                               MuMulticast::Engine engine,
-                              sim::RecorderSink* rec) {
+                              sim::RecorderSink* rec, sim::Metrics* met) {
   auto sys = groups::figure1_system();
   Rng rng(seed);
   sim::EnvironmentSampler env{
@@ -113,10 +148,61 @@ RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
   MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
+  if (met) mc.set_metrics(met);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
   RunResult r = summarize(mc.run());
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
   return r;
+}
+
+sim::MonitorConfig monitor_config(const groups::GroupSystem& sys,
+                                  std::int32_t protocol_base,
+                                  bool require_multicast,
+                                  ProcessSet faulty = {}) {
+  sim::MonitorConfig mc;
+  mc.groups.reserve(static_cast<size_t>(sys.group_count()));
+  for (GroupId g = 0; g < sys.group_count(); ++g)
+    mc.groups.push_back(sys.group(g));
+  mc.protocol_base = protocol_base;
+  mc.require_multicast = require_multicast;
+  mc.faulty = faulty;
+  return mc;
+}
+
+// Sum of a gauge's merged values across all labels (the ledger gauges merge
+// by addition, so this is the across-seeds total).
+std::int64_t gauge_total(const sim::Metrics& m, const std::string& name) {
+  std::int64_t total = 0;
+  for (const auto& [k, g] : m.gauges())
+    if (k.name == name) total += g.value;
+  return total;
+}
+
+// The per-config summary folded into BENCH_sim.json: headline latency
+// quantiles, FD-query pressure, the genuineness ledger, and the monitor
+// verdict — enough for trend tracking without parsing the full report.
+std::string metrics_summary_json(const sim::Metrics& m,
+                                 std::uint64_t monitor_events,
+                                 std::uint64_t monitor_violations) {
+  sim::Histogram lat = m.merged_histogram("deliver_latency");
+  sim::Histogram convoy = m.merged_histogram("convoy_wait");
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"deliveries\": %llu, \"deliver_latency_mean\": %.3f, "
+      "\"deliver_latency_p99\": %llu, \"convoy_wait_mean\": %.3f, "
+      "\"fd_queries\": %llu, \"consensus_proposals\": %llu, "
+      "\"non_addressee_steps\": %lld, \"non_addressee_messages\": %lld, "
+      "\"monitor_events\": %llu, \"monitor_violations\": %llu}",
+      static_cast<unsigned long long>(lat.count), lat.mean(),
+      static_cast<unsigned long long>(lat.quantile(0.99)), convoy.mean(),
+      static_cast<unsigned long long>(m.counter_total("fd_query")),
+      static_cast<unsigned long long>(m.counter_total("consensus_propose")),
+      static_cast<long long>(gauge_total(m, "non_addressee_steps")),
+      static_cast<long long>(gauge_total(m, "non_addressee_messages")),
+      static_cast<unsigned long long>(monitor_events),
+      static_cast<unsigned long long>(monitor_violations));
+  return buf;
 }
 
 void print_stats(const SweepStats& s) {
@@ -134,8 +220,8 @@ void print_stats(const SweepStats& s) {
 void dump_divergence(const Config& cfg, const char* name, int i,
                      const TracedJob& job) {
   sim::RecorderSink a, b;
-  job(i, &a);
-  job(i, &b);
+  job(i, &a, nullptr);
+  job(i, &b, nullptr);
   std::string base = cfg.out + "." + name + ".seed" + std::to_string(i);
   std::string pa = base + ".a.trace", pb = base + ".b.trace";
   if (!a.write(pa) || !b.write(pb))
@@ -159,8 +245,11 @@ void dump_divergence(const Config& cfg, const char* name, int i,
 // thread interleavings). Returns false on a determinism violation.
 bool sweep_both(const Config& cfg, const char* name, int n,
                 const SweepRunner& seq, const SweepRunner& pool,
-                const TracedJob& job, BenchJson& json, double* speedup_out) {
-  auto plain = [&job](int i) { return job(i, nullptr); };
+                const TracedJob& job, const MonitorConfigFn& moncfg,
+                BenchJson& json, double* speedup_out,
+                sim::MetricsReport* report,
+                std::vector<std::string>* summaries) {
+  auto plain = [&job](int i) { return job(i, nullptr, nullptr); };
   std::vector<RunResult> seq_results, pool_results;
   SweepStats s1 = seq.sweep(std::string(name) + "_seq", n, plain, &seq_results);
   SweepStats sp =
@@ -194,13 +283,46 @@ bool sweep_both(const Config& cfg, const char* name, int n,
   // comparison with trace_diff (e.g. across binaries, flags, or seeds).
   if (!cfg.trace.empty()) {
     sim::RecorderSink rec;
-    job(0, &rec);
+    job(0, &rec, nullptr);
     std::string path = cfg.trace + "." + name + ".trace";
     if (rec.write(path))
       std::printf("  recorded %zu events -> %s\n\n", rec.events().size(),
                   path.c_str());
     else
       std::printf("  failed to write %s\n\n", path.c_str());
+  }
+
+  // --metrics=PATH: an instrumented pooled pass. Each seed writes a private
+  // registry; merging in job-index order afterwards keeps the report
+  // byte-identical across reruns and thread counts. Seed-index 0 is then
+  // replayed with full event recording through the invariant monitors —
+  // a violation fails the sweep exactly like the determinism gate.
+  if (report) {
+    std::vector<sim::Metrics> mets(static_cast<size_t>(n));
+    pool.run(n, [&](int i) {
+      return job(i, nullptr, &mets[static_cast<size_t>(i)]);
+    });
+    sim::Metrics& merged = report->config(name);
+    for (const auto& m : mets) merged.merge(m);
+
+    sim::RecorderSink rec;
+    RunResult r0 = job(0, &rec, nullptr);
+    sim::InvariantMonitors mon(moncfg());
+    sim::feed(mon, rec.events());
+    mon.finalize(r0.quiescent);
+    auto viols = mon.violations();
+    std::uint64_t checked = mon.integrity().events_seen();
+    merged.counter("monitor_events").add(checked);
+    merged.counter("monitor_violations").add(viols.size());
+    for (const auto& v : viols) {
+      std::printf("  INVARIANT VIOLATION (%s seed-index 0): %s\n", name,
+                  sim::format_violation(v).c_str());
+      ok = false;
+    }
+    if (summaries)
+      summaries->push_back("\"" + std::string(name) +
+                           "\": " + metrics_summary_json(merged, checked,
+                                                         viols.size()));
   }
   return ok;
 }
@@ -223,6 +345,8 @@ int main(int argc, char** argv) {
       cfg.out = a.substr(6);
     } else if (a.rfind("--trace=", 0) == 0) {
       cfg.trace = a.substr(8);
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      cfg.metrics = a.substr(10);
     } else if (a == "--engine=scan") {
       cfg.engine = MuMulticast::Engine::kScan;
     } else if (a == "--engine=incremental") {
@@ -231,11 +355,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
                    "[--seed-base=N] [--out=PATH] [--trace=PATH] "
-                   "[--engine=scan|incremental]\n",
+                   "[--metrics=PATH] [--engine=scan|incremental]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  if (!cfg.metrics.empty() && !sim::kMetricsCompiled)
+    std::fprintf(stderr,
+                 "warning: built with GAM_METRICS=OFF — the --metrics report "
+                 "will carry monitor results but no probe data\n");
 
   const int seeds = cfg.seeds > 0 ? cfg.seeds : (cfg.quick ? 4 : 32);
   const int per_group = cfg.quick ? 2 : 4;
@@ -268,6 +397,29 @@ int main(int argc, char** argv) {
   json.field("pool_threads_requested", cfg.threads);
   json.field("pool_threads_effective", pool.threads());
   json.field("seeds_per_config", seeds);
+  // Run metadata (satellite of the metrics work): where and how this binary
+  // was built, and what it actually ran with.
+  json.field("git_rev", std::string(GAM_GIT_REV));
+  json.field("build_type", std::string(GAM_BUILD_TYPE));
+  json.field("sanitize", std::string(GAM_SANITIZE_STR));
+  json.field("metrics_compiled",
+             std::string(sim::kMetricsCompiled ? "on" : "off"));
+
+  sim::MetricsReport report;
+  sim::MetricsReport* rep = cfg.metrics.empty() ? nullptr : &report;
+  std::vector<std::string> summaries;
+  if (rep) {
+    report.meta["bench"] = "bench_sweep";
+    report.meta["git_rev"] = GAM_GIT_REV;
+    report.meta["build_type"] = GAM_BUILD_TYPE;
+    report.meta["sanitize"] = GAM_SANITIZE_STR;
+    report.meta["engine"] = engine_incremental ? "incremental" : "scan";
+    report.meta["quick"] = cfg.quick ? "true" : "false";
+    report.meta["seeds_per_config"] = std::to_string(seeds);
+    report.meta["seed_base"] = std::to_string(cfg.seed_base);
+    report.meta["pool_threads_effective"] = std::to_string(pool.threads());
+    report.meta["metrics_compiled"] = sim::kMetricsCompiled ? "on" : "off";
+  }
 
   bool ok = true;
   double e3_speedup = 0;
@@ -278,37 +430,68 @@ int main(int argc, char** argv) {
 
   ok &= sweep_both(
       cfg, "e3_mu_k16", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec) {
-        return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine, rec);
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+        return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine, rec, met);
       },
-      json, &e3_speedup);
+      [] { return monitor_config(groups::disjoint_system(16, 2), 0, true); },
+      json, &e3_speedup, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "e3_mu_k64", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec) {
-        return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine, rec);
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+        return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine, rec, met);
       },
-      json, nullptr);
+      [] { return monitor_config(groups::disjoint_system(64, 1), 0, true); },
+      json, nullptr, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "world_paxos_k8", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec) {
-        return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group, rec);
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+        return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group, rec,
+                               met);
       },
-      json, nullptr);
+      // World traces number protocols 100+g and record only the delivery
+      // side (no kMulticast events), hence the relaxed integrity mode.
+      [&cfg] {
+        return monitor_config(groups::disjoint_system(cfg.quick ? 4 : 8, 3),
+                              100, false);
+      },
+      json, nullptr, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "figure1_crashes", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec) {
-        return run_figure1_crashes(seed_of(i), per_group, cfg.engine, rec);
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+        return run_figure1_crashes(seed_of(i), per_group, cfg.engine, rec,
+                                   met);
       },
-      json, nullptr);
+      // Re-sample seed-index 0's failure pattern so the agreement monitor
+      // knows which processes are allowed to miss deliveries.
+      [&seed_of] {
+        Rng rng(seed_of(0));
+        sim::EnvironmentSampler env{
+            .process_count = 5, .max_failures = 2, .horizon = 100};
+        return monitor_config(groups::figure1_system(), 0, true,
+                              env.sample(rng).faulty_set());
+      },
+      json, nullptr, rep, &summaries);
 
   if (pool.threads() == 1)
     json.null_field("e3_pool_vs_seq_speedup");
   else
     json.field("e3_pool_vs_seq_speedup", e3_speedup);
   json.field("determinism", std::string(ok ? "ok" : "violated"));
+  if (rep) {
+    std::string folded = "{";
+    for (size_t i = 0; i < summaries.size(); ++i)
+      folded += (i ? ", " : "") + summaries[i];
+    folded += "}";
+    json.raw("metrics", folded);
+    if (!report.write(cfg.metrics)) {
+      std::fprintf(stderr, "failed to write %s\n", cfg.metrics.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics report %s\n", cfg.metrics.c_str());
+  }
   if (!json.write(cfg.out)) {
     std::fprintf(stderr, "failed to write %s\n", cfg.out.c_str());
     return 1;

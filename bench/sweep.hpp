@@ -209,6 +209,11 @@ class BenchJson {
   void null_field(const std::string& key) {
     scalars_.push_back("\"" + key + "\": null");
   }
+  // A pre-rendered JSON value (object/array) under `key` — how the per-config
+  // metrics summaries fold into BENCH_sim.json.
+  void raw(const std::string& key, const std::string& json_value) {
+    scalars_.push_back("\"" + key + "\": " + json_value);
+  }
 
   void add(const SweepStats& s) {
     char buf[512];

@@ -4,8 +4,11 @@
 # pooled and sequential runs of the same seeds must produce identical
 # event-trace hashes), then the trace self-check (record the same seed twice,
 # trace_diff must report identical; record a mutated seed, trace_diff must
-# localize a first divergence), and finally the buffer/trace regression tests
-# under AddressSanitizer.
+# localize a first divergence), the metrics self-check (byte-identical
+# reports for identical configs; metrics_report flags a seed mutation), the
+# metrics-overhead gate (probes with no registry attached must stay within
+# 5% of a GAM_METRICS=OFF build on e3_mu_k16), and finally the buffer/trace/
+# metrics/monitor regression tests under AddressSanitizer.
 #
 # Usage:
 #   scripts/tier1.sh                 # plain RelWithDebInfo gate
@@ -64,6 +67,62 @@ for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
 done
 echo "tier1: engine-equivalence gate OK"
 
+# Metrics self-check: a --metrics report is a pure function of (config, seed
+# base) — two identical invocations must produce byte-identical reports, and
+# metrics_report must both read its own output and flag a seed mutation as a
+# non-empty diff (exit 1).
+METRICS_DIR="$BUILD_DIR/metrics-selfcheck"
+rm -rf "$METRICS_DIR" && mkdir -p "$METRICS_DIR"
+"$BUILD_DIR"/bench/bench_sweep --quick \
+  --out="$METRICS_DIR"/a.json --metrics="$METRICS_DIR"/a.metrics.json >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick \
+  --out="$METRICS_DIR"/b.json --metrics="$METRICS_DIR"/b.metrics.json >/dev/null
+cmp "$METRICS_DIR"/a.metrics.json "$METRICS_DIR"/b.metrics.json \
+  || { echo "tier1: FAIL — same-config metrics reports are not byte-identical"; \
+       exit 1; }
+"$BUILD_DIR"/tools/metrics_report "$METRICS_DIR"/a.metrics.json >/dev/null \
+  || { echo "tier1: FAIL — metrics_report cannot read its own report"; exit 1; }
+"$BUILD_DIR"/bench/bench_sweep --quick --seed-base=2 \
+  --out="$METRICS_DIR"/c.json --metrics="$METRICS_DIR"/c.metrics.json >/dev/null
+if "$BUILD_DIR"/tools/metrics_report --diff --threshold=0 --quiet \
+    "$METRICS_DIR"/a.metrics.json "$METRICS_DIR"/c.metrics.json; then
+  echo "tier1: FAIL — metrics_report missed a seed mutation"
+  exit 1
+fi
+echo "tier1: metrics self-check OK"
+
+# Metrics-overhead gate: with no registry attached the probes must cost under
+# 5% of e3_mu_k16 single-thread throughput vs a -DGAM_METRICS=OFF build
+# (compiled out entirely). Best-of-3, interleaved, to ride out scheduler
+# noise; skipped under sanitizers where throughput is meaningless.
+if [[ -z "${GAM_SANITIZE:-}" ]]; then
+  NOMETRICS_DIR=build-nometrics
+  cmake -B "$NOMETRICS_DIR" -S . -DGAM_METRICS=OFF >/dev/null
+  cmake --build "$NOMETRICS_DIR" -j "$(nproc)" --target bench_sweep
+  e3_steps_per_sec() {
+    python3 -c "import json,sys; \
+print(next(s['steps_per_sec'] for s in json.load(open(sys.argv[1]))['sweeps'] \
+if s['name']=='e3_mu_k16_seq'))" "$1"
+  }
+  best_off=0 best_on=0
+  for _ in 1 2 3; do
+    "$NOMETRICS_DIR"/bench/bench_sweep --seeds=512 --threads=1 \
+      --out="$METRICS_DIR"/overhead.json >/dev/null
+    v=$(e3_steps_per_sec "$METRICS_DIR"/overhead.json)
+    best_off=$(python3 -c "print(max($best_off, $v))")
+    "$BUILD_DIR"/bench/bench_sweep --seeds=512 --threads=1 \
+      --out="$METRICS_DIR"/overhead.json >/dev/null
+    v=$(e3_steps_per_sec "$METRICS_DIR"/overhead.json)
+    best_on=$(python3 -c "print(max($best_on, $v))")
+  done
+  ratio=$(python3 -c "print('%.4f' % ($best_on / $best_off))")
+  echo "tier1: metrics overhead — e3_mu_k16 steps/s: OFF=$best_off ON=$best_on (ON/OFF=$ratio)"
+  python3 -c "exit(0 if $best_on / $best_off >= 0.95 else 1)" \
+    || { echo "tier1: FAIL — metrics probes cost more than 5% (ON/OFF=$ratio)"; \
+         exit 1; }
+  echo "tier1: metrics-overhead gate OK"
+fi
+
 # The buffer/scheduler regression tests (out-of-bounds destination,
 # swap-and-pop vs FIFO-head interaction) and the engine-equivalence sweep
 # exist to be run under ASan; do that here when the main gate is unsanitized
@@ -72,10 +131,13 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
   ASAN_DIR=build-address
   cmake -B "$ASAN_DIR" -S . -DGAM_SANITIZE=address >/dev/null
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
-    --target test_message_buffer test_sim_trace test_engine_equivalence
+    --target test_message_buffer test_sim_trace test_engine_equivalence \
+             test_metrics test_monitors
   "$ASAN_DIR"/tests/test_message_buffer
   "$ASAN_DIR"/tests/test_sim_trace
   "$ASAN_DIR"/tests/test_engine_equivalence
+  "$ASAN_DIR"/tests/test_metrics
+  "$ASAN_DIR"/tests/test_monitors
   echo "tier1: ASan regression tests OK"
 fi
 

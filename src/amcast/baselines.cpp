@@ -24,6 +24,36 @@ class RoundScheduler {
   std::vector<ProcessId> order_;
 };
 
+void attach_probe(BaselineProbe& probe, sim::Metrics* m, int process_count) {
+  probe = BaselineProbe{};
+  probe.reg = m;
+  if (!m) return;
+  probe.steps.assign(static_cast<size_t>(process_count), 0);
+  probe.handled.assign(static_cast<size_t>(process_count), 0);
+}
+
+// The genuineness ledger (mirrors spec.cpp's minimality check): activity
+// attributable to processes outside ∪ dst(m) of the issued messages.
+// maybe_unused: every call site compiles out under GAM_NO_METRICS.
+[[maybe_unused]] void flush_ledger(BaselineProbe& probe,
+                                   const groups::GroupSystem& system,
+                                   const RunRecord& record) {
+  sim::Metrics& reg = *probe.reg;
+  ProcessSet addressed;
+  for (const auto& m : record.multicast) addressed |= system.group(m.dst);
+  std::uint64_t steps_outside = 0, msgs_outside = 0;
+  for (ProcessId p = 0; p < system.process_count(); ++p) {
+    if (addressed.contains(p)) continue;
+    steps_outside += probe.steps[static_cast<size_t>(p)];
+    msgs_outside += probe.handled[static_cast<size_t>(p)];
+  }
+  reg.gauge("non_addressee_steps")
+      .set(static_cast<std::int64_t>(steps_outside));
+  reg.gauge("non_addressee_processes").set((record.active - addressed).size());
+  reg.gauge("non_addressee_messages")
+      .set(static_cast<std::int64_t>(msgs_outside));
+}
+
 }  // namespace
 
 // ---- BroadcastMulticast --------------------------------------------------------
@@ -45,6 +75,10 @@ void BroadcastMulticast::submit(MulticastMessage m) {
   by_id_[m.id] = m;
 }
 
+void BroadcastMulticast::set_metrics(sim::Metrics* m) {
+  attach_probe(probe_, m, system_.process_count());
+}
+
 bool BroadcastMulticast::step_process(ProcessId p) {
   auto pi = static_cast<size_t>(p);
   // 1. Broadcast the next unsent own message (senders broadcast in
@@ -58,6 +92,7 @@ bool BroadcastMulticast::step_process(ProcessId p) {
     in_log_.insert(m.id);
     record_.multicast.push_back(m);
     record_.multicast_time.push_back(now_);
+    GAM_METRICS_PROBE(if (probe_.reg) probe_.mcast_time[m.id] = now_);
     ++i;
     return true;
   }
@@ -66,8 +101,14 @@ bool BroadcastMulticast::step_process(ProcessId p) {
   if (cursor_[pi] < global_log_.size()) {
     MsgId mid = global_log_[cursor_[pi]++];
     const MulticastMessage& m = by_id_.at(mid);
-    if (system_.group(m.dst).contains(p))
+    GAM_METRICS_PROBE(if (probe_.reg) ++probe_.handled[pi]);
+    if (system_.group(m.dst).contains(p)) {
       record_.deliveries.push_back({p, mid, now_, local_seq_[pi]++});
+      GAM_METRICS_PROBE(if (probe_.reg) probe_.reg
+                            ->histogram("deliver_latency",
+                                        "g" + std::to_string(m.dst))
+                            .record(now_ - probe_.mcast_time.at(mid)));
+    }
     return true;
   }
   return false;
@@ -84,6 +125,8 @@ RunRecord BroadcastMulticast::run() {
         ++now_;
         ++record_.steps;
         record_.active.insert(p);
+        GAM_METRICS_PROBE(
+            if (probe_.reg) ++probe_.steps[static_cast<size_t>(p)]);
       }
     }
     if (!fired) {
@@ -91,6 +134,7 @@ RunRecord BroadcastMulticast::run() {
       break;
     }
   }
+  GAM_METRICS_PROBE(if (probe_.reg) flush_ledger(probe_, system_, record_));
   return record_;
 }
 
@@ -109,6 +153,10 @@ void SkeenMulticast::submit(MulticastMessage m) {
   GAM_EXPECTS(system_.group(m.dst).contains(m.src));
   workload_.push_back(m);
   by_id_[m.id] = m;
+}
+
+void SkeenMulticast::set_metrics(sim::Metrics* m) {
+  attach_probe(probe_, m, system_.process_count());
 }
 
 bool SkeenMulticast::step_sender(const MulticastMessage& m) {
@@ -130,6 +178,7 @@ bool SkeenMulticast::step_sender(const MulticastMessage& m) {
     wire_messages_ += static_cast<std::uint64_t>(system_.group(m.dst).size());
     record_.multicast.push_back(m);
     record_.multicast_time.push_back(now_);
+    GAM_METRICS_PROBE(if (probe_.reg) probe_.mcast_time[m.id] = now_);
     return true;
   }
   // Finalize once every destination member proposed. Skeen has no failure
@@ -173,6 +222,10 @@ int SkeenMulticast::try_deliver(ProcessId p) {
     st.pending.erase(best);
     st.delivered.insert(best);
     record_.deliveries.push_back({p, best, now_, st.seq++});
+    GAM_METRICS_PROBE(if (probe_.reg) probe_.reg
+                          ->histogram("deliver_latency",
+                                      "g" + std::to_string(by_id_.at(best).dst))
+                          .record(now_ - probe_.mcast_time.at(best)));
     ++delivered;
   }
 }
@@ -216,6 +269,8 @@ RunRecord SkeenMulticast::run() {
         ++now_;
         ++record_.steps;
         record_.active.insert(p);
+        GAM_METRICS_PROBE(
+            if (probe_.reg) ++probe_.steps[static_cast<size_t>(p)]);
       }
     }
     if (!fired) {
@@ -223,6 +278,7 @@ RunRecord SkeenMulticast::run() {
       break;
     }
   }
+  GAM_METRICS_PROBE(if (probe_.reg) flush_ledger(probe_, system_, record_));
   return record_;
 }
 

@@ -33,9 +33,20 @@
 #include "amcast/types.hpp"
 #include "groups/group_system.hpp"
 #include "sim/failure_pattern.hpp"
+#include "sim/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace gam::amcast {
+
+// Shared probe state for the baseline protocols: multicast stamps for the
+// delivery-latency histograms plus per-process step/message attribution for
+// the genuineness ledger. Live only while a registry is attached.
+struct BaselineProbe {
+  sim::Metrics* reg = nullptr;
+  std::map<MsgId, sim::Time> mcast_time;
+  std::vector<std::uint64_t> steps;    // per process
+  std::vector<std::uint64_t> handled;  // per process: protocol messages handled
+};
 
 // ---- non-genuine broadcast-based multicast -----------------------------------
 
@@ -52,8 +63,16 @@ class BroadcastMulticast {
   void submit(MulticastMessage m);
   RunRecord run();
 
+  // Caller-owned registry; attach before run(). The broadcast strawman's
+  // ledger is the interesting one: every process pays a step (and handles a
+  // message) for every broadcast entry, so non-addressee activity is
+  // structurally non-zero on disjoint workloads — the anti-genuineness
+  // witness the Figure-1 experiments plot against Algorithm 1.
+  void set_metrics(sim::Metrics* m);
+
  private:
   bool step_process(ProcessId p);
+  BaselineProbe probe_;
 
   const groups::GroupSystem& system_;
   const sim::FailurePattern& pattern_;
@@ -89,7 +108,11 @@ class SkeenMulticast {
   // Total messages exchanged (protocol cost; benches report it).
   std::uint64_t wire_messages() const { return wire_messages_; }
 
+  // Same series as BroadcastMulticast (Skeen is genuine; its ledger is zero).
+  void set_metrics(sim::Metrics* m);
+
  private:
+  BaselineProbe probe_;
   struct PerMessage {
     std::map<ProcessId, std::int64_t> proposals;
     std::int64_t final_ts = -1;

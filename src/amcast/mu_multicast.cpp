@@ -104,6 +104,103 @@ MuMulticast::MuMulticast(const groups::GroupSystem& system,
 
 MuMulticast::~MuMulticast() = default;
 
+// ---- metrics probes ----------------------------------------------------------
+
+namespace {
+std::string group_label(GroupId g) { return "g" + std::to_string(g); }
+constexpr sim::Time kNoStamp = ~sim::Time{0};
+}  // namespace
+
+void MuMulticast::set_metrics(sim::Metrics* m) {
+  probe_ = Probe{};
+  probe_.reg = m;
+  if (!m) return;
+  probe_.fd_gamma = &m->counter("fd_query", "gamma");
+  probe_.fd_sigma = &m->counter("fd_query", "sigma");
+  probe_.fd_indicator = &m->counter("fd_query", "indicator");
+  probe_.consensus = &m->counter("consensus_propose");
+  probe_.submit_time.assign(workload_.size(), kNoStamp);
+  probe_.mcast_time.assign(workload_.size(), kNoStamp);
+  probe_.stable_time.assign(
+      static_cast<size_t>(system_.process_count()),
+      std::vector<sim::Time>(workload_.size(), kNoStamp));
+  probe_.steps.assign(static_cast<size_t>(system_.process_count()), 0);
+}
+
+// Lifecycle stamps at each phase transition; all series are in simulated
+// steps relative to the multicast instant except convoy_wait, which measures
+// the stable → deliver gap at the delivering process (the time a stable
+// message sits behind undelivered <_L-predecessors — the convoy effect).
+void MuMulticast::probe_execute(ProcessId p, const ActionChoice& c,
+                                const MulticastMessage& m) {
+  auto mi = static_cast<size_t>(c.mi);
+  sim::Metrics& reg = *probe_.reg;
+  switch (c.kind) {
+    case ActionChoice::kMulticast: {
+      probe_.mcast_time[mi] = now_;
+      if (probe_.submit_time[mi] != kNoStamp)
+        reg.histogram("multicast_wait")
+            .record(now_ - probe_.submit_time[mi]);
+      break;
+    }
+    case ActionChoice::kPending:
+    case ActionChoice::kCommit: {
+      if (probe_.mcast_time[mi] != kNoStamp)
+        reg.histogram("phase_latency",
+                      c.kind == ActionChoice::kPending ? "pending" : "commit")
+            .record(now_ - probe_.mcast_time[mi]);
+      break;
+    }
+    case ActionChoice::kStable: {
+      probe_.stable_time[static_cast<size_t>(p)][mi] = now_;
+      if (probe_.mcast_time[mi] != kNoStamp)
+        reg.histogram("phase_latency", "stable")
+            .record(now_ - probe_.mcast_time[mi]);
+      break;
+    }
+    case ActionChoice::kDeliver: {
+      if (probe_.mcast_time[mi] != kNoStamp)
+        reg.histogram("deliver_latency", group_label(m.dst))
+            .record(now_ - probe_.mcast_time[mi]);
+      sim::Time st = probe_.stable_time[static_cast<size_t>(p)][mi];
+      if (st != kNoStamp)
+        reg.histogram("convoy_wait", group_label(m.dst)).record(now_ - st);
+      break;
+    }
+    case ActionChoice::kStabilize:
+    case ActionChoice::kNone:
+      break;
+  }
+}
+
+// End-of-run series: per-(g,h) log sizes and the genuineness ledger. A
+// genuine protocol (Theorem: Algorithm 1) must show zero non-addressee
+// activity — steps, processes, or messages attributable to processes outside
+// ∪ dst(m) over the issued messages (the minimality property of spec.cpp).
+void MuMulticast::flush_metrics() {
+  sim::Metrics& reg = *probe_.reg;
+  for (GroupId g = 0; g < system_.group_count(); ++g)
+    for (GroupId h = g; h < system_.group_count(); ++h) {
+      const objects::Log& l = logs_[log_index(g, h)];
+      if (l.size() == 0) continue;
+      reg.gauge("log_size", group_label(g) + "x" + std::to_string(h))
+          .set(static_cast<std::int64_t>(l.size()));
+    }
+
+  ProcessSet addressed;
+  for (const auto& m : record_.multicast) addressed |= system_.group(m.dst);
+  ProcessSet active = record_.active | journal_.active();
+  std::uint64_t steps_outside = 0;
+  for (ProcessId p = 0; p < system_.process_count(); ++p)
+    if (!addressed.contains(p)) steps_outside += probe_.steps[static_cast<size_t>(p)];
+  reg.gauge("non_addressee_steps").set(static_cast<std::int64_t>(steps_outside));
+  reg.gauge("non_addressee_processes").set((active - addressed).size());
+  // Algorithm 1 exchanges no wire messages (all coordination is through the
+  // shared objects), so its message ledger is identically zero; the
+  // World-backed protocols fill this from their wire stats.
+  reg.gauge("non_addressee_messages").set(0);
+}
+
 void MuMulticast::submit(MulticastMessage m) {
   GAM_EXPECTS(m.id >= 0 && !index_of_.count(m.id));
   GAM_EXPECTS(m.dst >= 0 && m.dst < system_.group_count());
@@ -123,6 +220,11 @@ void MuMulticast::submit(MulticastMessage m) {
   by_msg_id_.insert(pos, mi);
   group_sequence_[static_cast<size_t>(m.dst)].push_back(m.id);
   for (auto& st : procs_) st->phase.push_back(Phase::kStart);
+  GAM_METRICS_PROBE(if (probe_.reg) {
+    probe_.submit_time.push_back(now_);
+    probe_.mcast_time.push_back(~sim::Time{0});
+    for (auto& v : probe_.stable_time) v.push_back(~sim::Time{0});
+  });
   // Only members of the destination group can gain an enabled multicast.
   mark_dirty(system_.group(m.dst));
 }
@@ -211,6 +313,7 @@ void MuMulticast::advance_time(sim::Time dt) { set_time(now_ + dt); }
 
 bool MuMulticast::sigma_allows(ProcessId p, groups::GroupId g) const {
   if (!options_.sigma_gated) return true;
+  GAM_METRICS_PROBE(if (probe_.fd_sigma) probe_.fd_sigma->add());
   auto q = oracle_.sigma(g, g).query(p, now_);
   return q && q->subset_of(options_.fair_set);
 }
@@ -295,6 +398,7 @@ const std::vector<GroupId>& MuMulticast::gamma_groups(ProcessId p,
   auto& memo =
       procs_[static_cast<size_t>(p)]->gamma_memo[static_cast<size_t>(g)];
   if (memo.version != fd_version()) {
+    GAM_METRICS_PROBE(if (probe_.fd_gamma) probe_.fd_gamma->add());
     memo.groups = oracle_.gamma().gamma_of_group(p, g, now_);
     memo.version = fd_version();
   }
@@ -317,6 +421,7 @@ const std::vector<GroupId>& MuMulticast::stable_wait_groups(ProcessId p,
         if (system_.intersection(a, b).empty()) continue;
         if (a == g || b == g) {
           GroupId h = (a == g) ? b : a;
+          GAM_METRICS_PROBE(if (probe_.fd_indicator) probe_.fd_indicator->add());
           auto flag = indicators_[idx].query(p, now_);
           if (!(flag && *flag)) memo.groups.push_back(h);
         }
@@ -451,6 +556,18 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
       record_.multicast_time.push_back(now_);
       if (trace_)
         trace_->record({now_, p, TraceEvent::kMulticast, mid, -1, -1});
+      if (event_sink_) {
+        sim::TraceEvent e;
+        e.t = now_;
+        e.p = p;
+        e.kind = sim::TraceEventKind::kMulticast;
+        e.protocol = static_cast<std::int32_t>(m.dst);
+        e.peer = m.src;
+        e.arg = mid;
+        e.payload_hash = sim::trace_mix(
+            sim::kTraceHashSeed, static_cast<std::uint64_t>(m.payload));
+        event_sink_->on_event(e);
+      }
       break;
     }
     case ActionChoice::kPending: {
@@ -473,6 +590,7 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
            }))
         k = std::max(k, e.i);
       ConsKey key{mid, st.cons_family[static_cast<size_t>(m.dst)]};
+      GAM_METRICS_PROBE(if (probe_.consensus) probe_.consensus->add());
       k = consensus_[key].propose(k, p, &journal_, mid);
       for (GroupId h : system_.groups_of(p)) {
         log(m.dst, h).bump_and_lock(LogEntry::message(mid), k, p, &journal_);
@@ -516,6 +634,8 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
       break;
   }
 
+  GAM_METRICS_PROBE(if (probe_.reg) probe_execute(p, c, m));
+
   dirty.insert(p);  // own phase (and one-shot state) changed
   mark_dirty(dirty);
 }
@@ -545,6 +665,7 @@ bool MuMulticast::step_process(ProcessId p) {
   }
   ++record_.steps;
   record_.active.insert(p);
+  GAM_METRICS_PROBE(if (probe_.reg) ++probe_.steps[static_cast<size_t>(p)]);
   return true;
 }
 
@@ -604,6 +725,7 @@ RunRecord MuMulticast::run() {
   if (!record_.quiescent && !action_enabled_somewhere())
     record_.quiescent = true;
   record_.active |= journal_.active();
+  GAM_METRICS_PROBE(if (probe_.reg) flush_metrics());
   return record_;
 }
 

@@ -59,6 +59,7 @@
 #include "groups/group_system.hpp"
 #include "objects/ideal.hpp"
 #include "sim/failure_pattern.hpp"
+#include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -138,6 +139,15 @@ class MuMulticast {
   // folded into the event hash — what the sweep's determinism gate consumes.
   // Caller-owned; must outlive the run.
   void set_event_sink(sim::TraceSink* sink) { event_sink_ = sink; }
+
+  // Optional metrics registry (caller-owned; attach before submitting so the
+  // lifecycle stamps cover every message). Collected series: per-group
+  // delivery-latency and convoy-wait histograms, phase-transition latencies,
+  // FD-query counters by detector class, consensus proposes, per-(g,h) log
+  // sizes, and the genuineness ledger (all in simulated steps). Probes never
+  // read the RNG or feed back into guards, so instrumented runs stay
+  // trace-identical to bare ones.
+  void set_metrics(sim::Metrics* m);
 
   // Introspection for tests.
   Phase phase_of(ProcessId p, MsgId m) const;
@@ -252,6 +262,28 @@ class MuMulticast {
   Trace* trace_ = nullptr;
   sim::TraceSink* event_sink_ = nullptr;
   RunRecord record_;
+
+  // Metrics probe state, live only while a registry is attached (reg != null).
+  // Members exist in every build; GAM_NO_METRICS compiles the probe
+  // *statements* out (sim/metrics.hpp).
+  struct Probe {
+    sim::Metrics* reg = nullptr;
+    // Hot counters resolved once at attach (labels are fixed); histogram
+    // handles resolve per event — delivery-rate events are orders of
+    // magnitude rarer than guard evaluations.
+    sim::Counter* fd_gamma = nullptr;
+    sim::Counter* fd_sigma = nullptr;
+    sim::Counter* fd_indicator = nullptr;
+    sim::Counter* consensus = nullptr;
+    std::vector<sim::Time> submit_time;               // workload-indexed
+    std::vector<sim::Time> mcast_time;                // workload-indexed
+    std::vector<std::vector<sim::Time>> stable_time;  // per process, workload-indexed
+    std::vector<std::uint64_t> steps;                 // per process
+  };
+  Probe probe_;
+  void probe_execute(ProcessId p, const ActionChoice& c,
+                     const MulticastMessage& m);
+  void flush_metrics();
 };
 
 }  // namespace gam::amcast

@@ -32,6 +32,11 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
       log->set_on_learn([this, p, g](std::int64_t op, std::int64_t) {
         std::int64_t seq = local_seq_[static_cast<size_t>(p)]++;
         record_.deliveries.push_back({p, op, world_->now(), seq});
+        // Submissions all happen at t=0, so latency == the delivery instant.
+        GAM_METRICS_PROBE(
+            if (metrics_) metrics_
+                ->histogram("deliver_latency", "g" + std::to_string(g))
+                .record(world_->now()));
         world_->trace_deliver(p, 100 + g, op, seq);
       });
       hosts_[static_cast<size_t>(p)]->add(100 + g, log);
@@ -43,6 +48,11 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
 void ReplicatedMulticast::submit(MulticastMessage m) {
   GAM_EXPECTS(system_.group(m.dst).contains(m.src));
   workload_.push_back(m);
+}
+
+void ReplicatedMulticast::set_metrics(sim::Metrics* m) {
+  metrics_ = m;
+  world_->set_metrics(m);
 }
 
 RunRecord ReplicatedMulticast::run() {
@@ -64,6 +74,25 @@ RunRecord ReplicatedMulticast::run() {
     record_.steps += world_->stats(p).steps;
     if (world_->stats(p).steps > 0) record_.active.insert(p);
   }
+  // Genuineness ledger from the world's wire stats: steps taken and messages
+  // sent by processes no issued message was addressed to (must be zero —
+  // each group's log is scoped to exactly its members).
+  GAM_METRICS_PROBE(if (metrics_) {
+    ProcessSet addressed;
+    for (const auto& m : record_.multicast) addressed |= system_.group(m.dst);
+    std::uint64_t steps_outside = 0, msgs_outside = 0;
+    for (ProcessId p = 0; p < system_.process_count(); ++p) {
+      if (addressed.contains(p)) continue;
+      steps_outside += world_->stats(p).steps;
+      msgs_outside += world_->stats(p).messages_sent;
+    }
+    metrics_->gauge("non_addressee_steps")
+        .set(static_cast<std::int64_t>(steps_outside));
+    metrics_->gauge("non_addressee_processes")
+        .set((record_.active - addressed).size());
+    metrics_->gauge("non_addressee_messages")
+        .set(static_cast<std::int64_t>(msgs_outside));
+  });
   return record_;
 }
 

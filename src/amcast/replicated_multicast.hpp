@@ -48,6 +48,11 @@ class ReplicatedMulticast {
 
   sim::World& world() { return *world_; }
 
+  // Caller-owned registry: wires the World's buffer/FD probes plus per-group
+  // delivery-latency histograms and the genuineness ledger computed from the
+  // world's per-process wire stats. Attach before run().
+  void set_metrics(sim::Metrics* m);
+
  private:
   const groups::GroupSystem& system_;
   const sim::FailurePattern& pattern_;
@@ -67,6 +72,7 @@ class ReplicatedMulticast {
   std::vector<MulticastMessage> workload_;
   std::vector<std::int64_t> local_seq_;
   RunRecord record_;
+  sim::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace gam::amcast

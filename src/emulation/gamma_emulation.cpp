@@ -124,6 +124,7 @@ bool GammaEmulation::path_failed(const PathChain& pc, Time t) const {
 
 std::vector<groups::FamilyMask> GammaEmulation::query(ProcessId p,
                                                       Time t) const {
+  GAM_METRICS_PROBE(if (queries_) queries_->add());
   std::vector<groups::FamilyMask> out;
   for (groups::FamilyMask f : system_.families_of_process(p)) {
     // f is output while some equivalence class of cpaths(f) has no failed

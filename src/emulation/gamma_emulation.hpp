@@ -32,6 +32,7 @@
 #include "emulation/instance.hpp"
 #include "groups/group_system.hpp"
 #include "sim/failure_pattern.hpp"
+#include "sim/metrics.hpp"
 
 namespace gam::emulation {
 
@@ -49,6 +50,16 @@ class GammaEmulation {
   // Introspection for tests/benches.
   int path_count() const { return static_cast<int>(paths_.size()); }
   int signals_sent() const;
+
+  // Counts emulated-detector reads under "fd_query"{gamma_emulated}
+  // (caller-owned registry; probes compile out under GAM_NO_METRICS).
+  void set_metrics(sim::Metrics* m) {
+#ifndef GAM_NO_METRICS
+    queries_ = m ? &m->counter("fd_query", "gamma_emulated") : nullptr;
+#else
+    (void)m;
+#endif
+  }
 
  private:
   struct PathChain {
@@ -72,6 +83,7 @@ class GammaEmulation {
   const sim::FailurePattern& pattern_;
   std::vector<PathChain> paths_;
   Time ran_to_ = 0;
+  sim::Counter* queries_ = nullptr;
 };
 
 }  // namespace gam::emulation

@@ -40,6 +40,7 @@ void IndicatorEmulation::run(Time horizon) {
 }
 
 std::optional<bool> IndicatorEmulation::query(ProcessId p, Time t) const {
+  GAM_METRICS_PROBE(if (queries_) queries_->add());
   if (!scope_.contains(p)) return std::nullopt;
   return failed_time_ && *failed_time_ <= t;
 }

@@ -18,6 +18,7 @@
 #include "emulation/instance.hpp"
 #include "groups/group_system.hpp"
 #include "sim/failure_pattern.hpp"
+#include "sim/metrics.hpp"
 
 namespace gam::emulation {
 
@@ -32,6 +33,15 @@ class IndicatorEmulation {
   // H(p, t) of the emulated 1^{g∩h}; ⊥ outside g∪h.
   std::optional<bool> query(ProcessId p, Time t) const;
 
+  // Counts emulated-detector reads under "fd_query"{indicator_emulated}.
+  void set_metrics(sim::Metrics* m) {
+#ifndef GAM_NO_METRICS
+    queries_ = m ? &m->counter("fd_query", "indicator_emulated") : nullptr;
+#else
+    (void)m;
+#endif
+  }
+
  private:
   const groups::GroupSystem& system_;
   GroupId g_, h_;
@@ -39,6 +49,7 @@ class IndicatorEmulation {
   std::vector<Instance> sides_;
   std::optional<Time> failed_time_;
   Time ran_to_ = 0;
+  sim::Counter* queries_ = nullptr;
 };
 
 }  // namespace gam::emulation

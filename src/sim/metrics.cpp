@@ -1,0 +1,511 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace gam::sim {
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  auto want = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (want > count) want = count;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= want) {
+      std::uint64_t est = bucket_upper(b);
+      return std::min(std::max(est, min), max);
+    }
+  }
+  return max;
+}
+
+void Metrics::merge(const Metrics& o) {
+  for (const auto& [k, c] : o.counters_) counters_[k].merge(c);
+  for (const auto& [k, g] : o.gauges_) gauges_[k].merge(g);
+  for (const auto& [k, h] : o.histograms_) histograms_[k].merge(h);
+}
+
+Histogram Metrics::merged_histogram(const std::string& name) const {
+  Histogram out;
+  for (const auto& [k, h] : histograms_)
+    if (k.name == name) out.merge(h);
+  return out;
+}
+
+std::uint64_t Metrics::counter_total(const std::string& name) const {
+  std::uint64_t t = 0;
+  for (const auto& [k, c] : counters_)
+    if (k.name == name) t += c.value;
+  return t;
+}
+
+namespace {
+
+// The subset of JSON we emit never needs escaping beyond this (labels are
+// short identifiers); reject rather than mangle anything exotic.
+void write_json_string(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+void write_key(std::FILE* f, const Metrics::Key& k) {
+  std::fprintf(f, "{\"name\": ");
+  write_json_string(f, k.name);
+  std::fprintf(f, ", \"label\": ");
+  write_json_string(f, k.label);
+}
+
+}  // namespace
+
+void Metrics::write_json(std::FILE* f, int indent) const {
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  const char* p = pad.c_str();
+
+  std::fprintf(f, "%s\"counters\": [", p);
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    std::fprintf(f, "%s\n%s  ", first ? "" : ",", p);
+    write_key(f, k);
+    std::fprintf(f, ", \"value\": %llu}",
+                 static_cast<unsigned long long>(c.value));
+    first = false;
+  }
+  std::fprintf(f, "%s%s],\n", first ? "" : "\n", first ? "" : p);
+
+  std::fprintf(f, "%s\"gauges\": [", p);
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    std::fprintf(f, "%s\n%s  ", first ? "" : ",", p);
+    write_key(f, k);
+    std::fprintf(f, ", \"value\": %lld, \"hwm\": %lld}",
+                 static_cast<long long>(g.value),
+                 static_cast<long long>(g.hwm));
+    first = false;
+  }
+  std::fprintf(f, "%s%s],\n", first ? "" : "\n", first ? "" : p);
+
+  std::fprintf(f, "%s\"histograms\": [", p);
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    std::fprintf(f, "%s\n%s  ", first ? "" : ",", p);
+    write_key(f, k);
+    std::fprintf(
+        f, ", \"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu, ",
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.count > 0 ? h.min : 0),
+        static_cast<unsigned long long>(h.max));
+    std::fprintf(f, "\"buckets\": [");
+    bool bf = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      std::fprintf(f, "%s[%d, %llu]", bf ? "" : ", ", b,
+                   static_cast<unsigned long long>(n));
+      bf = false;
+    }
+    std::fprintf(f, "]}");
+    first = false;
+  }
+  std::fprintf(f, "%s%s]\n", first ? "" : "\n", first ? "" : p);
+}
+
+// ---------------------------------------------------------------------------
+// Report I/O. The parser is a minimal recursive-descent JSON reader for the
+// schema write() emits (objects, arrays, strings, unsigned/signed integers).
+
+Metrics& MetricsReport::config(const std::string& name) {
+  for (auto& [n, m] : configs)
+    if (n == name) return m;
+  configs.emplace_back(name, Metrics{});
+  return configs.back().second;
+}
+
+const Metrics* MetricsReport::find_config(const std::string& name) const {
+  for (const auto& [n, m] : configs)
+    if (n == name) return &m;
+  return nullptr;
+}
+
+bool MetricsReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"schema\": \"%s\",\n", kSchema);
+  for (const auto& [k, v] : meta) {
+    std::fprintf(f, "  ");
+    write_json_string(f, k);
+    std::fprintf(f, ": ");
+    write_json_string(f, v);
+    std::fprintf(f, ",\n");
+  }
+  std::fprintf(f, "  \"configs\": [");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::fprintf(f, "%s\n    {\"name\": ", i ? "," : "");
+    write_json_string(f, configs[i].first);
+    std::fprintf(f, ",\n");
+    configs[i].second.write_json(f, 5);
+    std::fprintf(f, "    }");
+  }
+  std::fprintf(f, "%s]\n}\n", configs.empty() ? "" : "\n  ");
+  std::fclose(f);
+  return true;
+}
+
+namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  double num = 0;
+  bool boolean = false;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: return std::nullopt;  // \uXXXX etc.: we never emit these
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) return std::nullopt;
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    char c = s_[pos_];
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      for (;;) {
+        auto key = string();
+        if (!key || !consume(':')) return std::nullopt;
+        auto item = value();
+        if (!item) return std::nullopt;
+        v.obj.emplace_back(std::move(*key), std::move(*item));
+        if (consume(',')) continue;
+        if (consume('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      for (;;) {
+        auto item = value();
+        if (!item) return std::nullopt;
+        v.arr.push_back(std::move(*item));
+        if (consume(',')) continue;
+        if (consume(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      v.kind = JsonValue::kString;
+      v.str = std::move(*s);
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = JsonValue::kBool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    // Number.
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    v.kind = JsonValue::kNumber;
+    v.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t num_u64(const JsonValue* v) {
+  return v && v->kind == JsonValue::kNumber
+             ? static_cast<std::uint64_t>(v->num)
+             : 0;
+}
+
+std::int64_t num_i64(const JsonValue* v) {
+  return v && v->kind == JsonValue::kNumber ? static_cast<std::int64_t>(v->num)
+                                            : 0;
+}
+
+bool load_metrics(const JsonValue& cfg, Metrics& out) {
+  if (const JsonValue* cs = cfg.find("counters")) {
+    for (const JsonValue& e : cs->arr) {
+      const JsonValue* n = e.find("name");
+      const JsonValue* l = e.find("label");
+      if (!n) return false;
+      out.counter(n->str, l ? l->str : "").value = num_u64(e.find("value"));
+    }
+  }
+  if (const JsonValue* gs = cfg.find("gauges")) {
+    for (const JsonValue& e : gs->arr) {
+      const JsonValue* n = e.find("name");
+      const JsonValue* l = e.find("label");
+      if (!n) return false;
+      Gauge& g = out.gauge(n->str, l ? l->str : "");
+      g.value = num_i64(e.find("value"));
+      g.hwm = num_i64(e.find("hwm"));
+    }
+  }
+  if (const JsonValue* hs = cfg.find("histograms")) {
+    for (const JsonValue& e : hs->arr) {
+      const JsonValue* n = e.find("name");
+      const JsonValue* l = e.find("label");
+      if (!n) return false;
+      Histogram& h = out.histogram(n->str, l ? l->str : "");
+      h.count = num_u64(e.find("count"));
+      h.sum = num_u64(e.find("sum"));
+      h.max = num_u64(e.find("max"));
+      h.min = h.count > 0 ? num_u64(e.find("min")) : ~std::uint64_t{0};
+      if (const JsonValue* bs = e.find("buckets")) {
+        for (const JsonValue& pair : bs->arr) {
+          if (pair.arr.size() != 2) return false;
+          auto idx = static_cast<std::size_t>(pair.arr[0].num);
+          if (idx >= Histogram::kBuckets) return false;
+          h.buckets[idx] = static_cast<std::uint64_t>(pair.arr[1].num);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<MetricsReport> MetricsReport::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  auto root = JsonParser(text).parse();
+  if (!root || root->kind != JsonValue::kObject) return std::nullopt;
+  const JsonValue* schema = root->find("schema");
+  if (!schema || schema->str != kSchema) return std::nullopt;
+
+  MetricsReport rep;
+  for (const auto& [k, v] : root->obj) {
+    if (k == "schema" || k == "configs") continue;
+    if (v.kind == JsonValue::kString) rep.meta[k] = v.str;
+  }
+  const JsonValue* configs = root->find("configs");
+  if (!configs || configs->kind != JsonValue::kArray) return std::nullopt;
+  for (const JsonValue& cfg : configs->arr) {
+    const JsonValue* name = cfg.find("name");
+    if (!name) return std::nullopt;
+    if (!load_metrics(cfg, rep.config(name->str))) return std::nullopt;
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing.
+
+double SeriesDelta::rel() const {
+  if (kind != kChanged) return 1.0;
+  double denom = std::max(std::fabs(before), std::fabs(after));
+  if (denom == 0) return 0;
+  return std::fabs(after - before) / denom;
+}
+
+namespace {
+
+std::string series_id(const char* kind, const Metrics::Key& k,
+                      const char* facet = nullptr) {
+  std::string s = std::string(kind) + " " + k.name;
+  if (!k.label.empty()) s += "{" + k.label + "}";
+  if (facet) s += std::string(" ") + facet;
+  return s;
+}
+
+void push_delta(std::vector<SeriesDelta>& out, SeriesDelta::Kind kind,
+                const std::string& config, std::string series, double before,
+                double after, double threshold) {
+  SeriesDelta d;
+  d.kind = kind;
+  d.config = config;
+  d.series = std::move(series);
+  d.before = before;
+  d.after = after;
+  if (kind == SeriesDelta::kChanged && d.rel() <= threshold) return;
+  out.push_back(std::move(d));
+}
+
+// Generic walk over one map pair: emits removed (in a, not b), new (in b, not
+// a), and per-facet changed entries via `facets(key, a_entry, b_entry)`.
+template <typename M, typename F>
+void diff_maps(std::vector<SeriesDelta>& out, const std::string& config,
+               const char* kind, const M& a, const M& b, double threshold,
+               F&& facets) {
+  for (const auto& [k, va] : a) {
+    auto it = b.find(k);
+    if (it == b.end()) {
+      push_delta(out, SeriesDelta::kRemoved, config, series_id(kind, k), 0, 0,
+                 threshold);
+      continue;
+    }
+    facets(k, va, it->second);
+  }
+  for (const auto& [k, vb] : b)
+    if (!a.count(k))
+      push_delta(out, SeriesDelta::kNew, config, series_id(kind, k), 0, 0,
+                 threshold);
+}
+
+}  // namespace
+
+std::vector<SeriesDelta> diff_reports(const MetricsReport& a,
+                                      const MetricsReport& b,
+                                      double rel_threshold) {
+  std::vector<SeriesDelta> out;
+
+  auto diff_config = [&](const std::string& name, const Metrics& ma,
+                         const Metrics& mb) {
+    diff_maps(out, name, "counter", ma.counters(), mb.counters(),
+              rel_threshold,
+              [&](const Metrics::Key& k, const Counter& ca, const Counter& cb) {
+                push_delta(out, SeriesDelta::kChanged, name,
+                           series_id("counter", k),
+                           static_cast<double>(ca.value),
+                           static_cast<double>(cb.value), rel_threshold);
+              });
+    diff_maps(out, name, "gauge", ma.gauges(), mb.gauges(), rel_threshold,
+              [&](const Metrics::Key& k, const Gauge& ga, const Gauge& gb) {
+                push_delta(out, SeriesDelta::kChanged, name,
+                           series_id("gauge", k, "value"),
+                           static_cast<double>(ga.value),
+                           static_cast<double>(gb.value), rel_threshold);
+                push_delta(out, SeriesDelta::kChanged, name,
+                           series_id("gauge", k, "hwm"),
+                           static_cast<double>(ga.hwm),
+                           static_cast<double>(gb.hwm), rel_threshold);
+              });
+    diff_maps(out, name, "histogram", ma.histograms(), mb.histograms(),
+              rel_threshold,
+              [&](const Metrics::Key& k, const Histogram& ha,
+                  const Histogram& hb) {
+                push_delta(out, SeriesDelta::kChanged, name,
+                           series_id("histogram", k, "count"),
+                           static_cast<double>(ha.count),
+                           static_cast<double>(hb.count), rel_threshold);
+                push_delta(out, SeriesDelta::kChanged, name,
+                           series_id("histogram", k, "mean"), ha.mean(),
+                           hb.mean(), rel_threshold);
+              });
+  };
+
+  for (const auto& [name, ma] : a.configs) {
+    const Metrics* mb = b.find_config(name);
+    if (!mb) {
+      push_delta(out, SeriesDelta::kRemoved, name, "config", 0, 0,
+                 rel_threshold);
+      continue;
+    }
+    diff_config(name, ma, *mb);
+  }
+  for (const auto& [name, mb] : b.configs)
+    if (!a.find_config(name))
+      push_delta(out, SeriesDelta::kNew, name, "config", 0, 0, rel_threshold);
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SeriesDelta& x, const SeriesDelta& y) {
+                     return x.rel() > y.rel();
+                   });
+  return out;
+}
+
+}  // namespace gam::sim

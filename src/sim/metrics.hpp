@@ -1,0 +1,230 @@
+// Low-overhead metrics for the simulator and the protocol layers.
+//
+// The registry holds three primitive series kinds, each keyed by
+// (name, label) — the label carries the per-process / per-group dimension
+// ("g3", "g0x2", "sigma", ...):
+//
+//   Counter    — monotone event count (FD queries, consensus proposes);
+//   Gauge      — last-written value plus a high-water mark (log sizes,
+//                message-buffer depth, the genuineness ledger);
+//   Histogram  — power-of-two buckets over uint64 samples (delivery latency,
+//                convoy wait — all in simulated steps, never wall clock, so
+//                reports are byte-reproducible seed for seed).
+//
+// Cost model: probes are pointer-indirect writes behind an `if (metrics_)`
+// null check — the null backend (no registry attached, the default) costs one
+// predictable branch per probe site. Handle resolution (the map lookup) only
+// happens at attach time, never per sample. Building with -DGAM_METRICS=OFF
+// defines GAM_NO_METRICS and compiles every probe statement out entirely; the
+// registry types themselves stay available so reports can still be read.
+//
+// Aggregation: Metrics::merge is commutative and associative — counters and
+// histogram buckets add, gauge values add while high-water marks max — so the
+// parallel sweep pool can give every job its own registry and fold them in
+// job-index order, yielding a deterministic aggregate regardless of thread
+// interleaving.
+//
+// Reporting: MetricsReport is the versioned JSON run-report schema
+// ("gam-metrics-v1") written by `bench_sweep --metrics=PATH` and consumed by
+// `tools/metrics_report` (pretty-print / diff). Serialization order is the
+// registry's map order, so equal registries serialize byte-identically.
+#pragma once
+
+#include <bit>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gam::sim {
+
+// Probe gating: statements wrapped in GAM_METRICS_PROBE vanish entirely under
+// -DGAM_NO_METRICS (the CMake option GAM_METRICS=OFF), mirroring GAM_NO_TRACE.
+#ifdef GAM_NO_METRICS
+#define GAM_METRICS_PROBE(...) \
+  do {                         \
+  } while (0)
+inline constexpr bool kMetricsCompiled = false;
+#else
+#define GAM_METRICS_PROBE(...) \
+  do {                         \
+    __VA_ARGS__;               \
+  } while (0)
+inline constexpr bool kMetricsCompiled = true;
+#endif
+
+struct Counter {
+  std::uint64_t value = 0;
+
+  void add(std::uint64_t d = 1) { value += d; }
+  void merge(const Counter& o) { value += o.value; }
+};
+
+// set() records the current value and maintains the high-water mark. Across a
+// merge, values add (a per-run final reading becomes a sweep total) and
+// high-water marks max (the deepest any run ever got).
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t hwm = 0;
+
+  void set(std::int64_t v) {
+    value = v;
+    if (v > hwm) hwm = v;
+  }
+  void merge(const Gauge& o) {
+    value += o.value;
+    if (o.hwm > hwm) hwm = o.hwm;
+  }
+};
+
+// Power-of-two-bucket histogram over uint64 samples. Bucket index is
+// bit_width(v): bucket 0 holds exactly the zero-width samples (v == 0) and
+// bucket i >= 1 holds [2^(i-1), 2^i - 1]; bucket 64 is the saturation bucket
+// for the top half of the uint64 range (there is no wider value, so nothing
+// is ever dropped). min/sum/max are exact; quantiles are bucket upper-bound
+// estimates clamped to the observed max.
+struct Histogram {
+  static constexpr int kBuckets = 65;  // bit_width ranges over 0..64
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};  // meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  static int bucket_of(std::uint64_t v) { return std::bit_width(v); }
+
+  // Inclusive upper bound of bucket b (lower bound is the previous bound + 1).
+  static std::uint64_t bucket_upper(int b) {
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++buckets[static_cast<std::size_t>(bucket_of(v))];
+  }
+
+  void merge(const Histogram& o) {
+    count += o.count;
+    sum += o.sum;
+    if (o.count > 0) {
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
+    for (int b = 0; b < kBuckets; ++b)
+      buckets[static_cast<std::size_t>(b)] += o.buckets[static_cast<std::size_t>(b)];
+  }
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  // Upper-bound estimate of the q-quantile (0 < q <= 1), clamped to [min, max].
+  std::uint64_t quantile(double q) const;
+};
+
+// The registry. Handles returned by counter()/gauge()/histogram() are stable
+// for the registry's lifetime (node-based map), so hot paths resolve once and
+// write through the reference.
+class Metrics {
+ public:
+  struct Key {
+    std::string name;
+    std::string label;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return label < o.label;
+    }
+  };
+
+  Counter& counter(const std::string& name, const std::string& label = {}) {
+    return counters_[Key{name, label}];
+  }
+  Gauge& gauge(const std::string& name, const std::string& label = {}) {
+    return gauges_[Key{name, label}];
+  }
+  Histogram& histogram(const std::string& name, const std::string& label = {}) {
+    return histograms_[Key{name, label}];
+  }
+
+  const std::map<Key, Counter>& counters() const { return counters_; }
+  const std::map<Key, Gauge>& gauges() const { return gauges_; }
+  const std::map<Key, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Commutative fold of another registry into this one (see header comment).
+  void merge(const Metrics& o);
+
+  // A histogram holding the merge of every series named `name` regardless of
+  // label (e.g. the all-groups delivery-latency distribution).
+  Histogram merged_histogram(const std::string& name) const;
+
+  // Sum of every counter named `name` across labels.
+  std::uint64_t counter_total(const std::string& name) const;
+
+  // Deterministic JSON: three sorted arrays ("counters", "gauges",
+  // "histograms"), histogram buckets sparse as [index, count] pairs.
+  // `indent` is the number of leading spaces per line.
+  void write_json(std::FILE* f, int indent) const;
+
+ private:
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// The versioned run report: flat string metadata plus one Metrics per
+// configuration, in insertion order.
+
+struct MetricsReport {
+  static constexpr const char* kSchema = "gam-metrics-v1";
+
+  // Flat metadata (git_rev, build_type, engine, ...). Serialized sorted.
+  std::map<std::string, std::string> meta;
+  std::vector<std::pair<std::string, Metrics>> configs;
+
+  Metrics& config(const std::string& name);
+  const Metrics* find_config(const std::string& name) const;
+
+  bool write(const std::string& path) const;
+  // Parses a report previously produced by write(). Returns nullopt on I/O or
+  // schema errors (including an unknown schema version).
+  static std::optional<MetricsReport> load(const std::string& path);
+};
+
+// One line of a report diff: a series that is new in B, gone in B, or whose
+// value moved by more than the relative threshold.
+struct SeriesDelta {
+  enum Kind { kNew, kRemoved, kChanged };
+  Kind kind = kChanged;
+  std::string config;
+  std::string series;  // "counter fd_query{gamma}", "histogram ...{g0} mean"
+  double before = 0;
+  double after = 0;
+
+  // Relative change |after - before| / max(|before|, |after|); 1 for
+  // new/removed series.
+  double rel() const;
+};
+
+// Compares every series of the two reports. A series "value" is: the counter
+// value, the gauge value and high-water mark (two comparisons), or the
+// histogram count and mean (two comparisons). Deltas beyond `rel_threshold`
+// (plus all new/removed series) are returned, most-changed first.
+std::vector<SeriesDelta> diff_reports(const MetricsReport& a,
+                                      const MetricsReport& b,
+                                      double rel_threshold);
+
+}  // namespace gam::sim

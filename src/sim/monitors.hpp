@@ -1,0 +1,367 @@
+// Online invariant monitors for atomic-multicast event streams.
+//
+// src/amcast/spec.cpp delivers a post-hoc verdict over a finished RunRecord;
+// these monitors consume the *same* evidence as trace sinks and flag the
+// first violating event with its stream position, so a broken run points at
+// the exact delivery that went wrong instead of "ordering failed somewhere".
+// They attach anywhere a TraceSink does — directly as a protocol event sink,
+// or replayed over a RecorderSink's stream via sim::feed().
+//
+// Event conventions (matching MuMulticast / the baselines / the trace layer):
+//   kMulticast  p=submitter  protocol=dst group   peer=src  arg=msg id
+//   kDeliver    p=deliverer  protocol=dst group   arg=msg id
+//   kCrash      p=crashed process
+// World-level runs prefix protocol ids (ReplicatedMulticast uses 100+g);
+// MonitorConfig::protocol_base subtracts that. Events whose protocol does
+// not map to a configured group are ignored, so monitors can share a stream
+// with unrelated protocols.
+//
+// Checked invariants (semantics mirror spec.cpp):
+//   Integrity   — no duplicate (process, message) delivery; no delivery of a
+//                 never-multicast message; no delivery outside dst(m).
+//   Agreement   — uniform agreement: once *any* process (even one that later
+//                 crashes) delivers m, every correct member of dst(m)
+//                 delivers m. Needs run completion, so it fires in
+//                 finalize(); the flagged position is the first delivery of
+//                 the orphaned message.
+//   Acyclicity  — the delivery relation ↦ stays acyclic. Online, each
+//                 delivery at p adds the chain edge (previous delivery at p)
+//                 ↦ (new message) — consecutive edges carry full reachability
+//                 because p is in dst of everything it delivered — and a
+//                 reachability probe catches any cycle the new edge closes.
+//                 finalize() adds the delivered-without-ever-delivering edges
+//                 (which need group membership) and re-checks.
+//
+// Monitors stop checking after their first violation (one run, one verdict)
+// but keep absorbing state so a later finalize() stays consistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::sim {
+
+struct MonitorViolation {
+  std::string monitor;       // "integrity" / "agreement" / "acyclicity"
+  std::uint64_t event_index;  // 0-based position in the consumed stream
+  TraceEvent event;           // the violating (or first-implicated) event
+  std::string detail;
+};
+
+struct MonitorConfig {
+  // Group id -> membership. Deliveries resolve dst(m) through this.
+  std::vector<ProcessSet> groups;
+  // Subtracted from TraceEvent::protocol to obtain the group id (0 for
+  // protocol-level streams, 100 for ReplicatedMulticast world traces).
+  std::int32_t protocol_base = 0;
+  // When false, integrity tolerates deliveries with no preceding kMulticast
+  // (streams that only record the delivery side).
+  bool require_multicast = true;
+  // Processes faulty in the failure pattern. Streams that carry kCrash
+  // events extend this set automatically.
+  ProcessSet faulty;
+};
+
+namespace monitor_detail {
+
+// Three-color DFS over a sparse adjacency map.
+inline bool has_cycle(const std::map<std::int64_t, std::set<std::int64_t>>& adj) {
+  std::map<std::int64_t, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<std::int64_t, std::set<std::int64_t>::const_iterator>>
+      stack;
+  for (const auto& [start, _] : adj) {
+    if (color[start] != 0) continue;
+    color[start] = 1;
+    stack.emplace_back(start, adj.at(start).begin());
+    while (!stack.empty()) {
+      auto& [u, it] = stack.back();
+      if (it == adj.at(u).end()) {
+        color[u] = 2;
+        stack.pop_back();
+        continue;
+      }
+      std::int64_t v = *it;
+      ++it;
+      auto found = adj.find(v);
+      if (found == adj.end()) continue;
+      if (color[v] == 1) return true;
+      if (color[v] == 0) {
+        color[v] = 1;
+        stack.emplace_back(v, found->second.begin());
+      }
+    }
+  }
+  return false;
+}
+
+// Is `target` reachable from `from`?
+inline bool reaches(const std::map<std::int64_t, std::set<std::int64_t>>& adj,
+                    std::int64_t from, std::int64_t target) {
+  std::set<std::int64_t> seen;
+  std::vector<std::int64_t> stack{from};
+  while (!stack.empty()) {
+    std::int64_t u = stack.back();
+    stack.pop_back();
+    if (u == target) return true;
+    if (!seen.insert(u).second) continue;
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (std::int64_t v : it->second) stack.push_back(v);
+  }
+  return false;
+}
+
+}  // namespace monitor_detail
+
+// Shared per-monitor plumbing: stream indexing, group resolution, and the
+// first-violation latch.
+class MonitorBase : public TraceSink {
+ public:
+  explicit MonitorBase(std::string name, MonitorConfig cfg)
+      : name_(std::move(name)), cfg_(std::move(cfg)) {}
+
+  void on_event(const TraceEvent& e) final {
+    absorb(e, index_);
+    ++index_;
+  }
+
+  const std::optional<MonitorViolation>& violation() const { return violation_; }
+  bool ok() const { return !violation_.has_value(); }
+  std::uint64_t events_seen() const { return index_; }
+
+ protected:
+  virtual void absorb(const TraceEvent& e, std::uint64_t index) = 0;
+
+  // Group id of an event, or nullopt when the protocol is not one of ours.
+  std::optional<int> group_of(const TraceEvent& e) const {
+    std::int64_t g = e.protocol - cfg_.protocol_base;
+    if (g < 0 || g >= static_cast<std::int64_t>(cfg_.groups.size()))
+      return std::nullopt;
+    return static_cast<int>(g);
+  }
+
+  void flag(std::uint64_t index, const TraceEvent& e, std::string detail) {
+    if (violation_) return;  // first violation wins
+    violation_ = MonitorViolation{name_, index, e, std::move(detail)};
+  }
+
+  const MonitorConfig& cfg() const { return cfg_; }
+
+ private:
+  std::string name_;
+  MonitorConfig cfg_;
+  std::uint64_t index_ = 0;
+  std::optional<MonitorViolation> violation_;
+};
+
+// Uniform integrity, fully online: every check closes at the delivery event.
+class IntegrityMonitor final : public MonitorBase {
+ public:
+  explicit IntegrityMonitor(MonitorConfig cfg)
+      : MonitorBase("integrity", std::move(cfg)) {}
+
+ protected:
+  void absorb(const TraceEvent& e, std::uint64_t index) override {
+    if (e.kind == TraceEventKind::kMulticast) {
+      if (auto g = group_of(e)) multicast_dst_.emplace(e.arg, *g);
+      return;
+    }
+    if (e.kind != TraceEventKind::kDeliver) return;
+    auto g = group_of(e);
+    if (!g) return;  // not our protocol (message ids may collide across
+                     // protocols, so the id alone never claims an event)
+    if (!delivered_.emplace(e.p, e.arg).second) {
+      flag(index, e,
+           "message " + std::to_string(e.arg) + " delivered twice at p" +
+               std::to_string(e.p));
+      return;
+    }
+    auto it = multicast_dst_.find(e.arg);
+    if (it == multicast_dst_.end() && cfg().require_multicast)
+      flag(index, e,
+           "message " + std::to_string(e.arg) +
+               " delivered but never multicast");
+    int dst = it != multicast_dst_.end() ? it->second : *g;
+    if (!cfg().groups[static_cast<std::size_t>(dst)].contains(e.p))
+      flag(index, e,
+           "p" + std::to_string(e.p) + " delivered message " +
+               std::to_string(e.arg) + " outside destination g" +
+               std::to_string(dst));
+  }
+
+ private:
+  std::map<std::int64_t, int> multicast_dst_;
+  std::set<std::pair<ProcessId, std::int64_t>> delivered_;
+};
+
+// Uniform agreement. Deliveries accumulate online; the obligation — every
+// correct member of dst(m) delivers once anyone did — can only be judged at
+// end of run, so finalize() closes it. Call finalize() only on quiescent runs
+// with an unrestricted scheduler: a run cut off mid-flight has pending
+// obligations that are not violations.
+class AgreementMonitor final : public MonitorBase {
+ public:
+  explicit AgreementMonitor(MonitorConfig cfg)
+      : MonitorBase("agreement", std::move(cfg)) {}
+
+  void finalize() {
+    if (!ok()) return;
+    for (const auto& [m, by] : delivered_by_) {
+      auto g = dst_of(m);
+      if (!g) continue;
+      const auto& [index, event] = first_delivery_.at(m);
+      for (ProcessId p : cfg().groups[static_cast<std::size_t>(*g)]) {
+        if (faulty_.contains(p) || by.contains(p)) continue;
+        flag(index, event,
+             "message " + std::to_string(m) + " delivered at p" +
+                 std::to_string(event.p) + " but correct p" +
+                 std::to_string(p) + " of g" + std::to_string(*g) +
+                 " never delivered it");
+        return;
+      }
+    }
+  }
+
+ protected:
+  void absorb(const TraceEvent& e, std::uint64_t index) override {
+    if (e.kind == TraceEventKind::kCrash) {
+      faulty_.insert(e.p);
+      return;
+    }
+    if (e.kind == TraceEventKind::kMulticast) {
+      if (auto g = group_of(e)) multicast_dst_.emplace(e.arg, *g);
+      return;
+    }
+    if (e.kind != TraceEventKind::kDeliver) return;
+    if (!group_of(e)) return;  // foreign protocol
+    delivered_by_[e.arg].insert(e.p);
+    first_delivery_.emplace(e.arg, std::make_pair(index, e));
+  }
+
+ private:
+  std::optional<int> dst_of(std::int64_t m) const {
+    auto it = multicast_dst_.find(m);
+    if (it != multicast_dst_.end()) return it->second;
+    auto fd = first_delivery_.find(m);
+    if (fd == first_delivery_.end()) return std::nullopt;
+    return group_of(fd->second.second);
+  }
+
+  ProcessSet faulty_{cfg().faulty};
+  std::map<std::int64_t, int> multicast_dst_;
+  std::map<std::int64_t, ProcessSet> delivered_by_;
+  std::map<std::int64_t, std::pair<std::uint64_t, TraceEvent>> first_delivery_;
+};
+
+// Ordering acyclicity over the delivery relation ↦ of spec.cpp.
+class AcyclicityMonitor final : public MonitorBase {
+ public:
+  explicit AcyclicityMonitor(MonitorConfig cfg)
+      : MonitorBase("acyclicity", std::move(cfg)) {}
+
+  // Adds the m ↦ m' edges where p delivered m but never m' (they need group
+  // membership, hence end-of-run), then re-checks. Same quiescence caveat as
+  // AgreementMonitor::finalize.
+  void finalize() {
+    if (!ok()) return;
+    auto adj = adj_;
+    for (const auto& [p, delivered] : delivered_at_) {
+      for (std::int64_t m : delivered) {
+        for (const auto& [m2, dst2] : multicast_dst_) {
+          if (m2 == m || delivered.count(m2)) continue;
+          if (cfg().groups[static_cast<std::size_t>(dst2)].contains(p))
+            adj[m].insert(m2);
+        }
+      }
+    }
+    if (monitor_detail::has_cycle(adj)) {
+      TraceEvent none{};
+      flag(events_seen(), none,
+           "delivery relation ↦ has a cycle through a never-delivered edge");
+    }
+  }
+
+ protected:
+  void absorb(const TraceEvent& e, std::uint64_t index) override {
+    if (e.kind == TraceEventKind::kMulticast) {
+      if (auto g = group_of(e)) multicast_dst_.emplace(e.arg, *g);
+      return;
+    }
+    if (e.kind != TraceEventKind::kDeliver) return;
+    if (!group_of(e)) return;  // foreign protocol
+    auto& delivered = delivered_at_[e.p];
+    auto last = last_delivered_.find(e.p);
+    if (last != last_delivered_.end() && last->second != e.arg &&
+        !delivered.count(e.arg)) {
+      // p is in dst of both (it delivered both), so the relation holds.
+      adj_[last->second].insert(e.arg);
+      if (ok() && monitor_detail::reaches(adj_, e.arg, last->second))
+        flag(index, e,
+             "delivering message " + std::to_string(e.arg) + " at p" +
+                 std::to_string(e.p) + " closes an order cycle with message " +
+                 std::to_string(last->second));
+    }
+    delivered.insert(e.arg);
+    last_delivered_[e.p] = e.arg;
+  }
+
+ private:
+  std::map<std::int64_t, int> multicast_dst_;
+  std::map<ProcessId, std::set<std::int64_t>> delivered_at_;
+  std::map<ProcessId, std::int64_t> last_delivered_;
+  std::map<std::int64_t, std::set<std::int64_t>> adj_;
+};
+
+// All three monitors behind one sink. finalize(quiescent) runs the
+// end-of-run checks only when the run actually completed.
+class InvariantMonitors final : public TraceSink {
+ public:
+  explicit InvariantMonitors(const MonitorConfig& cfg)
+      : integrity_(cfg), agreement_(cfg), acyclicity_(cfg) {}
+
+  void on_event(const TraceEvent& e) override {
+    integrity_.on_event(e);
+    agreement_.on_event(e);
+    acyclicity_.on_event(e);
+  }
+
+  void finalize(bool quiescent) {
+    if (!quiescent) return;
+    agreement_.finalize();
+    acyclicity_.finalize();
+  }
+
+  std::vector<MonitorViolation> violations() const {
+    std::vector<MonitorViolation> out;
+    for (const auto* v :
+         {&integrity_.violation(), &agreement_.violation(),
+          &acyclicity_.violation()})
+      if (v->has_value()) out.push_back(**v);
+    return out;
+  }
+
+  bool ok() const { return violations().empty(); }
+
+  const IntegrityMonitor& integrity() const { return integrity_; }
+  const AgreementMonitor& agreement() const { return agreement_; }
+  const AcyclicityMonitor& acyclicity() const { return acyclicity_; }
+
+ private:
+  IntegrityMonitor integrity_;
+  AgreementMonitor agreement_;
+  AcyclicityMonitor acyclicity_;
+};
+
+inline std::string format_violation(const MonitorViolation& v) {
+  return "[" + v.monitor + "] event " + std::to_string(v.event_index) + ": " +
+         v.detail + " (" + format_event(v.event) + ")";
+}
+
+}  // namespace gam::sim

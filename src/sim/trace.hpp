@@ -41,6 +41,7 @@ enum class TraceEventKind : std::uint8_t {
   kCrash = 3,     // a crashed process was first skipped (arg=crash time)
   kFdQuery = 4,   // a failure-detector module was read  (type=detector id)
   kDeliver = 5,   // a protocol-level delivery           (arg=msg id)
+  kMulticast = 6, // a protocol-level multicast submit   (arg=msg id)
 };
 
 inline const char* trace_kind_name(TraceEventKind k) {
@@ -51,6 +52,7 @@ inline const char* trace_kind_name(TraceEventKind k) {
     case TraceEventKind::kCrash: return "crash";
     case TraceEventKind::kFdQuery: return "fd-query";
     case TraceEventKind::kDeliver: return "deliver";
+    case TraceEventKind::kMulticast: return "multicast";
   }
   return "?";
 }
@@ -58,7 +60,8 @@ inline const char* trace_kind_name(TraceEventKind k) {
 inline std::optional<TraceEventKind> trace_kind_from(const char* name) {
   for (auto k : {TraceEventKind::kSend, TraceEventKind::kReceive,
                  TraceEventKind::kNullStep, TraceEventKind::kCrash,
-                 TraceEventKind::kFdQuery, TraceEventKind::kDeliver})
+                 TraceEventKind::kFdQuery, TraceEventKind::kDeliver,
+                 TraceEventKind::kMulticast})
     if (std::strcmp(name, trace_kind_name(k)) == 0) return k;
   return std::nullopt;
 }
@@ -124,6 +127,12 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void on_event(const TraceEvent& e) = 0;
 };
+
+// Replays a recorded stream into a sink — how offline monitors
+// (src/sim/monitors.hpp) consume a trace after the run.
+inline void feed(TraceSink& sink, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) sink.on_event(e);
+}
 
 // Hash-only: what the determinism gate runs with. No storage, no allocation.
 class HashingSink final : public TraceSink {

@@ -25,6 +25,7 @@
 
 #include "sim/failure_pattern.hpp"
 #include "sim/message.hpp"
+#include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/process_set.hpp"
@@ -203,6 +204,21 @@ class World : private BufferObserver {
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
   TraceSink* trace_sink() const { return trace_sink_; }
 
+  // Wire-level metrics probes: message-buffer depth high-water mark and
+  // FD-query counters by detector class. Handles resolve once here; the
+  // probes are null-checked pointer writes. The registry must outlive the
+  // runs it observes.
+  void set_metrics(Metrics* m) {
+#ifndef GAM_NO_METRICS
+    metrics_ = m;
+    buffer_depth_ = m ? &m->gauge("buffer_depth") : nullptr;
+    fd_omega_ = m ? &m->counter("fd_query", "omega") : nullptr;
+    fd_sigma_ = m ? &m->counter("fd_query", "sigma") : nullptr;
+#else
+    (void)m;
+#endif
+  }
+
   // Protocol layers report their delivery events here so they interleave with
   // the wire events in one stream (`m` is the protocol-level message id).
   void trace_deliver(ProcessId p, std::int32_t protocol, std::int64_t m,
@@ -285,6 +301,8 @@ class World : private BufferObserver {
   void on_buffer_send(const Message& m) override {
     if (m.src >= 0 && m.src < process_count())
       ++stats_[static_cast<size_t>(m.src)].messages_sent;
+    GAM_METRICS_PROBE(if (buffer_depth_) buffer_depth_->set(
+        static_cast<std::int64_t>(buffer_.size())));
     trace(TraceEventKind::kSend, m.src, m.protocol, m.type, m.dst, &m.data);
   }
 
@@ -313,6 +331,12 @@ class World : private BufferObserver {
   ProcessId sending_as_ = -1;
   TraceSink* trace_sink_ = nullptr;
   ProcessSet crash_traced_;         // crash events already emitted
+#ifndef GAM_NO_METRICS
+  Metrics* metrics_ = nullptr;
+  Gauge* buffer_depth_ = nullptr;   // resolved once in set_metrics
+  Counter* fd_omega_ = nullptr;
+  Counter* fd_sigma_ = nullptr;
+#endif
 };
 
 inline void Context::send(ProcessId dst, std::int32_t protocol,
@@ -348,6 +372,10 @@ inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
 
 inline void Context::trace_fd_query(std::int32_t protocol,
                                     std::int32_t detector) {
+  GAM_METRICS_PROBE({
+    Counter* c = detector == 0 ? world_.fd_omega_ : world_.fd_sigma_;
+    if (c) c->add();
+  });
   world_.trace(TraceEventKind::kFdQuery, self_, protocol, detector, -1,
                nullptr);
 }

@@ -20,6 +20,7 @@
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
 #include "groups/group_system.hpp"
+#include "sim/monitors.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -113,6 +114,26 @@ void expect_equivalent(const char* label, const EngineRun& scan,
   }
 }
 
+// Every cell's recorded event stream also replays through the online
+// invariant monitors (integrity / agreement / acyclicity): equivalence
+// between engines is worthless if both are equivalently wrong. End-of-run
+// obligations only bind when the run quiesced under an unrestricted
+// scheduler — a fair-set-restricted or cut-off run legitimately leaves
+// deliveries pending at the excluded processes.
+void expect_invariants(const char* label, const GroupSystem& sys,
+                       const sim::FailurePattern& pat,
+                       const MuMulticast::Options& opt, const EngineRun& run) {
+  sim::MonitorConfig cfg;
+  for (GroupId g = 0; g < sys.group_count(); ++g)
+    cfg.groups.push_back(sys.group(g));
+  cfg.faulty = pat.faulty_set();
+  sim::InvariantMonitors mons(cfg);
+  sim::feed(mons, run.events.events());
+  mons.finalize(run.record.quiescent && opt.fair_set.empty());
+  for (const auto& v : mons.violations())
+    ADD_FAILURE() << label << ": " << sim::format_violation(v);
+}
+
 void sweep_cell(const char* label, const GroupSystem& sys,
                 const sim::FailurePattern& pat, MuMulticast::Options opt,
                 const std::vector<MulticastMessage>& msgs) {
@@ -120,6 +141,7 @@ void sweep_cell(const char* label, const GroupSystem& sys,
   auto inc =
       run_engine(sys, pat, opt, msgs, MuMulticast::Engine::kIncremental);
   expect_equivalent(label, scan, inc);
+  expect_invariants(label, sys, pat, opt, inc);
 }
 
 TEST(EngineEquivalence, DisjointK8SeedSweep) {

@@ -1,0 +1,308 @@
+// Metrics registry / histogram / report tests: the edge cases the probe layer
+// leans on (zero-width samples, saturation, merge algebra) and the report
+// pipeline bench_sweep --metrics and tools/metrics_report are built from
+// (byte-deterministic serialization, write/load round-trip, regression diff).
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace gam::sim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- histogram edge cases ---------------------------------------------------
+
+TEST(Histogram, ZeroWidthSamplesLandInBucketZero) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 0u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 0u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.mean(), 0.0);
+  // All quantiles of an all-zero distribution are zero (clamped to max).
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket_of is bit_width: 0 -> 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3, ...
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, MaxBucketSaturation) {
+  Histogram h;
+  const std::uint64_t top = ~std::uint64_t{0};
+  h.record(top);
+  h.record(top - 1);
+  h.record(std::uint64_t{1} << 63);  // smallest value in the saturation bucket
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.buckets[64], 3u);
+  EXPECT_EQ(h.max, top);
+  EXPECT_EQ(h.min, std::uint64_t{1} << 63);
+  // All samples share the saturation bucket, so every positive quantile
+  // reports its upper bound (clamped to the observed max); q=0 is the exact
+  // minimum.
+  EXPECT_EQ(h.quantile(1.0), top);
+  EXPECT_EQ(h.quantile(0.01), top);
+  EXPECT_EQ(h.quantile(0.0), std::uint64_t{1} << 63);
+}
+
+TEST(Histogram, QuantileIsBucketUpperBoundClampedToObserved) {
+  Histogram h;
+  for (std::uint64_t v : {5u, 6u, 7u, 100u}) h.record(v);
+  // p50: 2nd of 4 samples -> bucket 3 (upper bound 7).
+  EXPECT_EQ(h.quantile(0.5), 7u);
+  // p99: 4th sample -> bucket 7 (upper 127) clamps to max 100.
+  EXPECT_EQ(h.quantile(0.99), 100u);
+  EXPECT_EQ(h.quantile(0.0), 5u);
+}
+
+TEST(Histogram, MergeAddsBucketsAndKeepsExtremes) {
+  Histogram a, b, empty;
+  a.record(3);
+  a.record(9);
+  b.record(0);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 3u + 9u + 0u + 1000u);
+  EXPECT_EQ(a.min, 0u);
+  EXPECT_EQ(a.max, 1000u);
+  EXPECT_EQ(a.buckets[0], 1u);
+  EXPECT_EQ(a.buckets[2], 1u);
+  // Merging an empty histogram must not clobber min (its min is the sentinel).
+  Histogram c = a;
+  c.merge(empty);
+  EXPECT_EQ(c.min, 0u);
+  EXPECT_EQ(c.count, 4u);
+  // And merging INTO an empty one adopts the source's extremes.
+  Histogram d;
+  d.merge(a);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 1000u);
+}
+
+// ---- registry merge ---------------------------------------------------------
+
+TEST(Metrics, MergeIsCommutativeOverSeries) {
+  Metrics a, b;
+  a.counter("fd_query", "sigma").add(3);
+  a.gauge("log_size", "g0").set(7);
+  a.histogram("deliver_latency", "g0").record(12);
+  b.counter("fd_query", "sigma").add(5);
+  b.counter("fd_query", "gamma").add(1);  // only in b
+  b.gauge("log_size", "g0").set(4);
+  b.histogram("deliver_latency", "g0").record(30);
+
+  Metrics ab = a;
+  ab.merge(b);
+  Metrics ba = b;
+  ba.merge(a);
+
+  EXPECT_EQ(ab.counter("fd_query", "sigma").value, 8u);
+  EXPECT_EQ(ab.counter("fd_query", "gamma").value, 1u);
+  // Gauge values add (per-run finals become a sweep total); hwm is the max.
+  EXPECT_EQ(ab.gauge("log_size", "g0").value, 11);
+  EXPECT_EQ(ab.gauge("log_size", "g0").hwm, 7);
+  EXPECT_EQ(ab.histogram("deliver_latency", "g0").count, 2u);
+  EXPECT_EQ(ab.counter_total("fd_query"), ba.counter_total("fd_query"));
+  EXPECT_EQ(ab.merged_histogram("deliver_latency").sum,
+            ba.merged_histogram("deliver_latency").sum);
+}
+
+TEST(Metrics, MergedHistogramSpansLabels) {
+  Metrics m;
+  m.histogram("deliver_latency", "g0").record(10);
+  m.histogram("deliver_latency", "g1").record(20);
+  m.histogram("convoy_wait", "g0").record(999);  // different name: excluded
+  Histogram all = m.merged_histogram("deliver_latency");
+  EXPECT_EQ(all.count, 2u);
+  EXPECT_EQ(all.sum, 30u);
+  EXPECT_EQ(all.max, 20u);
+}
+
+// ---- serialization determinism and round-trip -------------------------------
+
+TEST(MetricsReport, SerializationIndependentOfInsertionOrder) {
+  auto build = [](bool reversed) {
+    MetricsReport rep;
+    rep.meta["engine"] = "incremental";
+    rep.meta["git_rev"] = "abc";
+    Metrics& m = rep.config("cfg");
+    if (reversed) {
+      m.histogram("z_series").record(4);
+      m.counter("b").add(2);
+      m.counter("a", "l2").add(1);
+      m.counter("a", "l1").add(1);
+    } else {
+      m.counter("a", "l1").add(1);
+      m.counter("a", "l2").add(1);
+      m.counter("b").add(2);
+      m.histogram("z_series").record(4);
+    }
+    return rep;
+  };
+  std::string p1 = "test_metrics_order1.tmp";
+  std::string p2 = "test_metrics_order2.tmp";
+  ASSERT_TRUE(build(false).write(p1));
+  ASSERT_TRUE(build(true).write(p2));
+  EXPECT_EQ(slurp(p1), slurp(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(MetricsReport, WriteLoadRoundTrip) {
+  MetricsReport rep;
+  rep.meta["git_rev"] = "deadbeef";
+  rep.meta["engine"] = "scan";
+  Metrics& m = rep.config("e3");
+  m.counter("fd_query", "sigma").add(17);
+  m.gauge("buffer_depth").set(5);
+  m.gauge("buffer_depth").set(2);  // value 2, hwm 5
+  m.histogram("deliver_latency", "g3").record(0);
+  m.histogram("deliver_latency", "g3").record(77);
+  rep.config("empty_cfg");  // a config with no series must survive the trip
+
+  std::string path = "test_metrics_roundtrip.tmp";
+  ASSERT_TRUE(rep.write(path));
+  auto loaded = MetricsReport::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.at("git_rev"), "deadbeef");
+  EXPECT_EQ(loaded->meta.at("engine"), "scan");
+  ASSERT_EQ(loaded->configs.size(), 2u);
+  const Metrics* e3 = loaded->find_config("e3");
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e3->counters().at({"fd_query", "sigma"}).value, 17u);
+  EXPECT_EQ(e3->gauges().at({"buffer_depth", ""}).value, 2);
+  EXPECT_EQ(e3->gauges().at({"buffer_depth", ""}).hwm, 5);
+  const Histogram& h = e3->histograms().at({"deliver_latency", "g3"});
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 77u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 77u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[7], 1u);
+
+  // The round-tripped report serializes byte-identically to the original.
+  std::string p1 = "test_metrics_rt1.tmp", p2 = "test_metrics_rt2.tmp";
+  ASSERT_TRUE(rep.write(p1));
+  ASSERT_TRUE(loaded->write(p2));
+  EXPECT_EQ(slurp(p1), slurp(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(MetricsReport, LoadRejectsGarbageAndWrongSchema) {
+  std::string path = "test_metrics_bad.tmp";
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"gam-metrics-v999\", \"meta\": {}, \"configs\": []}";
+  }
+  EXPECT_FALSE(MetricsReport::load(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "not json at all";
+  }
+  EXPECT_FALSE(MetricsReport::load(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(MetricsReport::load("does_not_exist.tmp").has_value());
+}
+
+// ---- diff -------------------------------------------------------------------
+
+TEST(DiffReports, FlagsInjectedRegressionAndFiltersNoise) {
+  MetricsReport a, b;
+  Metrics& ma = a.config("cfg");
+  Metrics& mb = b.config("cfg");
+  ma.counter("fd_query").add(100);
+  mb.counter("fd_query").add(150);  // +50%: the injected regression
+  ma.counter("steps").add(1000);
+  mb.counter("steps").add(1001);  // +0.1%: below threshold, filtered
+  ma.counter("gone").add(1);      // removed in b
+  mb.counter("fresh").add(1);     // new in b
+
+  auto deltas = diff_reports(a, b, 0.05);
+  ASSERT_EQ(deltas.size(), 3u);
+  bool saw_changed = false, saw_new = false, saw_removed = false;
+  for (const auto& d : deltas) {
+    if (d.kind == SeriesDelta::kChanged) {
+      saw_changed = true;
+      EXPECT_NE(d.series.find("fd_query"), std::string::npos);
+      EXPECT_EQ(d.before, 100.0);
+      EXPECT_EQ(d.after, 150.0);
+    }
+    if (d.kind == SeriesDelta::kNew) {
+      saw_new = true;
+      EXPECT_NE(d.series.find("fresh"), std::string::npos);
+    }
+    if (d.kind == SeriesDelta::kRemoved) {
+      saw_removed = true;
+      EXPECT_NE(d.series.find("gone"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_changed);
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_removed);
+  // Most-changed first: the new/removed series (rel 1.0) outrank the +50%.
+  EXPECT_EQ(deltas.back().kind, SeriesDelta::kChanged);
+
+  // Identical reports diff clean at any threshold.
+  EXPECT_TRUE(diff_reports(a, a, 0.0).empty());
+}
+
+TEST(DiffReports, GaugeAndHistogramFacets) {
+  MetricsReport a, b;
+  a.config("cfg").gauge("depth").set(10);
+  b.config("cfg").gauge("depth").set(10);
+  // Same value, different hwm: only the hwm facet trips.
+  b.config("cfg").gauge("depth").set(30);
+  b.config("cfg").gauge("depth").set(10);
+  a.config("cfg").histogram("lat").record(8);
+  b.config("cfg").histogram("lat").record(16);  // same count, different mean
+
+  auto deltas = diff_reports(a, b, 0.05);
+  bool saw_hwm = false, saw_mean = false;
+  for (const auto& d : deltas) {
+    if (d.series.find("hwm") != std::string::npos) saw_hwm = true;
+    if (d.series.find("mean") != std::string::npos) saw_mean = true;
+    EXPECT_EQ(d.series.find("count"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_hwm);
+  EXPECT_TRUE(saw_mean);
+
+  // Whole-config appearance/disappearance surfaces as new/removed series.
+  MetricsReport c = a;
+  c.config("extra").counter("x").add(1);
+  auto d2 = diff_reports(a, c, 0.05);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2[0].kind, SeriesDelta::kNew);
+  EXPECT_EQ(d2[0].config, "extra");
+}
+
+}  // namespace
+}  // namespace gam::sim

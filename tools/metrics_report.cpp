@@ -1,0 +1,124 @@
+// Pretty-prints one gam-metrics-v1 run report, or diffs two.
+//
+//   metrics_report REPORT.json
+//   metrics_report --diff A.json B.json [--threshold=R] [--quiet]
+//
+// Diff exit codes follow trace_diff's convention so scripts can gate on the
+// result: 0 = no differences beyond the threshold, 1 = differences found,
+// 2 = usage or I/O error. --threshold sets the relative-change cutoff for
+// changed series (default 0.05; new/removed series always count).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace {
+
+using gam::sim::Histogram;
+using gam::sim::Metrics;
+using gam::sim::MetricsReport;
+using gam::sim::SeriesDelta;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: metrics_report REPORT.json\n"
+               "       metrics_report --diff A.json B.json [--threshold=R] "
+               "[--quiet]\n");
+  return 2;
+}
+
+std::string series_label(const Metrics::Key& k) {
+  return k.label.empty() ? k.name : k.name + "{" + k.label + "}";
+}
+
+void print_report(const MetricsReport& rep) {
+  std::printf("schema: %s\n", MetricsReport::kSchema);
+  for (const auto& [k, v] : rep.meta)
+    std::printf("%s: %s\n", k.c_str(), v.c_str());
+  for (const auto& [name, m] : rep.configs) {
+    std::printf("\n[%s]\n", name.c_str());
+    for (const auto& [k, c] : m.counters())
+      std::printf("  counter    %-40s %llu\n", series_label(k).c_str(),
+                  static_cast<unsigned long long>(c.value));
+    for (const auto& [k, g] : m.gauges())
+      std::printf("  gauge      %-40s %lld (hwm %lld)\n",
+                  series_label(k).c_str(), static_cast<long long>(g.value),
+                  static_cast<long long>(g.hwm));
+    for (const auto& [k, h] : m.histograms())
+      std::printf(
+          "  histogram  %-40s n=%llu mean=%.1f p50<=%llu p99<=%llu max=%llu\n",
+          series_label(k).c_str(), static_cast<unsigned long long>(h.count),
+          h.mean(), static_cast<unsigned long long>(h.quantile(0.5)),
+          static_cast<unsigned long long>(h.quantile(0.99)),
+          static_cast<unsigned long long>(h.max));
+  }
+}
+
+const char* kind_name(SeriesDelta::Kind k) {
+  switch (k) {
+    case SeriesDelta::kNew: return "new";
+    case SeriesDelta::kRemoved: return "removed";
+    case SeriesDelta::kChanged: return "changed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+    double threshold = 0.05;
+    bool quiet = false;
+    const char* paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+        char* end = nullptr;
+        threshold = std::strtod(argv[i] + 12, &end);
+        if (end == argv[i] + 12 || *end != '\0' || threshold < 0)
+          return usage();
+      } else if (std::strcmp(argv[i], "--quiet") == 0) {
+        quiet = true;
+      } else if (npaths < 2) {
+        paths[npaths++] = argv[i];
+      } else {
+        return usage();
+      }
+    }
+    if (npaths != 2) return usage();
+    auto a = MetricsReport::load(paths[0]);
+    auto b = MetricsReport::load(paths[1]);
+    if (!a || !b) {
+      std::fprintf(stderr, "metrics_report: cannot load %s\n",
+                   !a ? paths[0] : paths[1]);
+      return 2;
+    }
+    auto deltas = gam::sim::diff_reports(*a, *b, threshold);
+    if (!quiet) {
+      for (const auto& d : deltas) {
+        if (d.kind == SeriesDelta::kChanged)
+          std::printf("%-8s %s :: %s  %.6g -> %.6g  (%+.1f%%)\n",
+                      kind_name(d.kind), d.config.c_str(), d.series.c_str(),
+                      d.before, d.after, 100.0 * (d.after - d.before) /
+                                             (d.before != 0 ? d.before : 1));
+        else
+          std::printf("%-8s %s :: %s\n", kind_name(d.kind), d.config.c_str(),
+                      d.series.c_str());
+      }
+      std::printf("%zu difference(s) beyond threshold %.3g\n", deltas.size(),
+                  threshold);
+    }
+    return deltas.empty() ? 0 : 1;
+  }
+
+  if (argc != 2 || argv[1][0] == '-') return usage();
+  auto rep = MetricsReport::load(argv[1]);
+  if (!rep) {
+    std::fprintf(stderr, "metrics_report: cannot load %s\n", argv[1]);
+    return 2;
+  }
+  print_report(*rep);
+  return 0;
+}

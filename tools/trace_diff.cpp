@@ -8,11 +8,13 @@
 // single trace against a reference hash.
 //
 // Usage:
-//   trace_diff A.trace B.trace [--window=N]
-//   trace_diff A.trace --expect-hash=HEX
+//   trace_diff A.trace B.trace [--window=N] [--quiet]
+//   trace_diff A.trace --expect-hash=HEX [--quiet]
 //
-// Exit codes: 0 identical / hash matches, 1 divergence / hash mismatch,
-// 2 usage or I/O error.
+// Exit codes (stable, scripts gate on them): 0 identical / hash matches,
+// 1 divergence / hash mismatch, 2 usage or I/O error. --quiet suppresses
+// the report on stdout (I/O errors still print to stderr) — for scripts
+// that only branch on the exit code.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,8 +27,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s A.trace B.trace [--window=N]\n"
-               "       %s A.trace --expect-hash=HEX\n",
+               "usage: %s A.trace B.trace [--window=N] [--quiet]\n"
+               "       %s A.trace --expect-hash=HEX [--quiet]\n"
+               "exit codes: 0 identical/hash match, 1 divergence, "
+               "2 usage or I/O error\n",
                argv0, argv0);
   return 2;
 }
@@ -37,12 +41,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string expect_hash;
   std::size_t window = 5;
+  bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--window=", 0) == 0) {
       int w = std::atoi(a.c_str() + 9);
       if (w < 1) return usage(argv[0]);
       window = static_cast<std::size_t>(w);
+    } else if (a == "--quiet") {
+      quiet = true;
     } else if (a.rfind("--expect-hash=", 0) == 0) {
       expect_hash = a.substr(14);
     } else if (!a.empty() && a[0] == '-') {
@@ -61,16 +68,18 @@ int main(int argc, char** argv) {
     std::uint64_t want = std::strtoull(expect_hash.c_str(), nullptr, 16);
     std::uint64_t got = gam::sim::hash_events(*events);
     if (got == want) {
-      std::printf("hash matches: %016llx (%zu events)\n",
-                  static_cast<unsigned long long>(got), events->size());
+      if (!quiet)
+        std::printf("hash matches: %016llx (%zu events)\n",
+                    static_cast<unsigned long long>(got), events->size());
       return 0;
     }
-    std::printf("hash MISMATCH: trace %016llx vs expected %016llx "
-                "(%zu events)\n"
-                "(a reference hash cannot localize the divergence — record "
-                "the reference run with --trace and diff the two files)\n",
-                static_cast<unsigned long long>(got),
-                static_cast<unsigned long long>(want), events->size());
+    if (!quiet)
+      std::printf("hash MISMATCH: trace %016llx vs expected %016llx "
+                  "(%zu events)\n"
+                  "(a reference hash cannot localize the divergence — record "
+                  "the reference run with --trace and diff the two files)\n",
+                  static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want), events->size());
     return 1;
   }
 
@@ -86,11 +95,13 @@ int main(int argc, char** argv) {
 
   auto div = gam::sim::first_divergence(*a, *b);
   if (!div) {
-    std::printf("identical: %zu events, hash %016llx\n", a->size(),
-                static_cast<unsigned long long>(gam::sim::hash_events(*a)));
+    if (!quiet)
+      std::printf("identical: %zu events, hash %016llx\n", a->size(),
+                  static_cast<unsigned long long>(gam::sim::hash_events(*a)));
     return 0;
   }
-  std::printf("A: %s\nB: %s\n%s", files[0].c_str(), files[1].c_str(),
-              gam::sim::render_divergence(*a, *b, *div, window).c_str());
+  if (!quiet)
+    std::printf("A: %s\nB: %s\n%s", files[0].c_str(), files[1].c_str(),
+                gam::sim::render_divergence(*a, *b, *div, window).c_str());
   return 1;
 }
