@@ -20,6 +20,7 @@
 #include "objects/abd_register.hpp"
 #include "objects/cf_consensus.hpp"
 #include "objects/protocol_host.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 #include "sweep.hpp"
 
@@ -56,7 +57,8 @@ void ablation_family_reading() {
 // across the sweep pool.
 int fast_path_trial(double conflict, std::uint64_t seed) {
   sim::FailurePattern pat(4);
-  sim::World world(pat, seed);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(seed));
+  sim::World& world = sc.world();
   auto hosts = objects::install_hosts(world);
   ProcessSet g = ProcessSet::universe(4), inter{1, 2};
   fd::SigmaOracle si(pat, inter), sg(pat, g);
@@ -65,13 +67,16 @@ int fast_path_trial(double conflict, std::uint64_t seed) {
   std::vector<std::shared_ptr<objects::IndulgentConsensus>> cons(4);
   for (ProcessId p = 0; p < 4; ++p) {
     if (inter.contains(p)) {
-      st[static_cast<size_t>(p)] =
-          std::make_shared<objects::QuorumStore>(5, p, inter, si);
-      hosts[static_cast<size_t>(p)]->add(5, st[static_cast<size_t>(p)]);
+      st[static_cast<size_t>(p)] = std::make_shared<objects::QuorumStore>(
+          sim::protocol_id(5), p, inter, si);
+      hosts[static_cast<size_t>(p)]->add(sim::protocol_id(5),
+                                         st[static_cast<size_t>(p)]);
     }
     cons[static_cast<size_t>(p)] =
-        std::make_shared<objects::IndulgentConsensus>(6, p, g, sg, og);
-    hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+        std::make_shared<objects::IndulgentConsensus>(sim::protocol_id(6), p, g,
+                                                      sg, og);
+    hosts[static_cast<size_t>(p)]->add(sim::protocol_id(6),
+                                       cons[static_cast<size_t>(p)]);
   }
   objects::CfFastConsensus cf1(st[1], 1, cons[1]);
   objects::CfFastConsensus cf2(st[2], 2, cons[2]);

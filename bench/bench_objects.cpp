@@ -15,6 +15,7 @@
 #include "objects/ideal.hpp"
 #include "objects/protocol_host.hpp"
 #include "objects/universal_log.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 using namespace gam;
@@ -48,12 +49,17 @@ namespace {
 
 struct ReplicatedFixture {
   explicit ReplicatedFixture(int n, std::uint64_t seed)
-      : pattern(n), world(pattern, seed), scope(ProcessSet::universe(n)),
-        sigma(pattern, scope), omega(pattern, scope) {
+      : pattern(n),
+        scenario(sim::RunSpec{}.failures(pattern).seed(seed)),
+        world(scenario.world()),
+        scope(ProcessSet::universe(n)),
+        sigma(pattern, scope),
+        omega(pattern, scope) {
     hosts = install_hosts(world);
     for (ProcessId p = 0; p < n; ++p) {
-      stores.push_back(std::make_shared<QuorumStore>(1, p, scope, sigma));
-      hosts[static_cast<size_t>(p)]->add(1, stores.back());
+      stores.push_back(std::make_shared<QuorumStore>(sim::protocol_id(1), p,
+                                                     scope, sigma));
+      hosts[static_cast<size_t>(p)]->add(sim::protocol_id(1), stores.back());
     }
   }
 
@@ -71,7 +77,8 @@ struct ReplicatedFixture {
   }
 
   sim::FailurePattern pattern;
-  sim::World world;
+  sim::Scenario scenario;
+  sim::World& world;
   ProcessSet scope;
   fd::SigmaOracle sigma;
   fd::OmegaOracle omega;
@@ -109,9 +116,9 @@ static void BM_UniversalLogDecide(benchmark::State& state) {
     ReplicatedFixture fx(n, 7);
     std::vector<std::shared_ptr<UniversalLog>> logs;
     for (ProcessId p = 0; p < n; ++p) {
-      auto l = std::make_shared<UniversalLog>(2, p, fx.scope, fx.sigma,
-                                              fx.omega);
-      fx.hosts[static_cast<size_t>(p)]->add(2, l);
+      auto l = std::make_shared<UniversalLog>(sim::protocol_id(2), p, fx.scope,
+                                              fx.sigma, fx.omega);
+      fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(2), l);
       logs.push_back(l);
     }
     for (int i = 0; i < 6; ++i) {

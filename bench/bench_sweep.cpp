@@ -38,6 +38,15 @@
 // into BENCH_sim.json under "metrics". Inspect or diff reports with
 // tools/metrics_report. A monitor violation fails the run (exit 1), same as
 // the determinism gate.
+//
+// --adversary=SPEC drives every configuration under an adversarial strategy
+// (sim/adversary.hpp): "random" (default), "pct[:D]" for PCT priority
+// scheduling, and a "qedge" prefix that additionally derives each seed's
+// failure pattern from the group system's quorum boundaries
+// ("qedge+pct:3"). Replay specs are rejected here — replay is a single-run
+// affair (tools/adversary_hunt). All gates (determinism, monitors,
+// engine-equivalence via recorded traces) apply unchanged under any
+// strategy.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +58,7 @@
 #include "amcast/replicated_multicast.hpp"
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
+#include "sim/adversary.hpp"
 #include "sim/metrics.hpp"
 #include "sim/monitors.hpp"
 #include "sim/trace.hpp"
@@ -82,7 +92,43 @@ struct Config {
                          // <trace>.<config>.trace
   std::string metrics;   // when set, write a gam-metrics-v1 report here
   MuMulticast::Engine engine = MuMulticast::Engine::kIncremental;
+  sim::AdversarySpec adversary;  // scheduling strategy + crash derivation
 };
+
+// Every output path is written at the END of a multi-minute sweep; probe them
+// up front so a typo'd directory fails in milliseconds with exit 2 instead.
+// A probe that had to create the file removes it again.
+bool path_writable(const std::string& path) {
+  std::FILE* pre = std::fopen(path.c_str(), "r");
+  bool existed = pre != nullptr;
+  if (pre) std::fclose(pre);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
+  return true;
+}
+
+// The failure pattern a configuration runs under: quorum-edge derived when
+// the axis asks for it, crash-free otherwise. (figure1_crashes keeps its
+// sampled environment in the non-qedge case; see its job below.)
+sim::FailurePattern adversary_pattern(const sim::AdversarySpec& adv,
+                                      const groups::GroupSystem& sys,
+                                      std::uint64_t seed) {
+  if (!adv.quorum_edge_crashes)
+    return sim::FailurePattern(sys.process_count());
+  return sim::QuorumEdgeAdversary(sys.groups(), sys.process_count())
+      .pattern_for(seed);
+}
+
+// Runs a MuMulticast under the spec'd scheduler. kRandom uses the built-in
+// uniform path (byte-identical to a spec'd RandomScheduler by construction).
+RunRecord run_mc(MuMulticast& mc, const sim::AdversarySpec& adv,
+                 std::uint64_t seed) {
+  if (adv.scheduler.kind == sim::SchedulerSpec::Kind::kRandom) return mc.run();
+  auto sched = adv.scheduler.instantiate(seed);
+  return mc.run_with(*sched);
+}
 
 // A swept job: runs seed-index `i`; when `rec` is non-null the run's full
 // event stream is recorded there instead of only hashed; when `met` is
@@ -102,16 +148,17 @@ using MonitorConfigFn = std::function<sim::MonitorConfig()>;
 // single-member groups (64 groups × 2 members would overflow the 64-process
 // universe).
 RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
-                    MuMulticast::Engine engine, sim::RecorderSink* rec,
+                    MuMulticast::Engine engine,
+                    const sim::AdversarySpec& adv, sim::RecorderSink* rec,
                     sim::Metrics* met) {
   auto sys = groups::disjoint_system(k, group_size);
-  sim::FailurePattern pat(sys.process_count());
+  sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
   MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
-  RunResult r = summarize(mc.run());
+  RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
   return r;
 }
@@ -121,10 +168,12 @@ RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
 // The hash covers the complete wire-event stream (every send, receive,
 // null-step, FD query, and delivery), not just the delivery record.
 RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
+                          const sim::AdversarySpec& adv,
                           sim::RecorderSink* rec, sim::Metrics* met) {
   auto sys = groups::disjoint_system(k, 3);
-  sim::FailurePattern pat(sys.process_count());
-  ReplicatedMulticast rm(sys, pat, {.seed = seed});
+  sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
+  ReplicatedMulticast rm(sys, pat,
+                         {.seed = seed, .scheduler = adv.scheduler});
   sim::HashingSink hasher;
   rm.world().set_trace_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) rm.set_metrics(met);
@@ -139,18 +188,22 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
 // Figure 1 under sampled crashes: detector-heavy Algorithm 1 runs.
 RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
                               MuMulticast::Engine engine,
+                              const sim::AdversarySpec& adv,
                               sim::RecorderSink* rec, sim::Metrics* met) {
   auto sys = groups::figure1_system();
-  Rng rng(seed);
-  sim::EnvironmentSampler env{
-      .process_count = 5, .max_failures = 2, .horizon = 100};
-  sim::FailurePattern pat = env.sample(rng);
+  sim::FailurePattern pat = [&] {
+    if (adv.quorum_edge_crashes) return adversary_pattern(adv, sys, seed);
+    Rng rng(seed);
+    sim::EnvironmentSampler env{
+        .process_count = 5, .max_failures = 2, .horizon = 100};
+    return env.sample(rng);
+  }();
   MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
-  RunResult r = summarize(mc.run());
+  RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
   return r;
 }
@@ -351,12 +404,50 @@ int main(int argc, char** argv) {
       cfg.engine = MuMulticast::Engine::kScan;
     } else if (a == "--engine=incremental") {
       cfg.engine = MuMulticast::Engine::kIncremental;
+    } else if (a.rfind("--adversary=", 0) == 0) {
+      auto spec = sim::AdversarySpec::parse(a.substr(12));
+      if (!spec) {
+        std::fprintf(stderr, "error: unrecognized --adversary spec: %s\n",
+                     a.c_str() + 12);
+        return 2;
+      }
+      if (spec->scheduler.kind == sim::SchedulerSpec::Kind::kReplay) {
+        std::fprintf(stderr,
+                     "error: --adversary=replay:... replays one recorded run; "
+                     "it cannot drive a multi-seed sweep (use "
+                     "tools/adversary_hunt or tools/trace_diff)\n");
+        return 2;
+      }
+      cfg.adversary = *spec;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
                    "[--seed-base=N] [--out=PATH] [--trace=PATH] "
-                   "[--metrics=PATH] [--engine=scan|incremental]\n",
+                   "[--metrics=PATH] [--engine=scan|incremental] "
+                   "[--adversary=random|pct[:D]|qedge[+SCHED]]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+
+  // Fail fast on unwritable output destinations (exit 2, like a usage
+  // error): --trace writes PATH.<config>.trace, so its probe appends a
+  // throwaway suffix rather than touching a real output.
+  const struct {
+    const char* flag;
+    std::string shown;
+    std::string probe;
+  } outputs[] = {
+      {"--out", cfg.out, cfg.out},
+      {"--metrics", cfg.metrics, cfg.metrics},
+      {"--trace", cfg.trace,
+       cfg.trace.empty() ? "" : cfg.trace + ".writable.probe"},
+  };
+  for (const auto& o : outputs) {
+    if (o.probe.empty()) continue;
+    if (!path_writable(o.probe)) {
+      std::fprintf(stderr, "error: %s path is not writable: %s\n", o.flag,
+                   o.shown.c_str());
       return 2;
     }
   }
@@ -381,16 +472,17 @@ int main(int argc, char** argv) {
                  "explicitly)\n");
 
   std::printf("Simulator seed-sweep bench — %d seeds/config, pool of %d "
-              "thread(s), %s engine%s\n\n",
+              "thread(s), %s engine, adversary=%s%s\n\n",
               seeds, pool.threads(),
               engine_incremental ? "incremental" : "scan",
-              cfg.quick ? " [quick]" : "");
+              cfg.adversary.name().c_str(), cfg.quick ? " [quick]" : "");
 
   BenchJson json;
   json.field("bench", std::string("bench_sweep"));
   json.field("quick", std::string(cfg.quick ? "true" : "false"));
   json.field("engine",
              std::string(engine_incremental ? "incremental" : "scan"));
+  json.field("adversary", cfg.adversary.name());
   // Requested is the --threads value as given (0 = auto-detect); effective is
   // the size the pool actually runs with. They differ when detection falls
   // back — consumers must not read a speedup off a 1-thread "pool".
@@ -414,6 +506,7 @@ int main(int argc, char** argv) {
     report.meta["build_type"] = GAM_BUILD_TYPE;
     report.meta["sanitize"] = GAM_SANITIZE_STR;
     report.meta["engine"] = engine_incremental ? "incremental" : "scan";
+    report.meta["adversary"] = cfg.adversary.name();
     report.meta["quick"] = cfg.quick ? "true" : "false";
     report.meta["seeds_per_config"] = std::to_string(seeds);
     report.meta["seed_base"] = std::to_string(cfg.seed_base);
@@ -428,50 +521,64 @@ int main(int argc, char** argv) {
            static_cast<std::uint64_t>(i);
   };
 
+  // Monitor configs re-derive seed-index 0's failure pattern (sampled or
+  // quorum-edge) so the agreement monitor knows who may miss deliveries.
+  auto faulty0 = [&](const groups::GroupSystem& sys) {
+    return adversary_pattern(cfg.adversary, sys, seed_of(0)).faulty_set();
+  };
+
   ok &= sweep_both(
       cfg, "e3_mu_k16", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
-        return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine, rec, met);
+        return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine,
+                         cfg.adversary, rec, met);
       },
-      [] { return monitor_config(groups::disjoint_system(16, 2), 0, true); },
+      [&] {
+        auto sys = groups::disjoint_system(16, 2);
+        return monitor_config(sys, 0, true, faulty0(sys));
+      },
       json, &e3_speedup, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "e3_mu_k64", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
-        return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine, rec, met);
+        return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine,
+                         cfg.adversary, rec, met);
       },
-      [] { return monitor_config(groups::disjoint_system(64, 1), 0, true); },
+      [&] {
+        auto sys = groups::disjoint_system(64, 1);
+        return monitor_config(sys, 0, true, faulty0(sys));
+      },
       json, nullptr, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "world_paxos_k8", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
-        return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group, rec,
-                               met);
+        return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group,
+                               cfg.adversary, rec, met);
       },
       // World traces number protocols 100+g and record only the delivery
       // side (no kMulticast events), hence the relaxed integrity mode.
-      [&cfg] {
-        return monitor_config(groups::disjoint_system(cfg.quick ? 4 : 8, 3),
-                              100, false);
+      [&] {
+        auto sys = groups::disjoint_system(cfg.quick ? 4 : 8, 3);
+        return monitor_config(sys, 100, false, faulty0(sys));
       },
       json, nullptr, rep, &summaries);
 
   ok &= sweep_both(
       cfg, "figure1_crashes", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
-        return run_figure1_crashes(seed_of(i), per_group, cfg.engine, rec,
-                                   met);
+        return run_figure1_crashes(seed_of(i), per_group, cfg.engine,
+                                   cfg.adversary, rec, met);
       },
-      // Re-sample seed-index 0's failure pattern so the agreement monitor
-      // knows which processes are allowed to miss deliveries.
-      [&seed_of] {
+      [&] {
+        auto sys = groups::figure1_system();
+        if (cfg.adversary.quorum_edge_crashes)
+          return monitor_config(sys, 0, true, faulty0(sys));
         Rng rng(seed_of(0));
         sim::EnvironmentSampler env{
             .process_count = 5, .max_failures = 2, .horizon = 100};
-        return monitor_config(groups::figure1_system(), 0, true,
-                              env.sample(rng).faulty_set());
+        return monitor_config(sys, 0, true, env.sample(rng).faulty_set());
       },
       json, nullptr, rep, &summaries);
 

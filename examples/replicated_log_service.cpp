@@ -12,6 +12,7 @@
 #include "fd/detectors.hpp"
 #include "objects/protocol_host.hpp"
 #include "objects/universal_log.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 using namespace gam;
@@ -34,7 +35,8 @@ int main() {
   sim::FailurePattern pattern(kReplicas);
   pattern.crash_at(0, 60);  // p0 is the initial leader — kill it mid-run
 
-  sim::World world(pattern, /*seed=*/99);
+  sim::Scenario scenario(sim::RunSpec{}.failures(pattern).seed(99));
+  sim::World& world = scenario.world();
   auto hosts = install_hosts(world);
 
   ProcessSet scope = ProcessSet::universe(kReplicas);
@@ -43,9 +45,9 @@ int main() {
 
   std::vector<std::shared_ptr<UniversalLog>> logs;
   for (ProcessId p = 0; p < kReplicas; ++p) {
-    auto log = std::make_shared<UniversalLog>(/*protocol=*/1, p, scope, sigma,
-                                              omega);
-    hosts[static_cast<size_t>(p)]->add(1, log);
+    auto log = std::make_shared<UniversalLog>(sim::protocol_id(1), p, scope,
+                                              sigma, omega);
+    hosts[static_cast<size_t>(p)]->add(sim::protocol_id(1), log);
     logs.push_back(log);
   }
 

@@ -67,6 +67,32 @@ for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
 done
 echo "tier1: engine-equivalence gate OK"
 
+# Adversary engine-equivalence: the scan/incremental identity must also hold
+# under an adversarial schedule, not just the uniform-random default — the
+# guard engines may not disagree about which actions a hostile interleaving
+# enables.
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --adversary=pct:3 \
+  --out="$TRACE_DIR"/advinc.json --trace="$TRACE_DIR"/advinc >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --adversary=pct:3 \
+  --engine=scan \
+  --out="$TRACE_DIR"/advscan.json --trace="$TRACE_DIR"/advscan >/dev/null
+for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
+  "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/advinc.$cfg.trace" "$TRACE_DIR/advscan.$cfg.trace" \
+    || { echo "tier1: FAIL — engines diverge under pct:3 adversary ($cfg)"; \
+         exit 1; }
+done
+echo "tier1: adversary engine-equivalence gate OK"
+
+# Adversary smoke: on the honest protocol every hunt strategy must come back
+# clean — the monitors may not cry wolf under hostile schedules or
+# quorum-boundary crash patterns.
+"$BUILD_DIR"/tools/adversary_hunt --quick \
+  --out="$BUILD_DIR"/adversary_hunt \
+  || { echo "tier1: FAIL — adversary hunt flagged the honest protocol"; \
+       exit 1; }
+echo "tier1: adversary smoke OK"
+
 # Metrics self-check: a --metrics report is a pure function of (config, seed
 # base) — two identical invocations must produce byte-identical reports, and
 # metrics_report must both read its own output and flag a seed mutation as a
@@ -132,13 +158,58 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
   cmake -B "$ASAN_DIR" -S . -DGAM_SANITIZE=address >/dev/null
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
     --target test_message_buffer test_sim_trace test_engine_equivalence \
-             test_metrics test_monitors
+             test_metrics test_monitors test_adversary
   "$ASAN_DIR"/tests/test_message_buffer
   "$ASAN_DIR"/tests/test_sim_trace
   "$ASAN_DIR"/tests/test_engine_equivalence
   "$ASAN_DIR"/tests/test_metrics
   "$ASAN_DIR"/tests/test_monitors
+  "$ASAN_DIR"/tests/test_adversary
   echo "tier1: ASan regression tests OK"
 fi
+
+# Planted-bug teeth gate: a build with -DGAM_PLANTED_BUG=ON (one deliberately
+# weakened delivery guard in MuMulticast) must be caught — the hunt must exit
+# nonzero and name the violating event index, and the planted test_adversary
+# must pass its detection+replay gate. Runs under ASan so the replay and
+# planted-bug paths are also memory-checked. The honest smoke above proves
+# the other polarity: no false alarms.
+if [[ -z "${GAM_SANITIZE:-}" ]]; then
+  PLANTED_DIR=build-planted
+  cmake -B "$PLANTED_DIR" -S . -DGAM_PLANTED_BUG=ON -DGAM_SANITIZE=address \
+    >/dev/null
+  cmake --build "$PLANTED_DIR" -j "$(nproc)" \
+    --target adversary_hunt test_adversary
+  "$PLANTED_DIR"/tests/test_adversary
+  PLANTED_OUT=$("$PLANTED_DIR"/tools/adversary_hunt --seeds=256 \
+    --out="$PLANTED_DIR"/adversary_hunt) && {
+    echo "tier1: FAIL — planted bug survived 256 seeds of every strategy";
+    exit 1;
+  }
+  echo "$PLANTED_OUT" | grep -q "event " || {
+    echo "tier1: FAIL — planted-bug violation lacks an event index";
+    exit 1;
+  }
+  echo "$PLANTED_OUT" | grep -q "reproduces (event hash identical)" || {
+    echo "tier1: FAIL — planted-bug schedule did not replay byte-identically";
+    exit 1;
+  }
+  echo "tier1: planted-bug teeth gate OK"
+fi
+
+# RunSpec migration gate: RunSpec/Scenario is the single way to build a
+# World. The deprecated World(pattern, seed) constructor survives this PR as
+# a shim, but no call site outside the layer itself (and the shim-equivalence
+# test) may use it — new code must not reintroduce positional construction.
+if grep -rnE 'sim::World [a-z_]+\(|make_unique<sim::World>' \
+    --include='*.cpp' --include='*.hpp' \
+    src tests bench examples tools \
+    | grep -v 'src/sim/run_spec.hpp' \
+    | grep -v 'src/sim/world.hpp' \
+    | grep -v 'tests/test_adversary.cpp'; then
+  echo "tier1: FAIL — direct sim::World construction outside RunSpec/Scenario"
+  exit 1
+fi
+echo "tier1: RunSpec migration gate OK"
 
 echo "tier1: OK ($BUILD_DIR)"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/world.hpp"  // sim::Scheduler (run_with)
+
 namespace gam::amcast {
 
 using groups::GroupId;
@@ -448,6 +450,18 @@ bool MuMulticast::deliver_enabled(ProcessId p, const MulticastMessage& m) const 
     l.for_each_before(LogEntry::message(m.id), [&](const LogEntry& e) {
       if (e.kind == LogEntry::kMessage &&
           phase_at(p, index_of(e.m)) != Phase::kDeliver) {
+#ifdef GAM_PLANTED_BUG
+        // Deliberately weakened guard (adversary-hunt target, see CMake
+        // option GAM_PLANTED_BUG): treat an undelivered predecessor whose
+        // submitter has crashed as abandoned and skip it. Wrong — the logs
+        // are shared objects, so other destination members still deliver the
+        // predecessor, and a schedule that parks this process between the
+        // predecessor's commit and the successor's stable makes the delivery
+        // orders cross (acyclicity violation).
+        const MulticastMessage& pred =
+            workload_[static_cast<size_t>(index_of(e.m))];
+        if (pattern_.crashed(pred.src, now_)) return true;
+#endif
         ok = false;
         return false;
       }
@@ -716,6 +730,67 @@ RunRecord MuMulticast::run() {
       if (now_ < t_stab) {
         ++now_;
         clock_crossed();
+        continue;
+      }
+      record_.quiescent = true;
+      break;
+    }
+  }
+  if (!record_.quiescent && !action_enabled_somewhere())
+    record_.quiescent = true;
+  record_.active |= journal_.active();
+  GAM_METRICS_PROBE(if (probe_.reg) flush_metrics());
+  return record_;
+}
+
+RunRecord MuMulticast::run_with(sim::Scheduler& sched,
+                                std::vector<ProcessId>* schedule_out) {
+  // Same stabilization-time logic as run(): idle rounds advance the clock
+  // until the last failure-detector transition is behind us.
+  sim::Time t_stab = 0;
+  for (ProcessId p = 0; p < pattern_.process_count(); ++p)
+    if (pattern_.faulty(p))
+      t_stab = std::max(t_stab,
+                        pattern_.crash_time(p) + options_.fd_lag + 1);
+
+  sched.begin(system_.process_count());
+  std::uint64_t executed = 0;
+  std::vector<ProcessId> order;
+  while (record_.steps < options_.max_steps) {
+    // A replay consumes its recorded idle ticks here, keeping the clock in
+    // lockstep with the recording run.
+    if (sched.take_idle_tick()) {
+      ++now_;
+      clock_crossed();
+      if (schedule_out) schedule_out->push_back(-1);
+      continue;
+    }
+    ProcessSet candidates;
+    for (ProcessId p = 0; p < system_.process_count(); ++p) {
+      if (pattern_.crashed(p, now_)) continue;
+      if (!options_.fair_set.empty() && !options_.fair_set.contains(p))
+        continue;
+      candidates.insert(p);
+    }
+    bool fired = false;
+    order.clear();
+    sched.plan(candidates, order);
+    for (ProcessId p : order) {
+      if (record_.steps >= options_.max_steps) break;
+      if (p < 0 || p >= system_.process_count()) continue;
+      if (step_process(p)) {
+        fired = true;
+        sched.fired(p, executed++);
+        if (schedule_out) schedule_out->push_back(p);
+        if (sched.single_step()) break;
+      }
+    }
+    if (!fired) {
+      if (sched.exhausted()) break;
+      if (now_ < t_stab) {
+        ++now_;
+        clock_crossed();
+        if (schedule_out) schedule_out->push_back(-1);
         continue;
       }
       record_.quiescent = true;

@@ -63,6 +63,10 @@
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
+namespace gam::sim {
+class Scheduler;  // sim/world.hpp
+}
+
 namespace gam::amcast {
 
 class MuMulticast {
@@ -116,6 +120,16 @@ class MuMulticast {
   // Runs the action system until quiescence or the step budget. Returns the
   // run record for the spec checkers.
   RunRecord run();
+
+  // Same, but scheduling attempts come from an external strategy
+  // (sim/adversary.hpp: PCT, replay, ...). When `schedule_out` is non-null
+  // the executed schedule is appended to it — the pid of every fired step,
+  // with -1 for each idle clock tick — which sim::write_schedule serializes
+  // and a ReplayScheduler re-executes byte-identically (the strategy never
+  // touches this object's rng_, so the fired-action sequence fully determines
+  // the run).
+  RunRecord run_with(sim::Scheduler& sched,
+                     std::vector<ProcessId>* schedule_out = nullptr);
 
   // Single-step interface for fine-grained tests: executes one enabled action
   // of process p (if any) at the current time; returns whether one fired.

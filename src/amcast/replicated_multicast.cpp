@@ -15,7 +15,13 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
     for (groups::GroupId h = g + 1; h < system_.group_count(); ++h)
       GAM_EXPECTS(system_.intersection(g, h).empty());
 
-  world_ = std::make_unique<sim::World>(pattern, options.seed);
+  scenario_ = std::make_unique<sim::Scenario>(sim::RunSpec{}
+                                                  .groups(system)
+                                                  .failures(pattern)
+                                                  .seed(options.seed)
+                                                  .max_steps(options.max_steps)
+                                                  .scheduler(options.scheduler));
+  world_ = &scenario_->world();
   hosts_ = objects::install_hosts(*world_);
 
   for (groups::GroupId g = 0; g < system_.group_count(); ++g) {
@@ -25,7 +31,8 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
     members_[g].assign(scope.begin(), scope.end());
     for (ProcessId p : scope) {
       auto log = std::make_shared<objects::UniversalLog>(
-          /*protocol=*/100 + g, p, scope, *sigmas_.back(), *omegas_.back());
+          sim::protocol_id(100 + g), p, scope, *sigmas_.back(),
+          *omegas_.back());
       // Delivery = the message enters this replica's learned prefix. The
       // event is also reported into the world's trace stream so deliveries
       // interleave with the wire events that caused them.
@@ -37,9 +44,9 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
             if (metrics_) metrics_
                 ->histogram("deliver_latency", "g" + std::to_string(g))
                 .record(world_->now()));
-        world_->trace_deliver(p, 100 + g, op, seq);
+        world_->trace_deliver(p, sim::protocol_id(100 + g), op, seq);
       });
-      hosts_[static_cast<size_t>(p)]->add(100 + g, log);
+      hosts_[static_cast<size_t>(p)]->add(sim::protocol_id(100 + g), log);
       logs_[g].push_back(log);
     }
   }

@@ -25,6 +25,7 @@
 #include "groups/group_system.hpp"
 #include "objects/protocol_host.hpp"
 #include "objects/universal_log.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 namespace gam::amcast {
@@ -34,6 +35,8 @@ class ReplicatedMulticast {
   struct Options {
     std::uint64_t seed = 1;
     std::uint64_t max_steps = 1u << 22;
+    // Scheduling strategy for the underlying World (bench --adversary axis).
+    sim::SchedulerSpec scheduler;
   };
 
   // Requires pairwise-disjoint destination groups.
@@ -46,7 +49,7 @@ class ReplicatedMulticast {
   // Wire cost of the run (benches / tests).
   std::uint64_t messages_sent() const;
 
-  sim::World& world() { return *world_; }
+  sim::World& world() { return scenario_->world(); }
 
   // Caller-owned registry: wires the World's buffer/FD probes plus per-group
   // delivery-latency histograms and the genuineness ledger computed from the
@@ -58,7 +61,8 @@ class ReplicatedMulticast {
   const sim::FailurePattern& pattern_;
   Options options_;
 
-  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<sim::Scenario> scenario_;  // owns the World + scheduler
+  sim::World* world_ = nullptr;
   std::vector<objects::ProtocolHost*> hosts_;
   // Detector components per group (the μ pieces this configuration needs).
   std::vector<std::unique_ptr<fd::SigmaOracle>> sigmas_;

@@ -36,7 +36,7 @@ bool IndulgentConsensus::on_idle(sim::Context& ctx) {
   // under contention once Ω stabilizes — even when the stable leader never
   // proposed itself.
   auto leader = omega_->query(self_, ctx.now());
-  ctx.trace_fd_query(protocol_id_, /*detector=*/0);  // Ω leader read
+  ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kOmega);
   if (!leader) return false;
   if (*leader != self_) {
     if (++stall_ > kStallLimit) {
@@ -62,7 +62,7 @@ void IndulgentConsensus::decide(sim::Context& ctx, std::int64_t v) {
 }
 
 void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
-  switch (m.type) {
+  switch (sim::MsgType{m.type}) {
     case kPrepare: {
       std::int64_t b = m.data[0];
       if (b > promised_) promised_ = b;
@@ -80,7 +80,7 @@ void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
         chosen_value_ = m.data[2];
       }
       auto q = sigma_->query(self_, ctx.now());
-      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
+      ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
       if (q && q->subset_of(promisers_)) {
         accept_phase_ = true;
         stall_ = 0;
@@ -104,7 +104,7 @@ void IndulgentConsensus::on_message(sim::Context& ctx, const sim::Message& m) {
       if (b != current_ballot_ || !accept_phase_ || decided_) break;
       accepters_.insert(m.src);
       auto q = sigma_->query(self_, ctx.now());
-      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
+      ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
       if (q && q->subset_of(accepters_)) decide(ctx, chosen_value_);
       break;
     }

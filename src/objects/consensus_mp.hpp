@@ -21,7 +21,7 @@ namespace gam::objects {
 
 class IndulgentConsensus : public SubProtocol {
  public:
-  IndulgentConsensus(std::int32_t protocol_id, ProcessId self,
+  IndulgentConsensus(sim::ProtocolId protocol_id, ProcessId self,
                      ProcessSet scope, const fd::SigmaOracle& sigma,
                      const fd::OmegaOracle& omega)
       : protocol_id_(protocol_id),
@@ -46,16 +46,18 @@ class IndulgentConsensus : public SubProtocol {
   }
 
  private:
-  enum MsgType : std::int32_t {
-    kPrepare = 1,   // [ballot]
-    kPromise = 2,   // [ballot, accepted_ballot, accepted_value] (-1 if none)
-    kAccept = 3,    // [ballot, value]
-    kAccepted = 4,  // [ballot]
-    kDecide = 5,    // [value]
-    kForward = 6,   // [value] — a non-leader proposer hands its value to the
-                    // Ω leader, which drives it as its own (liveness when the
-                    // stable leader did not itself propose)
-  };
+  static constexpr sim::MsgType kPrepare{1};   // [ballot]
+  static constexpr sim::MsgType kPromise{2};   // [ballot, accepted_ballot,
+                                               //  accepted_value] (-1 if none)
+  static constexpr sim::MsgType kAccept{3};    // [ballot, value]
+  static constexpr sim::MsgType kAccepted{4};  // [ballot]
+  static constexpr sim::MsgType kDecide{5};    // [value]
+  static constexpr sim::MsgType kForward{6};   // [value] — a non-leader
+                                               // proposer hands its value to
+                                               // the Ω leader, which drives it
+                                               // as its own (liveness when the
+                                               // stable leader did not itself
+                                               // propose)
 
   std::int64_t make_ballot(std::int64_t round) const {
     return round * 64 + self_;
@@ -63,7 +65,7 @@ class IndulgentConsensus : public SubProtocol {
   void start_ballot(sim::Context& ctx);
   void decide(sim::Context& ctx, std::int64_t v);
 
-  std::int32_t protocol_id_;
+  sim::ProtocolId protocol_id_;
   ProcessId self_;
   ProcessSet scope_;
   const fd::SigmaOracle* sigma_;

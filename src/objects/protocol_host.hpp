@@ -31,14 +31,13 @@ class SubProtocol {
 
 class ProtocolHost : public sim::Actor {
  public:
-  void add(std::int32_t protocol_id, std::shared_ptr<SubProtocol> p) {
-    GAM_EXPECTS(!subs_.count(protocol_id));
-    subs_[protocol_id] = std::move(p);
+  void add(sim::ProtocolId protocol_id, std::shared_ptr<SubProtocol> p) {
+    GAM_EXPECTS(!subs_.count(sim::raw(protocol_id)));
+    subs_[sim::raw(protocol_id)] = std::move(p);
   }
 
-  SubProtocol* find(std::int32_t protocol_id) {
-    auto it = subs_.find(protocol_id);
-    return it == subs_.end() ? nullptr : it->second.get();
+  SubProtocol* find(sim::ProtocolId protocol_id) {
+    return find(sim::raw(protocol_id));
   }
 
   void on_step(sim::Context& ctx, const sim::Message* m) override {
@@ -57,6 +56,12 @@ class ProtocolHost : public sim::Actor {
   }
 
  private:
+  // Wire dispatch path: Message carries the raw id.
+  SubProtocol* find(std::int32_t raw_protocol_id) {
+    auto it = subs_.find(raw_protocol_id);
+    return it == subs_.end() ? nullptr : it->second.get();
+  }
+
   std::map<std::int32_t, std::shared_ptr<SubProtocol>> subs_;
 };
 

@@ -102,7 +102,7 @@ void QuorumStore::finish_op(sim::Context& ctx) {
 }
 
 void QuorumStore::on_message(sim::Context& ctx, const sim::Message& m) {
-  switch (m.type) {
+  switch (sim::MsgType{m.type}) {
     case kStoreReq: {
       auto n = static_cast<size_t>(m.data[1]);
       merge_into(cells_, m.data, 2, n);

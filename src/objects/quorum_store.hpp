@@ -37,7 +37,7 @@ class QuorumStore : public SubProtocol {
   };
   using Snapshot = std::map<CellId, Versioned>;
 
-  QuorumStore(std::int32_t protocol_id, ProcessId self, ProcessSet scope,
+  QuorumStore(sim::ProtocolId protocol_id, ProcessId self, ProcessSet scope,
               const fd::SigmaOracle& sigma)
       : protocol_id_(protocol_id), self_(self), scope_(scope), sigma_(&sigma) {
     GAM_EXPECTS(scope.contains(self));
@@ -70,12 +70,10 @@ class QuorumStore : public SubProtocol {
 
  private:
   enum class Op { kNone, kWrite, kSnapshotRead, kSnapshotWriteBack };
-  enum MsgType : std::int32_t {
-    kStoreReq = 1,   // data: [seq, n, (cell, ts, value) * n]
-    kStoreAck = 2,   // data: [seq]
-    kLoadReq = 3,    // data: [seq]
-    kLoadRep = 4,    // data: [seq, n, (cell, ts, value) * n]
-  };
+  static constexpr sim::MsgType kStoreReq{1};  // data: [seq, n, (cell, ts, value) * n]
+  static constexpr sim::MsgType kStoreAck{2};  // data: [seq]
+  static constexpr sim::MsgType kLoadReq{3};   // data: [seq]
+  static constexpr sim::MsgType kLoadRep{4};   // data: [seq, n, (cell, ts, value) * n]
 
   void start_round(sim::Context& ctx);
   bool quorum_reached(sim::Time now) const;
@@ -83,7 +81,7 @@ class QuorumStore : public SubProtocol {
   void merge_into(Snapshot& dst, const sim::Payload& data, size_t offset,
                   size_t n) const;
 
-  std::int32_t protocol_id_;
+  sim::ProtocolId protocol_id_;
   ProcessId self_;
   ProcessSet scope_;
   const fd::SigmaOracle* sigma_;

@@ -56,7 +56,7 @@ void UniversalLog::drive(sim::Context& ctx) {
 bool UniversalLog::on_idle(sim::Context& ctx) {
   if (pending_.empty()) return false;
   auto leader = omega_->query(self_, ctx.now());
-  ctx.trace_fd_query(protocol_id_, /*detector=*/0);  // Ω leader read
+  ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kOmega);
   if (!leader) return false;
   if (*leader != self_) {
     // Non-leaders periodically hand their oldest pending op to the leader so
@@ -79,7 +79,7 @@ bool UniversalLog::on_idle(sim::Context& ctx) {
 
 void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
   std::int64_t inst = m.data[0];
-  switch (m.type) {
+  switch (sim::MsgType{m.type}) {
     case kPrepare: {
       auto& ac = acceptors_[inst];
       std::int64_t b = m.data[1];
@@ -101,7 +101,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
         ps.value = m.data[3];
       }
       auto q = sigma_->query(self_, ctx.now());
-      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
+      ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
       if (q && q->subset_of(ps.promisers)) {
         ps.accept_phase = true;
         ps.stall = 0;
@@ -129,7 +129,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
         break;
       ps.accepters.insert(m.src);
       auto q = sigma_->query(self_, ctx.now());
-      ctx.trace_fd_query(protocol_id_, /*detector=*/1);  // Σ quorum read
+      ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
       if (q && q->subset_of(ps.accepters)) {
         ctx.send_to_set(scope_, protocol_id_, kDecide, {inst, ps.value});
         learn(inst, ps.value);

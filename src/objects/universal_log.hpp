@@ -23,7 +23,7 @@ namespace gam::objects {
 
 class UniversalLog : public SubProtocol {
  public:
-  UniversalLog(std::int32_t protocol_id, ProcessId self, ProcessSet scope,
+  UniversalLog(sim::ProtocolId protocol_id, ProcessId self, ProcessSet scope,
                const fd::SigmaOracle& sigma, const fd::OmegaOracle& omega)
       : protocol_id_(protocol_id),
         self_(self),
@@ -52,14 +52,15 @@ class UniversalLog : public SubProtocol {
   bool wants_step() const override { return !pending_.empty(); }
 
  private:
-  enum MsgType : std::int32_t {
-    kPrepare = 1,   // [inst, ballot]
-    kPromise = 2,   // [inst, ballot, accepted_ballot, accepted_value]
-    kAccept = 3,    // [inst, ballot, value]
-    kAccepted = 4,  // [inst, ballot]
-    kDecide = 5,    // [inst, value]
-    kForward = 6,   // [op] — hand the op to the Ω leader to drive
-  };
+  static constexpr sim::MsgType kPrepare{1};   // [inst, ballot]
+  static constexpr sim::MsgType kPromise{2};   // [inst, ballot,
+                                               //  accepted_ballot,
+                                               //  accepted_value]
+  static constexpr sim::MsgType kAccept{3};    // [inst, ballot, value]
+  static constexpr sim::MsgType kAccepted{4};  // [inst, ballot]
+  static constexpr sim::MsgType kDecide{5};    // [inst, value]
+  static constexpr sim::MsgType kForward{6};   // [op] — hand the op to the
+                                               // Ω leader to drive
 
   struct AcceptorState {
     std::int64_t promised = -1;
@@ -81,7 +82,7 @@ class UniversalLog : public SubProtocol {
   void drive(sim::Context& ctx);
   std::int64_t first_unlearned() const;
 
-  std::int32_t protocol_id_;
+  sim::ProtocolId protocol_id_;
   ProcessId self_;
   ProcessSet scope_;
   const fd::SigmaOracle* sigma_;

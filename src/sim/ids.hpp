@@ -1,0 +1,61 @@
+// Typed identifiers for the wire/trace layer.
+//
+// Protocol numbers, message types, and failure-detector classes used to
+// travel through Context::send / trace_fd_query as raw std::int32_t, which
+// meant every trace consumer and metrics label hand-decoded magic integers.
+// These scoped enums give the three id spaces distinct types at the API
+// boundary while keeping the underlying representation (and therefore the
+// trace serialization format, `# gam-trace v1`) exactly as before: TraceEvent
+// and Message keep raw int32 fields; the typed layer exists at call sites.
+//
+// ProtocolId and MsgType are intentionally open enums (no enumerators):
+// protocols mint their own ids (`100 + g`, per-subsystem constants), so the
+// type is a brand, not a closed set. DetectorClass IS closed — it enumerates
+// the paper's failure-detector modules and doubles as the metrics label and
+// the `detector` field of kFdQuery trace events.
+#pragma once
+
+#include <cstdint>
+
+namespace gam::sim {
+
+enum class ProtocolId : std::int32_t {};
+enum class MsgType : std::int32_t {};
+
+// The failure-detector modules of the paper (Σ, Ω, γ, 1^P μ-components).
+// Values are the wire encoding in kFdQuery events; 0/1 predate this enum.
+enum class DetectorClass : std::int32_t {
+  kOmega = 0,      // Ω leader election (per scope)
+  kSigma = 1,      // Σ quorum
+  kGamma = 2,      // γ family-faulty indicator
+  kIndicator = 3,  // 1^P crash indicator
+};
+
+constexpr ProtocolId protocol_id(std::int32_t raw) { return ProtocolId{raw}; }
+constexpr MsgType msg_type(std::int32_t raw) { return MsgType{raw}; }
+
+constexpr std::int32_t raw(ProtocolId p) {
+  return static_cast<std::int32_t>(p);
+}
+constexpr std::int32_t raw(MsgType t) { return static_cast<std::int32_t>(t); }
+constexpr std::int32_t raw(DetectorClass d) {
+  return static_cast<std::int32_t>(d);
+}
+
+// Label used by the metrics registry for fd_query counters; matches the
+// pre-enum labels for omega/sigma so report schemas stay stable.
+constexpr const char* detector_class_name(DetectorClass d) {
+  switch (d) {
+    case DetectorClass::kOmega:
+      return "omega";
+    case DetectorClass::kSigma:
+      return "sigma";
+    case DetectorClass::kGamma:
+      return "gamma";
+    case DetectorClass::kIndicator:
+      return "indicator";
+  }
+  return "unknown";
+}
+
+}  // namespace gam::sim

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/failure_pattern.hpp"
+#include "sim/ids.hpp"
 #include "sim/payload.hpp"
 #include "util/contracts.hpp"
 #include "util/process_set.hpp"

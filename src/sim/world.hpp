@@ -13,17 +13,21 @@
 // round, the world keeps the runnable candidates as a bitmask — the buffer
 // maintains the set of destinations with pending messages, and the world
 // tracks a wants-step bit per actor, refreshed whenever that actor steps.
-// A round shuffles and walks only the candidates, so its cost is O(runnable).
+// A round hands the candidates to the attached Scheduler strategy (uniform-
+// random by default; adversarial strategies in sim/adversary.hpp) and walks
+// the planned attempt order, so its cost is O(runnable).
 // The wants bits are a conservative cache (an actor's wants_step only changes
 // during its own step or between runs); quiescence is still decided by the
 // authoritative full scan `any_runnable()`, so exotic couplings cannot make
 // the world stop early.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "sim/failure_pattern.hpp"
+#include "sim/ids.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
@@ -34,6 +38,7 @@
 namespace gam::sim {
 
 class World;
+class Scenario;
 
 // The face a process sees during one of its steps.
 class Context {
@@ -44,20 +49,94 @@ class Context {
   ProcessId self() const { return self_; }
   Time now() const { return now_; }
 
-  void send(ProcessId dst, std::int32_t protocol, std::int32_t type,
+  void send(ProcessId dst, ProtocolId protocol, MsgType type,
             Payload data = {});
-  void send_to_set(ProcessSet dst, std::int32_t protocol, std::int32_t type,
+  void send_to_set(ProcessSet dst, ProtocolId protocol, MsgType type,
                    Payload data = {});
 
-  // Records a failure-detector module read as a trace event (`detector`
-  // discriminates the module: 0 = Ω leader, 1 = Σ quorum, ...). A no-op
-  // without an attached sink.
-  void trace_fd_query(std::int32_t protocol, std::int32_t detector);
+  // Records a failure-detector module read as a trace event and bumps the
+  // per-class fd_query metrics counter. A no-op without an attached sink.
+  void trace_fd_query(ProtocolId protocol, DetectorClass detector);
 
  private:
   World& world_;
   ProcessId self_;
   Time now_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduling strategies. The world asks its scheduler, once per round, for an
+// attempt order over the runnable candidates; the scheduler learns which
+// attempts actually fired. Concrete adversarial strategies (PCT, replay,
+// quorum-edge) live in sim/adversary.hpp — only the uniform-random default
+// is defined here because the world owns one lazily.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Called at the start of every run; strategies that set up per-run state
+  // (PCT priorities) initialize on the first call and ignore repeats.
+  virtual void begin(int process_count) { (void)process_count; }
+
+  // Appends the round's attempt order to `out` (which arrives cleared). The
+  // strategy may order any subset or superset of `candidates`; the world
+  // skips attempts that cannot fire (crashed, stale, out of range).
+  virtual void plan(ProcessSet candidates, std::vector<ProcessId>& out) = 0;
+
+  // Attempt `p` executed as the `step_index`-th fired step of this run.
+  virtual void fired(ProcessId p, std::uint64_t step_index) {
+    (void)p, (void)step_index;
+  }
+
+  // True to end the round after the first fired step (priority schedulers
+  // re-plan after every step; batch schedulers walk the whole order).
+  virtual bool single_step() const { return false; }
+
+  // True once the strategy has no further attempts to offer (replay ran off
+  // the end of its script). The world then decides quiescence immediately.
+  virtual bool exhausted() const { return false; }
+
+  // Drivers with an idle-tick notion (MuMulticast::run_with advancing the
+  // clock toward FD stabilization) poll this each round; a replay consumes
+  // a recorded idle tick here. The World itself never idles, so it ignores
+  // this hook.
+  virtual bool take_idle_tick() { return false; }
+};
+
+// Seed derivation for schedulers: the world's rng_ feeds ONLY message-buffer
+// receives; every scheduler owns a private stream forked from the run seed
+// with this salt, so recording and replaying a schedule leaves the receive
+// stream untouched (byte-identical traces under replay).
+inline constexpr std::uint64_t kSchedulerSeedSalt = 0x5ced5a1753c8edULL;
+
+// The historical strategy: Fisher-Yates over the runnable candidates.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  void plan(ProcessSet candidates, std::vector<ProcessId>& out) override {
+    for (ProcessId p : candidates) out.push_back(p);
+    for (std::size_t i = out.size(); i > 1; --i) {
+      auto j = static_cast<std::size_t>(rng_.below(i));
+      std::swap(out[i - 1], out[j]);
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+// Mid-run crash injection: ticked once per scheduling round, before the
+// candidate set is computed, with the count of steps executed so far. An
+// injector may call world.mutable_pattern().crash_at(...) to crash processes
+// at the current time. NOTE: failure-detector oracles bind the pattern they
+// were constructed on; layers that precompute FD transition times (MuMulticast)
+// must see crashes in the pattern at construction, so dynamic injection is
+// sound only for plain-World runs (see DESIGN.md, decision 11).
+class CrashInjector {
+ public:
+  virtual ~CrashInjector() = default;
+  virtual void tick(World& world, std::uint64_t steps_executed) = 0;
 };
 
 // A deterministic automaton. `on_step` is invoked with the received message
@@ -79,13 +158,11 @@ struct StepStats {
 
 class World : private BufferObserver {
  public:
+  [[deprecated(
+      "construct through sim::RunSpec / sim::Scenario (sim/run_spec.hpp); "
+      "this shim is removed next PR")]]
   World(FailurePattern pattern, std::uint64_t seed)
-      : pattern_(std::move(pattern)),
-        rng_(seed),
-        actors_(static_cast<size_t>(pattern_.process_count())),
-        stats_(static_cast<size_t>(pattern_.process_count())) {
-    buffer_.set_observer(this);
-  }
+      : World(ScenarioKey{}, std::move(pattern), seed) {}
 
   // The buffer holds a pointer back to this world (wire accounting/tracing).
   World(const World&) = delete;
@@ -93,7 +170,19 @@ class World : private BufferObserver {
 
   int process_count() const { return pattern_.process_count(); }
   const FailurePattern& pattern() const { return pattern_; }
+  // Mutable pattern access for mid-run crash injection. Crashes only — a
+  // CrashInjector may move a crash time up to "now", never resurrect.
+  FailurePattern& mutable_pattern() { return pattern_; }
+  std::uint64_t seed() const { return seed_; }
   Time now() const { return now_; }
+
+  // Plugs a scheduling strategy in (non-owning; must outlive the runs it
+  // schedules). nullptr restores the built-in uniform-random default.
+  void set_scheduler(Scheduler* s) { scheduler_ = s; }
+  Scheduler* scheduler() const { return scheduler_; }
+
+  // Plugs a mid-run crash injector in (non-owning). nullptr removes it.
+  void set_crash_injector(CrashInjector* inj) { injector_ = inj; }
 
   void install(ProcessId p, std::unique_ptr<Actor> actor) {
     GAM_EXPECTS(p >= 0 && p < process_count());
@@ -128,11 +217,14 @@ class World : private BufferObserver {
 
   // Runs until quiescence (no live process has a pending message or wants a
   // step) or until `max_steps` steps have executed. Returns true on
-  // quiescence. Scheduling: seeded-random permutation of the *runnable*
-  // candidates per round, which makes every run fair for the processes that
-  // keep taking steps while costing O(runnable) instead of O(P).
+  // quiescence. Scheduling is delegated to the attached strategy (default:
+  // seeded-random permutation of the *runnable* candidates per round, which
+  // makes every run fair for the processes that keep taking steps while
+  // costing O(runnable) instead of O(P)).
   bool run_until_quiescent(std::uint64_t max_steps) {
     refresh_wants();  // actors may have been poked between runs
+    Scheduler& sched = active_scheduler();
+    sched.begin(process_count());
     std::uint64_t executed = 0;
     // Mask to the installed universe: a message injected for an id outside
     // [0, process_count) (possible only via direct buffer access — Context
@@ -140,12 +232,17 @@ class World : private BufferObserver {
     // walk below would index actors_ past the end.
     const ProcessSet universe = ProcessSet::universe(process_count());
     while (executed < max_steps) {
+      if (injector_) injector_->tick(*this, executed);
       ProcessSet candidates = (buffer_.nonempty_set() | wants_) & universe;
       bool progressed = false;
       if (!candidates.empty()) {
-        shuffle_into_order(candidates);
+        order_.clear();
+        sched.plan(candidates, order_);
         for (ProcessId p : order_) {
           if (executed >= max_steps) break;
+          // Scripted strategies (replay) may plan attempts outside the
+          // installed universe; skip rather than index actors_ out of bounds.
+          if (p < 0 || p >= process_count()) continue;
           if (pattern_.crashed(p, now_)) {
             trace_crash(p);
             continue;
@@ -156,13 +253,17 @@ class World : private BufferObserver {
           }
           if (step_process(p)) {
             progressed = true;
+            sched.fired(p, executed);
             ++executed;
+            if (sched.single_step()) break;
           }
         }
       }
       if (!progressed) {
-        // The candidate walk made no step. Decide quiescence with the
-        // authoritative scan; resync the wants cache if it missed anything.
+        // The candidate walk made no step. A strategy that ran out of script
+        // ends the run here; otherwise decide quiescence with the
+        // authoritative scan and resync the wants cache if it missed anything.
+        if (sched.exhausted()) return !any_runnable();
         if (!any_runnable()) return true;
         refresh_wants();
       }
@@ -212,8 +313,10 @@ class World : private BufferObserver {
 #ifndef GAM_NO_METRICS
     metrics_ = m;
     buffer_depth_ = m ? &m->gauge("buffer_depth") : nullptr;
-    fd_omega_ = m ? &m->counter("fd_query", "omega") : nullptr;
-    fd_sigma_ = m ? &m->counter("fd_query", "sigma") : nullptr;
+    for (auto d : {DetectorClass::kOmega, DetectorClass::kSigma,
+                   DetectorClass::kGamma, DetectorClass::kIndicator})
+      fd_query_[static_cast<std::size_t>(raw(d))] =
+          m ? &m->counter("fd_query", detector_class_name(d)) : nullptr;
 #else
     (void)m;
 #endif
@@ -221,14 +324,40 @@ class World : private BufferObserver {
 
   // Protocol layers report their delivery events here so they interleave with
   // the wire events in one stream (`m` is the protocol-level message id).
-  void trace_deliver(ProcessId p, std::int32_t protocol, std::int64_t m,
+  void trace_deliver(ProcessId p, ProtocolId protocol, std::int64_t m,
                      std::int64_t seq) {
-    trace(TraceEventKind::kDeliver, p, protocol, static_cast<std::int32_t>(seq),
-          -1, nullptr, m);
+    trace(TraceEventKind::kDeliver, p, raw(protocol),
+          static_cast<std::int32_t>(seq), -1, nullptr, m);
   }
 
  private:
   friend class Context;
+  friend class Scenario;  // the RunSpec runner constructs via ScenarioKey
+
+  // Tag for the non-deprecated constructor path. Scenario (sim/run_spec.hpp)
+  // is the supported entry point; the public (FailurePattern, seed)
+  // constructor above delegates here and exists as a one-PR migration shim.
+  struct ScenarioKey {};
+
+  World(ScenarioKey, FailurePattern pattern, std::uint64_t seed)
+      : pattern_(std::move(pattern)),
+        seed_(seed),
+        rng_(seed),
+        actors_(static_cast<size_t>(pattern_.process_count())),
+        stats_(static_cast<size_t>(pattern_.process_count())) {
+    buffer_.set_observer(this);
+  }
+
+  // The attached strategy, or the lazily-owned uniform-random default. The
+  // default's stream is forked from the run seed with kSchedulerSeedSalt so
+  // it is independent of rng_ (which feeds only buffer receives).
+  Scheduler& active_scheduler() {
+    if (scheduler_) return *scheduler_;
+    if (!default_scheduler_)
+      default_scheduler_ = std::make_unique<RandomScheduler>(
+          trace_mix(seed_, kSchedulerSeedSalt));
+    return *default_scheduler_;
+  }
 
   bool wants(ProcessId p) const {
     const auto& a = actors_[static_cast<size_t>(p)];
@@ -310,37 +439,30 @@ class World : private BufferObserver {
     trace(TraceEventKind::kReceive, m.dst, m.protocol, m.type, m.src, &m.data);
   }
 
-  // Fisher-Yates over the members of `s` into the reused `order_` buffer.
-  void shuffle_into_order(ProcessSet s) {
-    order_.clear();
-    for (ProcessId p : s) order_.push_back(p);
-    for (size_t i = order_.size(); i > 1; --i) {
-      auto j = static_cast<size_t>(rng_.below(i));
-      std::swap(order_[i - 1], order_[j]);
-    }
-  }
-
   FailurePattern pattern_;
-  Rng rng_;
+  std::uint64_t seed_ = 0;
+  Rng rng_;  // consumed ONLY by buffer receives (see kSchedulerSeedSalt)
   Time now_ = 0;
   MessageBuffer buffer_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<StepStats> stats_;
   ProcessSet wants_;                // cached wants_step bits
-  std::vector<ProcessId> order_;    // reused per-round shuffle buffer
+  std::vector<ProcessId> order_;    // reused per-round attempt buffer
   ProcessId sending_as_ = -1;
   TraceSink* trace_sink_ = nullptr;
   ProcessSet crash_traced_;         // crash events already emitted
+  Scheduler* scheduler_ = nullptr;             // attached strategy (non-owning)
+  std::unique_ptr<Scheduler> default_scheduler_;  // lazily-built random
+  CrashInjector* injector_ = nullptr;          // mid-run crashes (non-owning)
 #ifndef GAM_NO_METRICS
   Metrics* metrics_ = nullptr;
   Gauge* buffer_depth_ = nullptr;   // resolved once in set_metrics
-  Counter* fd_omega_ = nullptr;
-  Counter* fd_sigma_ = nullptr;
+  std::array<Counter*, 4> fd_query_{};  // indexed by raw(DetectorClass)
 #endif
 };
 
-inline void Context::send(ProcessId dst, std::int32_t protocol,
-                          std::int32_t type, Payload data) {
+inline void Context::send(ProcessId dst, ProtocolId protocol, MsgType type,
+                          Payload data) {
   // Validate against the world's process count, not the ProcessSet capacity:
   // a destination in [process_count, kMaxProcesses) would sit in the buffer's
   // nonempty set with no actor behind it (and, before the scheduler masked
@@ -349,19 +471,19 @@ inline void Context::send(ProcessId dst, std::int32_t protocol,
   Message m;
   m.src = self_;
   m.dst = dst;
-  m.protocol = protocol;
-  m.type = type;
+  m.protocol = raw(protocol);
+  m.type = raw(type);
   m.data = std::move(data);
   world_.buffer_.send(std::move(m));  // stats/tracing via the buffer observer
 }
 
-inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
-                                 std::int32_t type, Payload data) {
+inline void Context::send_to_set(ProcessSet dst, ProtocolId protocol,
+                                 MsgType type, Payload data) {
   GAM_EXPECTS(dst.subset_of(ProcessSet::universe(world_.process_count())));
   Message proto;
   proto.src = self_;
-  proto.protocol = protocol;
-  proto.type = type;
+  proto.protocol = raw(protocol);
+  proto.type = raw(type);
   proto.data = std::move(data);
   // One shared broadcast path: MessageBuffer::send_to_set does the
   // move-on-last-recipient optimization, and the buffer observer attributes
@@ -370,14 +492,14 @@ inline void Context::send_to_set(ProcessSet dst, std::int32_t protocol,
   world_.buffer_.send_to_set(std::move(proto), dst);
 }
 
-inline void Context::trace_fd_query(std::int32_t protocol,
-                                    std::int32_t detector) {
+inline void Context::trace_fd_query(ProtocolId protocol,
+                                    DetectorClass detector) {
   GAM_METRICS_PROBE({
-    Counter* c = detector == 0 ? world_.fd_omega_ : world_.fd_sigma_;
+    Counter* c = world_.fd_query_[static_cast<std::size_t>(raw(detector))];
     if (c) c->add();
   });
-  world_.trace(TraceEventKind::kFdQuery, self_, protocol, detector, -1,
-               nullptr);
+  world_.trace(TraceEventKind::kFdQuery, self_, raw(protocol), raw(detector),
+               -1, nullptr);
 }
 
 }  // namespace gam::sim

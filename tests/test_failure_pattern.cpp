@@ -5,6 +5,7 @@
 #include <set>
 
 #include "sim/message.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 namespace gam::sim {
@@ -125,12 +126,12 @@ class PingPong : public Actor {
   void on_step(Context& ctx, const Message* m) override {
     if (starts_ && !started_) {
       started_ = true;
-      ctx.send(peer_, 0, 0);
+      ctx.send(peer_, protocol_id(0), msg_type(0));
       return;
     }
     if (m && count_ < rounds_) {
       ++count_;
-      if (count_ < rounds_) ctx.send(peer_, 0, 0);
+      if (count_ < rounds_) ctx.send(peer_, protocol_id(0), msg_type(0));
     }
   }
   bool wants_step() const override { return starts_ && !started_; }
@@ -145,8 +146,8 @@ class PingPong : public Actor {
 };
 
 TEST(World, PingPongReachesQuiescence) {
-  FailurePattern f(2);
-  World w(f, 123);
+  Scenario sc(RunSpec{}.processes(2).seed(123));
+  World& w = sc.world();
   w.install(0, std::make_unique<PingPong>(1, 10, true));
   w.install(1, std::make_unique<PingPong>(0, 10, false));
   EXPECT_TRUE(w.run_until_quiescent(10'000));
@@ -159,7 +160,8 @@ TEST(World, PingPongReachesQuiescence) {
 TEST(World, CrashedProcessTakesNoSteps) {
   FailurePattern f(2);
   f.crash_at(1, 0);  // p1 crashed from the start
-  World w(f, 1);
+  Scenario sc(RunSpec{}.failures(f).seed(1));
+  World& w = sc.world();
   w.install(0, std::make_unique<PingPong>(1, 5, true));
   w.install(1, std::make_unique<PingPong>(0, 5, false));
   EXPECT_TRUE(w.run_until_quiescent(10'000));

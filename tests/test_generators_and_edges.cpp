@@ -11,6 +11,7 @@
 #include "groups/generator.hpp"
 #include "objects/protocol_host.hpp"
 #include "objects/quorum_store.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 namespace gam {
@@ -115,8 +116,8 @@ TEST(Workloads, SingleGroupWorkloadTargetsOneGroup) {
 // ---- simulator edge cases --------------------------------------------------------
 
 TEST(WorldEdge, EmptyWorldIsImmediatelyQuiescent) {
-  FailurePattern pat(3);
-  sim::World w(pat, 1);
+  sim::Scenario sc(sim::RunSpec{}.processes(3).seed(1));
+  sim::World& w = sc.world();
   EXPECT_TRUE(w.run_until_quiescent(1000));
   EXPECT_EQ(w.now(), 0u);
 }
@@ -124,7 +125,8 @@ TEST(WorldEdge, EmptyWorldIsImmediatelyQuiescent) {
 TEST(WorldEdge, MessagesToCrashedProcessesAreNeverConsumed) {
   FailurePattern pat(2);
   pat.crash_at(1, 0);
-  sim::World w(pat, 2);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(2));
+  sim::World& w = sc.world();
   auto hosts = objects::install_hosts(w);
   w.buffer().send({0, 1, 0, 0, {}});
   EXPECT_TRUE(w.run_until_quiescent(1000));
@@ -133,15 +135,15 @@ TEST(WorldEdge, MessagesToCrashedProcessesAreNeverConsumed) {
 }
 
 TEST(WorldEdge, StatsAccounting) {
-  FailurePattern pat(2);
-  sim::World w(pat, 3);
+  sim::Scenario sc(sim::RunSpec{}.processes(2).seed(3));
+  sim::World& w = sc.world();
 
   class Chatter : public sim::Actor {
    public:
     void on_step(sim::Context& ctx, const sim::Message* m) override {
       if (!sent_) {
         sent_ = true;
-        ctx.send(1 - ctx.self(), 0, 0);
+        ctx.send(1 - ctx.self(), sim::protocol_id(0), sim::msg_type(0));
       }
       (void)m;
     }
@@ -169,12 +171,14 @@ TEST(QuorumStoreEdge, OperationBlocksWhenQuorumUnreachable) {
   FailurePattern pat(3);
   pat.crash_at(1, 0);
   pat.crash_at(2, 0);
-  sim::World w(pat, 5);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(5));
+  sim::World& w = sc.world();
   auto hosts = objects::install_hosts(w);
   ProcessSet scope = ProcessSet::universe(3);
   fd::SigmaOracle sigma(pat, scope, /*lag=*/0);
-  auto s0 = std::make_shared<objects::QuorumStore>(1, 0, scope, sigma);
-  hosts[0]->add(1, s0);
+  auto s0 = std::make_shared<objects::QuorumStore>(sim::protocol_id(1), 0,
+                                                   scope, sigma);
+  hosts[0]->add(sim::protocol_id(1), s0);
   bool done = false;
   s0->write(0, 1, 7, [&] { done = true; });
   ASSERT_TRUE(w.run_until_quiescent(100'000));
@@ -186,7 +190,8 @@ TEST(QuorumStoreEdge, WholeScopeDeadMeansNoClientAnyway) {
   // the world quiesces trivially. (Σ's range stays well-defined regardless.)
   FailurePattern pat(3);
   for (ProcessId p = 0; p < 3; ++p) pat.crash_at(p, 0);
-  sim::World w(pat, 6);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(6));
+  sim::World& w = sc.world();
   objects::install_hosts(w);
   EXPECT_TRUE(w.run_until_quiescent(1000));
   fd::SigmaOracle sigma(pat, ProcessSet::universe(3));

@@ -11,6 +11,7 @@
 #include "objects/protocol_host.hpp"
 #include "objects/quorum_store.hpp"
 #include "objects/universal_log.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 namespace gam::objects {
@@ -21,20 +22,24 @@ using sim::FailurePattern;
 struct Fixture {
   // `scope` processes replicate one QuorumStore under protocol id `pid`.
   Fixture(FailurePattern pat, std::uint64_t seed)
-      : pattern(std::move(pat)), world(pattern, seed) {
+      : pattern(std::move(pat)),
+        scenario(sim::RunSpec{}.failures(pattern).seed(seed)),
+        world(scenario.world()) {
     hosts = install_hosts(world);
   }
 
   std::shared_ptr<QuorumStore> add_store(std::int32_t pid, ProcessId p,
                                          ProcessSet scope,
                                          const fd::SigmaOracle& sigma) {
-    auto s = std::make_shared<QuorumStore>(pid, p, scope, sigma);
-    hosts[static_cast<size_t>(p)]->add(pid, s);
+    auto s =
+        std::make_shared<QuorumStore>(sim::protocol_id(pid), p, scope, sigma);
+    hosts[static_cast<size_t>(p)]->add(sim::protocol_id(pid), s);
     return s;
   }
 
   FailurePattern pattern;
-  sim::World world;
+  sim::Scenario scenario;
+  sim::World& world;
   std::vector<ProtocolHost*> hosts;
 };
 
@@ -219,8 +224,9 @@ TEST(IndulgentConsensus, AllProposersAgree) {
     fd::OmegaOracle omega(fx.pattern, scope);
     std::vector<std::shared_ptr<IndulgentConsensus>> cons;
     for (ProcessId p = 0; p < 3; ++p) {
-      auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
-      fx.hosts[static_cast<size_t>(p)]->add(2, c);
+      auto c = std::make_shared<IndulgentConsensus>(sim::protocol_id(2), p,
+                                                    scope, sigma, omega);
+      fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(2), c);
       cons.push_back(c);
     }
     std::vector<std::optional<std::int64_t>> got(3);
@@ -245,8 +251,9 @@ TEST(IndulgentConsensus, DecidesDespiteMinorityCrash) {
   fd::OmegaOracle omega(fx.pattern, scope);
   std::vector<std::shared_ptr<IndulgentConsensus>> cons;
   for (ProcessId p = 0; p < 3; ++p) {
-    auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
-    fx.hosts[static_cast<size_t>(p)]->add(2, c);
+    auto c = std::make_shared<IndulgentConsensus>(sim::protocol_id(2), p,
+                                                  scope, sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(2), c);
     cons.push_back(c);
   }
   std::optional<std::int64_t> got1, got2;
@@ -265,8 +272,9 @@ TEST(IndulgentConsensus, NonLeaderProposalReachesDecisionViaForwarding) {
   fd::OmegaOracle omega(fx.pattern, scope);  // stable leader: p0
   std::vector<std::shared_ptr<IndulgentConsensus>> cons;
   for (ProcessId p = 0; p < 3; ++p) {
-    auto c = std::make_shared<IndulgentConsensus>(2, p, scope, sigma, omega);
-    fx.hosts[static_cast<size_t>(p)]->add(2, c);
+    auto c = std::make_shared<IndulgentConsensus>(sim::protocol_id(2), p,
+                                                  scope, sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(2), c);
     cons.push_back(c);
   }
   // Only p2 — never the leader — proposes.
@@ -288,8 +296,9 @@ TEST(UniversalLog, AllMembersLearnTheSameSequence) {
     fd::OmegaOracle omega(fx.pattern, scope);
     std::vector<std::shared_ptr<UniversalLog>> logs;
     for (ProcessId p = 0; p < 3; ++p) {
-      auto l = std::make_shared<UniversalLog>(3, p, scope, sigma, omega);
-      fx.hosts[static_cast<size_t>(p)]->add(3, l);
+      auto l = std::make_shared<UniversalLog>(sim::protocol_id(3), p, scope,
+                                              sigma, omega);
+      fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(3), l);
       logs.push_back(l);
     }
     // Each member submits two ops; op values encode (proposer, seq).
@@ -319,8 +328,9 @@ TEST(UniversalLog, ProgressAfterLeaderCrash) {
   fd::OmegaOracle omega(fx.pattern, scope);
   std::vector<std::shared_ptr<UniversalLog>> logs;
   for (ProcessId p = 0; p < 3; ++p) {
-    auto l = std::make_shared<UniversalLog>(3, p, scope, sigma, omega);
-    fx.hosts[static_cast<size_t>(p)]->add(3, l);
+    auto l = std::make_shared<UniversalLog>(sim::protocol_id(3), p, scope,
+                                            sigma, omega);
+    fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(3), l);
     logs.push_back(l);
   }
   int applied = 0;
@@ -338,12 +348,12 @@ TEST(UniversalLog, OutOfOrderDecisionsLearnInInstanceOrder) {
   // forwarded op must be enqueued exactly once — whether it re-arrives while
   // pending or after it has entered the learned prefix.
   FailurePattern pat(3);
-  sim::World world(pat, 7);
-  sim::Context ctx(world, 0, 0);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(7));
+  sim::Context ctx(sc.world(), 0, 0);
   ProcessSet scope = ProcessSet::universe(3);
   fd::SigmaOracle sigma(pat, scope);
   fd::OmegaOracle omega(pat, scope);
-  UniversalLog log(3, 0, scope, sigma, omega);
+  UniversalLog log(sim::protocol_id(3), 0, scope, sigma, omega);
 
   auto decide = [](std::int64_t inst, std::int64_t value) {
     sim::Message m;
@@ -413,12 +423,16 @@ TEST(CfFastConsensus, ContentionFreeStaysInIntersection) {
   for (ProcessId p = 0; p < 4; ++p) {
     if (inter.contains(p)) {
       ac_stores[static_cast<size_t>(p)] =
-          std::make_shared<QuorumStore>(5, p, inter, sigma_inter);
-      fx.hosts[static_cast<size_t>(p)]->add(5, ac_stores[static_cast<size_t>(p)]);
+          std::make_shared<QuorumStore>(sim::protocol_id(5), p, inter,
+                                        sigma_inter);
+      fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(5),
+                                            ac_stores[static_cast<size_t>(p)]);
     }
     cons[static_cast<size_t>(p)] =
-        std::make_shared<IndulgentConsensus>(6, p, g, sigma_g, omega_g);
-    fx.hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+        std::make_shared<IndulgentConsensus>(sim::protocol_id(6), p, g,
+                                             sigma_g, omega_g);
+    fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(6),
+                                          cons[static_cast<size_t>(p)]);
   }
 
   CfFastConsensus cf1(ac_stores[1], 1, cons[1]);
@@ -447,12 +461,16 @@ TEST(CfFastConsensus, ConflictFallsBackToGroupConsensus) {
   for (ProcessId p = 0; p < 4; ++p) {
     if (inter.contains(p)) {
       ac_stores[static_cast<size_t>(p)] =
-          std::make_shared<QuorumStore>(5, p, inter, sigma_inter);
-      fx.hosts[static_cast<size_t>(p)]->add(5, ac_stores[static_cast<size_t>(p)]);
+          std::make_shared<QuorumStore>(sim::protocol_id(5), p, inter,
+                                        sigma_inter);
+      fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(5),
+                                            ac_stores[static_cast<size_t>(p)]);
     }
     cons[static_cast<size_t>(p)] =
-        std::make_shared<IndulgentConsensus>(6, p, g, sigma_g, omega_g);
-    fx.hosts[static_cast<size_t>(p)]->add(6, cons[static_cast<size_t>(p)]);
+        std::make_shared<IndulgentConsensus>(sim::protocol_id(6), p, g,
+                                             sigma_g, omega_g);
+    fx.hosts[static_cast<size_t>(p)]->add(sim::protocol_id(6),
+                                          cons[static_cast<size_t>(p)]);
   }
 
   CfFastConsensus cf1(ac_stores[1], 1, cons[1]);

@@ -19,6 +19,7 @@
 #include "amcast/replicated_multicast.hpp"
 #include "amcast/workload.hpp"
 #include "groups/generator.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/trace.hpp"
 #include "sim/world.hpp"
 
@@ -43,7 +44,8 @@ class Relay : public Actor {
  public:
   explicit Relay(ProcessId next) : next_(next) {}
   void on_step(Context& ctx, const Message* m) override {
-    if (m && m->type > 0) ctx.send(next_, 7, m->type - 1, m->data);
+    if (m && m->type > 0)
+      ctx.send(next_, sim::protocol_id(7), sim::msg_type(m->type - 1), m->data);
   }
 
  private:
@@ -57,7 +59,7 @@ class OneShotSender : public Actor {
   void on_step(Context& ctx, const Message*) override {
     if (sent_) return;
     sent_ = true;
-    ctx.send(dst_, 1, 1, {word_});
+    ctx.send(dst_, sim::protocol_id(1), sim::msg_type(1), {word_});
   }
   bool wants_step() const override { return !sent_; }
 
@@ -106,10 +108,9 @@ TEST(TraceSinks, RingKeepsLastNInOrder) {
 // World emission.
 
 TEST(WorldTrace, RelayRunEmitsTypedStream) {
-  sim::FailurePattern pat(3);
-  sim::World world(pat, 5);
   RecorderSink rec;
-  world.set_trace_sink(&rec);
+  sim::Scenario sc(sim::RunSpec{}.processes(3).seed(5).trace(&rec));
+  sim::World& world = sc.world();
   for (ProcessId p = 0; p < 3; ++p)
     world.install(p, std::make_unique<Relay>((p + 1) % 3));
   Message kick;
@@ -139,9 +140,9 @@ TEST(WorldTrace, RelayRunEmitsTypedStream) {
 TEST(WorldTrace, NullStepAndCrashEmitted) {
   sim::FailurePattern pat(2);
   pat.crash_at(1, 0);
-  sim::World world(pat, 3);
   RecorderSink rec;
-  world.set_trace_sink(&rec);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(3).trace(&rec));
+  sim::World& world = sc.world();
   world.install(0, std::make_unique<OneShotSender>(0, 9));
   // A message pending for the crashed p1 makes it a scheduling candidate, so
   // the crash becomes observable (and must be emitted exactly once).
@@ -165,9 +166,8 @@ TEST(WorldTrace, DisabledSinkRunsIdentically) {
   // The traced and untraced executions of one seed must not diverge: tracing
   // is observation only.
   auto run = [](sim::TraceSink* sink) {
-    sim::FailurePattern pat(3);
-    sim::World world(pat, 11);
-    if (sink) world.set_trace_sink(sink);
+    sim::Scenario sc(sim::RunSpec{}.processes(3).seed(11).trace(sink));
+    sim::World& world = sc.world();
     for (ProcessId p = 0; p < 3; ++p)
       world.install(p, std::make_unique<Relay>((p + 1) % 3));
     Message kick;
@@ -197,20 +197,22 @@ using WorldTraceDeathTest = ::testing::Test;
 
 TEST(WorldTraceDeathTest, SendPastProcessCountTripsPrecondition) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  sim::FailurePattern pat(3);
-  sim::World world(pat, 1);
-  Context ctx(world, 0, 0);
-  EXPECT_DEATH(ctx.send(5, 1, 1, {}), "Precondition violated");
-  EXPECT_DEATH(ctx.send(-1, 1, 1, {}), "Precondition violated");
-  EXPECT_DEATH(ctx.send_to_set(ProcessSet{0, 4}, 1, 1, {}),
+  sim::Scenario sc(sim::RunSpec{}.processes(3).seed(1));
+  Context ctx(sc.world(), 0, 0);
+  EXPECT_DEATH(ctx.send(5, sim::protocol_id(1), sim::msg_type(1), {}),
+               "Precondition violated");
+  EXPECT_DEATH(ctx.send(-1, sim::protocol_id(1), sim::msg_type(1), {}),
+               "Precondition violated");
+  EXPECT_DEATH(ctx.send_to_set(ProcessSet{0, 4}, sim::protocol_id(1),
+                               sim::msg_type(1), {}),
                "Precondition violated");
 }
 
 TEST(WorldTrace, InRangeInjectedSendStaysInert) {
   // Direct buffer injection for an id in [0, process_count) without an actor
   // must neither crash nor spin (defensive candidate masking).
-  sim::FailurePattern pat(3);
-  sim::World world(pat, 1);
+  sim::Scenario sc(sim::RunSpec{}.processes(3).seed(1));
+  sim::World& world = sc.world();
   world.install(0, std::make_unique<Relay>(1));
   Message m;
   m.src = 0;
@@ -231,7 +233,8 @@ class CtxBroadcaster : public Actor {
   void on_step(Context& ctx, const Message*) override {
     if (done_) return;
     done_ = true;
-    ctx.send_to_set(ProcessSet{0, 1, 2}, 4, 1, {1, 2});
+    ctx.send_to_set(ProcessSet{0, 1, 2}, sim::protocol_id(4),
+                    sim::msg_type(1), {1, 2});
   }
   bool wants_step() const override { return !done_; }
 
@@ -245,15 +248,15 @@ class BufBroadcaster : public Actor {
 };
 
 TEST(StepStats, BroadcastPathsAgreeOnMessagesSent) {
-  sim::FailurePattern pat(3);
-
-  sim::World via_ctx(pat, 1);
+  sim::Scenario sc_ctx(sim::RunSpec{}.processes(3).seed(1));
+  sim::World& via_ctx = sc_ctx.world();
   via_ctx.install(0, std::make_unique<CtxBroadcaster>());
   for (ProcessId p = 1; p < 3; ++p)
     via_ctx.install(p, std::make_unique<BufBroadcaster>());
   ASSERT_TRUE(via_ctx.run_until_quiescent(100));
 
-  sim::World via_buf(pat, 1);
+  sim::Scenario sc_buf(sim::RunSpec{}.processes(3).seed(1));
+  sim::World& via_buf = sc_buf.world();
   for (ProcessId p = 0; p < 3; ++p)
     via_buf.install(p, std::make_unique<BufBroadcaster>());
   Message proto;
@@ -281,10 +284,9 @@ TEST(StepStats, BroadcastPathsAgreeOnMessagesSent) {
 
 TEST(TraceHash, PayloadOnlyMutationFlipsEventHash) {
   auto run = [](std::int64_t word) {
-    sim::FailurePattern pat(2);
-    sim::World world(pat, 7);
     sim::HashingSink h;
-    world.set_trace_sink(&h);
+    sim::Scenario sc(sim::RunSpec{}.processes(2).seed(7).trace(&h));
+    sim::World& world = sc.world();
     world.install(0, std::make_unique<OneShotSender>(1, word));
     world.install(1, std::make_unique<BufBroadcaster>());
     world.run_until_quiescent(100);
@@ -298,10 +300,9 @@ TEST(TraceHash, PayloadOnlyMutationFlipsEventHash) {
 // Serialization round-trip + divergence localization.
 
 TEST(TraceFile, RoundTripsThroughDisk) {
-  sim::FailurePattern pat(3);
-  sim::World world(pat, 13);
   RecorderSink rec;
-  world.set_trace_sink(&rec);
+  sim::Scenario sc(sim::RunSpec{}.processes(3).seed(13).trace(&rec));
+  sim::World& world = sc.world();
   for (ProcessId p = 0; p < 3; ++p)
     world.install(p, std::make_unique<Relay>((p + 1) % 3));
   Message kick;

@@ -17,6 +17,7 @@
 #include "amcast/workload.hpp"
 #include "bench/sweep.hpp"
 #include "groups/generator.hpp"
+#include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
 namespace gam {
@@ -66,8 +67,8 @@ class Trigger : public Actor {
 
 TEST(RunnableSet, CrossActorCouplingDoesNotStopEarly) {
   Shared shared;
-  sim::FailurePattern pat(2);
-  sim::World world(pat, 42);
+  sim::Scenario sc(sim::RunSpec{}.processes(2).seed(42));
+  sim::World& world = sc.world();
   // Install the coupled actor first so its cached wants bit is computed
   // (false) before the flag ever flips.
   world.install(1, std::make_unique<Trigger>(&shared));
@@ -85,7 +86,7 @@ class Relay : public Actor {
   void on_step(Context& ctx, const Message* m) override {
     if (!m) return;
     ++*count_;
-    if (m->type > 0) ctx.send(next_, 0, m->type - 1);
+    if (m->type > 0) ctx.send(next_, sim::protocol_id(0), sim::msg_type(m->type - 1));
   }
 
  private:
@@ -95,8 +96,8 @@ class Relay : public Actor {
 
 TEST(RunnableSet, QuiescencePostconditionHolds) {
   int hops = 0;
-  sim::FailurePattern pat(5);
-  sim::World world(pat, 7);
+  sim::Scenario sc(sim::RunSpec{}.processes(5).seed(7));
+  sim::World& world = sc.world();
   for (ProcessId p = 0; p < 5; ++p)
     world.install(p, std::make_unique<Relay>((p + 1) % 5, &hops));
   Message kick;
@@ -119,7 +120,8 @@ TEST(RunnableSet, CrashedDestinationDoesNotSpin) {
   int hops = 0;
   sim::FailurePattern pat(3);
   pat.crash_at(2, 0);
-  sim::World world(pat, 9);
+  sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(9));
+  sim::World& world = sc.world();
   for (ProcessId p = 0; p < 3; ++p)
     world.install(p, std::make_unique<Relay>(p, &hops));
   Message doomed;

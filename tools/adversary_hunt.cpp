@@ -1,0 +1,242 @@
+// adversary_hunt — sweep adversarial strategies x seeds over Algorithm 1 on
+// the Figure 1 topology, checking every run against the online invariant
+// monitors (integrity / agreement / acyclicity), and fail on the first
+// violation.
+//
+// The point of the adversary layer is falsification power: a protocol bug
+// that survives thousands of uniform-random seeds should fall quickly to a
+// schedule that starves processes (PCT) or a crash pattern that sits on a
+// Σ-quorum boundary (qedge). The repo's teeth test builds this binary with
+// -DGAM_PLANTED_BUG=ON (one weakened delivery guard in MuMulticast); the
+// hunt must then flag an acyclicity violation with its event index, while
+// the honest build stays clean across every strategy (scripts/tier1.sh).
+//
+// On a violation the losing run's full event trace and its attempt schedule
+// are written next to --out, the schedule is loaded back and re-executed via
+// ReplayScheduler, and the replayed event hash is required to match —
+// proving the adversarial schedule is byte-reproducible from its file.
+//
+//   adversary_hunt [--seeds=N] [--quick] [--per-group=N]
+//                  [--adversary=SPEC] [--table] [--out=PREFIX]
+//
+// Default strategies: random, pct:3, qedge+pct:3 (all replayable; replay
+// specs are rejected as a hunt strategy). --table prints a
+// seeds-to-first-violation table (for EXPERIMENTS.md) instead of failing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "amcast/mu_multicast.hpp"
+#include "amcast/workload.hpp"
+#include "groups/generator.hpp"
+#include "sim/adversary.hpp"
+#include "sim/monitors.hpp"
+#include "sim/trace.hpp"
+
+using namespace gam;
+
+namespace {
+
+struct HuntOptions {
+  int seeds = 256;
+  int per_group = 4;
+  bool table = false;
+  std::string only;              // restrict to one --adversary=SPEC
+  std::string out = "adversary_hunt";
+};
+
+// The failure pattern a (strategy, seed) cell runs under: quorum-edge
+// derived when the strategy asks for it, sampled crashes otherwise (the
+// same environment distribution bench_sweep's figure1_crashes uses — random
+// and PCT hunt over identical crash budgets, so the comparison isolates
+// schedule order).
+sim::FailurePattern hunt_pattern(const sim::AdversarySpec& adv,
+                                 const groups::GroupSystem& sys,
+                                 std::uint64_t seed) {
+  if (adv.quorum_edge_crashes)
+    // Window 64: stagger the boundary attack across the protocol's working
+    // lifetime rather than only its first steps, so crashes catch messages
+    // mid-stabilization.
+    return sim::QuorumEdgeAdversary(sys.groups(), sys.process_count())
+        .pattern_for(seed, /*window=*/64);
+  Rng rng(seed);
+  sim::EnvironmentSampler env{
+      .process_count = sys.process_count(), .max_failures = 2, .horizon = 100};
+  return env.sample(rng);
+}
+
+struct CellResult {
+  std::vector<sim::MonitorViolation> violations;
+  std::vector<ProcessId> schedule;  // fired attempts (-1 = idle tick)
+  std::vector<sim::TraceEvent> events;
+  std::uint64_t trace_hash = 0;
+  bool quiescent = false;
+};
+
+CellResult run_cell(const sim::AdversarySpec& adv, std::uint64_t seed,
+                    int per_group) {
+  auto sys = groups::figure1_system();
+  sim::FailurePattern pat = hunt_pattern(adv, sys, seed);
+
+  amcast::MuMulticast mc(sys, pat, {.seed = seed});
+  sim::RecorderSink rec;
+  mc.set_event_sink(&rec);
+  for (auto& m : amcast::round_robin_workload(sys, per_group)) mc.submit(m);
+
+  CellResult out;
+  auto sched = adv.scheduler.instantiate(seed);
+  auto record = mc.run_with(*sched, &out.schedule);
+  out.quiescent = record.quiescent;
+  out.events = rec.events();
+  out.trace_hash = rec.hash();
+
+  sim::MonitorConfig cfg;
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g)
+    cfg.groups.push_back(sys.group(g));
+  cfg.protocol_base = 0;
+  cfg.require_multicast = true;
+  cfg.faulty = pat.faulty_set();
+  sim::InvariantMonitors mon(cfg);
+  sim::feed(mon, out.events);
+  mon.finalize(record.quiescent);
+  out.violations = mon.violations();
+  return out;
+}
+
+// Re-executes the cell from its on-disk schedule file and checks the event
+// stream reproduces byte-for-byte (same fold hash).
+bool verify_replay(const sim::AdversarySpec& adv, std::uint64_t seed,
+                   int per_group, const std::string& schedule_path,
+                   std::uint64_t want_hash) {
+  auto replayer = sim::ReplayScheduler::from_file(schedule_path);
+  if (!replayer) {
+    std::fprintf(stderr, "  replay: failed to load %s\n",
+                 schedule_path.c_str());
+    return false;
+  }
+  auto sys = groups::figure1_system();
+  sim::FailurePattern pat = hunt_pattern(adv, sys, seed);
+  amcast::MuMulticast mc(sys, pat, {.seed = seed});
+  sim::HashingSink hash;
+  mc.set_event_sink(&hash);
+  for (auto& m : amcast::round_robin_workload(sys, per_group)) mc.submit(m);
+  mc.run_with(*replayer);
+  return hash.hash() == want_hash;
+}
+
+// Hunts one strategy; returns the violating seed, or nullopt if all clean.
+std::optional<std::uint64_t> hunt(const sim::AdversarySpec& adv,
+                                  const HuntOptions& opt, bool report) {
+  for (int i = 0; i < opt.seeds; ++i) {
+    std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    CellResult cell = run_cell(adv, seed, opt.per_group);
+    if (cell.violations.empty()) continue;
+    if (!report) return seed;
+
+    std::printf("VIOLATION strategy=%s seed=%llu (after %d clean seed(s))\n",
+                adv.name().c_str(), static_cast<unsigned long long>(seed), i);
+    for (const auto& v : cell.violations)
+      std::printf("  %s\n", sim::format_violation(v).c_str());
+
+    std::string base = opt.out + "." + adv.name() + ".seed" +
+                       std::to_string(seed);
+    std::string trace_path = base + ".trace";
+    std::string sched_path = base + ".schedule";
+    sim::RecorderSink rec;
+    for (const auto& e : cell.events) rec.on_event(e);
+    if (!rec.write(trace_path) ||
+        !sim::write_schedule(sched_path, cell.schedule)) {
+      std::fprintf(stderr, "  failed to write %s / %s\n", trace_path.c_str(),
+                   sched_path.c_str());
+      return seed;
+    }
+    std::printf("  wrote %s (%zu events) and %s (%zu attempts)\n",
+                trace_path.c_str(), cell.events.size(), sched_path.c_str(),
+                cell.schedule.size());
+    bool ok = verify_replay(adv, seed, opt.per_group, sched_path,
+                            cell.trace_hash);
+    std::printf("  replay from schedule file: %s\n",
+                ok ? "reproduces (event hash identical)" : "DIVERGED");
+    return seed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  HuntOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--quick") {
+      opt.seeds = 64;
+    } else if (a.rfind("--seeds=", 0) == 0) {
+      opt.seeds = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--per-group=", 0) == 0) {
+      opt.per_group = std::atoi(a.c_str() + 12);
+    } else if (a.rfind("--adversary=", 0) == 0) {
+      opt.only = a.substr(12);
+    } else if (a == "--table") {
+      opt.table = true;
+    } else if (a.rfind("--out=", 0) == 0) {
+      opt.out = a.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds=N] [--quick] [--per-group=N] "
+                   "[--adversary=SPEC] [--table] [--out=PREFIX]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> names = {"random", "pct:3", "qedge+pct:3"};
+  if (!opt.only.empty()) names = {opt.only};
+  std::vector<sim::AdversarySpec> strategies;
+  for (const auto& n : names) {
+    auto spec = sim::AdversarySpec::parse(n);
+    if (!spec ||
+        spec->scheduler.kind == sim::SchedulerSpec::Kind::kReplay) {
+      std::fprintf(stderr,
+                   "error: not a huntable adversary spec: %s (replay specs "
+                   "re-execute one run; they cannot search)\n",
+                   n.c_str());
+      return 2;
+    }
+    strategies.push_back(*spec);
+  }
+
+  std::printf("adversary hunt: figure1 topology, %d seed(s)/strategy, "
+              "%d msg(s)/group%s\n",
+              opt.seeds, opt.per_group,
+              sim::kPlantedBug ? " [GAM_PLANTED_BUG build]" : "");
+
+  if (opt.table) {
+    std::printf("\n| strategy | seeds tried | first violation |\n");
+    std::printf("|---|---|---|\n");
+    for (const auto& adv : strategies) {
+      auto found = hunt(adv, opt, /*report=*/false);
+      if (found)
+        std::printf("| %s | %d | seed %llu |\n", adv.name().c_str(), opt.seeds,
+                    static_cast<unsigned long long>(*found));
+      else
+        std::printf("| %s | %d | none |\n", adv.name().c_str(), opt.seeds);
+    }
+    return 0;
+  }
+
+  bool any = false;
+  for (const auto& adv : strategies) {
+    std::printf("-- %s\n", adv.name().c_str());
+    any |= hunt(adv, opt, /*report=*/true).has_value();
+  }
+  if (!any) {
+    std::printf("all strategies clean: no monitor violation in %d seed(s) "
+                "each\n",
+                opt.seeds);
+    return 0;
+  }
+  return 1;
+}
