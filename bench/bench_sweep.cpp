@@ -12,6 +12,12 @@
 //   figure1_crashes  — Algorithm 1 on Figure 1 under sampled failure
 //                      patterns: the branchy detector-driven path.
 //
+// Plus the batching headline pair: e3_mu_hirate_base / e3_mu_hirate_batched
+// run the k=16 workload at a high submission rate, unbatched vs pinned
+// batch_k=16 / window_size=8; their metrics summaries are the before/after
+// convoy-wait comparison, and --batch=K / --window=W apply the knobs to the
+// four regular configs.
+//
 // --engine=scan|incremental selects MuMulticast's guard-evaluation engine
 // (default incremental); the two must produce identical per-seed trace
 // hashes — scripts/tier1.sh diffs their recorded traces as a gate.
@@ -29,9 +35,10 @@
 // event recording, both traces are dumped, and the first divergent event is
 // printed (the same report `tools/trace_diff` produces offline).
 //
-// --metrics=PATH adds an instrumented pass per configuration: every seed runs
-// with a private sim::Metrics registry, the registries merge in job-index
-// order (so the report is byte-identical across reruns and thread counts),
+// --metrics=PATH adds an instrumented pass per configuration: every worker
+// owns a private sim::Metrics registry merged once at the join (the merge
+// algebra is commutative, so the report is byte-identical across reruns,
+// thread counts, and job-claim orders),
 // and seed-index 0's full event stream replays through the online invariant
 // monitors (integrity / agreement / acyclicity). The result is a
 // gam-metrics-v1 JSON report at PATH; a compact per-config summary also folds
@@ -93,6 +100,12 @@ struct Config {
   std::string metrics;   // when set, write a gam-metrics-v1 report here
   MuMulticast::Engine engine = MuMulticast::Engine::kIncremental;
   sim::AdversarySpec adversary;  // scheduling strategy + crash derivation
+  // Batched rounds / pipelined issuance knobs applied to every config
+  // (mu_multicast.hpp Options; universal_log.hpp for the World configs).
+  // The pinned e3_mu_hirate_{base,batched} pair ignores these — it always
+  // measures 1/1 against 16/8.
+  int batch_k = 1;
+  int window_size = 1;
 };
 
 // Every output path is written at the END of a multi-minute sweep; probe them
@@ -150,10 +163,14 @@ using MonitorConfigFn = std::function<sim::MonitorConfig()>;
 RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
                     MuMulticast::Engine engine,
                     const sim::AdversarySpec& adv, sim::RecorderSink* rec,
-                    sim::Metrics* met) {
+                    sim::Metrics* met, int batch_k = 1, int window_size = 1) {
   auto sys = groups::disjoint_system(k, group_size);
   sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
-  MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
+  MuMulticast mc(sys, pat,
+                 {.seed = seed,
+                  .engine = engine,
+                  .batch_k = batch_k,
+                  .window_size = window_size});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
@@ -169,11 +186,15 @@ RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
 // null-step, FD query, and delivery), not just the delivery record.
 RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
                           const sim::AdversarySpec& adv,
-                          sim::RecorderSink* rec, sim::Metrics* met) {
+                          sim::RecorderSink* rec, sim::Metrics* met,
+                          int batch_k = 1, int window_size = 1) {
   auto sys = groups::disjoint_system(k, 3);
   sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
   ReplicatedMulticast rm(sys, pat,
-                         {.seed = seed, .scheduler = adv.scheduler});
+                         {.seed = seed,
+                          .scheduler = adv.scheduler,
+                          .batch_k = batch_k,
+                          .window_size = window_size});
   sim::HashingSink hasher;
   rm.world().set_trace_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) rm.set_metrics(met);
@@ -189,7 +210,8 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
 RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
                               MuMulticast::Engine engine,
                               const sim::AdversarySpec& adv,
-                              sim::RecorderSink* rec, sim::Metrics* met) {
+                              sim::RecorderSink* rec, sim::Metrics* met,
+                              int batch_k = 1, int window_size = 1) {
   auto sys = groups::figure1_system();
   sim::FailurePattern pat = [&] {
     if (adv.quorum_edge_crashes) return adversary_pattern(adv, sys, seed);
@@ -198,7 +220,11 @@ RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
         .process_count = 5, .max_failures = 2, .horizon = 100};
     return env.sample(rng);
   }();
-  MuMulticast mc(sys, pat, {.seed = seed, .engine = engine});
+  MuMulticast mc(sys, pat,
+                 {.seed = seed,
+                  .engine = engine,
+                  .batch_k = batch_k,
+                  .window_size = window_size});
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
@@ -303,6 +329,10 @@ bool sweep_both(const Config& cfg, const char* name, int n,
                 sim::MetricsReport* report,
                 std::vector<std::string>* summaries) {
   auto plain = [&job](int i) { return job(i, nullptr, nullptr); };
+  // Untimed warm-up: the seq pass used to run first against a cold heap and
+  // cold caches, inflating every "pool speedup" by a constant factor (the
+  // k64 pool-slower-than-seq artifact was mostly this).
+  plain(0);
   std::vector<RunResult> seq_results, pool_results;
   SweepStats s1 = seq.sweep(std::string(name) + "_seq", n, plain, &seq_results);
   SweepStats sp =
@@ -345,18 +375,18 @@ bool sweep_both(const Config& cfg, const char* name, int n,
       std::printf("  failed to write %s\n\n", path.c_str());
   }
 
-  // --metrics=PATH: an instrumented pooled pass. Each seed writes a private
-  // registry; merging in job-index order afterwards keeps the report
-  // byte-identical across reruns and thread counts. Seed-index 0 is then
-  // replayed with full event recording through the invariant monitors —
-  // a violation fails the sweep exactly like the determinism gate.
+  // --metrics=PATH: an instrumented pooled pass. Each *worker* owns a
+  // private registry (sweep.hpp run_merged) so the job hot path never
+  // allocates in a shared registry; the commutative merge algebra keeps the
+  // report byte-identical across reruns, thread counts, and claim orders.
+  // Seed-index 0 is then replayed with full event recording through the
+  // invariant monitors — a violation fails the sweep exactly like the
+  // determinism gate.
   if (report) {
-    std::vector<sim::Metrics> mets(static_cast<size_t>(n));
-    pool.run(n, [&](int i) {
-      return job(i, nullptr, &mets[static_cast<size_t>(i)]);
-    });
     sim::Metrics& merged = report->config(name);
-    for (const auto& m : mets) merged.merge(m);
+    pool.run_merged(
+        n, [&](int i, sim::Metrics& m) { return job(i, nullptr, &m); },
+        &merged);
 
     sim::RecorderSink rec;
     RunResult r0 = job(0, &rec, nullptr);
@@ -404,6 +434,10 @@ int main(int argc, char** argv) {
       cfg.engine = MuMulticast::Engine::kScan;
     } else if (a == "--engine=incremental") {
       cfg.engine = MuMulticast::Engine::kIncremental;
+    } else if (a.rfind("--batch=", 0) == 0) {
+      cfg.batch_k = std::max(1, std::atoi(a.c_str() + 8));
+    } else if (a.rfind("--window=", 0) == 0) {
+      cfg.window_size = std::max(1, std::atoi(a.c_str() + 9));
     } else if (a.rfind("--adversary=", 0) == 0) {
       auto spec = sim::AdversarySpec::parse(a.substr(12));
       if (!spec) {
@@ -424,6 +458,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
                    "[--seed-base=N] [--out=PATH] [--trace=PATH] "
                    "[--metrics=PATH] [--engine=scan|incremental] "
+                   "[--batch=K] [--window=W] "
                    "[--adversary=random|pct[:D]|qedge[+SCHED]]\n",
                    argv[0]);
       return 2;
@@ -489,6 +524,8 @@ int main(int argc, char** argv) {
   json.field("pool_threads_requested", cfg.threads);
   json.field("pool_threads_effective", pool.threads());
   json.field("seeds_per_config", seeds);
+  json.field("batch_k", cfg.batch_k);
+  json.field("window_size", cfg.window_size);
   // Run metadata (satellite of the metrics work): where and how this binary
   // was built, and what it actually ran with.
   json.field("git_rev", std::string(GAM_GIT_REV));
@@ -510,6 +547,8 @@ int main(int argc, char** argv) {
     report.meta["quick"] = cfg.quick ? "true" : "false";
     report.meta["seeds_per_config"] = std::to_string(seeds);
     report.meta["seed_base"] = std::to_string(cfg.seed_base);
+    report.meta["batch_k"] = std::to_string(cfg.batch_k);
+    report.meta["window_size"] = std::to_string(cfg.window_size);
     report.meta["pool_threads_effective"] = std::to_string(pool.threads());
     report.meta["metrics_compiled"] = sim::kMetricsCompiled ? "on" : "off";
   }
@@ -531,7 +570,8 @@ int main(int argc, char** argv) {
       cfg, "e3_mu_k16", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
         return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine,
-                         cfg.adversary, rec, met);
+                         cfg.adversary, rec, met, cfg.batch_k,
+                         cfg.window_size);
       },
       [&] {
         auto sys = groups::disjoint_system(16, 2);
@@ -543,7 +583,8 @@ int main(int argc, char** argv) {
       cfg, "e3_mu_k64", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
         return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine,
-                         cfg.adversary, rec, met);
+                         cfg.adversary, rec, met, cfg.batch_k,
+                         cfg.window_size);
       },
       [&] {
         auto sys = groups::disjoint_system(64, 1);
@@ -551,11 +592,35 @@ int main(int argc, char** argv) {
       },
       json, nullptr, rep, &summaries);
 
+  // The batching headline pair (ISSUE 6): one high-submission-rate μ config
+  // measured unbatched and with pinned batch_k=16 / window_size=8. Same
+  // topology, workload, seeds, and adversary — only the knobs differ, so the
+  // metrics summaries folded into BENCH_sim.json give the before/after
+  // convoy_wait / deliver_latency comparison directly.
+  const int hirate_per_group = cfg.quick ? 8 : 16;
+  auto hirate_job = [&](int batch, int window) {
+    return [&, batch, window](int i, sim::RecorderSink* rec,
+                              sim::Metrics* met) {
+      return run_e3_mu(seed_of(i), 16, 2, hirate_per_group, cfg.engine,
+                       cfg.adversary, rec, met, batch, window);
+    };
+  };
+  auto hirate_moncfg = [&] {
+    auto sys = groups::disjoint_system(16, 2);
+    return monitor_config(sys, 0, true, faulty0(sys));
+  };
+  ok &= sweep_both(cfg, "e3_mu_hirate_base", seeds, seq, pool, hirate_job(1, 1),
+                   hirate_moncfg, json, nullptr, rep, &summaries);
+  ok &= sweep_both(cfg, "e3_mu_hirate_batched", seeds, seq, pool,
+                   hirate_job(16, 8), hirate_moncfg, json, nullptr, rep,
+                   &summaries);
+
   ok &= sweep_both(
       cfg, "world_paxos_k8", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
         return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group,
-                               cfg.adversary, rec, met);
+                               cfg.adversary, rec, met, cfg.batch_k,
+                               cfg.window_size);
       },
       // World traces number protocols 100+g and record only the delivery
       // side (no kMulticast events), hence the relaxed integrity mode.
@@ -569,7 +634,8 @@ int main(int argc, char** argv) {
       cfg, "figure1_crashes", seeds, seq, pool,
       [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
         return run_figure1_crashes(seed_of(i), per_group, cfg.engine,
-                                   cfg.adversary, rec, met);
+                                   cfg.adversary, rec, met, cfg.batch_k,
+                                   cfg.window_size);
       },
       [&] {
         auto sys = groups::figure1_system();
@@ -587,6 +653,31 @@ int main(int argc, char** argv) {
   else
     json.field("e3_pool_vs_seq_speedup", e3_speedup);
   json.field("determinism", std::string(ok ? "ok" : "violated"));
+  // Headline batching win: unbatched over batched histogram means on the
+  // hirate pair (>= 10x is the ISSUE 6 acceptance bar). Needs the metrics
+  // pass; null without it, when the probes are compiled out, or when the
+  // batched mean is exactly 0 (the ratio is infinite — consumers should
+  // read the raw means under "metrics" to tell a skip from a perfect score).
+  if (rep && sim::kMetricsCompiled) {
+    auto mean_of = [&](const char* config, const char* series) {
+      return report.config(config).merged_histogram(series).mean();
+    };
+    double lat_b = mean_of("e3_mu_hirate_batched", "deliver_latency");
+    double cv_b = mean_of("e3_mu_hirate_batched", "convoy_wait");
+    if (lat_b > 0)
+      json.field("hirate_deliver_latency_ratio",
+                 mean_of("e3_mu_hirate_base", "deliver_latency") / lat_b);
+    else
+      json.null_field("hirate_deliver_latency_ratio");
+    if (cv_b > 0)
+      json.field("hirate_convoy_wait_ratio",
+                 mean_of("e3_mu_hirate_base", "convoy_wait") / cv_b);
+    else
+      json.null_field("hirate_convoy_wait_ratio");
+  } else {
+    json.null_field("hirate_deliver_latency_ratio");
+    json.null_field("hirate_convoy_wait_ratio");
+  }
   if (rep) {
     std::string folded = "{";
     for (size_t i = 0; i < summaries.size(); ++i)

@@ -40,7 +40,8 @@ rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
   --out="$TRACE_DIR"/b.json --trace="$TRACE_DIR"/b >/dev/null
 "$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --seed-base=2 \
   --out="$TRACE_DIR"/c.json --trace="$TRACE_DIR"/c >/dev/null
-for cfg in e3_mu_k16 e3_mu_k64 world_paxos_k8 figure1_crashes; do
+for cfg in e3_mu_k16 e3_mu_k64 e3_mu_hirate_base e3_mu_hirate_batched \
+           world_paxos_k8 figure1_crashes; do
   "$BUILD_DIR"/tools/trace_diff \
     "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/b.$cfg.trace" >/dev/null \
     || { echo "tier1: FAIL — same-seed traces diverge ($cfg)"; exit 1; }
@@ -59,13 +60,40 @@ echo "tier1: trace self-check OK"
 # first divergent event on failure.
 "$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --engine=scan \
   --out="$TRACE_DIR"/scan.json --trace="$TRACE_DIR"/scan >/dev/null
-for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
+for cfg in e3_mu_k16 e3_mu_k64 e3_mu_hirate_base e3_mu_hirate_batched \
+           figure1_crashes; do
   "$BUILD_DIR"/tools/trace_diff \
     "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/scan.$cfg.trace" \
     || { echo "tier1: FAIL — scan vs incremental engines diverge ($cfg)"; \
          exit 1; }
 done
 echo "tier1: engine-equivalence gate OK"
+
+# Batching equivalence gate (ISSUE 6): explicit batch_k=1/window_size=1 flags
+# must reproduce the default traces byte for byte (the knobs default to
+# today's behavior), and a heavily batched run must itself be engine-stable —
+# scan and incremental may not disagree about macro-step contents. trace_diff
+# localizes the first divergent event on a mismatch.
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --batch=1 --window=1 \
+  --out="$TRACE_DIR"/unit.json --trace="$TRACE_DIR"/unit >/dev/null
+for cfg in e3_mu_k16 e3_mu_k64 world_paxos_k8 figure1_crashes; do
+  "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/unit.$cfg.trace" \
+    || { echo "tier1: FAIL — batch=1/window=1 diverges from default ($cfg)"; \
+         exit 1; }
+done
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --batch=16 --window=8 \
+  --out="$TRACE_DIR"/batinc.json --trace="$TRACE_DIR"/batinc >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --batch=16 --window=8 \
+  --engine=scan \
+  --out="$TRACE_DIR"/batscan.json --trace="$TRACE_DIR"/batscan >/dev/null
+for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
+  "$BUILD_DIR"/tools/trace_diff \
+    "$TRACE_DIR/batinc.$cfg.trace" "$TRACE_DIR/batscan.$cfg.trace" \
+    || { echo "tier1: FAIL — engines diverge at batch=16/window=8 ($cfg)"; \
+         exit 1; }
+done
+echo "tier1: batching equivalence gate OK"
 
 # Adversary engine-equivalence: the scan/incremental identity must also hold
 # under an adversarial schedule, not just the uniform-random default — the
@@ -76,7 +104,8 @@ echo "tier1: engine-equivalence gate OK"
 "$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --adversary=pct:3 \
   --engine=scan \
   --out="$TRACE_DIR"/advscan.json --trace="$TRACE_DIR"/advscan >/dev/null
-for cfg in e3_mu_k16 e3_mu_k64 figure1_crashes; do
+for cfg in e3_mu_k16 e3_mu_k64 e3_mu_hirate_base e3_mu_hirate_batched \
+           figure1_crashes; do
   "$BUILD_DIR"/tools/trace_diff \
     "$TRACE_DIR/advinc.$cfg.trace" "$TRACE_DIR/advscan.$cfg.trace" \
     || { echo "tier1: FAIL — engines diverge under pct:3 adversary ($cfg)"; \
@@ -116,6 +145,37 @@ if "$BUILD_DIR"/tools/metrics_report --diff --threshold=0 --quiet \
   exit 1
 fi
 echo "tier1: metrics self-check OK"
+
+# Convoy-wait threshold gate (ISSUE 6): the high-rate pair in the sweep pits
+# batch_k=1/window_size=1 against batch_k=16/window_size=8 on the same
+# workload. Batching must keep paying for itself — the per-message convoy
+# wait and delivery latency must stay at least 10x below the unbatched
+# baseline, and the batched convoy-wait mean may not regress above an
+# absolute ceiling (measured 1.0 at the seed of this gate; 2.0 leaves slack
+# for workload-neutral tweaks without letting a convoy creep back in).
+if ! python3 - "$METRICS_DIR"/a.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if "metrics" not in rep:
+    print("tier1: convoy gate skipped (metrics compiled out)")
+    sys.exit(0)
+base = rep["metrics"]["e3_mu_hirate_base"]
+bat = rep["metrics"]["e3_mu_hirate_batched"]
+# Raw means, not the hirate_*_ratio fields: those go null when the batched
+# mean is exactly 0 (a perfect score must not read as a skip).
+ok = (bat["deliver_latency_mean"] * 10 <= base["deliver_latency_mean"]
+      and bat["convoy_wait_mean"] * 10 <= base["convoy_wait_mean"]
+      and bat["convoy_wait_mean"] <= 2.0)
+print(f"tier1: convoy gate — latency {base['deliver_latency_mean']:.1f} -> "
+      f"{bat['deliver_latency_mean']:.1f}, convoy {base['convoy_wait_mean']:.1f}"
+      f" -> {bat['convoy_wait_mean']:.3f}")
+sys.exit(0 if ok else 1)
+EOF
+then
+  echo "tier1: FAIL — convoy_wait regressed vs the batched baseline"
+  exit 1
+fi
+echo "tier1: convoy-wait threshold gate OK"
 
 # Metrics-overhead gate: with no registry attached the probes must cost under
 # 5% of e3_mu_k16 single-thread throughput vs a -DGAM_METRICS=OFF build
@@ -198,15 +258,14 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
 fi
 
 # RunSpec migration gate: RunSpec/Scenario is the single way to build a
-# World. The deprecated World(pattern, seed) constructor survives this PR as
-# a shim, but no call site outside the layer itself (and the shim-equivalence
-# test) may use it — new code must not reintroduce positional construction.
+# World. The deprecated World(pattern, seed) shim is gone; no call site
+# outside the layer itself may construct a World directly — new code must
+# not reintroduce positional construction.
 if grep -rnE 'sim::World [a-z_]+\(|make_unique<sim::World>' \
     --include='*.cpp' --include='*.hpp' \
     src tests bench examples tools \
     | grep -v 'src/sim/run_spec.hpp' \
-    | grep -v 'src/sim/world.hpp' \
-    | grep -v 'tests/test_adversary.cpp'; then
+    | grep -v 'src/sim/world.hpp'; then
   echo "tier1: FAIL — direct sim::World construction outside RunSpec/Scenario"
   exit 1
 fi

@@ -38,6 +38,7 @@ MuMulticast::MuMulticast(const groups::GroupSystem& system,
       oracle_(system, pattern, options.fd_lag),
       rng_(options.seed) {
   GAM_EXPECTS(system.process_count() == pattern.process_count());
+  GAM_EXPECTS(options_.batch_k >= 1 && options_.window_size >= 1);
   if (options_.strict) {
     // One indicator 1^{g∩h} per pair of intersecting groups (g = h gives
     // 1^g). Scope g∪h as in §6.1.
@@ -121,6 +122,7 @@ void MuMulticast::set_metrics(sim::Metrics* m) {
   probe_.fd_sigma = &m->counter("fd_query", "sigma");
   probe_.fd_indicator = &m->counter("fd_query", "indicator");
   probe_.consensus = &m->counter("consensus_propose");
+  probe_.batch_occ = &m->histogram("batch_occupancy");
   probe_.submit_time.assign(workload_.size(), kNoStamp);
   probe_.mcast_time.assign(workload_.size(), kNoStamp);
   probe_.stable_time.assign(
@@ -330,18 +332,34 @@ bool MuMulticast::may_multicast(ProcessId p, const MulticastMessage& m) const {
 
 bool MuMulticast::multicast_eligible(ProcessId by,
                                      const MulticastMessage& m) const {
-  // Group-sequential issuance (§4.1): whoever multicasts the k-th message to
-  // g (its sender, or a Prop-1 helper) must have delivered every earlier
-  // message to g first. Without helping, a predecessor whose sender crashed
-  // before multicasting it is skipped — it will never enter the protocol;
-  // with helping it will, so the issuer must wait for it.
+  return multicast_eligible_batched(by, m, {});
+}
+
+bool MuMulticast::multicast_eligible_batched(
+    ProcessId by, const MulticastMessage& m,
+    const std::vector<MsgId>& batched) const {
+  // Group-sequential issuance (§4.1), relaxed to a bounded in-flight window:
+  // whoever multicasts the k-th message to g (its sender, or a Prop-1
+  // helper) must have delivered every predecessor at submission distance
+  // >= window_size; closer predecessors only need to have entered LOG_g,
+  // which keeps appends in submission order while phases overlap
+  // (Derecho-style pipelining). window_size = 1 is the strict §4.1 rule.
+  // Entries already gathered into the current append batch count as entered.
+  // Without helping, a predecessor whose sender crashed before multicasting
+  // it is skipped — it will never enter the protocol; with helping it will,
+  // so the issuer must wait for it.
   const auto& seq = group_sequence_[static_cast<size_t>(m.dst)];
-  for (MsgId prev : seq) {
-    if (prev == m.id) break;
+  size_t j = 0;
+  while (j < seq.size() && seq[j] != m.id) ++j;
+  for (size_t i = 0; i < j; ++i) {
+    MsgId prev = seq[i];
     std::int32_t pi = index_of(prev);
-    bool entered = log_of(m.dst, m.dst).contains(LogEntry::message(prev));
+    bool entered = log_of(m.dst, m.dst).contains(LogEntry::message(prev)) ||
+                   std::find(batched.begin(), batched.end(), prev) !=
+                       batched.end();
     if (entered) {
-      if (phase_at(by, pi) != Phase::kDeliver) return false;
+      bool within = j - i < static_cast<size_t>(options_.window_size);
+      if (!within && phase_at(by, pi) != Phase::kDeliver) return false;
     } else if (options_.helping) {
       return false;  // a helper will issue prev; wait for it
     } else {
@@ -564,24 +582,78 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
 
   switch (c.kind) {
     case ActionChoice::kMulticast: {
-      log(m.dst, m.dst).append(LogEntry::message(mid), p, &journal_);
-      touched(m.dst, m.dst);
-      record_.multicast.push_back(m);
-      record_.multicast_time.push_back(now_);
-      if (trace_)
-        trace_->record({now_, p, TraceEvent::kMulticast, mid, -1, -1});
-      if (event_sink_) {
-        sim::TraceEvent e;
-        e.t = now_;
-        e.p = p;
-        e.kind = sim::TraceEventKind::kMulticast;
-        e.protocol = static_cast<std::int32_t>(m.dst);
-        e.peer = m.src;
-        e.arg = mid;
-        e.payload_hash = sim::trace_mix(
-            sim::kTraceHashSeed, static_cast<std::uint64_t>(m.payload));
-        event_sink_->on_event(e);
+      // Batched append: extend the chosen message with up to batch_k - 1
+      // further eligible same-group submissions (in submission order; resolve
+      // picks the earliest eligible one, so candidates can only follow m) and
+      // write them to LOG_g in a single append_batch — one log mutation, one
+      // epoch bump. Each member still gets its own record / trace / event /
+      // probe bookkeeping, so downstream consumers see per-message events.
+      std::vector<std::int32_t> batch_mi{c.mi};
+      if (options_.batch_k > 1) {
+        std::vector<MsgId> batch_ids{mid};
+        const auto& seq = group_sequence_[static_cast<size_t>(m.dst)];
+        const objects::Log& lg = log_of(m.dst, m.dst);
+        size_t j = 0;
+        while (j < seq.size() && seq[j] != mid) ++j;
+        for (size_t i = j + 1;
+             i < seq.size() &&
+             batch_mi.size() < static_cast<size_t>(options_.batch_k);
+             ++i) {
+          std::int32_t ci = index_of(seq[i]);
+          const MulticastMessage& cand = workload_[static_cast<size_t>(ci)];
+          if (st.phase[static_cast<size_t>(ci)] != Phase::kStart) continue;
+          if (lg.contains(LogEntry::message(cand.id))) continue;
+          if (!may_multicast(p, cand)) continue;
+          if (!multicast_eligible_batched(p, cand, batch_ids) ||
+              !sigma_allows(p, cand.dst))
+            continue;
+          batch_ids.push_back(cand.id);
+          batch_mi.push_back(ci);
+        }
       }
+      std::vector<LogEntry> entries;
+      entries.reserve(batch_mi.size());
+      for (std::int32_t bi : batch_mi)
+        entries.push_back(
+            LogEntry::message(workload_[static_cast<size_t>(bi)].id));
+      log(m.dst, m.dst).append_batch(entries.data(), entries.size(), p,
+                                     &journal_);
+      touched(m.dst, m.dst);
+      for (size_t b = 0; b < batch_mi.size(); ++b) {
+        const MulticastMessage& bm = workload_[static_cast<size_t>(batch_mi[b])];
+        record_.multicast.push_back(bm);
+        record_.multicast_time.push_back(now_);
+        if (trace_)
+          trace_->record({now_, p, TraceEvent::kMulticast, bm.id, -1, -1});
+        if (event_sink_) {
+          sim::TraceEvent e;
+          e.t = now_;
+          e.p = p;
+          e.kind = sim::TraceEventKind::kMulticast;
+          e.protocol = static_cast<std::int32_t>(bm.dst);
+          e.peer = bm.src;
+          e.arg = bm.id;
+          e.payload_hash = sim::trace_mix(
+              sim::kTraceHashSeed, static_cast<std::uint64_t>(bm.payload));
+          event_sink_->on_event(e);
+        }
+        GAM_METRICS_PROBE(if (probe_.reg && b > 0) probe_execute(
+            p, {ActionChoice::kMulticast, batch_mi[b], -1}, bm));
+      }
+      // Window depth at issue: entered-but-undelivered (at the issuer)
+      // messages of this group. Bounded by window_size — the issuance guard
+      // requires delivery of everything at distance >= window_size, and the
+      // entered set is prefix-closed in submission order.
+      GAM_METRICS_PROBE(if (probe_.reg) {
+        std::int64_t depth = 0;
+        for (MsgId id : group_sequence_[static_cast<size_t>(m.dst)]) {
+          std::int32_t qi = index_of(id);
+          if (log_of(m.dst, m.dst).contains(LogEntry::message(id)) &&
+              phase_at(p, qi) != Phase::kDeliver)
+            ++depth;
+        }
+        probe_.reg->gauge("window_depth", group_label(m.dst)).set(depth);
+      });
       break;
     }
     case ActionChoice::kPending: {
@@ -660,26 +732,40 @@ bool MuMulticast::step_process(ProcessId p) {
   if (pattern_.crashed(p, now_)) return false;
   if (!options_.fair_set.empty() && !options_.fair_set.contains(p))
     return false;
-  ActionChoice c;
-  if (options_.engine == Engine::kScan) {
-    c = resolve(p);
-  } else {
-    auto i = static_cast<size_t>(p);
-    if (dirty_[i]) {
-      cached_[i] = resolve(p);
-      dirty_[i] = 0;
+  // Macro-step (batched rounds): one scheduled step drains up to batch_k
+  // consecutive enabled actions of p, re-resolving after each effect, with
+  // the clock frozen within the step. Schedule-equivalent to batch_k
+  // consecutive unbatched steps of p, so safety carries over unchanged;
+  // batch_k = 1 reproduces today's behavior exactly.
+  int drained = 0;
+  for (int b = 0; b < options_.batch_k; ++b) {
+    ActionChoice c;
+    if (options_.engine == Engine::kScan) {
+      c = resolve(p);
+    } else {
+      auto i = static_cast<size_t>(p);
+      if (dirty_[i]) {
+        cached_[i] = resolve(p);
+        dirty_[i] = 0;
+      }
+      c = cached_[i];
     }
-    c = cached_[i];
+    if (c.kind == ActionChoice::kNone) break;
+    execute(p, c);
+    ++drained;
   }
-  if (c.kind == ActionChoice::kNone) return false;
-  execute(p, c);
+  if (drained == 0) return false;
   if (!options_.external_clock) {
     ++now_;
     clock_crossed();
   }
   ++record_.steps;
   record_.active.insert(p);
-  GAM_METRICS_PROBE(if (probe_.reg) ++probe_.steps[static_cast<size_t>(p)]);
+  GAM_METRICS_PROBE(if (probe_.reg) {
+    ++probe_.steps[static_cast<size_t>(p)];
+    if (probe_.batch_occ)
+      probe_.batch_occ->record(static_cast<std::uint64_t>(drained));
+  });
   return true;
 }
 

@@ -103,6 +103,23 @@ class MuMulticast {
     bool track_log_history = false;
     // Guard-evaluation engine; kScan is the reference oracle.
     Engine engine = Engine::kIncremental;
+    // Batched rounds (DESIGN.md decision 12): one scheduled step of a process
+    // drains up to batch_k consecutive enabled actions (re-resolving after
+    // each effect), instead of exactly one. A macro-step is observationally a
+    // run of batch_k back-to-back unbatched steps of the same process under a
+    // frozen clock — a schedule the unbatched system could have produced — so
+    // every safety property carries over unchanged; only the step/latency
+    // accounting is amortized. batch_k = 1 reproduces today's behavior
+    // byte for byte. Additionally, the multicast action appends up to
+    // batch_k eligible same-group submissions in one Log::append_batch.
+    int batch_k = 1;
+    // Pipelined issuance (§4.1 relaxation): the k-th message to g becomes
+    // eligible for multicast once all predecessors at submission distance
+    // >= window_size are delivered at the issuer; closer predecessors only
+    // need to have entered LOG_g (so appends stay in submission order while
+    // up to window_size messages overlap their protocol phases,
+    // Derecho-style). window_size = 1 is the strict group-sequential rule.
+    int window_size = 1;
   };
 
   MuMulticast(const groups::GroupSystem& system,
@@ -220,6 +237,11 @@ class MuMulticast {
   bool stable_enabled(ProcessId p, const MulticastMessage& m) const;
   bool deliver_enabled(ProcessId p, const MulticastMessage& m) const;
   bool multicast_eligible(ProcessId by, const MulticastMessage& m) const;
+  // Same precondition, but entries of `batched` (messages this very action is
+  // about to append) count as having entered LOG_g — how the batched
+  // multicast effect extends a batch past members it hasn't appended yet.
+  bool multicast_eligible_batched(ProcessId by, const MulticastMessage& m,
+                                  const std::vector<MsgId>& batched) const;
   bool may_multicast(ProcessId p, const MulticastMessage& m) const;
   bool sigma_allows(ProcessId p, groups::GroupId g) const;
 
@@ -289,6 +311,7 @@ class MuMulticast {
     sim::Counter* fd_sigma = nullptr;
     sim::Counter* fd_indicator = nullptr;
     sim::Counter* consensus = nullptr;
+    sim::Histogram* batch_occ = nullptr;  // actions drained per macro-step
     std::vector<sim::Time> submit_time;               // workload-indexed
     std::vector<sim::Time> mcast_time;                // workload-indexed
     std::vector<std::vector<sim::Time>> stable_time;  // per process, workload-indexed

@@ -32,7 +32,7 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
     for (ProcessId p : scope) {
       auto log = std::make_shared<objects::UniversalLog>(
           sim::protocol_id(100 + g), p, scope, *sigmas_.back(),
-          *omegas_.back());
+          *omegas_.back(), options_.batch_k, options_.window_size);
       // Delivery = the message enters this replica's learned prefix. The
       // event is also reported into the world's trace stream so deliveries
       // interleave with the wire events that caused them.

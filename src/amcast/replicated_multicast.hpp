@@ -37,6 +37,10 @@ class ReplicatedMulticast {
     std::uint64_t max_steps = 1u << 22;
     // Scheduling strategy for the underlying World (bench --adversary axis).
     sim::SchedulerSpec scheduler;
+    // Ordered-batch / pipelining knobs forwarded to each group's
+    // UniversalLog (see universal_log.hpp); 1/1 is the legacy wire behavior.
+    int batch_k = 1;
+    int window_size = 1;
   };
 
   // Requires pairwise-disjoint destination groups.

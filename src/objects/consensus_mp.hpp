@@ -10,7 +10,9 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <optional>
+#include <vector>
 
 #include "fd/detectors.hpp"
 #include "objects/protocol_host.hpp"
@@ -18,6 +20,37 @@
 #include "util/process_set.hpp"
 
 namespace gam::objects {
+
+// Ordered batch proposal: a consensus value that is a *sequence* of
+// operations decided atomically by one instance (the amortization behind
+// batched log appends — one Paxos instance orders up to batch_k ops).
+// Wire frame: a fixed-length header followed by the ops in batch order; the
+// frame length implies the batch size, so a batch of one is byte-identical
+// to the legacy single-value frame. An empty batch encodes as the single
+// sentinel -1 (the legacy "no accepted value" representation in promises).
+struct OrderedBatch {
+  static sim::Payload encode(std::initializer_list<std::int64_t> header,
+                             const std::vector<std::int64_t>& ops) {
+    sim::Payload p(header);
+    if (ops.empty()) {
+      p.push_back(-1);
+    } else {
+      for (std::int64_t op : ops) p.push_back(op);
+    }
+    return p;
+  }
+  // Decodes ops from data[header_len..); the lone -1 sentinel decodes as
+  // the empty batch.
+  static std::vector<std::int64_t> decode(const sim::Payload& data,
+                                          std::size_t header_len) {
+    std::vector<std::int64_t> ops;
+    if (data.size() == header_len + 1 && data[header_len] == -1) return ops;
+    ops.reserve(data.size() - header_len);
+    for (std::size_t i = header_len; i < data.size(); ++i)
+      ops.push_back(data[i]);
+    return ops;
+  }
+};
 
 class IndulgentConsensus : public SubProtocol {
  public:

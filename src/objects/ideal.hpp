@@ -192,6 +192,34 @@ class Log {
     return head_++;
   }
 
+  // Batched append (one object access): inserts the n entries in order at
+  // successive head slots, skipping entries already present — exactly the
+  // state a sequence of n append() calls by the same process produces, but
+  // with a single journal record and a single epoch bump, so the <_L-sorted
+  // view is rebuilt once per batch instead of once per entry. Returns the
+  // number of entries that were actually inserted.
+  std::size_t append_batch(const LogEntry* d, std::size_t n, ProcessId by,
+                           AccessJournal* journal = nullptr) {
+    if (journal) journal->record(by, key_, Access::kAppend);
+    std::size_t inserted = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (auto* it = find(d[j])) {
+        if (track_history_)
+          history_.push_back(
+              {HistoryEvent::kAppend, d[j], 0, it->slot, it->locked});
+        continue;
+      }
+      index_.emplace(d[j], static_cast<std::uint32_t>(items_.size()));
+      items_.push_back({d[j], head_, false});
+      if (track_history_)
+        history_.push_back({HistoryEvent::kAppend, d[j], 0, head_, false});
+      ++head_;
+      ++inserted;
+    }
+    if (inserted > 0) ++epoch_;
+    return inserted;
+  }
+
   // Position of d, or 0 when absent.
   std::int64_t pos(const LogEntry& d) const {
     const Item* it = find(d);

@@ -1,5 +1,9 @@
 #include "objects/universal_log.hpp"
 
+#include <algorithm>
+
+#include "objects/consensus_mp.hpp"
+
 namespace gam::objects {
 
 namespace {
@@ -12,35 +16,59 @@ void UniversalLog::submit(std::int64_t op,
   known_ops_.insert(op);
 }
 
-std::int64_t UniversalLog::first_unlearned() const {
-  return static_cast<std::int64_t>(learned_.size());
-}
+std::int64_t UniversalLog::first_unlearned() const { return applied_insts_; }
 
-void UniversalLog::learn(std::int64_t inst, std::int64_t value) {
-  decided_.emplace(inst, value);
+void UniversalLog::learn(std::int64_t inst, std::vector<std::int64_t> values) {
+  decided_.emplace(inst, std::move(values));
   while (true) {
-    auto it = decided_.find(first_unlearned());
+    auto it = decided_.find(applied_insts_);
     if (it == decided_.end()) break;
-    learned_.push_back(it->second);
-    known_ops_.insert(it->second);
-    std::int64_t pos = static_cast<std::int64_t>(learned_.size()) - 1;
-    if (on_learn_) on_learn_(learned_.back(), pos);
-    // Resolve own pending submissions that just got ordered.
-    for (auto p = pending_.begin(); p != pending_.end(); ++p) {
-      if (p->op != learned_.back()) continue;
-      auto cb = std::move(p->applied);
-      pending_.erase(p);
-      if (cb) cb(pos);
-      break;
+    ++applied_insts_;
+    for (std::int64_t op : it->second) {
+      if (!ordered_ops_.insert(op).second) continue;  // decided twice: dedup
+      learned_.push_back(op);
+      known_ops_.insert(op);
+      std::int64_t pos = static_cast<std::int64_t>(learned_.size()) - 1;
+      if (on_learn_) on_learn_(op, pos);
+      // Resolve own pending submissions that just got ordered.
+      for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+        if (p->op != op) continue;
+        auto cb = std::move(p->applied);
+        pending_.erase(p);
+        if (cb) cb(pos);
+        break;
+      }
     }
   }
 }
 
-void UniversalLog::drive(sim::Context& ctx) {
-  // Drive the first unlearned instance with the oldest pending op. Re-submits
-  // of an op already decided in a *later* instance cannot happen: we only
+std::vector<std::int64_t> UniversalLog::unclaimed_pending(
+    std::int64_t exclude_inst) const {
+  std::vector<std::int64_t> ops;
+  for (const Pending& p : pending_) {
+    bool claimed = false;
+    for (const auto& [i, ps] : proposers_) {
+      if (i < first_unlearned() || i == exclude_inst) continue;
+      if (std::find(ps.claimed.begin(), ps.claimed.end(), p.op) !=
+          ps.claimed.end()) {
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) continue;
+    ops.push_back(p.op);
+    if (ops.size() == static_cast<std::size_t>(batch_)) break;
+  }
+  return ops;
+}
+
+void UniversalLog::drive(sim::Context& ctx, std::int64_t inst,
+                         std::vector<std::int64_t> ops) {
+  // Drive instance `inst` with an ordered batch of pending ops. Re-submits of
+  // an op already decided in a *learned* instance cannot happen: we only
   // drive ops still pending, and learn() removes them the moment they appear.
-  std::int64_t inst = first_unlearned();
+  // Ops decided concurrently by a competing leader are deduplicated at
+  // learn().
   ProposerState& ps = proposers_[inst];
   ++ps.round;
   ps.ballot = ps.round * 64 + self_;
@@ -48,7 +76,8 @@ void UniversalLog::drive(sim::Context& ctx) {
   ps.promisers = {};
   ps.accepters = {};
   ps.best_accepted_ballot = -1;
-  ps.value = pending_.front().op;
+  ps.values = ops;
+  ps.claimed = std::move(ops);
   ps.stall = 0;
   ctx.send_to_set(scope_, protocol_id_, kPrepare, {inst, ps.ballot});
 }
@@ -68,13 +97,23 @@ bool UniversalLog::on_idle(sim::Context& ctx) {
     }
     return false;
   }
-  std::int64_t inst = first_unlearned();
-  auto it = proposers_.find(inst);
-  if (it == proposers_.end() || ++it->second.stall > kStallLimit) {
-    drive(ctx);
-    return true;
+  // Leader: keep up to window_ consecutive instances in flight, each driving
+  // a disjoint ordered batch of pending ops (the pipelining half of PR 6;
+  // window_ = 1 is the legacy one-instance-at-a-time loop).
+  bool acted = false;
+  std::int64_t base = first_unlearned();
+  for (std::int64_t off = 0; off < window_; ++off) {
+    std::int64_t inst = base + off;
+    if (decided_.count(inst)) continue;
+    auto it = proposers_.find(inst);
+    if (it == proposers_.end() || ++it->second.stall > kStallLimit) {
+      auto ops = unclaimed_pending(inst);
+      if (ops.empty()) break;  // every pending op is already in flight
+      drive(ctx, inst, std::move(ops));
+      acted = true;
+    }
   }
-  return false;
+  return acted;
 }
 
 void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
@@ -86,7 +125,8 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       if (b > ac.promised) ac.promised = b;
       if (b >= ac.promised)
         ctx.send(m.src, protocol_id_, kPromise,
-                 {inst, b, ac.accepted_ballot, ac.accepted_value});
+                 OrderedBatch::encode({inst, b, ac.accepted_ballot},
+                                      ac.accepted_values));
       break;
     }
     case kPromise: {
@@ -98,7 +138,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       ps.promisers.insert(m.src);
       if (m.data[2] > ps.best_accepted_ballot) {
         ps.best_accepted_ballot = m.data[2];
-        ps.value = m.data[3];
+        ps.values = OrderedBatch::decode(m.data, 3);
       }
       auto q = sigma_->query(self_, ctx.now());
       ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
@@ -106,7 +146,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
         ps.accept_phase = true;
         ps.stall = 0;
         ctx.send_to_set(scope_, protocol_id_, kAccept,
-                        {inst, ps.ballot, ps.value});
+                        OrderedBatch::encode({inst, ps.ballot}, ps.values));
       }
       break;
     }
@@ -116,7 +156,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       if (b >= ac.promised) {
         ac.promised = b;
         ac.accepted_ballot = b;
-        ac.accepted_value = m.data[2];
+        ac.accepted_values = OrderedBatch::decode(m.data, 2);
         ctx.send(m.src, protocol_id_, kAccepted, {inst, b});
       }
       break;
@@ -131,13 +171,14 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       auto q = sigma_->query(self_, ctx.now());
       ctx.trace_fd_query(protocol_id_, sim::DetectorClass::kSigma);
       if (q && q->subset_of(ps.accepters)) {
-        ctx.send_to_set(scope_, protocol_id_, kDecide, {inst, ps.value});
-        learn(inst, ps.value);
+        ctx.send_to_set(scope_, protocol_id_, kDecide,
+                        OrderedBatch::encode({inst}, ps.values));
+        learn(inst, ps.values);
       }
       break;
     }
     case kDecide: {
-      if (!decided_.count(inst)) learn(inst, m.data[1]);
+      if (!decided_.count(inst)) learn(inst, OrderedBatch::decode(m.data, 1));
       break;
     }
     case kForward: {

@@ -23,13 +23,20 @@ namespace gam::objects {
 
 class UniversalLog : public SubProtocol {
  public:
+  // batch: max ops amortized over one consensus instance (ordered batch
+  // proposal, consensus_mp.hpp). window: max instances a leader drives
+  // concurrently (Derecho-style pipelining). batch = window = 1 reproduces
+  // the legacy one-op-per-instance wire traffic byte for byte.
   UniversalLog(sim::ProtocolId protocol_id, ProcessId self, ProcessSet scope,
-               const fd::SigmaOracle& sigma, const fd::OmegaOracle& omega)
+               const fd::SigmaOracle& sigma, const fd::OmegaOracle& omega,
+               int batch = 1, int window = 1)
       : protocol_id_(protocol_id),
         self_(self),
         scope_(scope),
         sigma_(&sigma),
-        omega_(&omega) {
+        omega_(&omega),
+        batch_(batch < 1 ? 1 : batch),
+        window_(window < 1 ? 1 : window) {
     GAM_EXPECTS(scope.contains(self));
   }
 
@@ -52,25 +59,32 @@ class UniversalLog : public SubProtocol {
   bool wants_step() const override { return !pending_.empty(); }
 
  private:
+  // Value frames carry an ordered op batch (OrderedBatch, consensus_mp.hpp):
+  // the ops follow the fixed header, length implied by the frame size, and a
+  // batch of one is byte-identical to the legacy single-op frame.
   static constexpr sim::MsgType kPrepare{1};   // [inst, ballot]
   static constexpr sim::MsgType kPromise{2};   // [inst, ballot,
                                                //  accepted_ballot,
-                                               //  accepted_value]
-  static constexpr sim::MsgType kAccept{3};    // [inst, ballot, value]
+                                               //  accepted_ops...]
+  static constexpr sim::MsgType kAccept{3};    // [inst, ballot, ops...]
   static constexpr sim::MsgType kAccepted{4};  // [inst, ballot]
-  static constexpr sim::MsgType kDecide{5};    // [inst, value]
+  static constexpr sim::MsgType kDecide{5};    // [inst, ops...]
   static constexpr sim::MsgType kForward{6};   // [op] — hand the op to the
                                                // Ω leader to drive
 
   struct AcceptorState {
     std::int64_t promised = -1;
     std::int64_t accepted_ballot = -1;
-    std::int64_t accepted_value = -1;
+    std::vector<std::int64_t> accepted_values;  // empty = none
   };
   struct ProposerState {
     std::int64_t ballot = -1;
     bool accept_phase = false;
-    std::int64_t value = -1;  // value being driven in this instance
+    std::vector<std::int64_t> values;  // ordered batch driven in this instance
+    std::vector<std::int64_t> claimed;  // pending ops this instance claims —
+                                        // kept even if `values` is overwritten
+                                        // by a promised earlier batch, so the
+                                        // window never double-proposes an op
     std::int64_t best_accepted_ballot = -1;
     ProcessSet promisers;
     ProcessSet accepters;
@@ -78,8 +92,12 @@ class UniversalLog : public SubProtocol {
     std::int64_t round = 0;
   };
 
-  void learn(std::int64_t inst, std::int64_t value);
-  void drive(sim::Context& ctx);
+  void learn(std::int64_t inst, std::vector<std::int64_t> values);
+  void drive(sim::Context& ctx, std::int64_t inst,
+             std::vector<std::int64_t> ops);
+  // Oldest pending ops not claimed by another in-flight instance, up to
+  // batch_ of them.
+  std::vector<std::int64_t> unclaimed_pending(std::int64_t exclude_inst) const;
   std::int64_t first_unlearned() const;
 
   sim::ProtocolId protocol_id_;
@@ -88,10 +106,18 @@ class UniversalLog : public SubProtocol {
   const fd::SigmaOracle* sigma_;
   const fd::OmegaOracle* omega_;
 
+  int batch_ = 1;
+  int window_ = 1;
+
   std::map<std::int64_t, AcceptorState> acceptors_;
   std::map<std::int64_t, ProposerState> proposers_;
-  std::map<std::int64_t, std::int64_t> decided_;  // inst -> value
-  std::vector<std::int64_t> learned_;             // contiguous prefix
+  std::map<std::int64_t, std::vector<std::int64_t>> decided_;  // inst -> batch
+  std::vector<std::int64_t> learned_;  // contiguous applied op prefix
+  std::int64_t applied_insts_ = 0;     // contiguous applied instance count
+  // Ops already placed into learned_: competing leaders may decide the same
+  // op in two window instances; first-occurrence dedup over the (identical
+  // at every replica) decided sequence keeps learned logs equal.
+  std::unordered_set<std::int64_t> ordered_ops_;
 
   struct Pending {
     std::int64_t op;

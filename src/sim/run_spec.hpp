@@ -19,8 +19,8 @@
 // Scenario materializes the spec: it owns the World and the instantiated
 // Scheduler (strategies fork their randomness from the run seed, so a spec
 // plus a seed is a complete, reproducible scenario description). The old
-// World(FailurePattern, seed) constructor survives one PR as a deprecated
-// shim; a default-spec Scenario is byte-identical to it.
+// World(FailurePattern, seed) positional constructor is gone; Scenario is
+// the only way to build a World.
 #pragma once
 
 #include <cstdint>
@@ -106,6 +106,19 @@ class RunSpec {
     return *this;
   }
 
+  // Ordered-batch / pipelining knobs, consumed by the protocol layers built
+  // on top of the scenario (MuMulticast macro-steps + batched log appends;
+  // UniversalLog's bounded instance window). The 1/1 default is today's
+  // one-action-per-step, one-op-per-instance behavior, byte for byte.
+  RunSpec& batch_k(int k) {
+    batch_k_ = k < 1 ? 1 : k;
+    return *this;
+  }
+  RunSpec& window_size(int w) {
+    window_size_ = w < 1 ? 1 : w;
+    return *this;
+  }
+
   // The pattern the scenario runs under: explicit failures, else a crash-free
   // universe over the declared process count.
   FailurePattern resolve_pattern() const {
@@ -121,6 +134,8 @@ class RunSpec {
   TraceSink* trace_sink() const { return trace_sink_; }
   Metrics* metrics_registry() const { return metrics_; }
   CrashInjector* injector() const { return injector_; }
+  int batch() const { return batch_k_; }
+  int window() const { return window_size_; }
   const std::function<std::unique_ptr<Scheduler>(std::uint64_t)>&
   scheduler_factory_fn() const {
     return factory_;
@@ -137,6 +152,8 @@ class RunSpec {
   CrashInjector* injector_ = nullptr;
   TraceSink* trace_sink_ = nullptr;
   Metrics* metrics_ = nullptr;
+  int batch_k_ = 1;
+  int window_size_ = 1;
 };
 
 // Materializes a RunSpec: owns the World plus the instantiated scheduler and

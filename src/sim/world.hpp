@@ -158,12 +158,6 @@ struct StepStats {
 
 class World : private BufferObserver {
  public:
-  [[deprecated(
-      "construct through sim::RunSpec / sim::Scenario (sim/run_spec.hpp); "
-      "this shim is removed next PR")]]
-  World(FailurePattern pattern, std::uint64_t seed)
-      : World(ScenarioKey{}, std::move(pattern), seed) {}
-
   // The buffer holds a pointer back to this world (wire accounting/tracing).
   World(const World&) = delete;
   World& operator=(const World&) = delete;

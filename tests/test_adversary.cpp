@@ -12,8 +12,8 @@
 //   - the planted-bug gate: under -DGAM_PLANTED_BUG the pct:3 hunt finds a
 //     monitor violation within the seed budget and the violating run
 //     replays from its schedule; in honest builds the same hunt is clean;
-//   - a default-spec Scenario is byte-identical to the deprecated
-//     World(pattern, seed) shim, and mid-run crash injection fires through
+//   - a default-spec Scenario is seed-for-seed reproducible (the canonical
+//     World construction), and mid-run crash injection fires through
 //     World::mutable_pattern.
 #include <gtest/gtest.h>
 
@@ -296,32 +296,23 @@ TEST(QuorumEdge, InjectorCrashesMidRun) {
 // ---------------------------------------------------------------------------
 // RunSpec / Scenario.
 
-TEST(RunSpec, DefaultScenarioMatchesDeprecatedShim) {
-  // One PR of grace: World(pattern, seed) must behave byte-identically to a
-  // default-spec Scenario, so migrated and unmigrated call sites agree.
-  auto run = [](sim::World& world, sim::TraceSink* sink) {
-    world.set_trace_sink(sink);
-    for (ProcessId p = 0; p < 3; ++p)
-      world.install(p, std::make_unique<Relay>((p + 1) % 3));
-    kick(world, 2, 12);
-    EXPECT_TRUE(world.run_until_quiescent(10'000));
-  };
-  sim::HashingSink via_spec;
-  {
+TEST(RunSpec, DefaultScenarioIsReproducible) {
+  // The World(pattern, seed) shim is gone; a default-spec Scenario is the
+  // canonical construction and must stay seed-for-seed deterministic (the
+  // property every determinism gate downstream builds on).
+  auto run = [](sim::TraceSink* sink) {
     sim::Scenario sc(sim::RunSpec{}.processes(3).seed(77));
-    run(sc.world(), &via_spec);
-  }
-  sim::HashingSink via_shim;
-  {
-    sim::FailurePattern pat(3);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    sim::World world(pat, 77);
-#pragma GCC diagnostic pop
-    run(world, &via_shim);
-  }
-  EXPECT_GT(via_spec.count(), 0u);
-  EXPECT_EQ(via_spec.hash(), via_shim.hash());
+    sc.world().set_trace_sink(sink);
+    for (ProcessId p = 0; p < 3; ++p)
+      sc.world().install(p, std::make_unique<Relay>((p + 1) % 3));
+    kick(sc.world(), 2, 12);
+    EXPECT_TRUE(sc.run());
+  };
+  sim::HashingSink a, b;
+  run(&a);
+  run(&b);
+  EXPECT_GT(a.count(), 0u);
+  EXPECT_EQ(a.hash(), b.hash());
 }
 
 TEST(RunSpec, ExplicitRandomSpecMatchesDefault) {

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "amcast/mu_multicast.hpp"
@@ -17,6 +20,7 @@
 #include "amcast/workload.hpp"
 #include "bench/sweep.hpp"
 #include "groups/generator.hpp"
+#include "sim/metrics.hpp"
 #include "sim/run_spec.hpp"
 #include "sim/world.hpp"
 
@@ -205,6 +209,40 @@ void expect_same_traces(const std::vector<bench::RunResult>& a,
     EXPECT_EQ(a[i].steps, b[i].steps) << "seed index " << i;
     EXPECT_EQ(a[i].deliveries, b[i].deliveries) << "seed index " << i;
   }
+}
+
+// run_merged hands each worker a private registry and folds them at join.
+// The fold is commutative (counters/histograms add, gauges add values and
+// max high-water marks), so the merged report must be byte-identical no
+// matter how the pool interleaved the jobs — and identical to a sequential
+// run. write_json is deterministic, so comparing serialized bytes is exact.
+TEST(SweepRunner, RunMergedReportIsPoolSizeInvariant) {
+  if (!sim::kMetricsCompiled) GTEST_SKIP() << "metrics compiled out";
+  constexpr int kJobs = 24;
+  auto job = [](int i, sim::Metrics& m) {
+    m.counter("jobs").add(1);
+    m.histogram("val").record(static_cast<std::uint64_t>(i) * 3);
+    m.gauge("depth", i % 2 ? "odd" : "even").set(i);
+    bench::RunResult r;
+    r.steps = 1;
+    return r;
+  };
+  auto report = [&](int threads) {
+    sim::Metrics merged;
+    bench::SweepRunner(threads).run_merged(kJobs, job, &merged);
+    char* buf = nullptr;
+    size_t len = 0;
+    std::FILE* f = open_memstream(&buf, &len);
+    merged.write_json(f, 0);
+    std::fclose(f);
+    std::string out(buf, len);
+    std::free(buf);
+    return out;
+  };
+  std::string seq = report(1);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, report(4));
+  EXPECT_EQ(seq, report(3));
 }
 
 TEST(SweepDeterminism, PoolSizeInvariantTraces) {
