@@ -39,8 +39,8 @@ BENCHMARK(BM_CyclicFamilyEnumeration)->DenseRange(4, 12, 2);
 static void BM_CpathsRing(benchmark::State& state) {
   auto k = static_cast<int>(state.range(0));
   GroupSystem sys = ring_system(k, 1);
-  FamilyMask all = 0;
-  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  FamilyMask all;
+  for (GroupId g = 0; g < k; ++g) all.insert(g);
   size_t paths = 0;
   for (auto _ : state) {
     paths = sys.cpaths(all).size();
@@ -56,8 +56,8 @@ static void BM_HamiltonianCyclesCompleteGraph(benchmark::State& state) {
   std::vector<ProcessSet> groups;
   for (int i = 0; i < k; ++i) groups.push_back(ProcessSet{0, i + 1});
   GroupSystem sys(k + 1, std::move(groups));
-  FamilyMask all = 0;
-  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  FamilyMask all;
+  for (GroupId g = 0; g < k; ++g) all.insert(g);
   size_t cycles = 0;
   for (auto _ : state) {
     cycles = sys.hamiltonian_cycles(all).size();
@@ -70,8 +70,8 @@ BENCHMARK(BM_HamiltonianCyclesCompleteGraph)->DenseRange(3, 8);
 static void BM_FamilyFaultyPairwise(benchmark::State& state) {
   auto k = static_cast<int>(state.range(0));
   GroupSystem sys = ring_system(k, 2);
-  FamilyMask all = 0;
-  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  FamilyMask all;
+  for (GroupId g = 0; g < k; ++g) all.insert(g);
   sim::FailurePattern pat(sys.process_count());
   pat.crash_at(0, 5);
   for (auto _ : state) {
@@ -84,8 +84,8 @@ BENCHMARK(BM_FamilyFaultyPairwise)->DenseRange(3, 8);
 static void BM_FamilyFaultyHamiltonian(benchmark::State& state) {
   auto k = static_cast<int>(state.range(0));
   GroupSystem sys = ring_system(k, 2);
-  FamilyMask all = 0;
-  for (GroupId g = 0; g < k; ++g) all |= (FamilyMask{1} << g);
+  FamilyMask all;
+  for (GroupId g = 0; g < k; ++g) all.insert(g);
   sim::FailurePattern pat(sys.process_count());
   pat.crash_at(0, 5);
   for (auto _ : state) {

@@ -11,6 +11,13 @@
 //                      the swap-and-pop + runnable-set changes target;
 //   figure1_crashes  — Algorithm 1 on Figure 1 under sampled failure
 //                      patterns: the branchy detector-driven path.
+//   e3_mu_wide128    — Algorithm 1 on 32 disjoint 4-rings (128 groups /
+//                      256 processes): the widened-id-space smoke. Guards the
+//                      multi-word ProcessSet, the GroupPairIndex log layout,
+//                      and the wide-stride ballot packing at full scale, with
+//                      the invariant monitors applying unchanged. Swept over
+//                      fewer seeds than the regular configs (the topology is
+//                      4x the size).
 //
 // Plus the batching headline pair: e3_mu_hirate_base / e3_mu_hirate_batched
 // run the k=16 workload at a high submission rate, unbatched vs pinned
@@ -54,6 +61,7 @@
 // affair (tools/adversary_hunt). All gates (determinism, monitors,
 // engine-equivalence via recorded traces) apply unchanged under any
 // strategy.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -202,6 +210,32 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
   RunResult r = summarize(rm.run());
   r.messages = rm.messages_sent();
   absorb_world(r, rm.world());
+  r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
+  return r;
+}
+
+// The 128-group / 256-process wide smoke: Algorithm 1 on 32 disjoint
+// 4-rings. Every id past the old 64-ceiling is exercised — multi-word
+// ProcessSet words, group ids above 63 in the GroupPairIndex layout, and
+// wide-stride ballots in the consensus objects.
+RunResult run_wide_mu(std::uint64_t seed, int per_group,
+                      MuMulticast::Engine engine,
+                      const sim::AdversarySpec& adv, sim::RecorderSink* rec,
+                      sim::Metrics* met, int batch_k = 1,
+                      int window_size = 1) {
+  auto sys = groups::clustered_ring_system(32, 4, 2);
+  sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
+  MuMulticast mc(sys, pat,
+                 {.seed = seed,
+                  .max_steps = 1u << 22,
+                  .engine = engine,
+                  .batch_k = batch_k,
+                  .window_size = window_size});
+  sim::HashingSink hasher;
+  mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
+  if (met) mc.set_metrics(met);
+  for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
+  RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
   return r;
 }
@@ -645,6 +679,22 @@ int main(int argc, char** argv) {
         sim::EnvironmentSampler env{
             .process_count = 5, .max_failures = 2, .horizon = 100};
         return monitor_config(sys, 0, true, env.sample(rng).faulty_set());
+      },
+      json, nullptr, rep, &summaries);
+
+  // The wide smoke rides every sweep but over fewer seeds — one run is ~4x
+  // the regular configs, and its job here is coverage of the widened id
+  // space, not a latency trendline.
+  const int wide_seeds = std::min(seeds, cfg.quick ? 2 : 8);
+  ok &= sweep_both(
+      cfg, "e3_mu_wide128", wide_seeds, seq, pool,
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+        return run_wide_mu(seed_of(i), 1, cfg.engine, cfg.adversary, rec, met,
+                           cfg.batch_k, cfg.window_size);
+      },
+      [&] {
+        auto sys = groups::clustered_ring_system(32, 4, 2);
+        return monitor_config(sys, 0, true, faulty0(sys));
       },
       json, nullptr, rep, &summaries);
 

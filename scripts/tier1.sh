@@ -41,7 +41,7 @@ rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
 "$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 --seed-base=2 \
   --out="$TRACE_DIR"/c.json --trace="$TRACE_DIR"/c >/dev/null
 for cfg in e3_mu_k16 e3_mu_k64 e3_mu_hirate_base e3_mu_hirate_batched \
-           world_paxos_k8 figure1_crashes; do
+           world_paxos_k8 figure1_crashes e3_mu_wide128; do
   "$BUILD_DIR"/tools/trace_diff \
     "$TRACE_DIR/a.$cfg.trace" "$TRACE_DIR/b.$cfg.trace" >/dev/null \
     || { echo "tier1: FAIL — same-seed traces diverge ($cfg)"; exit 1; }
@@ -53,6 +53,46 @@ if "$BUILD_DIR"/tools/trace_diff \
   exit 1
 fi
 echo "tier1: trace self-check OK"
+
+# Legacy byte-identity gate: every <=64-process configuration must keep
+# producing the exact event trace recorded at the seed revision — the
+# widened id space (multi-word ProcessSet, GroupPairIndex log layout,
+# two-tier ballot stride) has to be byte-invisible below the old ceiling.
+# scripts/golden_trace_hashes.txt pins (events, hash) per config; regenerate
+# it ONLY for an intentional wire/trace change.
+while read -r cfg events hash; do
+  [[ "$cfg" =~ ^#.*$ || -z "$cfg" ]] && continue
+  header=$(head -n1 "$TRACE_DIR/a.$cfg.trace")
+  want="# gam-trace v1 events=$events hash=$hash"
+  [[ "$header" == "$want" ]] \
+    || { echo "tier1: FAIL — $cfg trace differs from the seed golden"; \
+         echo "  want: $want"; echo "  got:  $header"; exit 1; }
+done < scripts/golden_trace_hashes.txt
+echo "tier1: legacy trace byte-identity gate OK"
+
+# Wide-topology gate (widened id space): the 128-group / 256-process smoke
+# config must sweep deterministically (bench_sweep's internal gate) with the
+# invariant monitors clean on its recorded seed. The sweep exits nonzero on
+# either failure; the summary check below additionally proves the monitors
+# actually consumed the wide trace rather than vacuously passing.
+WIDE_DIR="$BUILD_DIR/wide-smoke"
+rm -rf "$WIDE_DIR" && mkdir -p "$WIDE_DIR"
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=2 \
+  --out="$WIDE_DIR"/wide.json --metrics="$WIDE_DIR"/wide.metrics.json \
+  >/dev/null \
+  || { echo "tier1: FAIL — wide sweep (determinism or monitors)"; exit 1; }
+python3 - "$WIDE_DIR"/wide.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+m = rep["metrics"]["e3_mu_wide128"]
+assert m["monitor_violations"] == 0, m
+assert m["monitor_events"] > 0, m
+if rep.get("metrics_compiled") == "on":
+    assert m["deliveries"] > 0, m
+print(f"tier1: wide smoke — {m['monitor_events']} monitored events, "
+      f"0 violations, {m['deliveries']} deliveries")
+EOF
+echo "tier1: wide-topology gate OK"
 
 # Engine-equivalence gate: the scan and incremental guard engines must record
 # byte-identical event traces for the Algorithm-1 configurations (the World

@@ -310,16 +310,15 @@ PartitionedMulticast::PartitionedMulticast(const groups::GroupSystem& system,
 std::vector<ProcessSet> PartitionedMulticast::finest_partitions(
     const groups::GroupSystem& system) {
   // Equivalence classes of "belongs to exactly the same groups".
-  std::map<std::uint64_t, ProcessSet> classes;
+  std::map<groups::FamilyMask, ProcessSet> classes;
   for (ProcessId p = 0; p < system.process_count(); ++p) {
-    std::uint64_t sig = 0;
-    for (groups::GroupId g : system.groups_of(p))
-      sig |= (std::uint64_t{1} << g);
+    groups::FamilyMask sig;
+    for (groups::GroupId g : system.groups_of(p)) sig.insert(g);
     classes[sig].insert(p);
   }
   std::vector<ProcessSet> out;
   for (auto& [sig, s] : classes)
-    if (sig != 0) out.push_back(s);  // uncovered processes need no partition
+    if (!sig.empty()) out.push_back(s);  // uncovered: no partition needed
   return out;
 }
 

@@ -57,11 +57,10 @@ MuMulticast::MuMulticast(const groups::GroupSystem& system,
   for (ProcessId p = 0; p < system.process_count(); ++p) {
     auto st = std::make_unique<PerProcess>();
     st->families = system_.families_of_process(p);
-    st->cons_family.assign(gc, 0);
+    st->cons_family.assign(gc, groups::FamilyMask{});
     for (GroupId g : system_.groups_of(p)) {
-      groups::FamilyMask mask = 0;
-      for (GroupId h : system_.cyclic_neighbors(p, g))
-        mask |= (groups::FamilyMask{1} << h);
+      groups::FamilyMask mask;
+      for (GroupId h : system_.cyclic_neighbors(p, g)) mask.insert(h);
       st->cons_family[static_cast<size_t>(g)] = mask;
     }
     st->gamma_memo.resize(gc);
@@ -71,17 +70,15 @@ MuMulticast::MuMulticast(const groups::GroupSystem& system,
 
   group_sequence_.resize(gc);
 
-  // Every (g,h) log up front, flat-indexed by the journal key min*64+max.
-  // The map-on-demand scheme this replaces needed a shared mutable "empty
-  // log" fallback; pre-creating all group_count^2/2 logs (cheap: empty Log
+  // Every (g,h) log up front, flat-indexed by GroupPairIndex. The
+  // map-on-demand scheme this replaces needed a shared mutable "empty log"
+  // fallback; pre-creating all group_count^2 slots (cheap: empty Log
   // objects) keeps lookups branch-free and the engine thread-clean.
-  if (gc > 0) {
-    size_t total = (gc - 1) * 64 + gc;
-    logs_.reserve(total);
-    for (size_t idx = 0; idx < total; ++idx)
-      logs_.emplace_back(static_cast<std::int64_t>(idx),
-                         options_.track_log_history);
-  }
+  pair_index_ = groups::GroupPairIndex(system_.group_count());
+  logs_.reserve(static_cast<size_t>(pair_index_.size()));
+  for (int idx = 0; idx < pair_index_.size(); ++idx)
+    logs_.emplace_back(static_cast<std::int64_t>(idx),
+                       options_.track_log_history);
 
   // The instants at which any guard input other than the logs and phases can
   // change: μ component transitions, the strict indicators, and the raw crash
@@ -233,14 +230,12 @@ void MuMulticast::submit(MulticastMessage m) {
   mark_dirty(system_.group(m.dst));
 }
 
-std::size_t MuMulticast::log_index(GroupId g, GroupId h) {
-  auto lo = static_cast<size_t>(std::min(g, h));
-  auto hi = static_cast<size_t>(std::max(g, h));
-  return lo * 64 + hi;
+std::size_t MuMulticast::log_index(GroupId g, GroupId h) const {
+  return static_cast<size_t>(pair_index_.flat(g, h));
 }
 
 std::int64_t MuMulticast::journal_key(LogKey k) const {
-  return static_cast<std::int64_t>(k.first) * 64 + k.second;
+  return pair_index_.key(k.first, k.second);
 }
 
 objects::Log& MuMulticast::log(GroupId g, GroupId h) {

@@ -220,7 +220,7 @@ class MuMulticast {
   };
 
   objects::Log& log(groups::GroupId g, groups::GroupId h);
-  static std::size_t log_index(groups::GroupId g, groups::GroupId h);
+  std::size_t log_index(groups::GroupId g, groups::GroupId h) const;
   std::int64_t journal_key(LogKey k) const;
 
   // Guard evaluation (pure) and effect execution for the chosen action.
@@ -276,8 +276,10 @@ class MuMulticast {
   std::vector<std::int32_t> by_msg_id_;          // dense indices, ascending id
   std::vector<std::vector<MsgId>> group_sequence_;    // per destination group
 
-  // All (g,h) logs, flat-indexed min(g,h)*64 + max(g,h) (== the journal key);
-  // GroupSystem::kMaxGroups caps group ids at 64 so the packing is exact.
+  // All (g,h) logs, flat-indexed by pair_index_ (the flat index doubles as
+  // the journal key); GroupPairIndex sizes the layout from the actual group
+  // count, so no group id can alias another's slot.
+  groups::GroupPairIndex pair_index_;
   std::vector<objects::Log> logs_;
   std::map<ConsKey, objects::Consensus> consensus_;
   objects::AccessJournal journal_;

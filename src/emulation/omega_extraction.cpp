@@ -62,7 +62,7 @@ int OmegaExtraction::valency(int i, sim::Time t) const {
   sim::FailurePattern known(pattern_.process_count());
   for (ProcessId p = 0; p < pattern_.process_count(); ++p)
     if (pattern_.crashed(p, t)) known.crash_at(p, 0);
-  auto key = std::make_pair(i, pattern_.failed_at(t).bits());
+  auto key = std::make_pair(i, pattern_.failed_at(t));
   auto it = valency_cache_.find(key);
   if (it != valency_cache_.end()) return it->second;
   int v = simulate_valency(i, known);
@@ -71,7 +71,7 @@ int OmegaExtraction::valency(int i, sim::Time t) const {
 }
 
 const OmegaExtraction::Analysis& OmegaExtraction::analyze(sim::Time t) const {
-  std::uint64_t key = pattern_.failed_at(t).bits();
+  ProcessSet key = pattern_.failed_at(t);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 

@@ -74,8 +74,8 @@ class OmegaExtraction {
   std::vector<ProcessId> members_;  // g∩h in id order
   Options options_;
 
-  mutable std::map<std::uint64_t, Analysis> cache_;  // key: crashed-set bits
-  mutable std::map<std::pair<int, std::uint64_t>, int> valency_cache_;
+  mutable std::map<ProcessSet, Analysis> cache_;  // key: crashed set
+  mutable std::map<std::pair<int, ProcessSet>, int> valency_cache_;
 };
 
 }  // namespace gam::emulation

@@ -74,6 +74,30 @@ inline GroupSystem chain_system(int k, int width = 2) {
   return GroupSystem(n, std::move(groups));
 }
 
+// `clusters` pairwise-disjoint rings of `k` groups each (ring_system shape
+// shifted per cluster). Each cluster contributes one cyclic family (its
+// whole ring), so the topology scales both the process universe and the
+// group count while keeping every intersection-graph component at k members
+// — the shape the 128-group/256-process wide smoke runs use.
+inline GroupSystem clustered_ring_system(int clusters, int k, int width = 1) {
+  GAM_EXPECTS(clusters >= 1 && k >= 3 && width >= 1);
+  int per_cluster = k * width;
+  int n = clusters * per_cluster;
+  GAM_EXPECTS(n <= ProcessSet::kMaxProcesses);
+  GAM_EXPECTS(clusters * k <= GroupSystem::kMaxGroups);
+  std::vector<ProcessSet> groups;
+  for (int c = 0; c < clusters; ++c) {
+    int base = c * per_cluster;
+    for (int i = 0; i < k; ++i) {
+      ProcessSet s;
+      for (int j = 0; j < width; ++j) s.insert(base + i * width + j);
+      s.insert(base + ((i + 1) % k) * width);
+      groups.push_back(s);
+    }
+  }
+  return GroupSystem(n, std::move(groups));
+}
+
 // k pairwise-disjoint groups of the given size.
 inline GroupSystem disjoint_system(int k, int size = 2) {
   GAM_EXPECTS(k >= 1 && size >= 1 && k * size <= ProcessSet::kMaxProcesses);

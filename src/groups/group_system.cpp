@@ -2,15 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <set>
 #include <utility>
 
 namespace gam::groups {
 
-std::vector<GroupId> family_members(FamilyMask f) {
-  std::vector<GroupId> out;
-  for (int g = 0; f != 0; ++g, f >>= 1)
-    if (f & 1u) out.push_back(g);
-  return out;
+std::vector<GroupId> family_members(const FamilyMask& f) {
+  return std::vector<GroupId>(f.begin(), f.end());
 }
 
 GroupSystem::GroupSystem(int process_count, std::vector<ProcessSet> groups)
@@ -21,8 +19,8 @@ GroupSystem::GroupSystem(int process_count, std::vector<ProcessSet> groups)
   if (group_count() > kMaxGroups)
     std::fprintf(stderr,
                  "GroupSystem: %d destination groups exceed kMaxGroups = %d "
-                 "(FamilyMask is a 64-bit group bitmask and log journal keys "
-                 "pack (g,h) as g*64+h; more groups would alias both)\n",
+                 "(the FamilyMask group bitset holds kMaxGroups ids; widen "
+                 "FixedBitset's word count to go further)\n",
                  group_count(), kMaxGroups);
   GAM_EXPECTS(group_count() <= kMaxGroups);
   groups_of_.resize(static_cast<size_t>(process_count_));
@@ -44,8 +42,12 @@ bool GroupSystem::hamiltonian(const std::vector<GroupId>& members,
                               const std::vector<std::uint32_t>& adj) const {
   auto n = members.size();
   if (n < 3) return false;
-  // Held-Karp reachability DP anchored at vertex 0.
-  std::uint32_t full = (n >= 32) ? ~0u : ((1u << n) - 1);
+  // Held-Karp reachability DP anchored at vertex 0. The DP table has 2^n
+  // entries; past ~24 vertices it would silently try to allocate gigabytes
+  // (and before the guard, n >= 32 truncated the mask to 32 bits — an
+  // incorrect answer, not just a slow one).
+  GAM_EXPECTS(n <= 24);
+  std::uint32_t full = (1u << n) - 1;
   // dp[mask] = set of end vertices v such that a simple path 0 -> v visits
   // exactly `mask` (mask always contains bit 0).
   std::vector<std::uint32_t> dp(full + 1u, 0);
@@ -100,25 +102,74 @@ const std::vector<FamilyMask>& GroupSystem::cyclic_families() const {
   for (const std::vector<GroupId>& members : members_of) {
     auto k = members.size();
     if (k < 3) continue;
-    if (k > 20)
-      std::fprintf(stderr,
-                   "GroupSystem: a connected component of the intersection "
-                   "graph has %zu groups; the exhaustive cyclic-family "
-                   "enumeration is bounded at 20 per component\n",
-                   k);
-    GAM_EXPECTS(k <= 20);  // per-component exhaustive enumeration bound
-    for (std::uint32_t sub = 1; sub < (std::uint32_t{1} << k); ++sub) {
-      if (std::popcount(sub) < 3) continue;
-      FamilyMask f = 0;
-      for (size_t i = 0; i < k; ++i)
-        if ((sub >> i) & 1u) f |= FamilyMask{1} << members[i];
-      if (is_cyclic(f)) cyclic_families_.push_back(f);
+    if (k <= static_cast<size_t>(kExhaustiveComponentCap)) {
+      for (std::uint32_t sub = 1; sub < (std::uint32_t{1} << k); ++sub) {
+        if (std::popcount(sub) < 3) continue;
+        FamilyMask f;
+        for (size_t i = 0; i < k; ++i)
+          if ((sub >> i) & 1u) f.insert(members[i]);
+        if (is_cyclic(f)) cyclic_families_.push_back(f);
+      }
+    } else {
+      sparse_cyclic_families(members, cyclic_families_);
     }
   }
   // Ascending mask order, exactly what the former whole-set scan produced.
   std::sort(cyclic_families_.begin(), cyclic_families_.end());
   families_computed_ = true;
   return cyclic_families_;
+}
+
+void GroupSystem::sparse_cyclic_families(
+    const std::vector<GroupId>& members,
+    std::vector<FamilyMask>& out) const {
+  std::fprintf(stderr,
+               "GroupSystem: a connected component of the intersection graph "
+               "has %zu groups (> %d); falling back to a bounded sparse "
+               "enumeration of cyclic families up to size %d — the family "
+               "set may be incomplete\n",
+               members.size(), kExhaustiveComponentCap, kSparseFamilyCap);
+  // Neighbor lists restricted to this component.
+  std::vector<std::vector<GroupId>> nbrs(members.size());
+  for (size_t i = 0; i < members.size(); ++i)
+    for (size_t j = 0; j < members.size(); ++j)
+      if (i != j && !intersection(members[i], members[j]).empty())
+        nbrs[i].push_back(members[j]);
+  std::vector<int> pos(static_cast<size_t>(group_count()), -1);
+  for (size_t i = 0; i < members.size(); ++i)
+    pos[static_cast<size_t>(members[i])] = static_cast<int>(i);
+
+  // Grow connected induced subgraphs outward from each root, adding only
+  // groups with a larger id than the root so every subgraph is reached from
+  // its minimum member exactly once (deduped by `seen` across growth paths).
+  // Each family popped off the work list counts against the examination
+  // budget; everything reported is genuinely cyclic (is_cyclic is exact),
+  // the bound only costs completeness.
+  std::set<FamilyMask> seen;
+  std::size_t examined = 0;
+  for (GroupId root : members) {
+    std::vector<FamilyMask> work{family_of({root})};
+    while (!work.empty() && examined < kSparseBudget) {
+      FamilyMask f = work.back();
+      work.pop_back();
+      ++examined;
+      if (family_size(f) >= 3 && is_cyclic(f)) out.push_back(f);
+      if (family_size(f) >= kSparseFamilyCap) continue;
+      for (GroupId g : f) {
+        for (GroupId h : nbrs[static_cast<size_t>(pos[static_cast<size_t>(g)])]) {
+          if (h <= root || f.contains(h)) continue;
+          FamilyMask next = f;
+          next.insert(h);
+          if (seen.insert(next).second) work.push_back(next);
+        }
+      }
+    }
+  }
+  if (examined >= kSparseBudget)
+    std::fprintf(stderr,
+                 "GroupSystem: sparse cyclic-family enumeration hit its "
+                 "budget of %zu examined families\n",
+                 kSparseBudget);
 }
 
 bool GroupSystem::is_cyclic(FamilyMask f) const {

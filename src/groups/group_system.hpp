@@ -13,6 +13,7 @@
 //     edge (g,h) with g∩h fully crashed at t.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,22 +26,24 @@ namespace gam::groups {
 
 using GroupId = int;
 
-// A family of destination groups as a bitmask over group ids.
-using FamilyMask = std::uint64_t;
+// A family of destination groups as a fixed-width bitset over group ids.
+// 2 words = 128 group ids; GroupSystem::kMaxGroups is static_assert-tied to
+// this width.
+using FamilyMask = FixedBitset<2>;
 
 inline FamilyMask family_of(std::initializer_list<GroupId> gs) {
-  FamilyMask m = 0;
-  for (GroupId g : gs) m |= (FamilyMask{1} << g);
+  FamilyMask m;
+  for (GroupId g : gs) m.insert(g);
   return m;
 }
 
-inline bool family_contains(FamilyMask f, GroupId g) {
-  return ((f >> g) & 1u) != 0;
+inline bool family_contains(const FamilyMask& f, GroupId g) {
+  return f.contains(g);
 }
 
-inline int family_size(FamilyMask f) { return std::popcount(f); }
+inline int family_size(const FamilyMask& f) { return f.size(); }
 
-std::vector<GroupId> family_members(FamilyMask f);
+std::vector<GroupId> family_members(const FamilyMask& f);
 
 // A closed path in an intersection graph: a sequence of group ids with
 // front() == back(), visiting every group of the family exactly once
@@ -49,10 +52,12 @@ using ClosedPath = std::vector<GroupId>;
 
 class GroupSystem {
  public:
-  // Hard limit on |G|: FamilyMask is a 64-bit group bitmask and the log
-  // journal packs a (g,h) pair as g*64+h, so a 65th group would silently
-  // alias both encodings. Construction aborts with a diagnostic past it.
-  static constexpr int kMaxGroups = 64;
+  // Hard limit on |G|: the FamilyMask group bitset holds this many group
+  // ids, and GroupPairIndex (below) sizes its flat (g,h) layout against it.
+  // Construction aborts with a diagnostic past the limit.
+  static constexpr int kMaxGroups = FamilyMask::kCapacity;
+  static_assert(kMaxGroups == 128,
+                "FamilyMask width and kMaxGroups move together");
 
   GroupSystem(int process_count, std::vector<ProcessSet> groups);
 
@@ -85,11 +90,21 @@ class GroupSystem {
   // F: every family f ⊆ G with |f| >= 3 whose intersection graph is
   // Hamiltonian. Computed once, lazily. A cyclic family's intersection graph
   // is connected, so the enumeration runs per connected component of the
-  // global intersection graph: each component may hold at most 20 groups
-  // (2^20 subsets, far beyond the topologies in the paper), while the total
-  // group count may go up to kMaxGroups — e.g. 64 pairwise-disjoint groups
-  // enumerate nothing at all.
+  // global intersection graph: components up to 20 groups are enumerated
+  // exhaustively (2^20 subsets, far beyond the topologies in the paper),
+  // while the total group count may go up to kMaxGroups — e.g. 128
+  // pairwise-disjoint groups enumerate nothing at all. Components larger
+  // than 20 fall back to a bounded sparse enumeration of small connected
+  // induced subgraphs (families of size <= kSparseFamilyCap within a
+  // per-component examination budget) instead of aborting; the fallback is
+  // sound (everything it reports is cyclic) but deliberately incomplete,
+  // and prints a diagnostic saying so.
   const std::vector<FamilyMask>& cyclic_families() const;
+
+  // Knobs of the sparse fallback, exposed so tests can reason about them.
+  static constexpr int kExhaustiveComponentCap = 20;
+  static constexpr int kSparseFamilyCap = 8;
+  static constexpr std::size_t kSparseBudget = 200000;
 
   bool is_cyclic(FamilyMask f) const;
 
@@ -157,6 +172,12 @@ class GroupSystem {
   bool hamiltonian(const std::vector<GroupId>& members,
                    const std::vector<std::uint32_t>& adj) const;
 
+  // The bounded fallback behind cyclic_families() for components larger than
+  // kExhaustiveComponentCap: grows connected induced subgraphs up to
+  // kSparseFamilyCap members within kSparseBudget examinations.
+  void sparse_cyclic_families(const std::vector<GroupId>& members,
+                              std::vector<FamilyMask>& out) const;
+
   // Adjacency (bitmask over positions in `members`) of the intersection graph
   // restricted to `members`, keeping only edges whose intersections pass
   // `edge_alive`.
@@ -182,6 +203,51 @@ class GroupSystem {
   std::vector<std::vector<GroupId>> groups_of_;
   mutable std::vector<FamilyMask> cyclic_families_;
   mutable bool families_computed_ = false;
+};
+
+// Flat index over normalized destination-group pairs (g, h).
+//
+// Algorithm 1 keeps one log per unordered pair of groups; the flat layout
+// used to be hand-rolled three ways (`lo * 64 + hi` twice and the sizing
+// expression `(gc - 1) * 64 + gc`), each with the magic 64 that a 65th group
+// would silently alias. This helper owns the pack: `flat()` for vector
+// indices, `key()` for int64 journal keys, `size()` for the backing-array
+// length. The stride is the actual group count, so the layout is dense in
+// the pair order (lo, hi) — the same iteration order the old stride-64
+// layout produced, which keeps scheduling and traces unchanged.
+class GroupPairIndex {
+ public:
+  GroupPairIndex() = default;
+  explicit constexpr GroupPairIndex(int group_count)
+      : group_count_(group_count) {
+    GAM_EXPECTS(group_count > 0 && group_count <= GroupSystem::kMaxGroups);
+  }
+
+  constexpr int group_count() const { return group_count_; }
+
+  // Length of a flat array indexed by flat().
+  constexpr int size() const { return group_count_ * group_count_; }
+
+  // Normalized flat index of the unordered pair {g, h} (g == h allowed):
+  // min * group_count + max.
+  constexpr int flat(GroupId g, GroupId h) const {
+    GAM_EXPECTS(valid(g) && valid(h));
+    GroupId lo = g < h ? g : h;
+    GroupId hi = g < h ? h : g;
+    return lo * group_count_ + hi;
+  }
+
+  // The same pack as an int64 journal/object key.
+  constexpr std::int64_t key(GroupId g, GroupId h) const {
+    return static_cast<std::int64_t>(flat(g, h));
+  }
+
+ private:
+  constexpr bool valid(GroupId g) const {
+    return g >= 0 && g < group_count_;
+  }
+
+  int group_count_ = 0;
 };
 
 // The running example of the paper (Figure 1): P = {p0..p4} with

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "objects/quorum_store.hpp"
+#include "util/packing.hpp"
 
 namespace gam::objects {
 
@@ -16,7 +17,9 @@ class AbdRegister {
  public:
   // `store` is this process's QuorumStore replica for the register's scope.
   explicit AbdRegister(std::shared_ptr<QuorumStore> store, ProcessId self)
-      : store_(std::move(store)), self_(self) {}
+      : store_(std::move(store)),
+        self_(self),
+        packer_(IdPacker::for_set(store_->scope())) {}
 
   static constexpr QuorumStore::CellId kCell = 0;
 
@@ -27,9 +30,10 @@ class AbdRegister {
       auto it = snap.find(kCell);
       if (it != snap.end()) max_ts = it->second.ts;
       // Pack (counter, writer) so that two writers never produce equal
-      // timestamps: ts = counter * 64 + self.
-      std::int64_t counter = max_ts < 0 ? 0 : max_ts / 64 + 1;
-      store_->write(kCell, counter * 64 + self_, value, std::move(done));
+      // timestamps.
+      std::int64_t counter = max_ts < 0 ? 0 : packer_.major_of(max_ts) + 1;
+      store_->write(kCell, packer_.pack(counter, self_), value,
+                    std::move(done));
     });
   }
 
@@ -49,6 +53,7 @@ class AbdRegister {
  private:
   std::shared_ptr<QuorumStore> store_;
   ProcessId self_;
+  IdPacker packer_;
 };
 
 // Gafni's adopt-commit from Σ-replicated single-writer cells (paper §4.3:
@@ -68,7 +73,9 @@ class QuorumAdoptCommit {
   };
 
   QuorumAdoptCommit(std::shared_ptr<QuorumStore> store, ProcessId self)
-      : store_(std::move(store)), self_(self) {}
+      : store_(std::move(store)),
+        self_(self),
+        packer_(IdPacker::for_set(store_->scope())) {}
 
   void propose(std::int64_t v, std::function<void(Outcome)> done) {
     GAM_EXPECTS(v >= 0);  // packing reserves the low bit for the flag
@@ -79,8 +86,13 @@ class QuorumAdoptCommit {
   bool busy() const { return store_->busy(); }
 
  private:
-  static QuorumStore::CellId a_cell(ProcessId p) { return p; }
-  static QuorumStore::CellId b_cell(ProcessId p) { return 64 + p; }
+  // Cell layout: phase-1 ("A") cells occupy major 0 of the packer's stride,
+  // phase-2 ("B") cells major 1, with the writer id as the minor.
+  QuorumStore::CellId a_cell(ProcessId p) const { return packer_.pack(0, p); }
+  QuorumStore::CellId b_cell(ProcessId p) const { return packer_.pack(1, p); }
+  bool is_b_cell(QuorumStore::CellId cell) const {
+    return packer_.major_of(cell) == 1;
+  }
   static std::int64_t pack(std::int64_t v, bool commit) {
     return v * 2 + (commit ? 1 : 0);
   }
@@ -90,7 +102,7 @@ class QuorumAdoptCommit {
       bool all_equal = true;
       std::int64_t seen = -1;
       for (auto& [cell, val] : snap) {
-        if (cell >= 64) continue;  // B cells
+        if (is_b_cell(cell)) continue;
         if (seen < 0) seen = val.value;
         if (val.value != v) all_equal = false;
       }
@@ -107,7 +119,7 @@ class QuorumAdoptCommit {
       bool all_commit = true;
       std::int64_t commit_value = -1;
       for (auto& [cell, val] : snap) {
-        if (cell < 64) continue;  // A cells
+        if (!is_b_cell(cell)) continue;  // A cells
         bool flag = (val.value & 1) != 0;
         std::int64_t v = val.value / 2;
         if (flag)
@@ -130,6 +142,7 @@ class QuorumAdoptCommit {
 
   std::shared_ptr<QuorumStore> store_;
   ProcessId self_;
+  IdPacker packer_;
   std::function<void(Outcome)> done_;
 };
 

@@ -17,6 +17,7 @@
 #include "fd/detectors.hpp"
 #include "objects/protocol_host.hpp"
 #include "sim/world.hpp"
+#include "util/packing.hpp"
 #include "util/process_set.hpp"
 
 namespace gam::objects {
@@ -92,8 +93,10 @@ class IndulgentConsensus : public SubProtocol {
                                                // stable leader did not itself
                                                // propose)
 
+  // Ballots pack (round, proposer) via the scope's IdPacker so that higher
+  // rounds always beat lower rounds and concurrent proposers never tie.
   std::int64_t make_ballot(std::int64_t round) const {
-    return round * 64 + self_;
+    return IdPacker::for_set(scope_).pack(round, self_);
   }
   void start_ballot(sim::Context& ctx);
   void decide(sim::Context& ctx, std::int64_t v);

@@ -55,6 +55,9 @@ class QuorumStore : public SubProtocol {
 
   bool busy() const { return op_ != Op::kNone; }
 
+  // The replica scope (clients derive their cell/timestamp packing from it).
+  const ProcessSet& scope() const { return scope_; }
+
   // ---- SubProtocol -----------------------------------------------------------
 
   void on_message(sim::Context& ctx, const sim::Message& m) override;

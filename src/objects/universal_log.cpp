@@ -71,7 +71,7 @@ void UniversalLog::drive(sim::Context& ctx, std::int64_t inst,
   // learn().
   ProposerState& ps = proposers_[inst];
   ++ps.round;
-  ps.ballot = ps.round * 64 + self_;
+  ps.ballot = IdPacker::for_set(scope_).pack(ps.round, self_);
   ps.accept_phase = false;
   ps.promisers = {};
   ps.accepters = {};

@@ -1,0 +1,80 @@
+// Centralized (major, id) integer packing for ballots and timestamps.
+//
+// Three places used to hand-roll `major * 64 + id`: Paxos ballots in
+// IndulgentConsensus and UniversalLog, and ABD write timestamps. The packed
+// value's numeric order is lexicographic on (major, id), which is exactly the
+// total order those protocols need — higher rounds beat lower rounds, and the
+// proposer id breaks ties deterministically. The magic 64 silently aliased
+// distinct proposers the moment a process id reached 64, and `int` arithmetic
+// overflowed at large rounds; this helper owns both concerns.
+//
+// Two strides exist, chosen per scope:
+//   - kLegacyStride = 64: the historical packing. Packed ballots travel in
+//     Paxos wire payloads and therefore enter recorded trace hashes, so every
+//     scope whose ids all fit below 64 keeps the legacy stride — seed traces
+//     stay byte-identical.
+//   - kWideStride = ProcessSet::kMaxProcesses: used as soon as a scope
+//     contains an id >= 64, where the legacy stride would alias. The
+//     static_assert below ties it to the process cap: widening ProcessSet
+//     automatically widens the stride.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam {
+
+class IdPacker {
+ public:
+  static constexpr std::int64_t kLegacyStride = 64;
+  static constexpr std::int64_t kWideStride = ProcessSet::kMaxProcesses;
+  static_assert(kWideStride >= ProcessSet::kMaxProcesses,
+                "the wide stride must keep every process id alias-free");
+  static_assert(kLegacyStride == 64,
+                "frozen: legacy-stride ballots are embedded in recorded "
+                "seed trace hashes");
+
+  // Packer for ids in [0, id_limit).
+  static constexpr IdPacker for_limit(int id_limit) {
+    GAM_EXPECTS(id_limit > 0 && id_limit <= ProcessSet::kMaxProcesses);
+    return IdPacker(id_limit <= kLegacyStride ? kLegacyStride : kWideStride);
+  }
+
+  // Packer for the ids of a non-empty scope (e.g. a quorum-system universe).
+  static IdPacker for_set(const ProcessSet& scope) {
+    GAM_EXPECTS(!scope.empty());
+    return for_limit(scope.max() + 1);
+  }
+
+  constexpr std::int64_t pack(std::int64_t major, int id) const {
+    GAM_EXPECTS(major >= 0);
+    GAM_EXPECTS(id >= 0 && id < stride_);
+    GAM_EXPECTS(major <=
+                (std::numeric_limits<std::int64_t>::max() - id) / stride_);
+    return major * stride_ + id;
+  }
+
+  constexpr std::int64_t major_of(std::int64_t packed) const {
+    GAM_EXPECTS(packed >= 0);
+    return packed / stride_;
+  }
+
+  constexpr int id_of(std::int64_t packed) const {
+    GAM_EXPECTS(packed >= 0);
+    return static_cast<int>(packed % stride_);
+  }
+
+  constexpr std::int64_t stride() const { return stride_; }
+
+  constexpr bool operator==(const IdPacker&) const = default;
+
+ private:
+  constexpr explicit IdPacker(std::int64_t stride) : stride_(stride) {}
+
+  std::int64_t stride_;
+};
+
+}  // namespace gam

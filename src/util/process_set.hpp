@@ -1,14 +1,25 @@
-// A value-type set of process identifiers backed by a 64-bit mask.
+// A value-type set of small integer identifiers backed by a fixed number of
+// 64-bit words, templated on the word count.
 //
 // The paper's model (Appendix A) works over a finite process universe P; every
 // structure in this library (destination groups, quorums, failure patterns,
-// cyclic-family intersections) manipulates subsets of P. Sixty-four processes
-// is far beyond anything the constructions need, and the flat representation
-// keeps set algebra O(1) which matters for the simulation forests of
-// Algorithm 5 and the family enumeration of Section 3.
+// cyclic-family intersections) manipulates subsets of P. The flat fixed-width
+// representation keeps set algebra O(words) with no allocation, which matters
+// for the simulation forests of Algorithm 5 and the family enumeration of
+// Section 3. A single-word instantiation compiles down to exactly the old
+// one-uint64 mask (every per-word loop below has a constant bound the
+// compiler unrolls away); wider instantiations raise the id ceiling without
+// changing any call site.
+//
+// Numeric order (operator<=>) compares words from the most significant down,
+// so it coincides with the integer order of the old single-word mask — sorted
+// containers and the ascending cyclic-family order keep their historical
+// layouts.
 #pragma once
 
+#include <array>
 #include <bit>
+#include <compare>
 #include <cstdint>
 #include <initializer_list>
 #include <iterator>
@@ -20,79 +31,181 @@ namespace gam {
 
 using ProcessId = int;
 
-class ProcessSet {
- public:
-  static constexpr int kMaxProcesses = 64;
+template <int Words>
+class FixedBitset {
+  static_assert(Words >= 1, "FixedBitset needs at least one word");
 
-  constexpr ProcessSet() = default;
-  constexpr ProcessSet(std::initializer_list<ProcessId> ids) {
-    for (ProcessId p : ids) {
-      // Same guard as insert(): an out-of-range id would shift past the mask
-      // (UB). In a constant-evaluated context a violation fails to compile.
-      GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
+ public:
+  static constexpr int kWords = Words;
+  static constexpr int kCapacity = Words * 64;
+  // Historical name: the whole library reads ProcessSet::kMaxProcesses.
+  static constexpr int kMaxProcesses = kCapacity;
+
+  constexpr FixedBitset() = default;
+  constexpr FixedBitset(std::initializer_list<int> ids) {
+    for (int p : ids) {
+      // Same guard as insert(): an out-of-range id would index past the last
+      // word (UB). In a constant-evaluated context a violation fails to
+      // compile.
+      GAM_EXPECTS(p >= 0 && p < kCapacity);
       insert_unchecked(p);
     }
   }
 
-  static constexpr ProcessSet universe(int n) {
-    ProcessSet s;
-    s.bits_ = (n >= kMaxProcesses) ? ~std::uint64_t{0}
-                                   : ((std::uint64_t{1} << n) - 1);
+  // The ids [0, n). An n past the capacity used to saturate to all-ones
+  // silently; it now fails the contract the same way insert() does.
+  static constexpr FixedBitset universe(int n) {
+    GAM_EXPECTS(n >= 0 && n <= kCapacity);
+    FixedBitset s;
+    for (int w = 0; w < Words; ++w) {
+      int low = w * 64;
+      if (n >= low + 64)
+        s.words_[static_cast<size_t>(w)] = ~std::uint64_t{0};
+      else if (n > low)
+        s.words_[static_cast<size_t>(w)] =
+            (std::uint64_t{1} << (n - low)) - 1;
+    }
     return s;
   }
 
-  static constexpr ProcessSet single(ProcessId p) {
-    ProcessSet s;
+  static constexpr FixedBitset single(int p) {
+    GAM_EXPECTS(p >= 0 && p < kCapacity);
+    FixedBitset s;
     s.insert_unchecked(p);
     return s;
   }
 
-  constexpr bool contains(ProcessId p) const {
-    return p >= 0 && p < kMaxProcesses && ((bits_ >> p) & 1u) != 0;
+  constexpr bool contains(int p) const {
+    return p >= 0 && p < kCapacity &&
+           ((words_[static_cast<size_t>(p >> 6)] >> (p & 63)) & 1u) != 0;
   }
 
-  void insert(ProcessId p) {
-    GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
+  void insert(int p) {
+    GAM_EXPECTS(p >= 0 && p < kCapacity);
     insert_unchecked(p);
   }
 
-  void erase(ProcessId p) {
-    GAM_EXPECTS(p >= 0 && p < kMaxProcesses);
-    bits_ &= ~(std::uint64_t{1} << p);
+  void erase(int p) {
+    GAM_EXPECTS(p >= 0 && p < kCapacity);
+    words_[static_cast<size_t>(p >> 6)] &= ~(std::uint64_t{1} << (p & 63));
   }
 
-  constexpr bool empty() const { return bits_ == 0; }
-  constexpr int size() const { return std::popcount(bits_); }
+  constexpr bool empty() const {
+    std::uint64_t acc = 0;
+    for (int w = 0; w < Words; ++w) acc |= words_[static_cast<size_t>(w)];
+    return acc == 0;
+  }
 
-  constexpr ProcessSet operator|(ProcessSet o) const { return from_bits(bits_ | o.bits_); }
-  constexpr ProcessSet operator&(ProcessSet o) const { return from_bits(bits_ & o.bits_); }
-  constexpr ProcessSet operator-(ProcessSet o) const { return from_bits(bits_ & ~o.bits_); }
-  constexpr ProcessSet operator^(ProcessSet o) const { return from_bits(bits_ ^ o.bits_); }
-  ProcessSet& operator|=(ProcessSet o) { bits_ |= o.bits_; return *this; }
-  ProcessSet& operator&=(ProcessSet o) { bits_ &= o.bits_; return *this; }
-  ProcessSet& operator-=(ProcessSet o) { bits_ &= ~o.bits_; return *this; }
+  constexpr int size() const {
+    int n = 0;
+    for (int w = 0; w < Words; ++w)
+      n += std::popcount(words_[static_cast<size_t>(w)]);
+    return n;
+  }
 
-  constexpr bool operator==(const ProcessSet&) const = default;
+  constexpr FixedBitset operator|(const FixedBitset& o) const {
+    FixedBitset r;
+    for (int w = 0; w < Words; ++w)
+      r.words_[static_cast<size_t>(w)] =
+          words_[static_cast<size_t>(w)] | o.words_[static_cast<size_t>(w)];
+    return r;
+  }
+  constexpr FixedBitset operator&(const FixedBitset& o) const {
+    FixedBitset r;
+    for (int w = 0; w < Words; ++w)
+      r.words_[static_cast<size_t>(w)] =
+          words_[static_cast<size_t>(w)] & o.words_[static_cast<size_t>(w)];
+    return r;
+  }
+  constexpr FixedBitset operator-(const FixedBitset& o) const {
+    FixedBitset r;
+    for (int w = 0; w < Words; ++w)
+      r.words_[static_cast<size_t>(w)] =
+          words_[static_cast<size_t>(w)] & ~o.words_[static_cast<size_t>(w)];
+    return r;
+  }
+  constexpr FixedBitset operator^(const FixedBitset& o) const {
+    FixedBitset r;
+    for (int w = 0; w < Words; ++w)
+      r.words_[static_cast<size_t>(w)] =
+          words_[static_cast<size_t>(w)] ^ o.words_[static_cast<size_t>(w)];
+    return r;
+  }
+  FixedBitset& operator|=(const FixedBitset& o) {
+    for (int w = 0; w < Words; ++w)
+      words_[static_cast<size_t>(w)] |= o.words_[static_cast<size_t>(w)];
+    return *this;
+  }
+  FixedBitset& operator&=(const FixedBitset& o) {
+    for (int w = 0; w < Words; ++w)
+      words_[static_cast<size_t>(w)] &= o.words_[static_cast<size_t>(w)];
+    return *this;
+  }
+  FixedBitset& operator-=(const FixedBitset& o) {
+    for (int w = 0; w < Words; ++w)
+      words_[static_cast<size_t>(w)] &= ~o.words_[static_cast<size_t>(w)];
+    return *this;
+  }
 
-  constexpr bool intersects(ProcessSet o) const { return (bits_ & o.bits_) != 0; }
-  constexpr bool subset_of(ProcessSet o) const { return (bits_ & ~o.bits_) == 0; }
+  constexpr bool operator==(const FixedBitset&) const = default;
+
+  // Numeric order of the value the words spell out (most significant word
+  // first) — identical to integer order on the old single-word mask.
+  constexpr std::strong_ordering operator<=>(const FixedBitset& o) const {
+    for (int w = Words - 1; w >= 0; --w)
+      if (words_[static_cast<size_t>(w)] != o.words_[static_cast<size_t>(w)])
+        return words_[static_cast<size_t>(w)] <=>
+               o.words_[static_cast<size_t>(w)];
+    return std::strong_ordering::equal;
+  }
+
+  constexpr bool intersects(const FixedBitset& o) const {
+    std::uint64_t acc = 0;
+    for (int w = 0; w < Words; ++w)
+      acc |= words_[static_cast<size_t>(w)] & o.words_[static_cast<size_t>(w)];
+    return acc != 0;
+  }
+  constexpr bool subset_of(const FixedBitset& o) const {
+    std::uint64_t acc = 0;
+    for (int w = 0; w < Words; ++w)
+      acc |= words_[static_cast<size_t>(w)] &
+             ~o.words_[static_cast<size_t>(w)];
+    return acc == 0;
+  }
 
   // Smallest member; the set must be non-empty.
-  ProcessId min() const {
+  int min() const {
     GAM_EXPECTS(!empty());
-    return std::countr_zero(bits_);
+    for (int w = 0; w < Words; ++w)
+      if (words_[static_cast<size_t>(w)] != 0)
+        return w * 64 + std::countr_zero(words_[static_cast<size_t>(w)]);
+    return -1;  // unreachable: the contract above rejects empty sets
   }
+
+  // Alias for min(): the first member in iteration order.
+  int first() const { return min(); }
 
   // Largest member; the set must be non-empty.
-  ProcessId max() const {
+  int max() const {
     GAM_EXPECTS(!empty());
-    return 63 - std::countl_zero(bits_);
+    for (int w = Words - 1; w >= 0; --w)
+      if (words_[static_cast<size_t>(w)] != 0)
+        return w * 64 + 63 - std::countl_zero(words_[static_cast<size_t>(w)]);
+    return -1;  // unreachable: the contract above rejects empty sets
   }
 
-  constexpr std::uint64_t bits() const { return bits_; }
-  static constexpr ProcessSet from_bits(std::uint64_t b) {
-    ProcessSet s;
-    s.bits_ = b;
+  // The w-th 64-bit word (ids [64w, 64w+64)). Exposed for hashing and
+  // serialization; everything else should go through the set algebra.
+  constexpr std::uint64_t word(int w) const {
+    GAM_EXPECTS(w >= 0 && w < Words);
+    return words_[static_cast<size_t>(w)];
+  }
+
+  // Builds a set from a mask over the first 64 ids (convenience for tests
+  // and generators that enumerate small universes).
+  static constexpr FixedBitset from_bits(std::uint64_t low) {
+    FixedBitset s;
+    s.words_[0] = low;
     return s;
   }
 
@@ -100,16 +213,20 @@ class ProcessSet {
   class iterator {
    public:
     using iterator_category = std::forward_iterator_tag;
-    using value_type = ProcessId;
+    using value_type = int;
     using difference_type = std::ptrdiff_t;
-    using pointer = const ProcessId*;
-    using reference = ProcessId;
+    using pointer = const int*;
+    using reference = int;
 
     constexpr iterator() = default;
-    constexpr explicit iterator(std::uint64_t rest) : rest_(rest) {}
-    ProcessId operator*() const { return std::countr_zero(rest_); }
+    constexpr explicit iterator(const std::array<std::uint64_t, Words>& words)
+        : words_(words), word_(0), rest_(words[0]) {
+      skip_empty_words();
+    }
+    int operator*() const { return word_ * 64 + std::countr_zero(rest_); }
     iterator& operator++() {
       rest_ &= rest_ - 1;
+      skip_empty_words();
       return *this;
     }
     iterator operator++(int) {
@@ -117,31 +234,45 @@ class ProcessSet {
       ++*this;
       return tmp;
     }
-    constexpr bool operator==(const iterator&) const = default;
+    constexpr bool operator==(const iterator& o) const {
+      return word_ == o.word_ && rest_ == o.rest_;
+    }
 
    private:
+    constexpr void skip_empty_words() {
+      while (rest_ == 0 && word_ + 1 < Words)
+        rest_ = words_[static_cast<size_t>(++word_)];
+      if (rest_ == 0) word_ = Words;
+    }
+
+    std::array<std::uint64_t, Words> words_{};
+    int word_ = Words;  // the default iterator is the end sentinel
     std::uint64_t rest_ = 0;
   };
-  iterator begin() const { return iterator{bits_}; }
-  iterator end() const { return iterator{0}; }
+  iterator begin() const { return iterator{words_}; }
+  iterator end() const { return iterator{}; }
 
-  std::string to_string() const {
+  std::string to_string(const char* prefix = "p") const {
     std::string out = "{";
-    bool first = true;
-    for (ProcessId p : *this) {
-      if (!first) out += ",";
-      out += "p" + std::to_string(p);
-      first = false;
+    bool first_member = true;
+    for (int p : *this) {
+      if (!first_member) out += ",";
+      out += prefix + std::to_string(p);
+      first_member = false;
     }
     return out + "}";
   }
 
  private:
-  constexpr void insert_unchecked(ProcessId p) {
-    bits_ |= (std::uint64_t{1} << p);
+  constexpr void insert_unchecked(int p) {
+    words_[static_cast<size_t>(p >> 6)] |= (std::uint64_t{1} << (p & 63));
   }
 
-  std::uint64_t bits_ = 0;
+  std::array<std::uint64_t, Words> words_{};
 };
+
+// The process universe: 4 words = 256 process ids. Raising this is a
+// one-line change; IdPacker's wide stride tracks it via a static_assert.
+using ProcessSet = FixedBitset<4>;
 
 }  // namespace gam

@@ -196,9 +196,8 @@ TEST(GammaEmulation, RingSweepAccuracyAndCompleteness) {
     pat.crash_at(0, 30);  // p0 anchors the edge g_{k-1}—g0
     GammaEmulation gamma(sys, pat, static_cast<std::uint64_t>(k) * 13);
     gamma.run(700);
-    groups::FamilyMask ring = 0;
-    for (groups::GroupId g = 0; g < k; ++g)
-      ring |= (groups::FamilyMask{1} << g);
+    groups::FamilyMask ring;
+    for (groups::GroupId g = 0; g < k; ++g) ring.insert(g);
     for (ProcessId p = 1; p < sys.process_count(); ++p) {
       if (sys.families_of_process(p).empty()) continue;
       // Accuracy before the crash...

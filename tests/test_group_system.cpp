@@ -68,10 +68,13 @@ TEST_F(Figure1, FamiliesOfProcessMatchPaper) {
 }
 
 TEST_F(Figure1, IsCyclicAgreesWithEnumeration) {
-  for (FamilyMask m = 0; m < (FamilyMask{1} << 4); ++m) {
+  for (std::uint32_t bits = 0; bits < (std::uint32_t{1} << 4); ++bits) {
+    FamilyMask m;
+    for (GroupId g = 0; g < 4; ++g)
+      if ((bits >> g) & 1u) m.insert(g);
     bool in_list = std::count(sys.cyclic_families().begin(),
                               sys.cyclic_families().end(), m) > 0;
-    EXPECT_EQ(sys.is_cyclic(m), in_list) << "family mask " << m;
+    EXPECT_EQ(sys.is_cyclic(m), in_list) << "family mask " << bits;
   }
 }
 
@@ -227,26 +230,49 @@ TEST(GroupSystem, PairwiseVsHamiltonianFaultyReadingsDivergeOnChords) {
               fig.family_faulty_hamiltonian_at(f, fp, 5));
 }
 
-TEST(GroupSystemLimits, SixtyFourGroupsConstructAndEnumerate) {
-  // kMaxGroups exactly: 64 disjoint single-member groups — the e3_mu_k64
-  // bench shape. Family enumeration must not scan 2^64 subsets (it runs per
-  // connected component of the intersection graph, and disjoint groups give
-  // 64 singleton components).
+TEST(GroupSystemLimits, MaxGroupsConstructAndEnumerate) {
+  // kMaxGroups exactly: 128 disjoint single-member groups. Family
+  // enumeration must not scan 2^128 subsets (it runs per connected component
+  // of the intersection graph, and disjoint groups give 128 singleton
+  // components).
   std::vector<ProcessSet> gs;
-  for (int g = 0; g < 64; ++g) gs.push_back(ProcessSet::single(g));
-  GroupSystem sys(64, gs);
+  for (int g = 0; g < GroupSystem::kMaxGroups; ++g)
+    gs.push_back(ProcessSet::single(g));
+  GroupSystem sys(GroupSystem::kMaxGroups, gs);
   EXPECT_EQ(sys.group_count(), GroupSystem::kMaxGroups);
   EXPECT_TRUE(sys.cyclic_families().empty());
 }
 
+TEST(GroupSystemLimits, PastTheOldSixtyFourCeiling) {
+  // Regression for the former 64-group cap: 65+ groups must construct, keep
+  // distinct FamilyMask bits, and enumerate cyclic families correctly. 22
+  // disjoint triangles of groups = 66 groups, each a 3-member component.
+  std::vector<ProcessSet> gs;
+  for (int t = 0; t < 22; ++t) {
+    int base = 2 * t;  // two shared processes per triangle
+    gs.push_back(ProcessSet{base, base + 1});
+    gs.push_back(ProcessSet{base + 1, base});  // same pair, distinct group
+    gs.push_back(ProcessSet{base, base + 1});
+  }
+  GroupSystem sys(44, gs);
+  EXPECT_EQ(sys.group_count(), 66);
+  // Each triangle {3t, 3t+1, 3t+2} is cyclic; nothing spans triangles.
+  auto fams = sys.cyclic_families();
+  EXPECT_EQ(fams.size(), 22u);
+  for (int t = 0; t < 22; ++t)
+    EXPECT_TRUE(std::count(fams.begin(), fams.end(),
+                           family_of({3 * t, 3 * t + 1, 3 * t + 2})) == 1)
+        << "triangle " << t;
+}
+
 using GroupSystemDeathTest = ::testing::Test;
 
-TEST(GroupSystemDeathTest, SixtyFifthGroupTripsPrecondition) {
-  // A 65th group would silently alias both the FamilyMask bit and the
-  // journal's g*64+h packing; construction must die with a diagnostic
-  // naming the limit instead.
+TEST(GroupSystemDeathTest, GroupPastTheLimitTripsPrecondition) {
+  // A (kMaxGroups+1)-th group would silently alias a FamilyMask bit;
+  // construction must die with a diagnostic naming the limit instead.
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  std::vector<ProcessSet> gs(65, ProcessSet{0});
+  std::vector<ProcessSet> gs(static_cast<size_t>(GroupSystem::kMaxGroups) + 1,
+                             ProcessSet{0});
   EXPECT_DEATH(GroupSystem(1, gs), "kMaxGroups");
 }
 

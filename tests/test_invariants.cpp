@@ -116,7 +116,7 @@ TEST(Realism, SigmaDependsOnlyOnThePast) {
   expect_realistic(a, b, 49, [](const FailurePattern& f, ProcessId p, Time t) {
     fd::SigmaOracle sigma(f, ProcessSet::universe(4));
     auto v = sigma.query(p, t);
-    return v ? v->bits() : ~0ull;
+    return v ? v->word(0) : ~0ull;
   });
 }
 

@@ -29,9 +29,9 @@ TEST(ProcessSet, InitializerListAndContains) {
 }
 
 TEST(ProcessSet, InitializerListRejectsOutOfRange) {
-  // A pid outside [0, kMaxProcesses) used to shift by >= 64 (UB); now it
-  // trips the precondition.
-  EXPECT_DEATH(ProcessSet({0, 64}), "Precondition");
+  // A pid outside [0, kMaxProcesses) used to index past the last word (UB);
+  // now it trips the precondition.
+  EXPECT_DEATH(ProcessSet({0, ProcessSet::kMaxProcesses}), "Precondition");
   EXPECT_DEATH(ProcessSet({-1}), "Precondition");
 }
 
@@ -41,6 +41,102 @@ TEST(ProcessSet, Universe) {
   for (int p = 0; p < 5; ++p) EXPECT_TRUE(u.contains(p));
   EXPECT_FALSE(u.contains(5));
   EXPECT_EQ(ProcessSet::universe(64).size(), 64);
+  EXPECT_EQ(ProcessSet::universe(ProcessSet::kMaxProcesses).size(),
+            ProcessSet::kMaxProcesses);
+  EXPECT_EQ(ProcessSet::universe(0).size(), 0);
+}
+
+TEST(ProcessSet, UniverseRejectsOutOfRange) {
+  // universe(n) used to saturate to all-ones for n past the cap instead of
+  // failing the contract like insert() does.
+  EXPECT_DEATH(ProcessSet::universe(ProcessSet::kMaxProcesses + 1),
+               "Precondition");
+  EXPECT_DEATH(ProcessSet::universe(-1), "Precondition");
+}
+
+TEST(ProcessSet, WordBoundaryMembership) {
+  // p = 63 / 64 / 65 straddle the first word boundary.
+  ProcessSet s{63, 64, 65};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(65));
+  EXPECT_FALSE(s.contains(62));
+  EXPECT_FALSE(s.contains(66));
+  s.erase(64);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(65));
+}
+
+TEST(ProcessSet, UniverseComplementIdentitiesAcrossWords) {
+  for (int n : {1, 63, 64, 65, 127, 128, 129, ProcessSet::kMaxProcesses}) {
+    ProcessSet u = ProcessSet::universe(n);
+    ProcessSet full = ProcessSet::universe(ProcessSet::kMaxProcesses);
+    EXPECT_EQ(u.size(), n) << n;
+    EXPECT_TRUE(u.subset_of(full)) << n;
+    ProcessSet comp = full - u;
+    EXPECT_EQ(comp.size(), ProcessSet::kMaxProcesses - n) << n;
+    EXPECT_TRUE((u & comp).empty()) << n;
+    EXPECT_EQ(u | comp, full) << n;
+    EXPECT_EQ(u ^ comp, full) << n;
+    if (n < ProcessSet::kMaxProcesses) {
+      EXPECT_FALSE(u.contains(n)) << n;
+      EXPECT_EQ(comp.min(), n) << n;
+    }
+    if (n > 0) EXPECT_EQ(u.max(), n - 1) << n;
+  }
+}
+
+TEST(ProcessSet, IterationAndFirstSpanWords) {
+  ProcessSet s{200, 5, 64, 63, 128, 255};
+  std::vector<ProcessId> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<ProcessId>{5, 63, 64, 128, 200, 255}));
+  EXPECT_EQ(s.first(), 5);
+  EXPECT_EQ(s.min(), 5);
+  EXPECT_EQ(s.max(), 255);
+  EXPECT_EQ(ProcessSet::single(255).min(), 255);
+  EXPECT_EQ(ProcessSet::single(64).to_string(), "{p64}");
+}
+
+TEST(ProcessSet, OrderingMatchesNumericMaskOrder) {
+  // operator<=> compares words most-significant first, i.e. the numeric
+  // order of the value the mask spells out — {64} > every single-word set.
+  EXPECT_LT(ProcessSet{63}, ProcessSet{64});
+  EXPECT_LT((ProcessSet{0, 63}), ProcessSet{64});
+  EXPECT_LT(ProcessSet{1}, (ProcessSet{0, 1}));
+  EXPECT_LT(ProcessSet{}, ProcessSet{0});
+  EXPECT_LT(ProcessSet{64}, ProcessSet{128});
+  std::set<ProcessSet> ordered{ProcessSet{64}, ProcessSet{63}, ProcessSet{0}};
+  EXPECT_EQ(*ordered.begin(), ProcessSet{0});
+  EXPECT_EQ(*ordered.rbegin(), ProcessSet{64});
+}
+
+TEST(ProcessSet, RandomizedAcrossWordsAgainstStdSet) {
+  Rng rng(271828);
+  ProcessSet s;
+  std::set<ProcessId> ref;
+  for (int i = 0; i < 4000; ++i) {
+    auto p = static_cast<ProcessId>(
+        rng.below(static_cast<std::uint64_t>(ProcessSet::kMaxProcesses)));
+    if (rng.chance(0.5)) {
+      s.insert(p);
+      ref.insert(p);
+    } else {
+      s.erase(p);
+      ref.erase(p);
+    }
+    ASSERT_EQ(s.size(), static_cast<int>(ref.size()));
+    ASSERT_EQ(s.contains(p), ref.count(p) > 0);
+  }
+  std::vector<ProcessId> got(s.begin(), s.end());
+  std::vector<ProcessId> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);
+  if (!ref.empty()) {
+    EXPECT_EQ(s.min(), *ref.begin());
+    EXPECT_EQ(s.max(), *ref.rbegin());
+  }
 }
 
 TEST(ProcessSet, InsertErase) {
