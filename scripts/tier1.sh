@@ -259,12 +259,14 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
   cmake --build "$ASAN_DIR" -j "$(nproc)" \
     --target test_message_buffer test_sim_trace test_engine_equivalence \
              test_metrics test_monitors test_adversary
+  cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_net
   "$ASAN_DIR"/tests/test_message_buffer
   "$ASAN_DIR"/tests/test_sim_trace
   "$ASAN_DIR"/tests/test_engine_equivalence
   "$ASAN_DIR"/tests/test_metrics
   "$ASAN_DIR"/tests/test_monitors
   "$ASAN_DIR"/tests/test_adversary
+  "$ASAN_DIR"/tests/test_net
   echo "tier1: ASan regression tests OK"
 fi
 
@@ -310,5 +312,37 @@ if grep -rnE 'sim::World [a-z_]+\(|make_unique<sim::World>' \
   exit 1
 fi
 echo "tier1: RunSpec migration gate OK"
+
+# Net runtime smoke gate (ISSUE 8): the live runtime must complete a
+# rate-capped monitored run over the in-process backend with every invariant
+# monitor clean, and clear a deliberately low throughput floor (2K/s — the
+# smoke config measures ~40K/s even on a 1-CPU container; the headline
+# numbers live in BENCH_net.json, this gate only proves liveness + safety).
+# The rate cap keeps monitor memory bounded: monitor cost scales with the
+# number of deliveries fed back, not with runtime throughput.
+NET_DIR="$BUILD_DIR/net-smoke"
+rm -rf "$NET_DIR" && mkdir -p "$NET_DIR"
+"$BUILD_DIR"/tools/gam_loadgen --processes=6 --groups=2 --batch=64 --window=4 \
+  --rate=40000 --duration-ms=1000 --monitor --min-rate=2000 \
+  --out="$NET_DIR"/smoke.json >/dev/null \
+  || { echo "tier1: FAIL — net smoke (monitors dirty, timeout, or below floor)"; \
+       exit 1; }
+echo "tier1: net smoke gate OK"
+
+# Net record->replay gate (ISSUE 8): a live run recorded over the in-process
+# backend must replay byte-for-byte in the simulator — the recorded stream is
+# a legal World execution, and gam_loadgen --record compares the live event
+# stream against ReplayScheduler + receive-script playback event for event,
+# exiting nonzero on the first divergence.
+"$BUILD_DIR"/tools/gam_loadgen --record --processes=6 --groups=2 --ops=48 \
+  --batch=4 --window=2 --trace-live="$NET_DIR"/live.trace \
+  --trace-replay="$NET_DIR"/replay.trace >/dev/null \
+  || { echo "tier1: FAIL — live net run does not replay in the simulator"; \
+       exit 1; }
+"$BUILD_DIR"/tools/trace_diff "$NET_DIR"/live.trace "$NET_DIR"/replay.trace \
+  >/dev/null \
+  || { echo "tier1: FAIL — trace_diff finds live vs replay divergence"; \
+       exit 1; }
+echo "tier1: net record->replay gate OK"
 
 echo "tier1: OK ($BUILD_DIR)"

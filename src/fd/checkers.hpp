@@ -8,7 +8,7 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +25,22 @@ struct Sample {
   Time t;
   T value;
 };
+
+// Last sample per process, dense over pid [0, n). Samples arrive in t-order,
+// so the final write per slot wins; iterating the vector preserves the
+// ascending-pid visit order of the std::map this replaces while staying a
+// single contiguous allocation (pids are dense, a tree was pure overhead).
+template <typename T>
+std::vector<std::optional<T>> last_sample_by_pid(
+    const std::vector<Sample<T>>& samples, const sim::FailurePattern& pattern) {
+  std::vector<std::optional<T>> last(
+      static_cast<std::size_t>(pattern.process_count()));
+  for (const auto& s : samples) {
+    GAM_EXPECTS(s.p >= 0 && s.p < pattern.process_count());
+    last[static_cast<std::size_t>(s.p)] = s.value;
+  }
+  return last;
+}
 
 struct CheckResult {
   bool ok = true;
@@ -51,13 +67,13 @@ inline CheckResult check_sigma(const std::vector<Sample<ProcessSet>>& samples,
         r.fail("sigma quorums " + samples[i].value.to_string() + " and " +
                samples[j].value.to_string() + " do not intersect");
   }
-  std::map<ProcessId, ProcessSet> last;
-  for (const auto& s : samples) last[s.p] = s.value;  // samples are in t-order
-  for (auto& [p, q] : last) {
-    if (!pattern.correct(p) || !scope.contains(p)) continue;
-    if (!q.subset_of(pattern.correct_set()))
+  auto last = last_sample_by_pid(samples, pattern);
+  for (ProcessId p = 0; p < pattern.process_count(); ++p) {
+    const auto& q = last[static_cast<std::size_t>(p)];
+    if (!q || !pattern.correct(p) || !scope.contains(p)) continue;
+    if (!q->subset_of(pattern.correct_set()))
       r.fail("final sigma quorum at p" + std::to_string(p) +
-             " contains a faulty process: " + q.to_string());
+             " contains a faulty process: " + q->to_string());
   }
   return r;
 }
@@ -69,13 +85,13 @@ inline CheckResult check_omega(const std::vector<Sample<ProcessId>>& samples,
                                ProcessSet scope) {
   CheckResult r;
   if ((scope & pattern.correct_set()).empty()) return r;  // vacuous
-  std::map<ProcessId, ProcessId> last;
-  for (const auto& s : samples) last[s.p] = s.value;
+  auto last = last_sample_by_pid(samples, pattern);
   ProcessId leader = -1;
-  for (auto& [p, l] : last) {
-    if (!pattern.correct(p) || !scope.contains(p)) continue;
-    if (leader == -1) leader = l;
-    if (l != leader)
+  for (ProcessId p = 0; p < pattern.process_count(); ++p) {
+    const auto& l = last[static_cast<std::size_t>(p)];
+    if (!l || !pattern.correct(p) || !scope.contains(p)) continue;
+    if (leader == -1) leader = *l;
+    if (*l != leader)
       r.fail("correct processes disagree on the omega leader");
   }
   if (leader != -1 && (!pattern.correct(leader) || !scope.contains(leader)))
@@ -91,7 +107,8 @@ inline CheckResult check_gamma(
     const std::vector<Sample<std::vector<groups::FamilyMask>>>& samples,
     const groups::GroupSystem& system, const sim::FailurePattern& pattern) {
   CheckResult r;
-  std::map<ProcessId, std::vector<groups::FamilyMask>> last;
+  std::vector<std::optional<std::vector<groups::FamilyMask>>> last(
+      static_cast<std::size_t>(pattern.process_count()));
   for (const auto& s : samples) {
     const auto fp = system.families_of_process(s.p);
     for (groups::FamilyMask f : fp) {
@@ -102,12 +119,14 @@ inline CheckResult check_gamma(
                " omitted at p" + std::to_string(s.p) + " while correct at t=" +
                std::to_string(s.t));
     }
-    last[s.p] = s.value;
+    GAM_EXPECTS(s.p >= 0 && s.p < pattern.process_count());
+    last[static_cast<std::size_t>(s.p)] = s.value;
   }
-  for (auto& [p, fams] : last) {
-    if (!pattern.correct(p)) continue;
+  for (ProcessId p = 0; p < pattern.process_count(); ++p) {
+    const auto& fams = last[static_cast<std::size_t>(p)];
+    if (!fams || !pattern.correct(p)) continue;
     for (groups::FamilyMask f : system.families_of_process(p)) {
-      bool output = std::find(fams.begin(), fams.end(), f) != fams.end();
+      bool output = std::find(fams->begin(), fams->end(), f) != fams->end();
       if (output && system.family_faulty(f, pattern))
         r.fail("gamma completeness: faulty family " +
                system.family_to_string(f) + " still output at p" +
@@ -124,17 +143,20 @@ inline CheckResult check_indicator(const std::vector<Sample<bool>>& samples,
                                    const sim::FailurePattern& pattern,
                                    ProcessSet watched, ProcessSet scope) {
   CheckResult r;
-  std::map<ProcessId, bool> last;
+  std::vector<std::optional<bool>> last(
+      static_cast<std::size_t>(pattern.process_count()));
   for (const auto& s : samples) {
     if (s.value && !pattern.set_faulty_at(watched, s.t))
       r.fail("indicator accuracy: true at t=" + std::to_string(s.t) +
              " while " + watched.to_string() + " still has a live member");
-    last[s.p] = s.value;
+    GAM_EXPECTS(s.p >= 0 && s.p < pattern.process_count());
+    last[static_cast<std::size_t>(s.p)] = s.value;
   }
   if (pattern.set_faulty(watched)) {
-    for (auto& [p, v] : last) {
-      if (!pattern.correct(p) || !scope.contains(p)) continue;
-      if (!v)
+    for (ProcessId p = 0; p < pattern.process_count(); ++p) {
+      const auto& v = last[static_cast<std::size_t>(p)];
+      if (!v || !pattern.correct(p) || !scope.contains(p)) continue;
+      if (!*v)
         r.fail("indicator completeness: final sample false at p" +
                std::to_string(p) + " although " + watched.to_string() +
                " is faulty");

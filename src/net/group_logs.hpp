@@ -1,0 +1,145 @@
+// Disjoint-group replicated multicast over the runtime-independent actor
+// surface.
+//
+// The same construction amcast::ReplicatedMulticast uses in the simulator —
+// one UniversalLog replica per group member, protocol id 100+g, delivery =
+// the op entering a replica's learned prefix — packaged so that IDENTICAL
+// actors can be installed on a live net::Runtime and on a replay World: build
+// one GroupLogs per execution, hand make_actors() a deliver callback that
+// reports into whichever runtime hosts it, and submit the same ops in the
+// same order. Two GroupLogs built from the same config start in identical
+// state, which is what makes record/replay byte-comparable end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "objects/protocol_host.hpp"
+#include "objects/universal_log.hpp"
+#include "sim/actor.hpp"
+#include "sim/failure_pattern.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::net {
+
+struct GroupLogsConfig {
+  int groups = 1;
+  int group_size = 3;
+  int batch = 1;       // UniversalLog ordered-batch size
+  int window = 1;      // UniversalLog pipelined instance window
+  std::int32_t protocol_base = 100;  // group g speaks protocol_base + g
+};
+
+class GroupLogs {
+ public:
+  // (replica pid, group, op, per-replica delivery seq) — fires on the
+  // replica's stepping thread, inside its step.
+  using DeliverFn =
+      std::function<void(ProcessId, int, std::int64_t, std::int64_t)>;
+
+  explicit GroupLogs(GroupLogsConfig cfg)
+      : cfg_(cfg),
+        pattern_(cfg.groups * cfg.group_size),  // crash-free: static FD output
+        local_seq_(static_cast<std::size_t>(process_count()), 0) {
+    GAM_EXPECTS(cfg_.groups > 0 && cfg_.group_size > 0);
+    for (int g = 0; g < cfg_.groups; ++g) {
+      ProcessSet scope;
+      for (int i = 0; i < cfg_.group_size; ++i)
+        scope.insert(g * cfg_.group_size + i);
+      scopes_.push_back(scope);
+      sigmas_.push_back(std::make_unique<fd::SigmaOracle>(pattern_, scope));
+      omegas_.push_back(std::make_unique<fd::OmegaOracle>(pattern_, scope));
+    }
+  }
+
+  int process_count() const { return cfg_.groups * cfg_.group_size; }
+  const GroupLogsConfig& config() const { return cfg_; }
+  const ProcessSet& group(int g) const {
+    return scopes_[static_cast<std::size_t>(g)];
+  }
+  std::vector<ProcessSet> group_sets() const { return scopes_; }
+  sim::ProtocolId protocol(int g) const {
+    return sim::protocol_id(cfg_.protocol_base + g);
+  }
+
+  // The Ω leader of group g — stable from t=0 under the crash-free pattern,
+  // so ops submitted here are driven directly instead of being forwarded.
+  ProcessId leader(int g) const {
+    auto l = omegas_[static_cast<std::size_t>(g)]->query(
+        g * cfg_.group_size, 0);
+    GAM_EXPECTS(l.has_value());
+    return *l;
+  }
+
+  // One actor per process, each hosting its group's log replica. Call once.
+  std::vector<std::unique_ptr<sim::Actor>> make_actors(DeliverFn deliver) {
+    GAM_EXPECTS(logs_.empty());
+    deliver_ = std::move(deliver);
+    std::vector<std::unique_ptr<objects::ProtocolHost>> hosts;
+    std::vector<objects::ProtocolHost*> raw;
+    for (int p = 0; p < process_count(); ++p) {
+      hosts.push_back(std::make_unique<objects::ProtocolHost>());
+      raw.push_back(hosts.back().get());
+      hosts_.push_back(raw.back());
+    }
+    logs_.resize(static_cast<std::size_t>(cfg_.groups));
+    for (int g = 0; g < cfg_.groups; ++g) {
+      for (ProcessId p : scopes_[static_cast<std::size_t>(g)]) {
+        auto log = std::make_shared<objects::UniversalLog>(
+            protocol(g), p, scopes_[static_cast<std::size_t>(g)],
+            *sigmas_[static_cast<std::size_t>(g)],
+            *omegas_[static_cast<std::size_t>(g)], cfg_.batch, cfg_.window);
+        log->set_on_learn([this, p, g](std::int64_t op, std::int64_t) {
+          // local_seq_[p] is touched only by p's stepping thread.
+          std::int64_t seq = local_seq_[static_cast<std::size_t>(p)]++;
+          deliver_(p, g, op, seq);
+        });
+        raw[static_cast<std::size_t>(p)]->add(protocol(g), log);
+        logs_[static_cast<std::size_t>(g)].push_back(std::move(log));
+      }
+    }
+    std::vector<std::unique_ptr<sim::Actor>> actors;
+    for (auto& h : hosts) actors.push_back(std::move(h));
+    return actors;
+  }
+
+  // Replica of group g at member index i (members in ascending pid order).
+  objects::UniversalLog& replica(int g, int member_index) {
+    return *logs_[static_cast<std::size_t>(g)]
+                 [static_cast<std::size_t>(member_index)];
+  }
+
+  objects::ProtocolHost& host(ProcessId p) {
+    return *hosts_[static_cast<std::size_t>(p)];
+  }
+
+  // Submit an op at group g's Ω leader. Valid before and during a run, but
+  // replayable executions must perform pre-run submissions only (a mid-run
+  // submit is not a trace event the replay can reproduce).
+  void submit_at_leader(int g, std::int64_t op) {
+    ProcessId l = leader(g);
+    int idx = 0;
+    for (ProcessId p : scopes_[static_cast<std::size_t>(g)]) {
+      if (p == l) break;
+      ++idx;
+    }
+    replica(g, idx).submit(op, nullptr);
+  }
+
+ private:
+  GroupLogsConfig cfg_;
+  sim::FailurePattern pattern_;
+  std::vector<ProcessSet> scopes_;
+  std::vector<std::unique_ptr<fd::SigmaOracle>> sigmas_;
+  std::vector<std::unique_ptr<fd::OmegaOracle>> omegas_;
+  std::vector<std::vector<std::shared_ptr<objects::UniversalLog>>> logs_;
+  std::vector<objects::ProtocolHost*> hosts_;
+  std::vector<std::int64_t> local_seq_;
+  DeliverFn deliver_;
+};
+
+}  // namespace gam::net

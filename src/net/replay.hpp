@@ -1,0 +1,73 @@
+// Replay of a recorded live run inside the deterministic simulator.
+//
+// A record-mode Runtime run is, by construction, a legal World execution:
+// steps are globally serialized, t is the fired-step counter, and the event
+// grammar matches the World's emission points. Two levers then pin the replay
+// to the recording:
+//
+//   1. ReplayScheduler::attempts_from_events recovers the fired-pid schedule
+//      (one attempt per kReceive/kNullStep/kCrash event) and drives the
+//      World's scheduling rounds with it.
+//   2. World::set_receive_script pins WHICH pending message each receive
+//      consumes — (src, protocol, type, payload hash) per kReceive event —
+//      the one choice the World's seeded-random buffer would otherwise make
+//      on its own.
+//
+// With both attached, the same GroupLogs construction and the same pre-run
+// submissions reproduce the recorded stream event for event: at every step
+// the pending-message multiset for the stepping process matches the live
+// run's (induction over the reproduced sends), so receive-vs-null decisions,
+// payloads, deliveries, and FD queries all coincide.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/group_logs.hpp"
+#include "sim/adversary.hpp"
+#include "sim/run_spec.hpp"
+#include "sim/trace.hpp"
+
+namespace gam::net {
+
+struct ReplayResult {
+  std::vector<sim::TraceEvent> events;
+  bool quiescent = false;
+};
+
+// Replays `recorded` (a record-mode Runtime stream) in the simulator, using
+// a fresh GroupLogs built from `cfg` and the same (group, op) submissions in
+// the same order. Compare result.events against the recording with
+// sim::first_divergence — equality is the record/replay gate.
+inline ReplayResult replay_in_simulator(
+    const GroupLogsConfig& cfg,
+    const std::vector<std::pair<int, std::int64_t>>& submissions,
+    const std::vector<sim::TraceEvent>& recorded) {
+  GroupLogs logs(cfg);
+  sim::RecorderSink replayed;
+  auto attempts = sim::ReplayScheduler::attempts_from_events(recorded);
+  sim::Scenario sc(
+      sim::RunSpec{}
+          .processes(logs.process_count())
+          .max_steps(attempts.size() + 1)
+          .scheduler_factory([attempts](std::uint64_t) {
+            return std::make_unique<sim::ReplayScheduler>(attempts);
+          })
+          .trace(&replayed));
+  sim::World& world = sc.world();
+  world.set_receive_script(sim::World::receive_script_from_events(recorded));
+  auto actors = logs.make_actors(
+      [&world, &logs](ProcessId p, int g, std::int64_t op, std::int64_t seq) {
+        world.trace_deliver(p, logs.protocol(g), op, seq);
+      });
+  for (ProcessId p = 0; p < logs.process_count(); ++p)
+    world.install(p, std::move(actors[static_cast<std::size_t>(p)]));
+  for (const auto& [g, op] : submissions) logs.submit_at_leader(g, op);
+  ReplayResult r;
+  r.quiescent = sc.run();
+  r.events = replayed.events();
+  return r;
+}
+
+}  // namespace gam::net

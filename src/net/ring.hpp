@@ -1,0 +1,131 @@
+// Single-producer/single-consumer byte ring carrying wire frames — the hot
+// path of the in-process transport.
+//
+// Layout follows the classic SPSC design (Derecho's SMC rings are the model):
+// a power-of-two byte buffer with free-running head (consumed) and tail
+// (produced) indices. Each side owns one index and keeps a *cached* copy of
+// the other, refreshed from the shared atomic only when the cached value says
+// the operation cannot proceed — so in steady state a push or pop touches no
+// cache line the other core is writing. Indices never wrap modulo the
+// capacity (they are 64-bit byte counts; the mask is applied at access), so
+// full/empty never ambiguate.
+//
+// Frames are contiguous header+payload byte spans, copied with at most two
+// memcpys on wraparound. The ring additionally counts whole frames pushed and
+// popped (relaxed atomics) so the transport can enforce the bounded in-flight
+// window — the same window_size flow-control semantics the simulator's
+// pipelined UniversalLog window uses — without parsing the ring contents.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/contracts.hpp"
+
+namespace gam::net {
+
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_bytes)
+      : buf_(std::bit_ceil(capacity_bytes < 256 ? 256 : capacity_bytes)),
+        mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  // Producer side. False when the ring lacks space for the whole frame (the
+  // caller retries later — frames are never split across attempts).
+  bool try_push(const WireHeader& h, const std::int64_t* words) {
+    const std::size_t need = frame_bytes(h);
+    if (need > buf_.size()) return false;  // can never fit
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (buf_.size() - static_cast<std::size_t>(tail - cached_head_) < need) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (buf_.size() - static_cast<std::size_t>(tail - cached_head_) < need)
+        return false;
+    }
+    write_at(tail, &h, sizeof h);
+    if (h.payload_words > 0)
+      write_at(tail + sizeof h, words,
+               std::size_t{h.payload_words} * sizeof(std::int64_t));
+    tail_.store(tail + need, std::memory_order_release);
+    frames_pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty.
+  bool try_pop(Frame& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    read_at(head, &out.header, sizeof out.header);
+    const std::size_t nw = out.header.payload_words;
+    if (nw > 0) {
+      scratch_.resize(nw);
+      read_at(head + sizeof out.header, scratch_.data(),
+              nw * sizeof(std::int64_t));
+      out.payload = sim::Payload(scratch_);
+    } else {
+      out.payload = {};
+    }
+    head_.store(head + frame_bytes(out.header), std::memory_order_release);
+    frames_popped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  // Whole frames pushed but not yet popped — what the transport's bounded
+  // window counts. Callable from either side (relaxed reads; the window is a
+  // throttle, not a synchronization point).
+  std::uint64_t in_flight() const {
+    std::uint64_t pushed = frames_pushed_.load(std::memory_order_relaxed);
+    std::uint64_t popped = frames_popped_.load(std::memory_order_relaxed);
+    return pushed >= popped ? pushed - popped : 0;
+  }
+
+ private:
+  void write_at(std::uint64_t pos, const void* src, std::size_t n) {
+    const std::size_t at = static_cast<std::size_t>(pos) & mask_;
+    const std::size_t first = std::min(n, buf_.size() - at);
+    std::memcpy(buf_.data() + at, src, first);
+    if (first < n)
+      std::memcpy(buf_.data(), static_cast<const std::uint8_t*>(src) + first,
+                  n - first);
+  }
+
+  void read_at(std::uint64_t pos, void* dst, std::size_t n) {
+    const std::size_t at = static_cast<std::size_t>(pos) & mask_;
+    const std::size_t first = std::min(n, buf_.size() - at);
+    std::memcpy(dst, buf_.data() + at, first);
+    if (first < n)
+      std::memcpy(static_cast<std::uint8_t*>(dst) + first, buf_.data(),
+                  n - first);
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t mask_;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  alignas(64) std::uint64_t cached_head_ = 0;       // producer's view of head_
+  alignas(64) std::uint64_t cached_tail_ = 0;       // consumer's view of tail_
+
+  std::atomic<std::uint64_t> frames_pushed_{0};
+  std::atomic<std::uint64_t> frames_popped_{0};
+
+  std::vector<std::int64_t> scratch_;  // consumer-only payload staging
+};
+
+}  // namespace gam::net

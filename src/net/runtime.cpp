@@ -1,0 +1,244 @@
+#include "net/runtime.hpp"
+
+#include <thread>
+
+namespace gam::net {
+
+Runtime::Runtime(Transport& transport, RuntimeOptions opts)
+    : transport_(transport),
+      opts_(opts),
+      procs_(static_cast<std::size_t>(transport.process_count())) {
+  for (auto& ps : procs_)
+    ps.outbox.resize(static_cast<std::size_t>(transport.process_count()));
+}
+
+void Runtime::emit(sim::TraceEventKind kind, ProcessId p, std::int32_t protocol,
+                   std::int32_t type, ProcessId peer, const sim::Payload* data,
+                   std::int64_t arg) {
+  // Mirrors World::trace field for field; record mode only, under step_mu_.
+  sim::TraceEvent e;
+  e.t = now_;
+  e.p = p;
+  e.kind = kind;
+  e.protocol = protocol;
+  e.type = type;
+  e.peer = peer;
+  e.arg = arg;
+  e.payload_hash = data ? sim::hash_payload(*data) : 0;
+  recorder_.on_event(e);
+}
+
+void Runtime::trace_deliver(ProcessId p, sim::ProtocolId protocol,
+                            std::int64_t m, std::int64_t seq) {
+  if (!opts_.record) return;
+  emit(sim::TraceEventKind::kDeliver, p, sim::raw(protocol),
+       static_cast<std::int32_t>(seq), -1, nullptr, m);
+}
+
+void Runtime::do_send(ProcessId src, ProcessId dst, sim::ProtocolId protocol,
+                      sim::MsgType type, sim::Payload data) {
+  GAM_EXPECTS(dst >= 0 && dst < process_count());
+  const std::uint64_t id = msg_seq_.fetch_add(1, std::memory_order_relaxed);
+  WireHeader h = make_header(id, src, dst, sim::raw(protocol), sim::raw(type),
+                             static_cast<std::uint16_t>(sim::raw(protocol)),
+                             data.size());
+  if (opts_.record) {
+    // The event order must match the World's buffer observer: kSend at send
+    // time, before the message becomes receivable. Record mode runs with an
+    // unthrottled window, so a refused send means the ring itself is
+    // undersized for the topology — fail loudly rather than reorder.
+    emit(sim::TraceEventKind::kSend, src, sim::raw(protocol), sim::raw(type),
+         dst, &data);
+    GAM_EXPECTS(transport_.try_send(src, dst, h, data));
+    return;
+  }
+  PerProcess& st = procs_[static_cast<std::size_t>(src)];
+  auto& q = st.outbox[static_cast<std::size_t>(dst)];
+  if (q.empty() && transport_.try_send(src, dst, h, data)) return;
+  q.push_back({h, std::move(data)});
+  ++st.outbox_frames;
+}
+
+void Runtime::flush_outbox(PerProcess& st, ProcessId src) {
+  if (st.outbox_frames == 0) return;
+  for (ProcessId d = 0; d < process_count(); ++d) {
+    auto& q = st.outbox[static_cast<std::size_t>(d)];
+    while (!q.empty()) {
+      const OutFrame& f = q.front();
+      if (!transport_.try_send(src, d, f.header, f.payload)) break;
+      q.pop_front();
+      --st.outbox_frames;
+    }
+  }
+}
+
+void Runtime::free_loop(ProcessId p,
+                        std::chrono::steady_clock::time_point deadline) {
+  using std::chrono::microseconds;
+  PerProcess& st = procs_[static_cast<std::size_t>(p)];
+  sim::Time local_now = 0;
+  int idle_spins = 0;
+  int steps_since_check = 0;
+  // Idle-step pacing. A busy-spinning actor can take idle steps orders of
+  // magnitude faster than a message round-trips through another thread's
+  // scheduling quantum, and protocols whose retry timers tick in idle steps
+  // (UniversalLog re-prepares every kStallLimit of them) then invalidate
+  // every in-flight reply — a ballot livelock. Consecutive idle steps
+  // therefore back off exponentially in wall-clock; any receive resets the
+  // backoff so drivers and leaders act promptly while traffic flows.
+  auto next_idle = std::chrono::steady_clock::time_point::min();
+  microseconds idle_period{0};
+  while (!stop_.load(std::memory_order_relaxed)) {
+    transport_.pump(p);
+    flush_outbox(st, p);
+    bool fired = false;
+    if (auto f = transport_.poll(p)) {
+      sim::Message msg = to_message(*f);
+      NetContext ctx(*this, p, local_now);
+      st.actor->on_step(ctx, &msg);
+      fired = true;
+      idle_period = microseconds{0};
+      next_idle = std::chrono::steady_clock::time_point::min();
+    } else if (st.actor->wants_step() &&
+               st.outbox_frames < opts_.outbox_idle_cap &&
+               std::chrono::steady_clock::now() >= next_idle) {
+      // Idle slot (retries, leader duties, load drivers). Gated on outbox
+      // depth: while flow control has frames parked, more idle work would
+      // only deepen the backlog.
+      NetContext ctx(*this, p, local_now);
+      st.actor->on_step(ctx, nullptr);
+      fired = true;
+      idle_period = idle_period.count() == 0
+                        ? microseconds{20}
+                        : std::min(idle_period * 2, microseconds{2000});
+      next_idle = std::chrono::steady_clock::now() + idle_period;
+    }
+    if (fired) {
+      ++local_now;
+      ++st.steps;
+      idle_spins = 0;
+      // Periodic completion check even while busy, or a run whose actors
+      // always want idle steps would never notice done().
+      if (++steps_since_check >= 1024) {
+        steps_since_check = 0;
+        if (done_ && done_()) {
+          done_seen_.store(true);
+          stop_.store(true);
+        }
+        if (std::chrono::steady_clock::now() >= deadline) stop_.store(true);
+      }
+      continue;
+    }
+    if (++idle_spins >= 64) {
+      idle_spins = 0;
+      if (done_ && done_()) {
+        done_seen_.store(true);
+        stop_.store(true);
+        return;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        stop_.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Runtime::record_loop(ProcessId p,
+                          std::chrono::steady_clock::time_point deadline) {
+  PerProcess& st = procs_[static_cast<std::size_t>(p)];
+  while (true) {
+    bool my_turn = false;
+    {
+      std::lock_guard<std::mutex> lk(step_mu_);
+      if (stop_.load(std::memory_order_relaxed)) return;
+      // std::mutex is unfair: a process that always has work would otherwise
+      // reacquire it indefinitely and starve the rest (observed: p0 took
+      // every step of a run). The token hands steps out round-robin — a
+      // legal World schedule, and the one the recording reflects.
+      if (next_turn_ == p) {
+        my_turn = true;
+        if (done_ && done_()) {
+          done_seen_.store(true);
+          stop_.store(true);
+          return;
+        }
+        if (steps_total_ >= opts_.max_steps) {
+          stop_.store(true);
+          return;
+        }
+        transport_.pump(p);
+        auto f = transport_.poll(p);
+        if (f || st.actor->wants_step()) {
+          sim::Message msg;
+          const sim::Message* mp = nullptr;
+          if (f) {
+            msg = to_message(*f);
+            emit(sim::TraceEventKind::kReceive, p, msg.protocol, msg.type,
+                 msg.src, &msg.data);
+            mp = &msg;
+          } else {
+            emit(sim::TraceEventKind::kNullStep, p, 0, 0, -1, nullptr);
+          }
+          NetContext ctx(*this, p, now_);
+          stepping_ = p;
+          st.actor->on_step(ctx, mp);
+          stepping_ = -1;
+          ++now_;
+          ++steps_total_;
+          ++st.steps;
+        }
+        next_turn_ = (p + 1) % process_count();
+      }
+    }
+    if (!my_turn) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        stop_.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool Runtime::run(std::function<bool()> done,
+                  std::chrono::milliseconds timeout) {
+  for (const auto& ps : procs_) GAM_EXPECTS(ps.actor != nullptr);
+  done_ = std::move(done);
+  stop_.store(false);
+  done_seen_.store(false);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<std::thread> threads;
+  threads.reserve(procs_.size());
+  for (ProcessId p = 0; p < process_count(); ++p)
+    threads.emplace_back([this, p, deadline] {
+      if (opts_.record)
+        record_loop(p, deadline);
+      else
+        free_loop(p, deadline);
+    });
+  for (auto& t : threads) t.join();
+  return done_seen_.load();
+}
+
+void NetContext::send(ProcessId dst, sim::ProtocolId protocol,
+                      sim::MsgType type, sim::Payload data) {
+  rt_.do_send(self(), dst, protocol, type, std::move(data));
+}
+
+void NetContext::send_to_set(ProcessSet dst, sim::ProtocolId protocol,
+                             sim::MsgType type, sim::Payload data) {
+  // Ascending member order — the same wire order (and therefore kSend event
+  // order) the World's MessageBuffer::send_to_set produces.
+  for (ProcessId p : dst) rt_.do_send(self(), p, protocol, type, data);
+}
+
+void NetContext::trace_fd_query(sim::ProtocolId protocol,
+                                sim::DetectorClass detector) {
+  if (!rt_.opts_.record) return;
+  rt_.emit(sim::TraceEventKind::kFdQuery, self(), sim::raw(protocol),
+           sim::raw(detector), -1, nullptr);
+}
+
+}  // namespace gam::net

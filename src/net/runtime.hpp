@@ -1,0 +1,151 @@
+// net::Runtime — live execution of simulator actors over a Transport.
+//
+// One event-loop thread per process drives the same Actor/Context surface the
+// simulator's World does (sim/actor.hpp), so protocol code runs on real
+// threads and real transports without recompilation. A loop iteration is one
+// candidate step: pump the backend, poll for a frame, and either step the
+// actor on the received message or — when the actor wants an idle slot — on
+// the null message, exactly the shape of World::step_process.
+//
+// Two modes:
+//
+//   Free mode (the default, what the load generator measures): threads run
+//   unsynchronized. Sends that hit a full link window park in a
+//   per-destination outbox and retry each iteration, preserving per-link
+//   FIFO; idle steps are throttled once the outbox backs up so a retry storm
+//   cannot outrun flow control.
+//
+//   Record mode: a global step mutex serializes the whole run — each fired
+//   step (receive-or-null plus the sends it performs) is atomic, stamped
+//   with a global step clock t, and emitted to a RecorderSink using the
+//   World's exact event grammar. The recorded stream IS a legal World
+//   execution: ReplayScheduler::attempts_from_events recovers the fired-pid
+//   schedule and World::set_receive_script pins which pending message each
+//   receive consumed, so the live run replays byte-for-byte in the simulator
+//   (see net/replay.hpp and DESIGN.md decision 14). Record mode requires an
+//   unthrottled transport window (a send must never fail, as in the World).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/actor.hpp"
+#include "sim/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace gam::net {
+
+class Runtime;
+
+// The Transport-backed Context implementation. Stack-constructed per step,
+// like sim::WorldContext.
+class NetContext final : public sim::Context {
+ public:
+  NetContext(Runtime& rt, ProcessId self, sim::Time now)
+      : Context(self, now), rt_(rt) {}
+
+  void send(ProcessId dst, sim::ProtocolId protocol, sim::MsgType type,
+            sim::Payload data = {}) override;
+  void send_to_set(ProcessSet dst, sim::ProtocolId protocol, sim::MsgType type,
+                   sim::Payload data = {}) override;
+  void trace_fd_query(sim::ProtocolId protocol,
+                      sim::DetectorClass detector) override;
+
+ private:
+  Runtime& rt_;
+};
+
+struct RuntimeOptions {
+  bool record = false;
+  std::uint64_t max_steps = std::uint64_t{1} << 22;  // record-mode budget
+  // Free mode: stop taking idle steps while a process has this many frames
+  // parked in its outboxes (backpressure on retry storms).
+  std::size_t outbox_idle_cap = 1024;
+};
+
+class Runtime {
+ public:
+  Runtime(Transport& transport, RuntimeOptions opts = {});
+
+  int process_count() const { return transport_.process_count(); }
+
+  void install(ProcessId p, std::unique_ptr<sim::Actor> actor) {
+    GAM_EXPECTS(p >= 0 && p < process_count());
+    procs_[static_cast<std::size_t>(p)].actor = std::move(actor);
+  }
+
+  // Spawns the event-loop threads and blocks until `done()` holds (polled
+  // between steps; in record mode, under the step mutex) or the wall-clock
+  // timeout passes. Returns true when done() held at exit.
+  bool run(std::function<bool()> done, std::chrono::milliseconds timeout);
+
+  // Record-mode artifacts: the recorded stream and the global step clock.
+  const sim::RecorderSink& recorder() const { return recorder_; }
+  sim::Time now() const { return now_; }
+
+  // Protocol-level delivery event, mirroring World::trace_deliver so live
+  // and replayed streams carry identical kDeliver records. No-op outside
+  // record mode. Call only from within a step (the step mutex is held).
+  void trace_deliver(ProcessId p, sim::ProtocolId protocol, std::int64_t m,
+                     std::int64_t seq);
+
+  std::uint64_t steps(ProcessId p) const {
+    return procs_[static_cast<std::size_t>(p)].steps;
+  }
+  std::uint64_t total_steps() const {
+    std::uint64_t t = 0;
+    for (const auto& ps : procs_) t += ps.steps;
+    return t;
+  }
+
+ private:
+  friend class NetContext;
+
+  struct OutFrame {
+    WireHeader header;
+    sim::Payload payload;
+  };
+  struct alignas(64) PerProcess {
+    std::unique_ptr<sim::Actor> actor;
+    // Per-destination parked frames (free mode), preserving per-link FIFO.
+    std::vector<std::deque<OutFrame>> outbox;
+    std::size_t outbox_frames = 0;
+    std::uint64_t steps = 0;
+  };
+
+  void do_send(ProcessId src, ProcessId dst, sim::ProtocolId protocol,
+               sim::MsgType type, sim::Payload data);
+  void flush_outbox(PerProcess& st, ProcessId src);
+  void free_loop(ProcessId p, std::chrono::steady_clock::time_point deadline);
+  void record_loop(ProcessId p,
+                   std::chrono::steady_clock::time_point deadline);
+  void emit(sim::TraceEventKind kind, ProcessId p, std::int32_t protocol,
+            std::int32_t type, ProcessId peer, const sim::Payload* data,
+            std::int64_t arg = 0);
+
+  Transport& transport_;
+  RuntimeOptions opts_;
+  std::vector<PerProcess> procs_;
+  std::atomic<std::uint64_t> msg_seq_{0};  // wire header msg_id source
+
+  std::function<bool()> done_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> done_seen_{false};
+
+  // Record mode: the step token and everything it guards.
+  std::mutex step_mu_;
+  sim::Time now_ = 0;             // global fired-step clock (== World::now_)
+  std::uint64_t steps_total_ = 0;
+  sim::RecorderSink recorder_;
+  ProcessId stepping_ = -1;       // pid currently inside its step
+  ProcessId next_turn_ = 0;       // round-robin step token (fair schedule)
+};
+
+}  // namespace gam::net

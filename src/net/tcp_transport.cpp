@@ -1,0 +1,261 @@
+#include "net/tcp_transport.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gam::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  GAM_EXPECTS(flags >= 0);
+  GAM_EXPECTS(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Appends a serialized frame to `buf`.
+void append_frame(std::vector<std::uint8_t>& buf, const WireHeader& h,
+                  const std::int64_t* words) {
+  const std::size_t at = buf.size();
+  buf.resize(at + frame_bytes(h));
+  std::memcpy(buf.data() + at, &h, sizeof h);
+  if (h.payload_words > 0 && words != nullptr)
+    std::memcpy(buf.data() + at + sizeof h, words,
+                std::size_t{h.payload_words} * sizeof(std::int64_t));
+}
+
+// Nonblocking flush of `buf`'s prefix; keeps the unsent suffix.
+void flush_bytes(int fd, std::vector<std::uint8_t>& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t k = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (k <= 0) break;  // EAGAIN or peer issue: retry on a later pump
+    off += static_cast<std::size_t>(k);
+  }
+  if (off > 0) buf.erase(buf.begin(), buf.begin() + static_cast<long>(off));
+}
+
+// Pops complete frames off the front of a partial stream buffer.
+bool take_frame(std::vector<std::uint8_t>& buf, Frame& out) {
+  if (buf.size() < sizeof(WireHeader)) return false;
+  WireHeader h;
+  std::memcpy(&h, buf.data(), sizeof h);
+  const std::size_t need = frame_bytes(h);
+  if (buf.size() < need) return false;
+  out.header = h;
+  if (h.payload_words > 0) {
+    std::vector<std::int64_t> words(h.payload_words);
+    std::memcpy(words.data(), buf.data() + sizeof h,
+                words.size() * sizeof(std::int64_t));
+    out.payload = sim::Payload(words);
+  } else {
+    out.payload = {};
+  }
+  buf.erase(buf.begin(), buf.begin() + static_cast<long>(need));
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int process_count, Options opts)
+    : n_(process_count), opts_(opts), eps_(static_cast<std::size_t>(n_)) {
+  GAM_EXPECTS(n_ > 0 && n_ < 32768);
+  for (auto& ep : eps_) {
+    ep.out.resize(static_cast<std::size_t>(n_));
+    ep.in.resize(static_cast<std::size_t>(n_));
+    ep.epoll_fd = ::epoll_create1(0);
+    GAM_EXPECTS(ep.epoll_fd >= 0);
+  }
+
+  // Listeners (ephemeral ports on loopback), then the connect/accept mesh.
+  std::vector<int> listeners(static_cast<std::size_t>(n_), -1);
+  std::vector<std::uint16_t> ports(static_cast<std::size_t>(n_), 0);
+  for (int p = 0; p < n_; ++p) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    GAM_EXPECTS(fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    GAM_EXPECTS(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+                0);
+    GAM_EXPECTS(::listen(fd, n_) == 0);
+    socklen_t len = sizeof addr;
+    GAM_EXPECTS(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+                0);
+    listeners[static_cast<std::size_t>(p)] = fd;
+    ports[static_cast<std::size_t>(p)] = ntohs(addr.sin_port);
+  }
+
+  // Every src connects to every dst's listener and announces itself with a
+  // two-byte hello. Blocking sockets during setup; loopback connects complete
+  // against the listen backlog without a concurrent accept.
+  // The diagonal (s == d) is a real loopback connection too: protocol
+  // broadcasts include the sender, so every process has a self-link.
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      GAM_EXPECTS(fd >= 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports[static_cast<std::size_t>(d)]);
+      GAM_EXPECTS(
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0);
+      std::uint16_t hello = static_cast<std::uint16_t>(s);
+      GAM_EXPECTS(::send(fd, &hello, sizeof hello, MSG_NOSIGNAL) ==
+                  sizeof hello);
+      eps_[static_cast<std::size_t>(s)].out[static_cast<std::size_t>(d)].fd =
+          fd;
+    }
+  }
+  for (int d = 0; d < n_; ++d) {
+    for (int k = 0; k < n_; ++k) {
+      int fd = ::accept(listeners[static_cast<std::size_t>(d)], nullptr,
+                        nullptr);
+      GAM_EXPECTS(fd >= 0);
+      std::uint16_t hello = 0;
+      GAM_EXPECTS(::recv(fd, &hello, sizeof hello, MSG_WAITALL) ==
+                  sizeof hello);
+      GAM_EXPECTS(hello < static_cast<std::uint16_t>(n_));
+      eps_[static_cast<std::size_t>(d)].in[hello].fd = fd;
+    }
+    ::close(listeners[static_cast<std::size_t>(d)]);
+  }
+
+  // Switch the mesh to nonblocking and register every fd with its owner's
+  // epoll instance (reads only; writes are flushed opportunistically).
+  for (int p = 0; p < n_; ++p) {
+    Endpoint& ep = eps_[static_cast<std::size_t>(p)];
+    for (int q = 0; q < n_; ++q) {
+      for (int fd : {ep.out[static_cast<std::size_t>(q)].fd,
+                     ep.in[static_cast<std::size_t>(q)].fd}) {
+        if (fd < 0) continue;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        GAM_EXPECTS(::epoll_ctl(ep.epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0);
+      }
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& ep : eps_) {
+    for (auto& l : ep.out)
+      if (l.fd >= 0) ::close(l.fd);
+    for (auto& l : ep.in)
+      if (l.fd >= 0) ::close(l.fd);
+    if (ep.epoll_fd >= 0) ::close(ep.epoll_fd);
+  }
+}
+
+bool TcpTransport::try_send(ProcessId src, ProcessId dst, const WireHeader& h,
+                            const sim::Payload& payload) {
+  GAM_EXPECTS(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+  OutLink& l =
+      eps_[static_cast<std::size_t>(src)].out[static_cast<std::size_t>(dst)];
+  if (opts_.window > 0 && l.sent - l.credited >= opts_.window) return false;
+  append_frame(l.out, h, payload.data());
+  ++l.sent;
+  flush_bytes(l.fd, l.out);
+  return true;
+}
+
+void TcpTransport::queue_credit(InLink& l, ProcessId self, ProcessId peer) {
+  if (l.uncredited == 0) return;
+  WireHeader credit = make_header(l.uncredited, self, peer, 0, 0, 0, 0,
+                                  kFrameCredit);
+  l.uncredited = 0;
+  append_frame(l.out, credit, nullptr);
+  flush_bytes(l.fd, l.out);
+}
+
+void TcpTransport::drain_fd(ProcessId self, int fd) {
+  Endpoint& ep = eps_[static_cast<std::size_t>(self)];
+  for (int q = 0; q < n_; ++q) {
+    OutLink& ol = ep.out[static_cast<std::size_t>(q)];
+    InLink& il = ep.in[static_cast<std::size_t>(q)];
+    std::vector<std::uint8_t>* buf = nullptr;
+    bool inbound_data = false;
+    if (ol.fd == fd) {
+      buf = &ol.in;  // credits flow back on the outbound connection
+    } else if (il.fd == fd) {
+      buf = &il.in;
+      inbound_data = true;
+    } else {
+      continue;
+    }
+    std::uint8_t chunk[4096];
+    while (true) {
+      ssize_t k = ::recv(fd, chunk, sizeof chunk, 0);
+      if (k <= 0) break;
+      buf->insert(buf->end(), chunk, chunk + k);
+    }
+    Frame f;
+    while (take_frame(*buf, f)) {
+      if (f.header.flags == kFrameCredit) {
+        // A credit's msg_id carries the consumed-frame count.
+        ol.credited += f.header.msg_id;
+      } else if (inbound_data) {
+        il.pending.push_back(std::move(f));
+      }
+    }
+    return;
+  }
+}
+
+void TcpTransport::flush_buffers(Endpoint& ep) {
+  for (auto& l : ep.out)
+    if (l.fd >= 0 && !l.out.empty()) flush_bytes(l.fd, l.out);
+  for (auto& l : ep.in)
+    if (l.fd >= 0 && !l.out.empty()) flush_bytes(l.fd, l.out);
+}
+
+void TcpTransport::pump(ProcessId self) {
+  Endpoint& ep = eps_[static_cast<std::size_t>(self)];
+  epoll_event evs[32];
+  int k = ::epoll_wait(ep.epoll_fd, evs, 32, 0);
+  for (int i = 0; i < k; ++i)
+    if (evs[i].events & EPOLLIN) drain_fd(self, evs[i].data.fd);
+  flush_buffers(ep);
+}
+
+std::optional<Frame> TcpTransport::poll(ProcessId self) {
+  Endpoint& ep = eps_[static_cast<std::size_t>(self)];
+  for (int i = 0; i < n_; ++i) {
+    const int s = (ep.rr + i) % n_;
+    InLink& l = ep.in[static_cast<std::size_t>(s)];
+    if (l.fd < 0 || l.pending.empty()) continue;
+    Frame f = std::move(l.pending.front());
+    l.pending.pop_front();
+    ++l.uncredited;
+    queue_credit(l, self, s);
+    ep.rr = (s + 1) % n_;
+    return f;
+  }
+  return std::nullopt;
+}
+
+bool TcpTransport::idle(ProcessId self) {
+  const Endpoint& ep = eps_[static_cast<std::size_t>(self)];
+  for (const auto& l : ep.in)
+    if (!l.pending.empty() || !l.in.empty()) return false;
+  return true;
+}
+
+}  // namespace gam::net

@@ -1,0 +1,87 @@
+// Epoll-based nonblocking TCP backend.
+//
+// A localhost mesh: every directed link (s, d) is one TCP connection, opened
+// from s to d's listener during (blocking) setup, then switched to
+// nonblocking for the run. The connection is full-duplex but role-split —
+// s writes data frames, d writes credit frames back — so each endpoint owns
+// one fd per outbound link and one per inbound link, and every fd is touched
+// by exactly one event-loop thread after setup.
+//
+// Flow control reuses the window_size semantics of the in-process rings,
+// credit-based because TCP gives no shared counters: a sender may have at
+// most `window` unacknowledged data frames per link; the receiver returns a
+// credit frame (flags=kFrameCredit, msg_id = consumed count) for the frames
+// its actor consumed, batched per pump.
+//
+// This backend exists for fidelity (the same actors, frames, and monitors
+// over real sockets), not peak throughput — the loadgen's hot path is the
+// in-process transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace gam::net {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    // Max unacknowledged data frames per directed link; 0 = unthrottled.
+    std::uint64_t window = 64;
+  };
+
+  // Blocking: establishes the full n x n localhost mesh before returning.
+  // (Overload pair instead of `Options opts = {}` — gcc refuses to build the
+  // defaulted aggregate before the enclosing class is complete.)
+  explicit TcpTransport(int process_count) : TcpTransport(process_count,
+                                                          Options()) {}
+  TcpTransport(int process_count, Options opts);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  int process_count() const override { return n_; }
+  bool try_send(ProcessId src, ProcessId dst, const WireHeader& h,
+                const sim::Payload& payload) override;
+  std::optional<Frame> poll(ProcessId self) override;
+  void pump(ProcessId self) override;
+  bool idle(ProcessId self) override;
+
+ private:
+  // Sender side of link self -> peer (fd from connect()).
+  struct OutLink {
+    int fd = -1;
+    std::vector<std::uint8_t> out;   // unsent frame bytes
+    std::vector<std::uint8_t> in;    // partial inbound credit stream
+    std::uint64_t sent = 0;          // data frames handed to try_send
+    std::uint64_t credited = 0;      // data frames the peer consumed
+  };
+  // Receiver side of link peer -> self (fd from accept()).
+  struct InLink {
+    int fd = -1;
+    std::vector<std::uint8_t> in;    // partial inbound data stream
+    std::deque<Frame> pending;       // parsed data frames awaiting poll()
+    std::vector<std::uint8_t> out;   // unsent credit bytes
+    std::uint64_t uncredited = 0;    // consumed frames not yet credited
+  };
+  struct Endpoint {
+    int epoll_fd = -1;
+    std::vector<OutLink> out;  // indexed by peer
+    std::vector<InLink> in;    // indexed by peer
+    int rr = 0;                // round-robin cursor over sources
+  };
+
+  void drain_fd(ProcessId self, int fd);
+  void flush_buffers(Endpoint& ep);
+  void queue_credit(InLink& l, ProcessId self, ProcessId peer);
+
+  int n_;
+  Options opts_;
+  std::vector<Endpoint> eps_;
+};
+
+}  // namespace gam::net

@@ -1,0 +1,119 @@
+// Transport: the byte-moving layer under net::Runtime.
+//
+// Two backends speak the same packed wire format (net/wire.hpp):
+//
+//   InProcTransport — per-link SPSC ring buffers between threads of one
+//                     process; the hot path the load generator measures.
+//   TcpTransport    — epoll-driven nonblocking TCP mesh over localhost
+//                     (net/tcp_transport.hpp); the same frames over sockets.
+//
+// Both enforce a bounded in-flight window per link, reusing the window_size
+// flow-control semantics of the simulator's pipelined UniversalLog: a link
+// holds at most `window` unconsumed data frames, and try_send refuses (caller
+// retries from its outbox) rather than queueing unboundedly. window = 0
+// disables the throttle (record mode, where a send must never fail so a
+// recorded run stays a legal simulator execution).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ring.hpp"
+#include "net/wire.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int process_count() const = 0;
+
+  // Nonblocking send of one data frame src -> dst. False when the link's
+  // in-flight window is full (or the link has no buffer space); the caller
+  // keeps the frame and retries.
+  virtual bool try_send(ProcessId src, ProcessId dst, const WireHeader& h,
+                        const sim::Payload& payload) = 0;
+
+  // Next data frame addressed to `self`, from any source, fair round-robin
+  // across sources. Nullopt when nothing is pending.
+  virtual std::optional<Frame> poll(ProcessId self) = 0;
+
+  // Drive backend I/O for `self` (socket reads/writes, credit processing).
+  // No-op for the in-process backend, whose rings need no pumping.
+  virtual void pump(ProcessId self) { (void)self; }
+
+  // True when no frame addressed to `self` is buffered anywhere in the
+  // backend (used by record mode, where "nothing pending" must mean the same
+  // thing it means to the simulator's message buffer).
+  virtual bool idle(ProcessId self) = 0;
+};
+
+// In-process backend: an n x n matrix of SPSC rings, one per directed link.
+// Link (s, d) is written only by s's thread and read only by d's thread, so
+// the rings' single-producer/single-consumer contract holds by construction.
+class InProcTransport final : public Transport {
+ public:
+  struct Options {
+    std::size_t ring_bytes = std::size_t{1} << 16;  // per directed link
+    // Max unconsumed data frames per link; 0 = unthrottled (record mode).
+    std::uint64_t window = 64;
+  };
+
+  // Two overloads instead of `Options opts = {}`: gcc refuses to build the
+  // defaulted aggregate before the enclosing class is complete.
+  explicit InProcTransport(int process_count)
+      : InProcTransport(process_count, Options()) {}
+  InProcTransport(int process_count, Options opts)
+      : n_(process_count), opts_(opts), rr_(static_cast<std::size_t>(n_), 0) {
+    GAM_EXPECTS(n_ > 0 && n_ < 32768);
+    links_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    for (auto& l : links_) l = std::make_unique<SpscRing>(opts_.ring_bytes);
+  }
+
+  int process_count() const override { return n_; }
+
+  bool try_send(ProcessId src, ProcessId dst, const WireHeader& h,
+                const sim::Payload& payload) override {
+    SpscRing& ring = link(src, dst);
+    if (opts_.window > 0 && ring.in_flight() >= opts_.window) return false;
+    return ring.try_push(h, payload.data());
+  }
+
+  std::optional<Frame> poll(ProcessId self) override {
+    auto& cursor = rr_[static_cast<std::size_t>(self)];
+    Frame f;
+    for (int i = 0; i < n_; ++i) {
+      const int s = (cursor + i) % n_;
+      if (link(s, self).try_pop(f)) {
+        cursor = (s + 1) % n_;  // resume after the source we just served
+        return f;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool idle(ProcessId self) override {
+    for (int s = 0; s < n_; ++s)
+      if (!link(s, self).empty()) return false;
+    return true;
+  }
+
+  SpscRing& link(ProcessId src, ProcessId dst) {
+    GAM_EXPECTS(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+    return *links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                   static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  int n_;
+  Options opts_;
+  std::vector<std::unique_ptr<SpscRing>> links_;
+  std::vector<int> rr_;  // per-destination round-robin cursor (consumer-owned)
+};
+
+}  // namespace gam::net

@@ -1,0 +1,86 @@
+// The packed wire format shared by every net backend.
+//
+// A frame is one WireHeader followed by `payload_words` little-endian int64
+// words — the same flat-integer payloads the simulator's Message carries, so
+// a frame round-trips to a sim::Message without re-encoding. The header is
+// packed (26 bytes, no padding): the in-process rings copy frames byte for
+// byte and the TCP backend parses them out of a stream, so the struct layout
+// IS the wire format and must not vary by compiler padding choices.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/message.hpp"
+#include "sim/payload.hpp"
+#include "util/contracts.hpp"
+
+namespace gam::net {
+
+// Frame discriminator. Credit frames are flow control between endpoints
+// (TCP backend): they return consumed-frame counts to the sender and never
+// surface to the hosted actor.
+enum : std::uint16_t {
+  kFrameData = 0,
+  kFrameCredit = 1,
+};
+
+struct WireHeader {
+  std::uint64_t msg_id = 0;       // transport-global sequence (debug/credit)
+  std::int32_t protocol = 0;      // sim::Message::protocol
+  std::int32_t type = 0;          // sim::Message::type
+  std::int16_t src = -1;
+  std::int16_t dst = -1;
+  std::uint16_t group_pair = 0;   // packed (g,h) the message serves, if any
+  std::uint16_t payload_words = 0;
+  std::uint16_t flags = kFrameData;
+} __attribute__((packed));
+
+static_assert(sizeof(WireHeader) == 26, "WireHeader must stay packed");
+
+// Disjoint-group traffic packs (g, g); the cross-log machinery of Algorithm 1
+// would pack the ordered pair it serves.
+constexpr std::uint16_t pack_group_pair(int g, int h) {
+  return static_cast<std::uint16_t>(((g & 0xff) << 8) | (h & 0xff));
+}
+
+constexpr std::size_t frame_bytes(const WireHeader& h) {
+  return sizeof(WireHeader) + std::size_t{h.payload_words} * sizeof(std::int64_t);
+}
+
+// A received frame, header plus decoded payload.
+struct Frame {
+  WireHeader header;
+  sim::Payload payload;
+};
+
+inline WireHeader make_header(std::uint64_t msg_id, ProcessId src,
+                              ProcessId dst, std::int32_t protocol,
+                              std::int32_t type, std::uint16_t group_pair,
+                              std::size_t payload_words,
+                              std::uint16_t flags = kFrameData) {
+  GAM_EXPECTS(src >= -1 && src < 32768 && dst >= 0 && dst < 32768);
+  GAM_EXPECTS(payload_words < 65536);
+  WireHeader h;
+  h.msg_id = msg_id;
+  h.protocol = protocol;
+  h.type = type;
+  h.src = static_cast<std::int16_t>(src);
+  h.dst = static_cast<std::int16_t>(dst);
+  h.group_pair = group_pair;
+  h.payload_words = static_cast<std::uint16_t>(payload_words);
+  h.flags = flags;
+  return h;
+}
+
+inline sim::Message to_message(const Frame& f) {
+  sim::Message m;
+  m.src = f.header.src;
+  m.dst = f.header.dst;
+  m.protocol = f.header.protocol;
+  m.type = f.header.type;
+  m.data = f.payload;
+  return m;
+}
+
+}  // namespace gam::net

@@ -1,6 +1,7 @@
 #include "objects/universal_log.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "objects/consensus_mp.hpp"
 
@@ -19,12 +20,18 @@ void UniversalLog::submit(std::int64_t op,
 std::int64_t UniversalLog::first_unlearned() const { return applied_insts_; }
 
 void UniversalLog::learn(std::int64_t inst, std::vector<std::int64_t> values) {
-  decided_.emplace(inst, std::move(values));
-  while (true) {
-    auto it = decided_.find(applied_insts_);
-    if (it == decided_.end()) break;
+  GAM_EXPECTS(inst >= 0);
+  if (static_cast<std::size_t>(inst) >= decided_.size())
+    decided_.resize(static_cast<std::size_t>(inst) + 1);
+  // First decision wins: a competing leader's duplicate decision for an
+  // already-decided instance must not overwrite the recorded batch.
+  auto& slot = decided_[static_cast<std::size_t>(inst)];
+  if (!slot) slot = std::move(values);
+  while (static_cast<std::size_t>(applied_insts_) < decided_.size() &&
+         decided_[static_cast<std::size_t>(applied_insts_)]) {
+    const auto& batch = *decided_[static_cast<std::size_t>(applied_insts_)];
     ++applied_insts_;
-    for (std::int64_t op : it->second) {
+    for (std::int64_t op : batch) {
       if (!ordered_ops_.insert(op).second) continue;  // decided twice: dedup
       learned_.push_back(op);
       known_ops_.insert(op);
@@ -44,18 +51,20 @@ void UniversalLog::learn(std::int64_t inst, std::vector<std::int64_t> values) {
 
 std::vector<std::int64_t> UniversalLog::unclaimed_pending(
     std::int64_t exclude_inst) const {
+  // Collect every op claimed by another in-flight instance once, then test
+  // membership per pending op — the nested linear scan this replaces was
+  // O(pending x window x batch) per newly opened instance, which dominated
+  // the pipelined loadgen profile. Same ops in the same order come out.
+  std::unordered_set<std::int64_t> claimed;
+  for (std::size_t i = static_cast<std::size_t>(first_unlearned());
+       i < proposers_.size(); ++i) {
+    const ProposerState& ps = proposers_[i];
+    if (!ps.engaged || static_cast<std::int64_t>(i) == exclude_inst) continue;
+    claimed.insert(ps.claimed.begin(), ps.claimed.end());
+  }
   std::vector<std::int64_t> ops;
   for (const Pending& p : pending_) {
-    bool claimed = false;
-    for (const auto& [i, ps] : proposers_) {
-      if (i < first_unlearned() || i == exclude_inst) continue;
-      if (std::find(ps.claimed.begin(), ps.claimed.end(), p.op) !=
-          ps.claimed.end()) {
-        claimed = true;
-        break;
-      }
-    }
-    if (claimed) continue;
+    if (claimed.count(p.op)) continue;
     ops.push_back(p.op);
     if (ops.size() == static_cast<std::size_t>(batch_)) break;
   }
@@ -69,7 +78,7 @@ void UniversalLog::drive(sim::Context& ctx, std::int64_t inst,
   // drive ops still pending, and learn() removes them the moment they appear.
   // Ops decided concurrently by a competing leader are deduplicated at
   // learn().
-  ProposerState& ps = proposers_[inst];
+  ProposerState& ps = engage_proposer(inst);
   ++ps.round;
   ps.ballot = IdPacker::for_set(scope_).pack(ps.round, self_);
   ps.accept_phase = false;
@@ -104,9 +113,9 @@ bool UniversalLog::on_idle(sim::Context& ctx) {
   std::int64_t base = first_unlearned();
   for (std::int64_t off = 0; off < window_; ++off) {
     std::int64_t inst = base + off;
-    if (decided_.count(inst)) continue;
-    auto it = proposers_.find(inst);
-    if (it == proposers_.end() || ++it->second.stall > kStallLimit) {
+    if (has_decided(inst)) continue;
+    ProposerState* ps = proposer_at(inst);
+    if (!ps || ++ps->stall > kStallLimit) {
       auto ops = unclaimed_pending(inst);
       if (ops.empty()) break;  // every pending op is already in flight
       drive(ctx, inst, std::move(ops));
@@ -118,9 +127,10 @@ bool UniversalLog::on_idle(sim::Context& ctx) {
 
 void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
   std::int64_t inst = m.data[0];
+  GAM_EXPECTS(sim::MsgType{m.type} == kForward || inst >= 0);
   switch (sim::MsgType{m.type}) {
     case kPrepare: {
-      auto& ac = acceptors_[inst];
+      auto& ac = acceptor(inst);
       std::int64_t b = m.data[1];
       if (b > ac.promised) ac.promised = b;
       if (b >= ac.promised)
@@ -130,10 +140,10 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     }
     case kPromise: {
-      auto it = proposers_.find(inst);
-      if (it == proposers_.end()) break;
-      ProposerState& ps = it->second;
-      if (m.data[1] != ps.ballot || ps.accept_phase || decided_.count(inst))
+      ProposerState* psp = proposer_at(inst);
+      if (!psp) break;
+      ProposerState& ps = *psp;
+      if (m.data[1] != ps.ballot || ps.accept_phase || has_decided(inst))
         break;
       ps.promisers.insert(m.src);
       if (m.data[2] > ps.best_accepted_ballot) {
@@ -151,7 +161,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     }
     case kAccept: {
-      auto& ac = acceptors_[inst];
+      auto& ac = acceptor(inst);
       std::int64_t b = m.data[1];
       if (b >= ac.promised) {
         ac.promised = b;
@@ -162,10 +172,10 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     }
     case kAccepted: {
-      auto it = proposers_.find(inst);
-      if (it == proposers_.end()) break;
-      ProposerState& ps = it->second;
-      if (m.data[1] != ps.ballot || !ps.accept_phase || decided_.count(inst))
+      ProposerState* psp = proposer_at(inst);
+      if (!psp) break;
+      ProposerState& ps = *psp;
+      if (m.data[1] != ps.ballot || !ps.accept_phase || has_decided(inst))
         break;
       ps.accepters.insert(m.src);
       auto q = sigma_->query(self_, ctx.now());
@@ -178,7 +188,7 @@ void UniversalLog::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     }
     case kDecide: {
-      if (!decided_.count(inst)) learn(inst, OrderedBatch::decode(m.data, 1));
+      if (!has_decided(inst)) learn(inst, OrderedBatch::decode(m.data, 1));
       break;
     }
     case kForward: {

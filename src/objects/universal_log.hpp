@@ -8,8 +8,8 @@
 // contention-free fast variant for LOG_{g∩h} lives in cf_consensus.hpp.)
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -78,6 +78,7 @@ class UniversalLog : public SubProtocol {
     std::vector<std::int64_t> accepted_values;  // empty = none
   };
   struct ProposerState {
+    bool engaged = false;  // this replica ever drove the instance
     std::int64_t ballot = -1;
     bool accept_phase = false;
     std::vector<std::int64_t> values;  // ordered batch driven in this instance
@@ -109,9 +110,41 @@ class UniversalLog : public SubProtocol {
   int batch_ = 1;
   int window_ = 1;
 
-  std::map<std::int64_t, AcceptorState> acceptors_;
-  std::map<std::int64_t, ProposerState> proposers_;
-  std::map<std::int64_t, std::vector<std::int64_t>> decided_;  // inst -> batch
+  // Instances are contiguous from 0 (the leader window drives
+  // [first_unlearned, first_unlearned + window)), so per-instance state lives
+  // in dense vectors indexed by instance — the std::map lookups this replaces
+  // were pure overhead on the pipelined path. Slots below applied_insts_ stay
+  // allocated for the run's lifetime; runs are bounded, and a decided batch
+  // is a handful of words.
+  std::vector<AcceptorState> acceptors_;   // indexed by instance
+  std::vector<ProposerState> proposers_;   // indexed by instance (engaged flag)
+  std::vector<std::optional<std::vector<std::int64_t>>> decided_;  // -> batch
+
+  AcceptorState& acceptor(std::int64_t inst) {
+    GAM_EXPECTS(inst >= 0);
+    auto i = static_cast<std::size_t>(inst);
+    if (i >= acceptors_.size()) acceptors_.resize(i + 1);
+    return acceptors_[i];
+  }
+  // nullptr when this replica never drove `inst`.
+  ProposerState* proposer_at(std::int64_t inst) {
+    auto i = static_cast<std::size_t>(inst);
+    if (inst < 0 || i >= proposers_.size() || !proposers_[i].engaged)
+      return nullptr;
+    return &proposers_[i];
+  }
+  ProposerState& engage_proposer(std::int64_t inst) {
+    GAM_EXPECTS(inst >= 0);
+    auto i = static_cast<std::size_t>(inst);
+    if (i >= proposers_.size()) proposers_.resize(i + 1);
+    proposers_[i].engaged = true;
+    return proposers_[i];
+  }
+  bool has_decided(std::int64_t inst) const {
+    auto i = static_cast<std::size_t>(inst);
+    return inst >= 0 && i < decided_.size() && decided_[i].has_value();
+  }
+
   std::vector<std::int64_t> learned_;  // contiguous applied op prefix
   std::int64_t applied_insts_ = 0;     // contiguous applied instance count
   // Ops already placed into learned_: competing leaders may decide the same
@@ -123,7 +156,11 @@ class UniversalLog : public SubProtocol {
     std::int64_t op;
     std::function<void(std::int64_t)> applied;
   };
-  std::vector<Pending> pending_;  // own + forwarded ops not yet in the log
+  // Own + forwarded ops not yet in the log. A deque because the common
+  // completion order is FIFO (batches are taken from the front, instances
+  // learn in order), so the erase in learn() is usually a pop_front — on a
+  // vector that front-erase memmoved the whole tail per delivered op.
+  std::deque<Pending> pending_;
   // O(1) "have I seen this op?" for forward dedup: every op currently in
   // pending_ plus every op ever pushed into learned_. A linear scan here was
   // quadratic in log length under heavy forwarding.

@@ -1,0 +1,55 @@
+// The runtime-independent actor surface.
+//
+// Protocol code (the message-passing object constructions, the baselines,
+// anything hosted by objects/protocol_host.hpp) is written against exactly
+// three capabilities: send a message, send to a set, and record a
+// failure-detector query. Context is that surface as an abstract class; the
+// deterministic simulator (sim/world.hpp, WorldContext) and the live
+// networked runtime (net/runtime.hpp, net::Runtime's context) both implement
+// it, so one Actor implementation drives both without recompilation or
+// adapters. The virtual hop costs one indirect call per send — noise next to
+// the buffer/ring work behind it (the tier-1 overhead gates watch this).
+#pragma once
+
+#include "sim/failure_pattern.hpp"
+#include "sim/ids.hpp"
+#include "sim/message.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::sim {
+
+// The face a process sees during one of its steps.
+class Context {
+ public:
+  Context(ProcessId self, Time now) : self_(self), now_(now) {}
+  virtual ~Context() = default;
+
+  ProcessId self() const { return self_; }
+  Time now() const { return now_; }
+
+  virtual void send(ProcessId dst, ProtocolId protocol, MsgType type,
+                    Payload data = {}) = 0;
+  virtual void send_to_set(ProcessSet dst, ProtocolId protocol, MsgType type,
+                           Payload data = {}) = 0;
+
+  // Records a failure-detector module read as a trace event and bumps the
+  // per-class fd_query metrics counter. A no-op without an attached sink.
+  virtual void trace_fd_query(ProtocolId protocol, DetectorClass detector) = 0;
+
+ private:
+  ProcessId self_;
+  Time now_;
+};
+
+// A deterministic automaton. `on_step` is invoked with the received message
+// (nullptr encodes the null message m_⊥). `wants_step` lets the hosting
+// runtime detect quiescence: a process that has no pending message and does
+// not want a step is skipped, and a run ends when that holds system-wide.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_step(Context& ctx, const Message* m) = 0;
+  virtual bool wants_step() const { return false; }
+};
+
+}  // namespace gam::sim

@@ -123,6 +123,27 @@ class MessageBuffer {
     return m;
   }
 
+  // Scripted-replay variant: removes and returns the OLDEST pending message
+  // for p satisfying `pred`, preserving the relative order of the remaining
+  // pool (a stable middle-erase, not swap-and-pop — replay needs the pool to
+  // stay in send order so later keys keep matching their oldest candidate).
+  // Returns nullopt when nothing pending matches.
+  template <typename Pred>
+  std::optional<Message> receive_match(ProcessId p, Pred&& pred) {
+    auto d = static_cast<size_t>(p);
+    if (d >= queues_.size() || queues_[d].live() == 0) return std::nullopt;
+    auto& q = queues_[d];
+    for (size_t i = q.head; i < q.pool.size(); ++i) {
+      if (!pred(q.pool[i])) continue;
+      Message m = std::move(q.pool[i]);
+      q.pool.erase(q.pool.begin() + static_cast<std::ptrdiff_t>(i));
+      after_removal(p, q);
+      if (observer_) observer_->on_buffer_receive(m);
+      return m;
+    }
+    return std::nullopt;
+  }
+
   // FIFO variant used by tests that need deterministic delivery order.
   std::optional<Message> receive_fifo(ProcessId p) {
     auto d = static_cast<size_t>(p);

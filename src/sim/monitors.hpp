@@ -273,13 +273,19 @@ class AcyclicityMonitor final : public MonitorBase {
     if (!ok()) return;
     auto adj = adj_;
     for (const auto& [p, delivered] : delivered_at_) {
-      for (std::int64_t m : delivered) {
-        for (const auto& [m2, dst2] : multicast_dst_) {
-          if (m2 == m || delivered.count(m2)) continue;
-          if (cfg().groups[static_cast<std::size_t>(dst2)].contains(p))
-            adj[m].insert(m2);
-        }
+      // Never-delivered multicasts addressed to p, computed once per process.
+      // A quiescent complete run has none, and the edge fan-out below is
+      // skipped entirely — the old delivered x multicasts scan per process
+      // made finalize quadratic even when there was nothing to add.
+      std::vector<std::int64_t> missing;
+      for (const auto& [m2, dst2] : multicast_dst_) {
+        if (delivered.count(m2)) continue;
+        if (cfg().groups[static_cast<std::size_t>(dst2)].contains(p))
+          missing.push_back(m2);
       }
+      if (missing.empty()) continue;
+      for (std::int64_t m : delivered)
+        for (std::int64_t m2 : missing) adj[m].insert(m2);
     }
     if (monitor_detail::has_cycle(adj)) {
       TraceEvent none{};

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/actor.hpp"
 #include "sim/failure_pattern.hpp"
 #include "sim/ids.hpp"
 #include "sim/message.hpp"
@@ -40,28 +41,23 @@ namespace gam::sim {
 class World;
 class Scenario;
 
-// The face a process sees during one of its steps.
-class Context {
+// The World-backed implementation of the abstract Context surface
+// (sim/actor.hpp): sends go through the simulated message buffer, queries
+// through the world's trace/metrics plumbing. Constructed on the stack for
+// the duration of one step.
+class WorldContext final : public Context {
  public:
-  Context(World& world, ProcessId self, Time now)
-      : world_(world), self_(self), now_(now) {}
-
-  ProcessId self() const { return self_; }
-  Time now() const { return now_; }
+  WorldContext(World& world, ProcessId self, Time now)
+      : Context(self, now), world_(world) {}
 
   void send(ProcessId dst, ProtocolId protocol, MsgType type,
-            Payload data = {});
+            Payload data = {}) override;
   void send_to_set(ProcessSet dst, ProtocolId protocol, MsgType type,
-                   Payload data = {});
-
-  // Records a failure-detector module read as a trace event and bumps the
-  // per-class fd_query metrics counter. A no-op without an attached sink.
-  void trace_fd_query(ProtocolId protocol, DetectorClass detector);
+                   Payload data = {}) override;
+  void trace_fd_query(ProtocolId protocol, DetectorClass detector) override;
 
  private:
   World& world_;
-  ProcessId self_;
-  Time now_;
 };
 
 // ---------------------------------------------------------------------------
@@ -139,17 +135,6 @@ class CrashInjector {
   virtual void tick(World& world, std::uint64_t steps_executed) = 0;
 };
 
-// A deterministic automaton. `on_step` is invoked with the received message
-// (nullptr encodes the null message m_⊥). `wants_step` lets the world detect
-// quiescence: a process that has no pending message and does not want a step
-// is skipped, and the run ends when that holds system-wide.
-class Actor {
- public:
-  virtual ~Actor() = default;
-  virtual void on_step(Context& ctx, const Message* m) = 0;
-  virtual bool wants_step() const { return false; }
-};
-
 struct StepStats {
   std::uint64_t steps = 0;
   std::uint64_t messages_sent = 0;
@@ -196,9 +181,9 @@ class World : private BufferObserver {
       trace_crash(p);
       return false;
     }
-    auto msg = buffer_.receive(p, rng_);  // emits the receive event, if any
+    auto msg = receive_for_step(p);  // emits the receive event, if any
     if (!msg) trace(TraceEventKind::kNullStep, p, 0, 0, -1, nullptr);
-    Context ctx(*this, p, now_);
+    WorldContext ctx(*this, p, now_);
     sending_as_ = p;
     actors_[i]->on_step(ctx, msg ? &*msg : nullptr);
     sending_as_ = -1;
@@ -324,8 +309,39 @@ class World : private BufferObserver {
           static_cast<std::int32_t>(seq), -1, nullptr, m);
   }
 
+  // Deterministic replay of a live run (net/runtime.hpp record mode): the
+  // scripted keys pin, receive by receive, WHICH pending message each step
+  // consumes — the one lever the seeded-random buffer would otherwise pull on
+  // its own. With a script attached, every receive pops the oldest pending
+  // message matching the next key instead of a uniformly random one; the
+  // attempt order still comes from the attached (Replay)Scheduler. The two
+  // mechanisms together make a recorded live execution a fully determined
+  // World run.
+  struct ReceiveKey {
+    ProcessId src = -1;
+    std::int32_t protocol = 0;
+    std::int32_t type = 0;
+    std::uint64_t payload_hash = 0;
+  };
+
+  void set_receive_script(std::vector<ReceiveKey> keys) {
+    receive_script_ = std::move(keys);
+    script_cursor_ = 0;
+    scripted_receives_ = true;
+  }
+
+  // The receive keys a recorded trace encodes, in stream order.
+  static std::vector<ReceiveKey> receive_script_from_events(
+      const std::vector<TraceEvent>& events) {
+    std::vector<ReceiveKey> keys;
+    for (const TraceEvent& e : events)
+      if (e.kind == TraceEventKind::kReceive)
+        keys.push_back({e.peer, e.protocol, e.type, e.payload_hash});
+    return keys;
+  }
+
  private:
-  friend class Context;
+  friend class WorldContext;
   friend class Scenario;  // the RunSpec runner constructs via ScenarioKey
 
   // Tag for the non-deprecated constructor path. Scenario (sim/run_spec.hpp)
@@ -351,6 +367,23 @@ class World : private BufferObserver {
       default_scheduler_ = std::make_unique<RandomScheduler>(
           trace_mix(seed_, kSchedulerSeedSalt));
     return *default_scheduler_;
+  }
+
+  // One step's receive: scripted when a replay script is attached (and the
+  // buffer holds something for p), seeded-random otherwise. A scripted key
+  // that matches nothing means the replayed run diverged from the recording —
+  // fail loudly rather than silently fall back to randomness.
+  std::optional<Message> receive_for_step(ProcessId p) {
+    if (!scripted_receives_) return buffer_.receive(p, rng_);
+    if (!buffer_.has_message_for(p)) return std::nullopt;
+    GAM_EXPECTS(script_cursor_ < receive_script_.size());
+    const ReceiveKey& k = receive_script_[script_cursor_++];
+    auto m = buffer_.receive_match(p, [&](const Message& c) {
+      return c.src == k.src && c.protocol == k.protocol && c.type == k.type &&
+             hash_payload(c.data) == k.payload_hash;
+    });
+    GAM_EXPECTS(m.has_value());
+    return m;
   }
 
   bool wants(ProcessId p) const {
@@ -448,6 +481,9 @@ class World : private BufferObserver {
   Scheduler* scheduler_ = nullptr;             // attached strategy (non-owning)
   std::unique_ptr<Scheduler> default_scheduler_;  // lazily-built random
   CrashInjector* injector_ = nullptr;          // mid-run crashes (non-owning)
+  std::vector<ReceiveKey> receive_script_;     // scripted-replay receives
+  std::size_t script_cursor_ = 0;
+  bool scripted_receives_ = false;
 #ifndef GAM_NO_METRICS
   Metrics* metrics_ = nullptr;
   Gauge* buffer_depth_ = nullptr;   // resolved once in set_metrics
@@ -455,15 +491,15 @@ class World : private BufferObserver {
 #endif
 };
 
-inline void Context::send(ProcessId dst, ProtocolId protocol, MsgType type,
-                          Payload data) {
+inline void WorldContext::send(ProcessId dst, ProtocolId protocol,
+                               MsgType type, Payload data) {
   // Validate against the world's process count, not the ProcessSet capacity:
   // a destination in [process_count, kMaxProcesses) would sit in the buffer's
   // nonempty set with no actor behind it (and, before the scheduler masked
   // candidates, walked the scheduler into actors_ out of bounds).
   GAM_EXPECTS(dst >= 0 && dst < world_.process_count());
   Message m;
-  m.src = self_;
+  m.src = self();
   m.dst = dst;
   m.protocol = raw(protocol);
   m.type = raw(type);
@@ -471,11 +507,11 @@ inline void Context::send(ProcessId dst, ProtocolId protocol, MsgType type,
   world_.buffer_.send(std::move(m));  // stats/tracing via the buffer observer
 }
 
-inline void Context::send_to_set(ProcessSet dst, ProtocolId protocol,
-                                 MsgType type, Payload data) {
+inline void WorldContext::send_to_set(ProcessSet dst, ProtocolId protocol,
+                                      MsgType type, Payload data) {
   GAM_EXPECTS(dst.subset_of(ProcessSet::universe(world_.process_count())));
   Message proto;
-  proto.src = self_;
+  proto.src = self();
   proto.protocol = raw(protocol);
   proto.type = raw(type);
   proto.data = std::move(data);
@@ -486,13 +522,13 @@ inline void Context::send_to_set(ProcessSet dst, ProtocolId protocol,
   world_.buffer_.send_to_set(std::move(proto), dst);
 }
 
-inline void Context::trace_fd_query(ProtocolId protocol,
-                                    DetectorClass detector) {
+inline void WorldContext::trace_fd_query(ProtocolId protocol,
+                                         DetectorClass detector) {
   GAM_METRICS_PROBE({
     Counter* c = world_.fd_query_[static_cast<std::size_t>(raw(detector))];
     if (c) c->add();
   });
-  world_.trace(TraceEventKind::kFdQuery, self_, raw(protocol), raw(detector),
+  world_.trace(TraceEventKind::kFdQuery, self(), raw(protocol), raw(detector),
                -1, nullptr);
 }
 

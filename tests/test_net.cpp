@@ -1,0 +1,345 @@
+// Net-layer tests: wire header packing, SPSC ring mechanics (wraparound,
+// backpressure), header round-trips over both backends, end-to-end
+// disjoint-group runs under the invariant monitors, and the record/replay
+// fidelity gate (a live in-process run replaying event-for-event in the
+// simulator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "net/group_logs.hpp"
+#include "net/replay.hpp"
+#include "net/ring.hpp"
+#include "net/runtime.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "sim/monitors.hpp"
+#include "sim/trace.hpp"
+
+namespace gam::net {
+namespace {
+
+TEST(Wire, HeaderIsPackedAndRoundTrips) {
+  static_assert(sizeof(WireHeader) == 26);
+  WireHeader h = make_header(/*msg_id=*/42, /*src=*/3, /*dst=*/7,
+                             /*protocol=*/105, /*type=*/2,
+                             pack_group_pair(1, 5), /*payload_words=*/3);
+  EXPECT_EQ(h.msg_id, 42u);
+  EXPECT_EQ(h.src, 3);
+  EXPECT_EQ(h.dst, 7);
+  EXPECT_EQ(h.protocol, 105);
+  EXPECT_EQ(h.type, 2);
+  EXPECT_EQ(h.group_pair, pack_group_pair(1, 5));
+  EXPECT_EQ(h.payload_words, 3);
+  EXPECT_EQ(h.flags, kFrameData);
+  EXPECT_EQ(frame_bytes(h), sizeof(WireHeader) + 3 * sizeof(std::int64_t));
+
+  // Byte-level round-trip, as both backends do it.
+  std::uint8_t buf[sizeof(WireHeader)];
+  std::memcpy(buf, &h, sizeof h);
+  WireHeader back;
+  std::memcpy(&back, buf, sizeof back);
+  EXPECT_EQ(back.msg_id, h.msg_id);
+  EXPECT_EQ(back.group_pair, h.group_pair);
+}
+
+TEST(Wire, FrameToMessage) {
+  Frame f;
+  f.header = make_header(9, 1, 2, 100, 5, 0, 2);
+  f.payload = sim::Payload(std::vector<std::int64_t>{17, -4});
+  sim::Message m = to_message(f);
+  EXPECT_EQ(m.src, 1);
+  EXPECT_EQ(m.protocol, 100);
+  EXPECT_EQ(m.type, 5);
+  ASSERT_EQ(m.data.size(), 2u);
+  EXPECT_EQ(m.data[0], 17);
+  EXPECT_EQ(m.data[1], -4);
+}
+
+TEST(SpscRing, WraparoundPreservesFrames) {
+  // A ring barely larger than a frame forces the copy to wrap repeatedly.
+  SpscRing ring(256);
+  std::uint64_t pushed = 0, popped = 0;
+  for (int round = 0; round < 300; ++round) {
+    const std::uint16_t words = static_cast<std::uint16_t>(round % 4);
+    std::vector<std::int64_t> payload;
+    for (std::uint16_t w = 0; w < words; ++w)
+      payload.push_back(round * 10 + w);
+    WireHeader h = make_header(pushed, 0, 1, 100, 1, 0, words);
+    if (ring.try_push(h, payload.data())) {
+      ++pushed;
+    } else {
+      Frame f;
+      ASSERT_TRUE(ring.try_pop(f));  // full implies non-empty
+      EXPECT_EQ(f.header.msg_id, popped);
+      ++popped;
+    }
+  }
+  Frame f;
+  while (ring.try_pop(f)) {
+    EXPECT_EQ(f.header.msg_id, popped);
+    for (std::size_t w = 0; w < f.payload.size(); ++w)
+      EXPECT_EQ(f.payload[w] % 10, static_cast<std::int64_t>(w));
+    ++popped;
+  }
+  EXPECT_EQ(pushed, popped);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.in_flight(), 0u);
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing ring(256);
+  WireHeader h = make_header(0, 0, 1, 100, 1, 0, 4);
+  std::int64_t words[4] = {1, 2, 3, 4};
+  std::uint64_t pushed = 0;
+  while (ring.try_push(h, words)) {
+    h.msg_id = ++pushed;
+    ASSERT_LT(pushed, 100u);  // must fill eventually
+  }
+  EXPECT_GT(pushed, 0u);
+  // Popping one frame frees room for exactly one more same-size frame.
+  Frame f;
+  ASSERT_TRUE(ring.try_pop(f));
+  EXPECT_EQ(f.header.msg_id, 0u);
+  EXPECT_TRUE(ring.try_push(h, words));
+  EXPECT_FALSE(ring.try_push(h, words));
+}
+
+TEST(InProcTransport, WindowBackpressure) {
+  InProcTransport::Options opts;
+  opts.window = 2;
+  InProcTransport tr(2, opts);
+  sim::Payload payload(std::vector<std::int64_t>{5});
+  auto header = [&](std::uint64_t id) {
+    return make_header(id, 0, 1, 100, 1, 0, 1);
+  };
+  EXPECT_TRUE(tr.try_send(0, 1, header(0), payload));
+  EXPECT_TRUE(tr.try_send(0, 1, header(1), payload));
+  EXPECT_FALSE(tr.try_send(0, 1, header(2), payload));  // window full
+  auto f = tr.poll(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->header.msg_id, 0u);
+  EXPECT_TRUE(tr.try_send(0, 1, header(2), payload));  // credit freed
+  EXPECT_FALSE(tr.try_send(0, 1, header(3), payload));
+}
+
+TEST(InProcTransport, HeaderRoundTripAndFairness) {
+  InProcTransport tr(3, {});
+  sim::Payload empty;
+  ASSERT_TRUE(tr.try_send(1, 0, make_header(11, 1, 0, 100, 3, 0, 0), empty));
+  ASSERT_TRUE(tr.try_send(2, 0, make_header(22, 2, 0, 101, 4, 0, 0), empty));
+  // Round-robin across sources: both frames come out, each header intact.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 2; ++i) {
+    auto f = tr.poll(0);
+    ASSERT_TRUE(f.has_value());
+    ids.push_back(f->header.msg_id);
+    EXPECT_EQ(f->header.dst, 0);
+  }
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_FALSE(tr.poll(0).has_value());
+}
+
+TEST(TcpTransport, HeaderRoundTripOverSockets) {
+  TcpTransport tr(2, {});
+  sim::Payload payload(std::vector<std::int64_t>{7, 8, 9});
+  WireHeader h = make_header(77, 0, 1, 103, 4, pack_group_pair(3, 0), 3);
+  ASSERT_TRUE(tr.try_send(0, 1, h, payload));
+  // Nonblocking: pump until the frame surfaces.
+  std::optional<Frame> f;
+  for (int spin = 0; spin < 10000 && !f.has_value(); ++spin) {
+    tr.pump(1);
+    f = tr.poll(1);
+  }
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->header.msg_id, 77u);
+  EXPECT_EQ(f->header.protocol, 103);
+  EXPECT_EQ(f->header.type, 4);
+  EXPECT_EQ(f->header.group_pair, pack_group_pair(3, 0));
+  ASSERT_EQ(f->payload.size(), 3u);
+  EXPECT_EQ(f->payload[2], 9);
+
+  // Self-link works too (broadcasts include the sender).
+  ASSERT_TRUE(tr.try_send(1, 1, make_header(5, 1, 1, 100, 1, 0, 0), {}));
+  std::optional<Frame> self;
+  for (int spin = 0; spin < 10000 && !self.has_value(); ++spin) {
+    tr.pump(1);
+    self = tr.poll(1);
+  }
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->header.msg_id, 5u);
+}
+
+TEST(TcpTransport, CreditWindowBackpressure) {
+  TcpTransport::Options opts;
+  opts.window = 2;
+  TcpTransport tr(2, opts);
+  sim::Payload empty;
+  auto header = [&](std::uint64_t id) {
+    return make_header(id, 0, 1, 100, 1, 0, 0);
+  };
+  ASSERT_TRUE(tr.try_send(0, 1, header(0), empty));
+  ASSERT_TRUE(tr.try_send(0, 1, header(1), empty));
+  EXPECT_FALSE(tr.try_send(0, 1, header(2), empty));
+  // Consume one at the receiver; the credit must flow back to the sender.
+  std::optional<Frame> f;
+  for (int spin = 0; spin < 10000 && !f.has_value(); ++spin) {
+    tr.pump(1);
+    f = tr.poll(1);
+  }
+  ASSERT_TRUE(f.has_value());
+  bool freed = false;
+  for (int spin = 0; spin < 10000 && !freed; ++spin) {
+    tr.pump(1);  // receiver flushes the credit
+    tr.pump(0);  // sender ingests it
+    freed = tr.try_send(0, 1, header(2), empty);
+  }
+  EXPECT_TRUE(freed);
+}
+
+// Runs a 2-group x 3-member GroupLogs over `transport`, checks that every
+// submitted op is delivered by its whole group and that the synthesized
+// protocol stream is monitor-clean.
+void run_end_to_end(Transport& transport, int ops_per_group) {
+  GroupLogsConfig cfg;
+  cfg.groups = 2;
+  cfg.group_size = 3;
+  cfg.batch = 4;
+  cfg.window = 2;
+  GroupLogs logs(cfg);
+  const int n = logs.process_count();
+  Runtime rt(transport, RuntimeOptions{});
+
+  std::atomic<std::uint64_t> delivered{0};
+  struct Delivery {
+    int g;
+    std::int64_t op;
+    std::int64_t seq;
+  };
+  std::vector<std::vector<Delivery>> dels(static_cast<std::size_t>(n));
+  auto actors = logs.make_actors(
+      [&](ProcessId p, int g, std::int64_t op, std::int64_t seq) {
+        dels[static_cast<std::size_t>(p)].push_back({g, op, seq});
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+  for (ProcessId p = 0; p < n; ++p)
+    rt.install(p, std::move(actors[static_cast<std::size_t>(p)]));
+  for (int g = 0; g < cfg.groups; ++g)
+    for (int i = 0; i < ops_per_group; ++i)
+      logs.submit_at_leader(g, (static_cast<std::int64_t>(g) << 40) + i);
+
+  const std::uint64_t want = static_cast<std::uint64_t>(ops_per_group) *
+                             static_cast<std::uint64_t>(cfg.groups) *
+                             static_cast<std::uint64_t>(cfg.group_size);
+  ASSERT_TRUE(rt.run([&] { return delivered.load() == want; },
+                     std::chrono::seconds(30)));
+
+  sim::MonitorConfig mc;
+  mc.groups = logs.group_sets();
+  mc.protocol_base = cfg.protocol_base;
+  sim::InvariantMonitors mons(mc);
+  sim::Time t = 0;
+  for (int g = 0; g < cfg.groups; ++g)
+    for (int i = 0; i < ops_per_group; ++i) {
+      sim::TraceEvent e;
+      e.t = t++;
+      e.p = logs.leader(g);
+      e.kind = sim::TraceEventKind::kMulticast;
+      e.protocol = cfg.protocol_base + g;
+      e.peer = e.p;
+      e.arg = (static_cast<std::int64_t>(g) << 40) + i;
+      mons.on_event(e);
+    }
+  // Interleaved by position across processes (per-process order is what the
+  // monitors read; interleaving keeps the acyclicity check linear).
+  std::size_t longest = 0;
+  for (const auto& v : dels) longest = std::max(longest, v.size());
+  for (std::size_t i = 0; i < longest; ++i)
+    for (ProcessId p = 0; p < n; ++p) {
+      const auto& v = dels[static_cast<std::size_t>(p)];
+      if (i >= v.size()) continue;
+      const Delivery& d = v[i];
+      sim::TraceEvent e;
+      e.t = t++;
+      e.p = p;
+      e.kind = sim::TraceEventKind::kDeliver;
+      e.protocol = cfg.protocol_base + d.g;
+      e.type = static_cast<std::int32_t>(d.seq);
+      e.arg = d.op;
+      mons.on_event(e);
+    }
+  mons.finalize(true);
+  for (const auto& v : mons.violations())
+    ADD_FAILURE() << sim::format_violation(v);
+  EXPECT_TRUE(mons.ok());
+}
+
+TEST(Runtime, InProcEndToEndMonitorClean) {
+  InProcTransport tr(6, {});
+  run_end_to_end(tr, 40);
+}
+
+TEST(Runtime, TcpEndToEndMonitorClean) {
+  TcpTransport tr(6, {});
+  run_end_to_end(tr, 20);
+}
+
+TEST(Replay, LiveRunReplaysByteForByteInSimulator) {
+  GroupLogsConfig cfg;
+  cfg.groups = 2;
+  cfg.group_size = 3;
+  cfg.batch = 4;
+  cfg.window = 2;
+  GroupLogs logs(cfg);
+  const int n = logs.process_count();
+
+  InProcTransport::Options iopt;
+  iopt.ring_bytes = std::size_t{1} << 20;
+  iopt.window = 0;  // record mode: sends must never fail
+  InProcTransport transport(n, iopt);
+  RuntimeOptions ropt;
+  ropt.record = true;
+  Runtime rt(transport, ropt);
+
+  std::uint64_t delivered = 0;  // record mode: counted under the step mutex
+  auto actors = logs.make_actors(
+      [&](ProcessId p, int g, std::int64_t op, std::int64_t seq) {
+        ++delivered;
+        rt.trace_deliver(p, logs.protocol(g), op, seq);
+      });
+  for (ProcessId p = 0; p < n; ++p)
+    rt.install(p, std::move(actors[static_cast<std::size_t>(p)]));
+
+  std::vector<std::pair<int, std::int64_t>> submissions;
+  for (int g = 0; g < cfg.groups; ++g)
+    for (int i = 0; i < 12; ++i)
+      submissions.emplace_back(g, (static_cast<std::int64_t>(g) << 40) + i);
+  for (const auto& [g, op] : submissions) logs.submit_at_leader(g, op);
+
+  const std::uint64_t want = 12ull * 2 * 3;
+  ASSERT_TRUE(rt.run([&] { return delivered == want; },
+                     std::chrono::seconds(30)));
+  const auto& live = rt.recorder().events();
+  ASSERT_FALSE(live.empty());
+
+  auto replay = replay_in_simulator(cfg, submissions, live);
+  auto div = sim::first_divergence(live, replay.events);
+  if (div.has_value()) {
+    auto at = *div;
+    ADD_FAILURE() << "divergence at event " << at << "\n  live:   "
+                  << (at < live.size() ? sim::format_event(live[at])
+                                       : "<ended>")
+                  << "\n  replay: "
+                  << (at < replay.events.size()
+                          ? sim::format_event(replay.events[at])
+                          : "<ended>");
+  }
+  EXPECT_EQ(live.size(), replay.events.size());
+}
+
+}  // namespace
+}  // namespace gam::net

@@ -349,7 +349,7 @@ TEST(UniversalLog, OutOfOrderDecisionsLearnInInstanceOrder) {
   // pending or after it has entered the learned prefix.
   FailurePattern pat(3);
   sim::Scenario sc(sim::RunSpec{}.failures(pat).seed(7));
-  sim::Context ctx(sc.world(), 0, 0);
+  sim::WorldContext ctx(sc.world(), 0, 0);
   ProcessSet scope = ProcessSet::universe(3);
   fd::SigmaOracle sigma(pat, scope);
   fd::OmegaOracle omega(pat, scope);

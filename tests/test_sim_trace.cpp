@@ -198,7 +198,7 @@ using WorldTraceDeathTest = ::testing::Test;
 TEST(WorldTraceDeathTest, SendPastProcessCountTripsPrecondition) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   sim::Scenario sc(sim::RunSpec{}.processes(3).seed(1));
-  Context ctx(sc.world(), 0, 0);
+  sim::WorldContext ctx(sc.world(), 0, 0);
   EXPECT_DEATH(ctx.send(5, sim::protocol_id(1), sim::msg_type(1), {}),
                "Precondition violated");
   EXPECT_DEATH(ctx.send(-1, sim::protocol_id(1), sim::msg_type(1), {}),
