@@ -76,6 +76,7 @@
 #include "sim/adversary.hpp"
 #include "sim/metrics.hpp"
 #include "sim/monitors.hpp"
+#include "sim/spans.hpp"
 #include "sim/trace.hpp"
 #include "sweep.hpp"
 
@@ -105,6 +106,8 @@ struct Config {
   std::string out = "BENCH_sim.json";
   std::string trace;     // when set, record seed 0 of each config to
                          // <trace>.<config>.trace
+  std::string spans;     // when set, record seed 0's span stream to
+                         // <spans>.<config>.spans (tools/span_report input)
   std::string metrics;   // when set, write a gam-metrics-v1 report here
   MuMulticast::Engine engine = MuMulticast::Engine::kIncremental;
   sim::AdversarySpec adversary;  // scheduling strategy + crash derivation
@@ -153,9 +156,11 @@ RunRecord run_mc(MuMulticast& mc, const sim::AdversarySpec& adv,
 
 // A swept job: runs seed-index `i`; when `rec` is non-null the run's full
 // event stream is recorded there instead of only hashed; when `met` is
-// non-null the run attaches its metrics probes to that registry.
-using TracedJob =
-    std::function<RunResult(int, sim::RecorderSink*, sim::Metrics*)>;
+// non-null the run attaches its metrics probes to that registry; when
+// `spans` is non-null the run attaches its span sink there (Algorithm 1
+// configs — the World configs carry no span probes and leave it empty).
+using TracedJob = std::function<RunResult(int, sim::RecorderSink*,
+                                          sim::Metrics*, sim::SpanCollector*)>;
 
 // How a configuration's trace maps onto the invariant monitors: group
 // membership, protocol numbering, and the failure pattern of seed-index 0
@@ -171,7 +176,8 @@ using MonitorConfigFn = std::function<sim::MonitorConfig()>;
 RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
                     MuMulticast::Engine engine,
                     const sim::AdversarySpec& adv, sim::RecorderSink* rec,
-                    sim::Metrics* met, int batch_k = 1, int window_size = 1) {
+                    sim::Metrics* met, int batch_k = 1, int window_size = 1,
+                    sim::SpanCollector* spans = nullptr) {
   auto sys = groups::disjoint_system(k, group_size);
   sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
   MuMulticast mc(sys, pat,
@@ -182,6 +188,7 @@ RunResult run_e3_mu(std::uint64_t seed, int k, int group_size, int per_group,
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
+  if (spans) mc.set_span_sink(spans);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
   RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
@@ -221,8 +228,8 @@ RunResult run_world_paxos(std::uint64_t seed, int k, int per_group,
 RunResult run_wide_mu(std::uint64_t seed, int per_group,
                       MuMulticast::Engine engine,
                       const sim::AdversarySpec& adv, sim::RecorderSink* rec,
-                      sim::Metrics* met, int batch_k = 1,
-                      int window_size = 1) {
+                      sim::Metrics* met, int batch_k = 1, int window_size = 1,
+                      sim::SpanCollector* spans = nullptr) {
   auto sys = groups::clustered_ring_system(32, 4, 2);
   sim::FailurePattern pat = adversary_pattern(adv, sys, seed);
   MuMulticast mc(sys, pat,
@@ -234,6 +241,7 @@ RunResult run_wide_mu(std::uint64_t seed, int per_group,
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
+  if (spans) mc.set_span_sink(spans);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
   RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
@@ -245,7 +253,8 @@ RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
                               MuMulticast::Engine engine,
                               const sim::AdversarySpec& adv,
                               sim::RecorderSink* rec, sim::Metrics* met,
-                              int batch_k = 1, int window_size = 1) {
+                              int batch_k = 1, int window_size = 1,
+                              sim::SpanCollector* spans = nullptr) {
   auto sys = groups::figure1_system();
   sim::FailurePattern pat = [&] {
     if (adv.quorum_edge_crashes) return adversary_pattern(adv, sys, seed);
@@ -262,6 +271,7 @@ RunResult run_figure1_crashes(std::uint64_t seed, int per_group,
   sim::HashingSink hasher;
   mc.set_event_sink(rec ? static_cast<sim::TraceSink*>(rec) : &hasher);
   if (met) mc.set_metrics(met);
+  if (spans) mc.set_span_sink(spans);
   for (auto& m : round_robin_workload(sys, per_group)) mc.submit(m);
   RunResult r = summarize(run_mc(mc, adv, seed));
   r.trace_hash = combine_hash(r.trace_hash, rec ? rec->hash() : hasher.hash());
@@ -333,8 +343,8 @@ void print_stats(const SweepStats& s) {
 void dump_divergence(const Config& cfg, const char* name, int i,
                      const TracedJob& job) {
   sim::RecorderSink a, b;
-  job(i, &a, nullptr);
-  job(i, &b, nullptr);
+  job(i, &a, nullptr, nullptr);
+  job(i, &b, nullptr, nullptr);
   std::string base = cfg.out + "." + name + ".seed" + std::to_string(i);
   std::string pa = base + ".a.trace", pb = base + ".b.trace";
   if (!a.write(pa) || !b.write(pb))
@@ -362,7 +372,7 @@ bool sweep_both(const Config& cfg, const char* name, int n,
                 BenchJson& json, double* speedup_out,
                 sim::MetricsReport* report,
                 std::vector<std::string>* summaries) {
-  auto plain = [&job](int i) { return job(i, nullptr, nullptr); };
+  auto plain = [&job](int i) { return job(i, nullptr, nullptr, nullptr); };
   // Untimed warm-up: the seq pass used to run first against a cold heap and
   // cold caches, inflating every "pool speedup" by a constant factor (the
   // k64 pool-slower-than-seq artifact was mostly this).
@@ -400,10 +410,25 @@ bool sweep_both(const Config& cfg, const char* name, int n,
   // comparison with trace_diff (e.g. across binaries, flags, or seeds).
   if (!cfg.trace.empty()) {
     sim::RecorderSink rec;
-    job(0, &rec, nullptr);
+    job(0, &rec, nullptr, nullptr);
     std::string path = cfg.trace + "." + name + ".trace";
     if (rec.write(path))
       std::printf("  recorded %zu events -> %s\n\n", rec.events().size(),
+                  path.c_str());
+    else
+      std::printf("  failed to write %s\n\n", path.c_str());
+  }
+
+  // --spans=PATH: re-run seed-index 0 with a span collector attached and
+  // write the lifecycle stream for tools/span_report. The simulator stamps
+  // events with its step clock, so the file is byte-identical run to run —
+  // the tier-1 span self-check diffs two of them.
+  if (!cfg.spans.empty()) {
+    sim::SpanCollector col;
+    job(0, nullptr, nullptr, &col);
+    std::string path = cfg.spans + "." + name + ".spans";
+    if (sim::write_spans(path, col.events()))
+      std::printf("  recorded %zu span events -> %s\n\n", col.events().size(),
                   path.c_str());
     else
       std::printf("  failed to write %s\n\n", path.c_str());
@@ -419,11 +444,11 @@ bool sweep_both(const Config& cfg, const char* name, int n,
   if (report) {
     sim::Metrics& merged = report->config(name);
     pool.run_merged(
-        n, [&](int i, sim::Metrics& m) { return job(i, nullptr, &m); },
+        n, [&](int i, sim::Metrics& m) { return job(i, nullptr, &m, nullptr); },
         &merged);
 
     sim::RecorderSink rec;
-    RunResult r0 = job(0, &rec, nullptr);
+    RunResult r0 = job(0, &rec, nullptr, nullptr);
     sim::InvariantMonitors mon(moncfg());
     sim::feed(mon, rec.events());
     mon.finalize(r0.quiescent);
@@ -462,6 +487,8 @@ int main(int argc, char** argv) {
       cfg.out = a.substr(6);
     } else if (a.rfind("--trace=", 0) == 0) {
       cfg.trace = a.substr(8);
+    } else if (a.rfind("--spans=", 0) == 0) {
+      cfg.spans = a.substr(8);
     } else if (a.rfind("--metrics=", 0) == 0) {
       cfg.metrics = a.substr(10);
     } else if (a == "--engine=scan") {
@@ -490,7 +517,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--seeds=N] "
-                   "[--seed-base=N] [--out=PATH] [--trace=PATH] "
+                   "[--seed-base=N] [--out=PATH] [--trace=PATH] [--spans=PATH] "
                    "[--metrics=PATH] [--engine=scan|incremental] "
                    "[--batch=K] [--window=W] "
                    "[--adversary=random|pct[:D]|qedge[+SCHED]]\n",
@@ -511,6 +538,8 @@ int main(int argc, char** argv) {
       {"--metrics", cfg.metrics, cfg.metrics},
       {"--trace", cfg.trace,
        cfg.trace.empty() ? "" : cfg.trace + ".writable.probe"},
+      {"--spans", cfg.spans,
+       cfg.spans.empty() ? "" : cfg.spans + ".writable.probe"},
   };
   for (const auto& o : outputs) {
     if (o.probe.empty()) continue;
@@ -602,10 +631,11 @@ int main(int argc, char** argv) {
 
   ok &= sweep_both(
       cfg, "e3_mu_k16", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met,
+          sim::SpanCollector* spans) {
         return run_e3_mu(seed_of(i), 16, 2, per_group, cfg.engine,
                          cfg.adversary, rec, met, cfg.batch_k,
-                         cfg.window_size);
+                         cfg.window_size, spans);
       },
       [&] {
         auto sys = groups::disjoint_system(16, 2);
@@ -615,10 +645,11 @@ int main(int argc, char** argv) {
 
   ok &= sweep_both(
       cfg, "e3_mu_k64", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met,
+          sim::SpanCollector* spans) {
         return run_e3_mu(seed_of(i), 64, 1, per_group, cfg.engine,
                          cfg.adversary, rec, met, cfg.batch_k,
-                         cfg.window_size);
+                         cfg.window_size, spans);
       },
       [&] {
         auto sys = groups::disjoint_system(64, 1);
@@ -634,9 +665,9 @@ int main(int argc, char** argv) {
   const int hirate_per_group = cfg.quick ? 8 : 16;
   auto hirate_job = [&](int batch, int window) {
     return [&, batch, window](int i, sim::RecorderSink* rec,
-                              sim::Metrics* met) {
+                              sim::Metrics* met, sim::SpanCollector* spans) {
       return run_e3_mu(seed_of(i), 16, 2, hirate_per_group, cfg.engine,
-                       cfg.adversary, rec, met, batch, window);
+                       cfg.adversary, rec, met, batch, window, spans);
     };
   };
   auto hirate_moncfg = [&] {
@@ -651,7 +682,9 @@ int main(int argc, char** argv) {
 
   ok &= sweep_both(
       cfg, "world_paxos_k8", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met,
+          sim::SpanCollector*) {
+        // World configs carry no span probes; the collector stays empty.
         return run_world_paxos(seed_of(i), cfg.quick ? 4 : 8, per_group,
                                cfg.adversary, rec, met, cfg.batch_k,
                                cfg.window_size);
@@ -666,10 +699,11 @@ int main(int argc, char** argv) {
 
   ok &= sweep_both(
       cfg, "figure1_crashes", seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met,
+          sim::SpanCollector* spans) {
         return run_figure1_crashes(seed_of(i), per_group, cfg.engine,
                                    cfg.adversary, rec, met, cfg.batch_k,
-                                   cfg.window_size);
+                                   cfg.window_size, spans);
       },
       [&] {
         auto sys = groups::figure1_system();
@@ -688,9 +722,10 @@ int main(int argc, char** argv) {
   const int wide_seeds = std::min(seeds, cfg.quick ? 2 : 8);
   ok &= sweep_both(
       cfg, "e3_mu_wide128", wide_seeds, seq, pool,
-      [&](int i, sim::RecorderSink* rec, sim::Metrics* met) {
+      [&](int i, sim::RecorderSink* rec, sim::Metrics* met,
+          sim::SpanCollector* spans) {
         return run_wide_mu(seed_of(i), 1, cfg.engine, cfg.adversary, rec, met,
-                           cfg.batch_k, cfg.window_size);
+                           cfg.batch_k, cfg.window_size, spans);
       },
       [&] {
         auto sys = groups::clustered_ring_system(32, 4, 2);

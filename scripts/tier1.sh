@@ -186,6 +186,67 @@ if "$BUILD_DIR"/tools/metrics_report --diff --threshold=0 --quiet \
 fi
 echo "tier1: metrics self-check OK"
 
+# Span self-check gate (ISSUE 9): span capture is a pure function of (config,
+# seed) — two identical seeded runs must produce byte-identical span files and
+# byte-identical span_report output (text and JSON) — and the report must
+# reconstruct a complete timeline for every delivery (span_report exits
+# nonzero on orphans). The python pass cross-validates the two instruments:
+# the span-side deliver-latency sum must match the deliver_latency histogram
+# total within 1% (they agree exactly today; 1% leaves slack for benign probe
+# placement changes without letting the instruments drift apart).
+SPAN_DIR="$BUILD_DIR/span-selfcheck"
+rm -rf "$SPAN_DIR" && mkdir -p "$SPAN_DIR"
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 \
+  --out="$SPAN_DIR"/a.json --metrics="$SPAN_DIR"/a.metrics.json \
+  --spans="$SPAN_DIR"/a >/dev/null
+"$BUILD_DIR"/bench/bench_sweep --quick --seeds=1 \
+  --out="$SPAN_DIR"/b.json --metrics="$SPAN_DIR"/b.metrics.json \
+  --spans="$SPAN_DIR"/b >/dev/null
+for cfg in e3_mu_k16 e3_mu_k64 e3_mu_hirate_base e3_mu_hirate_batched \
+           figure1_crashes e3_mu_wide128; do
+  cmp "$SPAN_DIR/a.$cfg.spans" "$SPAN_DIR/b.$cfg.spans" \
+    || { echo "tier1: FAIL — same-seed span files differ ($cfg)"; exit 1; }
+  "$BUILD_DIR"/tools/span_report "$SPAN_DIR/a.$cfg.spans" \
+      --json="$SPAN_DIR/a.$cfg.report.json" >"$SPAN_DIR/a.$cfg.report.txt" \
+    || { echo "tier1: FAIL — span_report orphans or I/O error ($cfg)"; exit 1; }
+  "$BUILD_DIR"/tools/span_report "$SPAN_DIR/b.$cfg.spans" \
+      --json="$SPAN_DIR/b.$cfg.report.json" >"$SPAN_DIR/b.$cfg.report.txt" \
+    || { echo "tier1: FAIL — span_report orphans or I/O error ($cfg)"; exit 1; }
+  # The first text line echoes the input path (differs by construction);
+  # everything after it, and the whole JSON report, must be byte-identical.
+  { cmp <(tail -n +2 "$SPAN_DIR/a.$cfg.report.txt") \
+        <(tail -n +2 "$SPAN_DIR/b.$cfg.report.txt") \
+      && cmp "$SPAN_DIR/a.$cfg.report.json" "$SPAN_DIR/b.$cfg.report.json"; } \
+    || { echo "tier1: FAIL — span_report output not reproducible ($cfg)"; \
+         exit 1; }
+done
+python3 - "$SPAN_DIR" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+rep = json.load(open(os.path.join(d, "a.json")))
+if rep.get("metrics_compiled") != "on":
+    print("tier1: span cross-check skipped (metrics compiled out)")
+    sys.exit(0)
+met = json.load(open(os.path.join(d, "a.metrics.json")))
+by_name = {c["name"]: c for c in met["configs"]}
+checked = 0
+for cfg in ["e3_mu_k16", "e3_mu_k64", "e3_mu_hirate_base",
+            "e3_mu_hirate_batched", "figure1_crashes", "e3_mu_wide128"]:
+    sp = json.load(open(os.path.join(d, f"a.{cfg}.report.json")))
+    hists = [h for h in by_name[cfg]["histograms"]
+             if h["name"] == "deliver_latency"]
+    want_sum = sum(h["sum"] for h in hists)
+    want_count = sum(h["count"] for h in hists)
+    assert sp["orphans"] == 0, (cfg, sp["orphans"])
+    assert sp["deliveries"] == want_count, (cfg, sp["deliveries"], want_count)
+    assert 0.99 * want_sum <= sp["deliver_latency_sum"] <= 1.01 * want_sum, \
+        (cfg, sp["deliver_latency_sum"], want_sum)
+    checked += 1
+print(f"tier1: span cross-check — {checked} configs, span latency sums match"
+      f" the deliver_latency histograms within 1%")
+EOF
+echo "tier1: span self-check gate OK"
+
 # Convoy-wait threshold gate (ISSUE 6): the high-rate pair in the sweep pits
 # batch_k=1/window_size=1 against batch_k=16/window_size=8 on the same
 # workload. Batching must keep paying for itself — the per-message convoy
@@ -219,33 +280,45 @@ echo "tier1: convoy-wait threshold gate OK"
 
 # Metrics-overhead gate: with no registry attached the probes must cost under
 # 5% of e3_mu_k16 single-thread throughput vs a -DGAM_METRICS=OFF build
-# (compiled out entirely). Best-of-3, interleaved, to ride out scheduler
-# noise; skipped under sanitizers where throughput is meaningless.
+# (compiled out entirely). The span probes ride the same switch, so the gate
+# also reads e3_mu_hirate_batched (the probe-densest config: batch, pipeline,
+# and span milestones all fire there) against the same 5% ceiling — that is
+# the ISSUE 9 span-probe overhead gate. Best-of-3, interleaved, to ride out
+# scheduler noise; skipped under sanitizers where throughput is meaningless.
 if [[ -z "${GAM_SANITIZE:-}" ]]; then
   NOMETRICS_DIR=build-nometrics
   cmake -B "$NOMETRICS_DIR" -S . -DGAM_METRICS=OFF >/dev/null
   cmake --build "$NOMETRICS_DIR" -j "$(nproc)" --target bench_sweep
-  e3_steps_per_sec() {
+  steps_per_sec() {
     python3 -c "import json,sys; \
 print(next(s['steps_per_sec'] for s in json.load(open(sys.argv[1]))['sweeps'] \
-if s['name']=='e3_mu_k16_seq'))" "$1"
+if s['name']==sys.argv[2]))" "$1" "$2"
   }
-  best_off=0 best_on=0
+  best_off=0 best_on=0 hb_off=0 hb_on=0
   for _ in 1 2 3; do
     "$NOMETRICS_DIR"/bench/bench_sweep --seeds=512 --threads=1 \
       --out="$METRICS_DIR"/overhead.json >/dev/null
-    v=$(e3_steps_per_sec "$METRICS_DIR"/overhead.json)
+    v=$(steps_per_sec "$METRICS_DIR"/overhead.json e3_mu_k16_seq)
     best_off=$(python3 -c "print(max($best_off, $v))")
+    v=$(steps_per_sec "$METRICS_DIR"/overhead.json e3_mu_hirate_batched_seq)
+    hb_off=$(python3 -c "print(max($hb_off, $v))")
     "$BUILD_DIR"/bench/bench_sweep --seeds=512 --threads=1 \
       --out="$METRICS_DIR"/overhead.json >/dev/null
-    v=$(e3_steps_per_sec "$METRICS_DIR"/overhead.json)
+    v=$(steps_per_sec "$METRICS_DIR"/overhead.json e3_mu_k16_seq)
     best_on=$(python3 -c "print(max($best_on, $v))")
+    v=$(steps_per_sec "$METRICS_DIR"/overhead.json e3_mu_hirate_batched_seq)
+    hb_on=$(python3 -c "print(max($hb_on, $v))")
   done
   ratio=$(python3 -c "print('%.4f' % ($best_on / $best_off))")
+  hb_ratio=$(python3 -c "print('%.4f' % ($hb_on / $hb_off))")
   echo "tier1: metrics overhead — e3_mu_k16 steps/s: OFF=$best_off ON=$best_on (ON/OFF=$ratio)"
+  echo "tier1: span-probe overhead — e3_mu_hirate_batched steps/s: OFF=$hb_off ON=$hb_on (ON/OFF=$hb_ratio)"
   python3 -c "exit(0 if $best_on / $best_off >= 0.95 else 1)" \
     || { echo "tier1: FAIL — metrics probes cost more than 5% (ON/OFF=$ratio)"; \
          exit 1; }
+  python3 -c "exit(0 if $hb_on / $hb_off >= 0.95 else 1)" \
+    || { echo "tier1: FAIL — span probes cost more than 5% on the batched" \
+              "config (ON/OFF=$hb_ratio)"; exit 1; }
   echo "tier1: metrics-overhead gate OK"
 fi
 
@@ -281,7 +354,7 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
   cmake -B "$PLANTED_DIR" -S . -DGAM_PLANTED_BUG=ON -DGAM_SANITIZE=address \
     >/dev/null
   cmake --build "$PLANTED_DIR" -j "$(nproc)" \
-    --target adversary_hunt test_adversary
+    --target adversary_hunt test_adversary gam_loadgen
   "$PLANTED_DIR"/tests/test_adversary
   PLANTED_OUT=$("$PLANTED_DIR"/tools/adversary_hunt --seeds=256 \
     --out="$PLANTED_DIR"/adversary_hunt) && {
@@ -297,6 +370,33 @@ if [[ -z "${GAM_SANITIZE:-}" ]]; then
     exit 1;
   }
   echo "tier1: planted-bug teeth gate OK"
+
+  # Planted flight-dump gate (ISSUE 9): the same planted build carries a
+  # second deliberate fault on the net path — replica 1 misreports its fifth
+  # delivery (see GroupLogs) — and a monitored gam_loadgen run must (a) exit
+  # nonzero and (b) leave a non-empty flight-recorder dump next to its JSON,
+  # proving the last-K evidence trail survives a real violation, not just the
+  # unit tests.
+  PLANTED_NET="$PLANTED_DIR/net-flight"
+  rm -rf "$PLANTED_NET" && mkdir -p "$PLANTED_NET"
+  if "$PLANTED_DIR"/tools/gam_loadgen --processes=6 --groups=2 --batch=64 \
+      --window=4 --rate=40000 --duration-ms=1000 --monitor \
+      --out="$PLANTED_NET"/planted.json >/dev/null; then
+    echo "tier1: FAIL — planted delivery bug passed the loadgen monitors"
+    exit 1
+  fi
+  FLIGHT_DUMP=$(ls "$PLANTED_NET"/planted.json.*.flight 2>/dev/null | head -n1)
+  if [[ -z "$FLIGHT_DUMP" || ! -s "$FLIGHT_DUMP" ]]; then
+    echo "tier1: FAIL — monitor violation produced no flight dump"
+    exit 1
+  fi
+  head -n1 "$FLIGHT_DUMP" | grep -q '^# gam-spans v1 ' \
+    || { echo "tier1: FAIL — flight dump is not a gam-spans v1 file"; exit 1; }
+  if head -n1 "$FLIGHT_DUMP" | grep -q 'events=0$'; then
+    echo "tier1: FAIL — flight dump is empty"
+    exit 1
+  fi
+  echo "tier1: planted flight-dump gate OK ($(head -n1 "$FLIGHT_DUMP"))"
 fi
 
 # RunSpec migration gate: RunSpec/Scenario is the single way to build a
@@ -324,10 +424,35 @@ NET_DIR="$BUILD_DIR/net-smoke"
 rm -rf "$NET_DIR" && mkdir -p "$NET_DIR"
 "$BUILD_DIR"/tools/gam_loadgen --processes=6 --groups=2 --batch=64 --window=4 \
   --rate=40000 --duration-ms=1000 --monitor --min-rate=2000 \
+  --stats-interval=200 --stats-out="$NET_DIR"/stats.txt \
+  --spans="$NET_DIR"/smoke.spans \
   --out="$NET_DIR"/smoke.json >/dev/null \
   || { echo "tier1: FAIL — net smoke (monitors dirty, timeout, or below floor)"; \
        exit 1; }
 echo "tier1: net smoke gate OK"
+
+# Live-introspection smoke (ISSUE 9): the smoke run above emitted periodic
+# machine-readable snapshots and a full ns-clock span capture. gam_top must
+# render the last complete snapshot (--once exits 1 when no complete S..E
+# block exists, e.g. a torn tail), and span_report must reconstruct a
+# complete timeline for every live delivery — the observability acceptance
+# bar on the live path, not just the simulator.
+"$BUILD_DIR"/tools/gam_top --once "$NET_DIR"/stats.txt >/dev/null \
+  || { echo "tier1: FAIL — gam_top found no complete stats snapshot"; exit 1; }
+"$BUILD_DIR"/tools/span_report "$NET_DIR"/smoke.spans \
+    --json="$NET_DIR"/smoke.report.json --quiet \
+  || { echo "tier1: FAIL — live span stream has orphan deliveries"; exit 1; }
+python3 - "$NET_DIR"/smoke.report.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["clock"] == "ns", r["clock"]
+assert r["deliveries"] > 0, r
+assert r["orphans"] == 0, r
+assert r["wire"]["frames"] > 0, r
+print(f"tier1: live spans — {r['deliveries']} deliveries reconstructed, "
+      f"0 orphans, {r['wire']['frames']} wire frames")
+EOF
+echo "tier1: live introspection gate OK"
 
 # Net record->replay gate (ISSUE 8): a live run recorded over the in-process
 # backend must replay byte-for-byte in the simulator — the recorded stream is

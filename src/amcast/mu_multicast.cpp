@@ -226,6 +226,9 @@ void MuMulticast::submit(MulticastMessage m) {
     probe_.mcast_time.push_back(~sim::Time{0});
     for (auto& v : probe_.stable_time) v.push_back(~sim::Time{0});
   });
+  GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+      {static_cast<std::uint64_t>(now_), m.src, sim::SpanKind::kSubmit, m.id,
+       m.dst, 0}));
   // Only members of the destination group can gain an enabled multicast.
   mark_dirty(system_.group(m.dst));
 }
@@ -634,6 +637,11 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
         }
         GAM_METRICS_PROBE(if (probe_.reg && b > 0) probe_execute(
             p, {ActionChoice::kMulticast, batch_mi[b], -1}, bm));
+        // Span milestone: the multicast action is the instant m enters
+        // LOG_{g,g} — the "enter" anchor deliver_latency measures from.
+        GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+            {static_cast<std::uint64_t>(now_), p, sim::SpanKind::kLogEnter,
+             bm.id, bm.dst, bm.dst}));
       }
       // Window depth at issue: entered-but-undelivered (at the issuer)
       // messages of this group. Bounded by window_size — the issuance guard
@@ -658,6 +666,9 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
         log(m.dst, m.dst).append(LogEntry::pos_tuple(mid, h, i), p, &journal_);
         touched(m.dst, h);
         touched(m.dst, m.dst);
+        GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+            {static_cast<std::uint64_t>(now_), p, sim::SpanKind::kLogEnter,
+             mid, m.dst, h}));
       }
       st.phase[static_cast<size_t>(c.mi)] = Phase::kPending;
       if (trace_) trace_->record({now_, p, TraceEvent::kPending, mid, -1, -1});
@@ -673,6 +684,12 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
       ConsKey key{mid, st.cons_family[static_cast<size_t>(m.dst)]};
       GAM_METRICS_PROBE(if (probe_.consensus) probe_.consensus->add());
       k = consensus_[key].propose(k, p, &journal_, mid);
+      GAM_METRICS_PROBE(if (span_sink_) {
+        span_sink_->on_span({static_cast<std::uint64_t>(now_), p,
+                             sim::SpanKind::kPaxosRound, mid, k, 0});
+        span_sink_->on_span({static_cast<std::uint64_t>(now_), p,
+                             sim::SpanKind::kLocked, mid, k, 0});
+      });
       for (GroupId h : system_.groups_of(p)) {
         log(m.dst, h).bump_and_lock(LogEntry::message(mid), k, p, &journal_);
         touched(m.dst, h);
@@ -691,6 +708,9 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
     case ActionChoice::kStable: {
       st.phase[static_cast<size_t>(c.mi)] = Phase::kStable;
       if (trace_) trace_->record({now_, p, TraceEvent::kStable, mid, -1, -1});
+      GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+          {static_cast<std::uint64_t>(now_), p, sim::SpanKind::kDeliverable,
+           mid, m.dst, 0}));
       break;
     }
     case ActionChoice::kDeliver: {
@@ -709,6 +729,9 @@ void MuMulticast::execute(ProcessId p, const ActionChoice& c) {
             sim::kTraceHashSeed, static_cast<std::uint64_t>(m.payload));
         event_sink_->on_event(e);
       }
+      GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+          {static_cast<std::uint64_t>(now_), p, sim::SpanKind::kDelivered, mid,
+           m.dst, st.delivered_seq - 1}));
       break;
     }
     case ActionChoice::kNone:

@@ -60,6 +60,7 @@
 #include "objects/ideal.hpp"
 #include "sim/failure_pattern.hpp"
 #include "sim/metrics.hpp"
+#include "sim/spans.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -180,6 +181,14 @@ class MuMulticast {
   // trace-identical to bare ones.
   void set_metrics(sim::Metrics* m);
 
+  // Optional causal span sink (caller-owned; attach before submitting).
+  // Lifecycle milestones — submit, log_enter, paxos_round/locked,
+  // deliverable, delivered — are emitted per multicast, stamped in simulated
+  // steps. Emission is observation-only (no RNG reads, no guard feedback), so
+  // span-instrumented runs stay trace-identical to bare ones; under
+  // GAM_METRICS=OFF the probe statements compile out entirely.
+  void set_span_sink(sim::SpanSink* sink) { span_sink_ = sink; }
+
   // Introspection for tests.
   Phase phase_of(ProcessId p, MsgId m) const;
   const objects::Log& log_of(groups::GroupId g, groups::GroupId h) const;
@@ -299,6 +308,7 @@ class MuMulticast {
 
   Trace* trace_ = nullptr;
   sim::TraceSink* event_sink_ = nullptr;
+  sim::SpanSink* span_sink_ = nullptr;
   RunRecord record_;
 
   // Metrics probe state, live only while a registry is attached (reg != null).

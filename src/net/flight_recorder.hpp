@@ -1,0 +1,145 @@
+// Flight recorder: a fixed-size per-event-loop-thread ring of recent span
+// events, dumped post-mortem when something goes wrong.
+//
+// The net runtime's free mode runs one unsynchronized thread per process, so
+// a full span recording of a hot run is either a shared queue (contention on
+// the hot path) or unbounded per-thread memory. The flight recorder is the
+// bounded third option: every process owns a ring of the last N span events
+// it emitted — protocol milestones from its UniversalLog replicas plus the
+// runtime's wire events — written with zero shared state (single writer, no
+// atomics, no locks on the event path). When a monitor violation, a
+// --min-rate failure, or SIGINT ends the run, gam_loadgen merges the rings
+// (threads are joined by then, so plain reads are safe) and dumps them to a
+// timestamped `gam-spans v1` file that tools/span_report reads directly —
+// turning "monitor tripped, rerun with --record" into immediate evidence.
+//
+// Each per-process sink also stamps the event clock: emitters below the net
+// layer (UniversalLog) have no run clock and send t=0; the sink overwrites t
+// via the recorder's clock function — wall-clock ns since the recorder's
+// construction by default, or a caller-supplied clock (record mode passes the
+// runtime's global step counter so dumped spans line up with the recorded
+// trace). An optional per-process collector tees the stamped stream into full
+// capture for `--spans`.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/spans.hpp"
+#include "util/contracts.hpp"
+
+namespace gam::net {
+
+class FlightRecorder {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  explicit FlightRecorder(int processes, std::size_t capacity = 4096,
+                          Clock clock = {})
+      : epoch_(std::chrono::steady_clock::now()),
+        clock_(std::move(clock)),
+        threads_(static_cast<std::size_t>(processes)) {
+    GAM_EXPECTS(processes > 0 && capacity > 0);
+    for (std::size_t p = 0; p < threads_.size(); ++p) {
+      threads_[p].ring.resize(capacity);
+      threads_[p].sink.rec = this;
+      threads_[p].sink.th = &threads_[p];
+    }
+  }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // The stamping sink for process p's event-loop thread. Valid for the
+  // recorder's lifetime; call on_span only from p's thread.
+  sim::SpanSink* sink(ProcessId p) {
+    return &threads_[static_cast<std::size_t>(p)].sink;
+  }
+
+  // Tee p's stamped events into a full collector as well (e.g. --spans).
+  // Caller-owned; same single-thread rule as the ring.
+  void set_collector(ProcessId p, sim::SpanCollector* c) {
+    threads_[static_cast<std::size_t>(p)].collector = c;
+  }
+
+  std::uint64_t now() const {
+    if (clock_) return clock_();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Events ever pushed (not just retained). Safe after the run's threads are
+  // joined; mid-run it is a racy-but-monotone estimate for live stats.
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& th : threads_) t += th.total;
+    return t;
+  }
+
+  // The merged retained window, time-sorted (ties broken by pid then input
+  // order). Only valid once the emitting threads have been joined.
+  std::vector<sim::SpanEvent> snapshot() const {
+    std::vector<sim::SpanEvent> out;
+    for (const auto& th : threads_) {
+      std::uint64_t n = th.total < th.ring.size()
+                            ? th.total
+                            : static_cast<std::uint64_t>(th.ring.size());
+      for (std::uint64_t i = th.total - n; i < th.total; ++i)
+        out.push_back(th.ring[static_cast<std::size_t>(i % th.ring.size())]);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const sim::SpanEvent& a, const sim::SpanEvent& b) {
+                       if (a.t != b.t) return a.t < b.t;
+                       return a.p < b.p;
+                     });
+    return out;
+  }
+
+  bool dump(const std::string& path) const {
+    return sim::write_spans(path, snapshot(), clock_ ? "steps" : "ns");
+  }
+
+ private:
+  struct PerThread;
+  struct ThreadSink final : sim::SpanSink {
+    FlightRecorder* rec = nullptr;
+    PerThread* th = nullptr;
+    void on_span(const sim::SpanEvent& e) override;
+  };
+  struct alignas(64) PerThread {
+    std::vector<sim::SpanEvent> ring;
+    std::uint64_t total = 0;  // single writer: the owning thread
+    sim::SpanCollector* collector = nullptr;
+    ThreadSink sink;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  Clock clock_;
+  std::vector<PerThread> threads_;
+
+  friend struct ThreadSink;
+};
+
+inline void FlightRecorder::ThreadSink::on_span(const sim::SpanEvent& e) {
+  sim::SpanEvent s = e;
+  s.t = rec->now();
+  th->ring[static_cast<std::size_t>(th->total % th->ring.size())] = s;
+  ++th->total;
+  if (th->collector) th->collector->on_span(s);
+}
+
+// `<base>.<epoch_ms>.flight`: the timestamped dump path gam_loadgen writes.
+inline std::string flight_dump_path(const std::string& base) {
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+  return base + "." + std::to_string(ms) + ".flight";
+}
+
+}  // namespace gam::net

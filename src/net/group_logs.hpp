@@ -95,6 +95,13 @@ class GroupLogs {
             *omegas_[static_cast<std::size_t>(g)], cfg_.batch, cfg_.window);
         log->set_on_learn([this, p, g](std::int64_t op, std::int64_t) {
           // local_seq_[p] is touched only by p's stepping thread.
+#ifdef GAM_PLANTED_BUG
+          // Teeth check for the flight-recorder path: replica 1 misreports
+          // its fifth delivery as the next op id, so its delivered sequence
+          // disagrees with the rest of the group — gam_loadgen's monitor
+          // pass must flag it and dump the flight recorder.
+          if (cfg_.group_size > 1 && p == 1 && local_seq_[1] == 4) op += 1;
+#endif
           std::int64_t seq = local_seq_[static_cast<std::size_t>(p)]++;
           deliver_(p, g, op, seq);
         });
@@ -105,6 +112,22 @@ class GroupLogs {
     std::vector<std::unique_ptr<sim::Actor>> actors;
     for (auto& h : hosts) actors.push_back(std::move(h));
     return actors;
+  }
+
+  // Attach one span sink per process to every log replica it hosts (see
+  // UniversalLog::set_span_sink). Call after make_actors, before the run;
+  // entries may be null. Each replica of process p emits only from p's
+  // stepping thread, so per-process sinks need no synchronization.
+  void set_span_sinks(const std::vector<sim::SpanSink*>& by_pid) {
+    GAM_EXPECTS(!logs_.empty());  // replicas exist only after make_actors
+    GAM_EXPECTS(static_cast<int>(by_pid.size()) == process_count());
+    for (int g = 0; g < cfg_.groups; ++g) {
+      int idx = 0;
+      for (ProcessId p : scopes_[static_cast<std::size_t>(g)]) {
+        replica(g, idx).set_span_sink(by_pid[static_cast<std::size_t>(p)]);
+        ++idx;
+      }
+    }
   }
 
   // Replica of group g at member index i (members in ascending pid order).

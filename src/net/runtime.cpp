@@ -54,9 +54,20 @@ void Runtime::do_send(ProcessId src, ProcessId dst, sim::ProtocolId protocol,
   }
   PerProcess& st = procs_[static_cast<std::size_t>(src)];
   auto& q = st.outbox[static_cast<std::size_t>(dst)];
-  if (q.empty() && transport_.try_send(src, dst, h, data)) return;
+  if (q.empty() && transport_.try_send(src, dst, h, data)) {
+    GAM_METRICS_PROBE(if (st.span_sink) st.span_sink->on_span(
+        {0, src, sim::SpanKind::kWireOut, static_cast<std::int64_t>(id), dst,
+         0}));
+    return;
+  }
   q.push_back({h, std::move(data)});
   ++st.outbox_frames;
+  st.outbox_depth.store(st.outbox_frames, std::memory_order_relaxed);
+  if (st.outbox_frames > st.outbox_hwm.load(std::memory_order_relaxed))
+    st.outbox_hwm.store(st.outbox_frames, std::memory_order_relaxed);
+  GAM_METRICS_PROBE(if (st.span_sink) st.span_sink->on_span(
+      {0, src, sim::SpanKind::kEnqueue, static_cast<std::int64_t>(id), dst,
+       0}));
 }
 
 void Runtime::flush_outbox(PerProcess& st, ProcessId src) {
@@ -66,10 +77,14 @@ void Runtime::flush_outbox(PerProcess& st, ProcessId src) {
     while (!q.empty()) {
       const OutFrame& f = q.front();
       if (!transport_.try_send(src, d, f.header, f.payload)) break;
+      GAM_METRICS_PROBE(if (st.span_sink) st.span_sink->on_span(
+          {0, src, sim::SpanKind::kWireOut,
+           static_cast<std::int64_t>(f.header.msg_id), d, 0}));
       q.pop_front();
       --st.outbox_frames;
     }
   }
+  st.outbox_depth.store(st.outbox_frames, std::memory_order_relaxed);
 }
 
 void Runtime::free_loop(ProcessId p,
@@ -93,12 +108,16 @@ void Runtime::free_loop(ProcessId p,
     flush_outbox(st, p);
     bool fired = false;
     if (auto f = transport_.poll(p)) {
+      GAM_METRICS_PROBE(if (st.span_sink) st.span_sink->on_span(
+          {0, p, sim::SpanKind::kWireIn,
+           static_cast<std::int64_t>(f->header.msg_id), f->header.src, 0}));
       sim::Message msg = to_message(*f);
       NetContext ctx(*this, p, local_now);
       st.actor->on_step(ctx, &msg);
       fired = true;
       idle_period = microseconds{0};
       next_idle = std::chrono::steady_clock::time_point::min();
+      st.backoff_us.store(0, std::memory_order_relaxed);
     } else if (st.actor->wants_step() &&
                st.outbox_frames < opts_.outbox_idle_cap &&
                std::chrono::steady_clock::now() >= next_idle) {
@@ -108,14 +127,22 @@ void Runtime::free_loop(ProcessId p,
       NetContext ctx(*this, p, local_now);
       st.actor->on_step(ctx, nullptr);
       fired = true;
+      const bool was_capped = idle_period >= microseconds{2000};
       idle_period = idle_period.count() == 0
                         ? microseconds{20}
                         : std::min(idle_period * 2, microseconds{2000});
       next_idle = std::chrono::steady_clock::now() + idle_period;
+      st.backoff_us.store(static_cast<std::uint64_t>(idle_period.count()),
+                          std::memory_order_relaxed);
+      if (!was_capped && idle_period >= microseconds{2000})
+        st.backoff_cap_hits.store(
+            st.backoff_cap_hits.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
     }
     if (fired) {
       ++local_now;
-      ++st.steps;
+      st.steps.store(st.steps.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
       idle_spins = 0;
       // Periodic completion check even while busy, or a run whose actors
       // always want idle steps would never notice done().
@@ -187,7 +214,8 @@ void Runtime::record_loop(ProcessId p,
           stepping_ = -1;
           ++now_;
           ++steps_total_;
-          ++st.steps;
+          st.steps.store(st.steps.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
         }
         next_turn_ = (p + 1) % process_count();
       }

@@ -37,6 +37,8 @@
 
 #include "net/transport.hpp"
 #include "sim/actor.hpp"
+#include "sim/metrics.hpp"
+#include "sim/spans.hpp"
 #include "sim/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -96,13 +98,45 @@ class Runtime {
   void trace_deliver(ProcessId p, sim::ProtocolId protocol, std::int64_t m,
                      std::int64_t seq);
 
+  // Per-process span sink (caller-owned; set before run()). Free mode emits
+  // the wire-level span events — enqueue when a frame parks in the outbox,
+  // wire_out when it enters the transport, wire_in when the destination polls
+  // it — keyed by the wire msg_id, each from the owning event-loop thread.
+  // The sink is expected to stamp t (see net/flight_recorder.hpp).
+  void set_span_sink(ProcessId p, sim::SpanSink* sink) {
+    procs_[static_cast<std::size_t>(p)].span_sink = sink;
+  }
+
   std::uint64_t steps(ProcessId p) const {
-    return procs_[static_cast<std::size_t>(p)].steps;
+    return procs_[static_cast<std::size_t>(p)].steps.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t total_steps() const {
     std::uint64_t t = 0;
-    for (const auto& ps : procs_) t += ps.steps;
+    for (const auto& ps : procs_) t += ps.steps.load(std::memory_order_relaxed);
     return t;
+  }
+
+  // Live introspection snapshot of one process, readable from any thread
+  // while the run is in flight (relaxed single-writer atomics: each field is
+  // internally consistent, the set is approximate — fine for stats lines).
+  struct ProcessStats {
+    std::uint64_t steps = 0;
+    std::uint64_t outbox_depth = 0;       // frames currently parked
+    std::uint64_t outbox_hwm = 0;         // deepest the outbox ever got
+    std::uint64_t idle_backoff_us = 0;    // current idle-step backoff period
+    std::uint64_t idle_backoff_max_reached = 0;  // times backoff hit the cap
+  };
+  ProcessStats stats(ProcessId p) const {
+    const PerProcess& ps = procs_[static_cast<std::size_t>(p)];
+    ProcessStats s;
+    s.steps = ps.steps.load(std::memory_order_relaxed);
+    s.outbox_depth = ps.outbox_depth.load(std::memory_order_relaxed);
+    s.outbox_hwm = ps.outbox_hwm.load(std::memory_order_relaxed);
+    s.idle_backoff_us = ps.backoff_us.load(std::memory_order_relaxed);
+    s.idle_backoff_max_reached =
+        ps.backoff_cap_hits.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -117,7 +151,14 @@ class Runtime {
     // Per-destination parked frames (free mode), preserving per-link FIFO.
     std::vector<std::deque<OutFrame>> outbox;
     std::size_t outbox_frames = 0;
-    std::uint64_t steps = 0;
+    sim::SpanSink* span_sink = nullptr;
+    // Stats mirrors: written only by the owning loop thread with relaxed
+    // stores, read by anyone (stats thread, post-run accounting).
+    std::atomic<std::uint64_t> steps{0};
+    std::atomic<std::uint64_t> outbox_depth{0};
+    std::atomic<std::uint64_t> outbox_hwm{0};
+    std::atomic<std::uint64_t> backoff_us{0};
+    std::atomic<std::uint64_t> backoff_cap_hits{0};
   };
 
   void do_send(ProcessId src, ProcessId dst, sim::ProtocolId protocol,

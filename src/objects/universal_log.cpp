@@ -15,6 +15,8 @@ void UniversalLog::submit(std::int64_t op,
                           std::function<void(std::int64_t)> applied) {
   pending_.push_back({op, std::move(applied)});
   known_ops_.insert(op);
+  GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+      {0, self_, sim::SpanKind::kSubmit, op, 0, 0}));
 }
 
 std::int64_t UniversalLog::first_unlearned() const { return applied_insts_; }
@@ -36,6 +38,8 @@ void UniversalLog::learn(std::int64_t inst, std::vector<std::int64_t> values) {
       learned_.push_back(op);
       known_ops_.insert(op);
       std::int64_t pos = static_cast<std::int64_t>(learned_.size()) - 1;
+      GAM_METRICS_PROBE(if (span_sink_) span_sink_->on_span(
+          {0, self_, sim::SpanKind::kDelivered, op, pos, 0}));
       if (on_learn_) on_learn_(op, pos);
       // Resolve own pending submissions that just got ordered.
       for (auto p = pending_.begin(); p != pending_.end(); ++p) {
@@ -88,6 +92,10 @@ void UniversalLog::drive(sim::Context& ctx, std::int64_t inst,
   ps.values = ops;
   ps.claimed = std::move(ops);
   ps.stall = 0;
+  GAM_METRICS_PROBE(if (span_sink_) for (std::int64_t op : ps.values)
+                        span_sink_->on_span({0, self_,
+                                             sim::SpanKind::kPaxosRound, op,
+                                             inst, ps.ballot}));
   ctx.send_to_set(scope_, protocol_id_, kPrepare, {inst, ps.ballot});
 }
 

@@ -16,6 +16,8 @@
 
 #include "fd/detectors.hpp"
 #include "objects/protocol_host.hpp"
+#include "sim/metrics.hpp"
+#include "sim/spans.hpp"
 #include "sim/world.hpp"
 #include "util/process_set.hpp"
 
@@ -53,6 +55,14 @@ class UniversalLog : public SubProtocol {
   void set_on_learn(std::function<void(std::int64_t, std::int64_t)> cb) {
     on_learn_ = std::move(cb);
   }
+
+  // Optional causal span sink (caller-owned). Emits submit, paxos_round
+  // (instance, ballot) when this replica drives an op, and delivered when an
+  // op enters the learned prefix. Events carry t=0 — the replica has no run
+  // clock of its own — so the attached sink is expected to stamp them
+  // (net::FlightRecorder stamps wall-clock ns; a record-mode wrapper stamps
+  // the global step clock). Compiled out under GAM_METRICS=OFF.
+  void set_span_sink(sim::SpanSink* sink) { span_sink_ = sink; }
 
   void on_message(sim::Context& ctx, const sim::Message& m) override;
   bool on_idle(sim::Context& ctx) override;
@@ -166,6 +176,7 @@ class UniversalLog : public SubProtocol {
   // quadratic in log length under heavy forwarding.
   std::unordered_set<std::int64_t> known_ops_;
   std::function<void(std::int64_t, std::int64_t)> on_learn_;
+  sim::SpanSink* span_sink_ = nullptr;
   int forward_stall_ = 0;
 };
 

@@ -24,6 +24,35 @@ std::uint64_t Histogram::quantile(double q) const {
   return max;
 }
 
+std::uint64_t Histogram::quantile_interp(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  if (q > 1) q = 1;
+  const double want = q * static_cast<double>(count);  // fractional rank
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += in_bucket;
+    if (static_cast<double>(seen) < want) continue;
+    // The target rank falls in bucket b: interpolate between the bucket's
+    // bounds by the rank's position within its population.
+    const std::uint64_t lo = b == 0 ? 0 : bucket_upper(b - 1) + 1;
+    const std::uint64_t hi = bucket_upper(b);
+    const double frac =
+        (want - lo_rank) / static_cast<double>(in_bucket);  // (0, 1]
+    const double est =
+        static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+    // Clamp in double first: the saturation bucket's bounds round to 2^64
+    // in double, and a double -> uint64 cast past the top is undefined.
+    if (est >= static_cast<double>(max)) return max;
+    auto v = static_cast<std::uint64_t>(est + 0.5);
+    return std::min(std::max(v, min), max);
+  }
+  return max;
+}
+
 void Metrics::merge(const Metrics& o) {
   for (const auto& [k, c] : o.counters_) counters_[k].merge(c);
   for (const auto& [k, g] : o.gauges_) gauges_[k].merge(g);

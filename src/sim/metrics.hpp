@@ -129,6 +129,14 @@ struct Histogram {
 
   // Upper-bound estimate of the q-quantile (0 < q <= 1), clamped to [min, max].
   std::uint64_t quantile(double q) const;
+
+  // Interpolated estimate of the q-quantile: finds the bucket holding the
+  // target rank and interpolates linearly between the bucket's bounds by the
+  // rank's position within it (assuming samples spread uniformly inside the
+  // bucket). Tighter than quantile() — which always answers a bucket upper
+  // bound — while still exact for single-sample and single-bucket cases via
+  // the [min, max] clamp. tools/metrics_report prints these as p50/p90/p99.
+  std::uint64_t quantile_interp(double q) const;
 };
 
 // The registry. Handles returned by counter()/gauge()/histogram() are stable

@@ -1,0 +1,407 @@
+// Causal span tracing: per-multicast lifecycle events for latency attribution.
+//
+// The trace layer (sim/trace.hpp) answers "did two runs execute identically";
+// this layer answers "where did multicast m spend its time". Every protocol
+// layer that touches a multicast emits a typed span event keyed by the
+// multicast id — submit, log_enter(g,h), paxos_round(instance, ballot),
+// locked, deliverable, delivered(p) — and the net runtime adds the wire-level
+// events enqueue / wire_out / wire_in keyed by the wire message id. A post-run
+// tool (tools/span_report) folds the stream into one timeline per multicast
+// and attributes the end-to-end latency to the phases between milestones.
+//
+// Clock domains: the simulator stamps events with simulated steps
+// (deterministic, byte-reproducible seed for seed); the live net runtime
+// stamps them at the sink with a wall-clock offset from one shared run epoch
+// (src/net/flight_recorder.hpp). The file header records which
+// (`clock=steps` / `clock=ns`), and the report is domain-agnostic — phases
+// are differences between milestones of one multicast, never comparisons
+// across files.
+//
+// Cost model mirrors the metrics probes: every emission site is wrapped in
+// GAM_METRICS_PROBE (vanishes under GAM_METRICS=OFF) and guarded by an
+// `if (sink)` null check, so an unattached run pays one predictable branch
+// per site. Emission never reads protocol RNG state or feeds back into
+// guards, so span-instrumented runs stay trace-identical to bare ones.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "util/contracts.hpp"
+#include "util/process_set.hpp"
+
+namespace gam::sim {
+
+enum class SpanKind : std::uint8_t {
+  kSubmit = 0,       // m handed to the protocol             (a=dst group)
+  kLogEnter = 1,     // m entered LOG_{g,h}                  (a=g, b=h)
+  kPaxosRound = 2,   // a consensus round proposed for m     (a=instance, b=ballot)
+  kLocked = 3,       // m's position fixed (commit)          (a=position)
+  kDeliverable = 4,  // m stable at p, predecessors announced (a=dst group)
+  kDelivered = 5,    // m delivered at p                     (a=dst group, b=seq)
+  kEnqueue = 6,      // net: frame parked in src's outbox    (m=wire id, a=dst)
+  kWireOut = 7,      // net: frame pushed into the transport (m=wire id, a=dst)
+  kWireIn = 8,       // net: frame polled out at dst         (m=wire id, a=src)
+};
+
+inline const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSubmit: return "submit";
+    case SpanKind::kLogEnter: return "log-enter";
+    case SpanKind::kPaxosRound: return "paxos-round";
+    case SpanKind::kLocked: return "locked";
+    case SpanKind::kDeliverable: return "deliverable";
+    case SpanKind::kDelivered: return "delivered";
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kWireOut: return "wire-out";
+    case SpanKind::kWireIn: return "wire-in";
+  }
+  return "?";
+}
+
+inline std::optional<SpanKind> span_kind_from(const char* name) {
+  for (auto k :
+       {SpanKind::kSubmit, SpanKind::kLogEnter, SpanKind::kPaxosRound,
+        SpanKind::kLocked, SpanKind::kDeliverable, SpanKind::kDelivered,
+        SpanKind::kEnqueue, SpanKind::kWireOut, SpanKind::kWireIn})
+    if (std::strcmp(name, span_kind_name(k)) == 0) return k;
+  return std::nullopt;
+}
+
+// One flat record. `m` is the multicast id for protocol kinds and the wire
+// message id for the net kinds; `a`/`b` per the enum comments.
+struct SpanEvent {
+  std::uint64_t t = 0;  // steps (simulator) or ns since run epoch (live)
+  ProcessId p = -1;
+  SpanKind kind = SpanKind::kSubmit;
+  std::int64_t m = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  bool operator==(const SpanEvent&) const = default;
+};
+
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const SpanEvent& e) = 0;
+};
+
+// Full in-memory capture; single-owner (one thread, or externally serialized).
+class SpanCollector final : public SpanSink {
+ public:
+  void on_span(const SpanEvent& e) override { events_.push_back(e); }
+  const std::vector<SpanEvent>& events() const { return events_; }
+  std::vector<SpanEvent>& events() { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<SpanEvent> events_;
+};
+
+// Fans one emission out to up to two sinks (flight-recorder ring plus a full
+// collector). Either slot may be null.
+class TeeSpanSink final : public SpanSink {
+ public:
+  TeeSpanSink(SpanSink* a, SpanSink* b) : a_(a), b_(b) {}
+  void on_span(const SpanEvent& e) override {
+    if (a_) a_->on_span(e);
+    if (b_) b_->on_span(e);
+  }
+
+ private:
+  SpanSink* a_;
+  SpanSink* b_;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization: `# gam-spans v1 clock=<steps|ns> events=N`, then one event
+// per line in field order `t p kind m a b`. Stable ordering in = stable bytes
+// out, which is what the tier-1 span self-check compares.
+
+inline std::string serialize_span(const SpanEvent& e) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%llu %d %s %lld %lld %lld",
+                static_cast<unsigned long long>(e.t), e.p,
+                span_kind_name(e.kind), static_cast<long long>(e.m),
+                static_cast<long long>(e.a), static_cast<long long>(e.b));
+  return line;
+}
+
+inline bool write_spans(const std::string& path,
+                        const std::vector<SpanEvent>& events,
+                        const char* clock = "steps") {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "# gam-spans v1 clock=%s events=%zu\n", clock, events.size());
+  for (const SpanEvent& e : events)
+    std::fprintf(f, "%s\n", serialize_span(e).c_str());
+  std::fclose(f);
+  return true;
+}
+
+struct SpanFile {
+  std::string clock;  // "steps" or "ns"
+  std::vector<SpanEvent> events;
+};
+
+inline std::optional<SpanFile> load_spans(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return std::nullopt;
+  char line[256];
+  SpanFile out;
+  char clock[32] = "steps";
+  if (!std::fgets(line, sizeof line, f) ||
+      std::sscanf(line, "# gam-spans v1 clock=%31s", clock) != 1) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  out.clock = clock;
+  // The header also carries events=N; drop the suffix sscanf left attached.
+  if (auto sp = out.clock.find(' '); sp != std::string::npos)
+    out.clock.resize(sp);
+  while (std::fgets(line, sizeof line, f)) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    unsigned long long t = 0;
+    long long m = 0, a = 0, b = 0;
+    int p = 0;
+    char kind[32];
+    if (std::sscanf(line, "%llu %d %31s %lld %lld %lld", &t, &p, kind, &m, &a,
+                    &b) != 6) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    auto k = span_kind_from(kind);
+    if (!k) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    out.events.push_back({static_cast<std::uint64_t>(t), p, *k,
+                          static_cast<std::int64_t>(m),
+                          static_cast<std::int64_t>(a),
+                          static_cast<std::int64_t>(b)});
+  }
+  std::fclose(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline reconstruction and critical-path attribution — shared by
+// tools/span_report and the unit tests so both agree on phase semantics.
+//
+// Milestones of one delivery (p, m), in causal order:
+//
+//   submit        the submitter queued m
+//   enter         m first entered any log / consensus round (the protocol
+//                 started working on it; equals the multicast-action instant
+//                 for Algorithm 1, the first paxos_round for UniversalLog)
+//   locked(p)     p fixed m's global position (commit)
+//   deliverable(p) m became stable at p (all predecessor announcements in)
+//   delivered(p)  p delivered m
+//
+// A phase is the gap between two adjacent milestones *present in the stream*;
+// its name is "<from>-><to>". The phases of one delivery telescope: they sum
+// exactly to delivered - first milestone, so summing the "enter->..."-onward
+// phases reproduces the deliver_latency histogram of sim/metrics.hpp (which
+// records delivered - multicast instant) — the tier-1 cross-check.
+
+struct SpanDelivery {
+  std::int64_t m = -1;
+  ProcessId p = -1;
+  std::uint64_t t_delivered = 0;
+  bool complete = false;  // had an enter milestone (not an orphan)
+};
+
+struct SpanReportData {
+  std::string clock;
+  std::uint64_t multicasts = 0;   // distinct m with any protocol event
+  std::uint64_t deliveries = 0;   // kDelivered events
+  std::uint64_t orphans = 0;      // deliveries with no submit/enter milestone
+  std::uint64_t nonmonotonic = 0; // milestone pairs out of causal order
+  // Phase name -> per-delivery durations, in input-stream delivery order.
+  std::map<std::string, std::vector<std::uint64_t>> phases;
+  // Sum over deliveries of (delivered - enter): comparable to the
+  // deliver_latency histogram sum (same definition, simulated steps).
+  std::uint64_t deliver_latency_sum = 0;
+  std::uint64_t deliver_latency_count = 0;
+  std::vector<SpanDelivery> per_delivery;
+  // Wire-level pairings (net runtime only).
+  std::vector<std::uint64_t> outbox_wait;  // enqueue -> wire_out
+  std::vector<std::uint64_t> wire_flight;  // wire_out -> wire_in
+  std::uint64_t wire_frames = 0;  // distinct wire ids seen on the send side
+};
+
+// Exact q-quantile of a sample set (nearest-rank). Sorts a copy; report-time
+// only, never on a hot path.
+inline std::uint64_t span_quantile(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double rank = q * static_cast<double>(v.size());
+  auto idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx == 0) idx = 1;
+  if (idx > v.size()) idx = v.size();
+  return v[idx - 1];
+}
+
+inline SpanReportData build_span_report(const SpanFile& file) {
+  SpanReportData out;
+  out.clock = file.clock;
+
+  struct PerMulticast {
+    std::uint64_t t_submit = 0;
+    std::uint64_t t_enter = 0;
+    bool has_submit = false;
+    bool has_enter = false;
+  };
+  struct PerDeliverySite {
+    std::uint64_t t_locked = 0;
+    std::uint64_t t_deliverable = 0;
+    bool has_locked = false;
+    bool has_deliverable = false;
+  };
+  struct PerWire {
+    std::uint64_t t_enqueue = 0;
+    std::uint64_t t_out = 0;
+    bool has_enqueue = false;
+    bool has_out = false;
+  };
+  std::map<std::int64_t, PerMulticast> mc;
+  std::map<std::pair<std::int64_t, ProcessId>, PerDeliverySite> site;
+  std::map<std::int64_t, PerWire> wire;
+
+  auto phase = [&](const char* name, std::uint64_t from, std::uint64_t to) {
+    if (to < from) {
+      ++out.nonmonotonic;
+      to = from;
+    }
+    out.phases[name].push_back(to - from);
+    return to - from;
+  };
+
+  for (const SpanEvent& e : file.events) {
+    switch (e.kind) {
+      case SpanKind::kSubmit: {
+        auto& m = mc[e.m];
+        if (!m.has_submit) {
+          m.t_submit = e.t;
+          m.has_submit = true;
+        }
+        break;
+      }
+      case SpanKind::kLogEnter:
+      case SpanKind::kPaxosRound: {
+        auto& m = mc[e.m];
+        if (!m.has_enter || e.t < m.t_enter) {
+          m.t_enter = e.t;
+          m.has_enter = true;
+        }
+        break;
+      }
+      case SpanKind::kLocked: {
+        auto& s = site[{e.m, e.p}];
+        if (!s.has_locked) {
+          s.t_locked = e.t;
+          s.has_locked = true;
+        }
+        break;
+      }
+      case SpanKind::kDeliverable: {
+        auto& s = site[{e.m, e.p}];
+        if (!s.has_deliverable) {
+          s.t_deliverable = e.t;
+          s.has_deliverable = true;
+        }
+        break;
+      }
+      case SpanKind::kDelivered: {
+        ++out.deliveries;
+        SpanDelivery d;
+        d.m = e.m;
+        d.p = e.p;
+        d.t_delivered = e.t;
+        auto mi = mc.find(e.m);
+        const bool has_enter = mi != mc.end() && mi->second.has_enter;
+        const bool has_submit = mi != mc.end() && mi->second.has_submit;
+        if (!has_enter && !has_submit) {
+          ++out.orphans;
+          out.per_delivery.push_back(d);
+          break;
+        }
+        d.complete = has_enter || has_submit;
+        // Walk the milestone chain in causal order, emitting a phase per
+        // adjacent present pair.
+        std::uint64_t cur = 0;
+        const char* cur_name = nullptr;
+        if (has_submit) {
+          cur = mi->second.t_submit;
+          cur_name = "submit";
+        }
+        if (has_enter) {
+          if (cur_name) phase("submit->enter", cur, mi->second.t_enter);
+          cur = mi->second.t_enter;
+          cur_name = "enter";
+        }
+        auto si = site.find({e.m, e.p});
+        if (si != site.end() && si->second.has_locked) {
+          std::string name = std::string(cur_name) + "->locked";
+          phase(name.c_str(), cur, si->second.t_locked);
+          cur = si->second.t_locked;
+          cur_name = "locked";
+        }
+        if (si != site.end() && si->second.has_deliverable) {
+          std::string name = std::string(cur_name) + "->deliverable";
+          phase(name.c_str(), cur, si->second.t_deliverable);
+          cur = si->second.t_deliverable;
+          cur_name = "deliverable";
+        }
+        {
+          std::string name = std::string(cur_name) + "->delivered";
+          phase(name.c_str(), cur, e.t);
+        }
+        if (has_enter && e.t >= mi->second.t_enter) {
+          out.deliver_latency_sum += e.t - mi->second.t_enter;
+          ++out.deliver_latency_count;
+        }
+        out.per_delivery.push_back(d);
+        break;
+      }
+      case SpanKind::kEnqueue: {
+        auto& w = wire[e.m];
+        if (!w.has_enqueue) {
+          w.t_enqueue = e.t;
+          w.has_enqueue = true;
+        }
+        break;
+      }
+      case SpanKind::kWireOut: {
+        auto& w = wire[e.m];
+        w.t_out = e.t;
+        w.has_out = true;
+        if (w.has_enqueue)
+          out.outbox_wait.push_back(e.t >= w.t_enqueue ? e.t - w.t_enqueue : 0);
+        break;
+      }
+      case SpanKind::kWireIn: {
+        auto wi = wire.find(e.m);
+        if (wi != wire.end() && wi->second.has_out)
+          out.wire_flight.push_back(
+              e.t >= wi->second.t_out ? e.t - wi->second.t_out : 0);
+        break;
+      }
+    }
+  }
+  out.multicasts = mc.size();
+  out.wire_frames = wire.size();
+  return out;
+}
+
+}  // namespace gam::sim

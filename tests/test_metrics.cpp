@@ -81,6 +81,55 @@ TEST(Histogram, QuantileIsBucketUpperBoundClampedToObserved) {
   EXPECT_EQ(h.quantile(0.0), 5u);
 }
 
+TEST(Histogram, QuantileInterpDegenerateCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile_interp(0.5), 0u);
+
+  Histogram one;
+  one.record(42);
+  EXPECT_EQ(one.quantile_interp(0.0), 42u);
+  EXPECT_EQ(one.quantile_interp(0.5), 42u);
+  EXPECT_EQ(one.quantile_interp(1.0), 42u);
+
+  // All samples equal: any within-bucket interpolation clamps to [min, max].
+  Histogram same;
+  for (int i = 0; i < 5; ++i) same.record(7);
+  EXPECT_EQ(same.quantile_interp(0.5), 7u);
+  EXPECT_EQ(same.quantile_interp(0.99), 7u);
+}
+
+TEST(Histogram, QuantileInterpTracksDenseUniformFill) {
+  // A dense uniform fill matches the within-bucket uniformity assumption, so
+  // the interpolated estimate lands near the true quantile — far tighter than
+  // quantile()'s bucket upper bound.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const std::uint64_t p50 = h.quantile_interp(0.5);
+  const std::uint64_t p90 = h.quantile_interp(0.9);
+  const std::uint64_t p99 = h.quantile_interp(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(p90), 900.0, 45.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 50.0);
+  // Never looser than the upper-bound estimator, never outside [min, max].
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(h.quantile_interp(q), h.quantile(q));
+    EXPECT_GE(h.quantile_interp(q), h.min);
+    EXPECT_LE(h.quantile_interp(q), h.max);
+  }
+}
+
+TEST(Histogram, QuantileInterpSaturationBucket) {
+  Histogram h;
+  const std::uint64_t top = ~std::uint64_t{0};
+  h.record(std::uint64_t{1} << 63);
+  h.record(top);
+  // Interpolating inside the saturation bucket stays clamped to the observed
+  // range even though the bucket spans half of uint64.
+  EXPECT_GE(h.quantile_interp(0.5), std::uint64_t{1} << 63);
+  EXPECT_LE(h.quantile_interp(0.5), top);
+  EXPECT_EQ(h.quantile_interp(1.0), top);
+}
+
 TEST(Histogram, MergeAddsBucketsAndKeepsExtremes) {
   Histogram a, b, empty;
   a.record(3);

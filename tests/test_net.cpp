@@ -7,9 +7,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <random>
+#include <thread>
 #include <vector>
 
+#include "net/flight_recorder.hpp"
 #include "net/group_logs.hpp"
 #include "net/replay.hpp"
 #include "net/ring.hpp"
@@ -18,6 +22,7 @@
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "sim/monitors.hpp"
+#include "sim/spans.hpp"
 #include "sim/trace.hpp"
 
 namespace gam::net {
@@ -107,6 +112,117 @@ TEST(SpscRing, RejectsWhenFull) {
   EXPECT_EQ(f.header.msg_id, 0u);
   EXPECT_TRUE(ring.try_push(h, words));
   EXPECT_FALSE(ring.try_push(h, words));
+}
+
+TEST(SpscRing, TwoThreadStressRandomizedFrameSizes) {
+  // The ring's actual deployment shape: one producer thread, one consumer
+  // thread, frame sizes varying every push so the wrap point lands at every
+  // possible offset. The consumer checks FIFO order and payload integrity.
+  SpscRing ring(1 << 12);
+  constexpr std::uint64_t kFrames = 200000;
+  std::atomic<bool> failed{false};
+
+  std::thread producer([&] {
+    std::mt19937_64 rng(0xfeedu);
+    for (std::uint64_t id = 0;
+         id < kFrames && !failed.load(std::memory_order_relaxed); ++id) {
+      // One draw per frame, so the consumer can re-derive the sequence.
+      const auto words = static_cast<std::uint16_t>(rng() % 17);
+      std::int64_t payload[16];
+      for (std::uint16_t w = 0; w < words; ++w)
+        payload[w] = static_cast<std::int64_t>(id * 31 + w);
+      WireHeader h = make_header(id, 0, 1, 100, 1, 0, words);
+      while (!ring.try_push(h, payload)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::mt19937_64 check_rng(0xfeedu);  // consumer re-derives expected sizes
+  std::uint64_t got = 0;
+  while (got < kFrames) {
+    Frame f;
+    if (!ring.try_pop(f)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto want_words = static_cast<std::uint16_t>(check_rng() % 17);
+    if (f.header.msg_id != got || f.payload.size() != want_words) {
+      failed.store(true);
+      ADD_FAILURE() << "frame " << got << ": id=" << f.header.msg_id
+                    << " words=" << f.payload.size() << " (want "
+                    << want_words << ")";
+      break;
+    }
+    for (std::size_t w = 0; w < f.payload.size(); ++w)
+      if (f.payload[w] != static_cast<std::int64_t>(got * 31 + w)) {
+        failed.store(true);
+        ADD_FAILURE() << "frame " << got << " word " << w << " corrupted";
+        break;
+      }
+    if (failed.load()) break;
+    ++got;
+  }
+  producer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(got, kFrames);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FlightRecorder, RingRetainsLastCapacityEventsAndDumps) {
+  FlightRecorder rec(2, /*capacity=*/8);
+  // Overfill p0's ring; p1 stays under capacity.
+  for (int i = 0; i < 20; ++i)
+    rec.sink(0)->on_span({0, 0, sim::SpanKind::kWireOut, i, 1, 0});
+  for (int i = 0; i < 3; ++i)
+    rec.sink(1)->on_span({0, 1, sim::SpanKind::kWireIn, i, 0, 0});
+  EXPECT_EQ(rec.total(), 23u);
+
+  auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u + 3u);  // retained window only
+  // p0's window is the LAST 8 events (ids 12..19), each with a stamped clock.
+  std::vector<std::int64_t> p0_ids;
+  for (const auto& e : snap)
+    if (e.p == 0) p0_ids.push_back(e.m);
+  std::sort(p0_ids.begin(), p0_ids.end());
+  ASSERT_EQ(p0_ids.size(), 8u);
+  EXPECT_EQ(p0_ids.front(), 12);
+  EXPECT_EQ(p0_ids.back(), 19);
+
+  const std::string path = testing::TempDir() + "flight_test.spans";
+  ASSERT_TRUE(rec.dump(path));
+  auto loaded = sim::load_spans(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->clock, "ns");  // default wall clock
+  EXPECT_EQ(loaded->events.size(), snap.size());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, CustomClockStampsAndTees) {
+  std::uint64_t fake_now = 100;
+  FlightRecorder rec(1, 16, [&fake_now] { return fake_now; });
+  sim::SpanCollector col;
+  rec.set_collector(0, &col);
+  rec.sink(0)->on_span({0, 0, sim::SpanKind::kSubmit, 1, 0, 0});
+  fake_now = 250;
+  rec.sink(0)->on_span({0, 0, sim::SpanKind::kDelivered, 1, 0, 0});
+  // The sink overwrites t with the clock at emission, and the collector sees
+  // the stamped copy.
+  ASSERT_EQ(col.events().size(), 2u);
+  EXPECT_EQ(col.events()[0].t, 100u);
+  EXPECT_EQ(col.events()[1].t, 250u);
+  auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].t, 100u);
+  EXPECT_EQ(snap[1].t, 250u);
+
+  const std::string path = testing::TempDir() + "flight_steps.spans";
+  ASSERT_TRUE(rec.dump(path));
+  auto loaded = sim::load_spans(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->clock, "steps");  // custom clock = step domain
+  std::remove(path.c_str());
 }
 
 TEST(InProcTransport, WindowBackpressure) {
@@ -286,6 +402,72 @@ TEST(Runtime, InProcEndToEndMonitorClean) {
 TEST(Runtime, TcpEndToEndMonitorClean) {
   TcpTransport tr(6, {});
   run_end_to_end(tr, 20);
+}
+
+TEST(Runtime, FreeModeSpansReconstructEveryDelivery) {
+  // A live free-mode run with the flight recorder attached end to end:
+  // UniversalLog milestones plus the runtime's wire events, all stamped by
+  // the per-process sinks. The collected stream must reconstruct a complete
+  // timeline for every delivery (no orphans).
+  GroupLogsConfig cfg;
+  cfg.groups = 2;
+  cfg.group_size = 3;
+  cfg.batch = 4;
+  cfg.window = 2;
+  GroupLogs logs(cfg);
+  const int n = logs.process_count();
+  InProcTransport tr(n, {});
+  Runtime rt(tr, RuntimeOptions{});
+
+  FlightRecorder rec(n, 1 << 16);
+  std::vector<sim::SpanCollector> cols(static_cast<std::size_t>(n));
+  std::vector<sim::SpanSink*> sinks;
+  for (ProcessId p = 0; p < n; ++p) {
+    rec.set_collector(p, &cols[static_cast<std::size_t>(p)]);
+    rt.set_span_sink(p, rec.sink(p));
+    sinks.push_back(rec.sink(p));
+  }
+
+  std::atomic<std::uint64_t> delivered{0};
+  auto actors = logs.make_actors([&](ProcessId, int, std::int64_t,
+                                     std::int64_t) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  logs.set_span_sinks(sinks);  // after make_actors: replicas exist now
+  for (ProcessId p = 0; p < n; ++p)
+    rt.install(p, std::move(actors[static_cast<std::size_t>(p)]));
+  const int ops = 20;
+  for (int g = 0; g < cfg.groups; ++g)
+    for (int i = 0; i < ops; ++i)
+      logs.submit_at_leader(g, (static_cast<std::int64_t>(g) << 40) + i);
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(ops) * 2 * 3;
+  ASSERT_TRUE(
+      rt.run([&] { return delivered.load() == want; },
+             std::chrono::seconds(30)));
+
+  std::vector<sim::SpanEvent> events;
+  for (auto& c : cols)
+    events.insert(events.end(), c.events().begin(), c.events().end());
+  if (!sim::kMetricsCompiled) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const sim::SpanEvent& a, const sim::SpanEvent& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.p < b.p;
+                   });
+  sim::SpanFile file;
+  file.clock = "ns";
+  file.events = std::move(events);
+  auto r = sim::build_span_report(file);
+  EXPECT_EQ(r.deliveries, want);
+  EXPECT_EQ(r.orphans, 0u);
+  EXPECT_GT(r.wire_frames, 0u);   // free mode emits wire spans
+  EXPECT_GT(r.wire_flight.size(), 0u);
+  // The flight recorder retained everything (rings were large enough).
+  EXPECT_EQ(rec.total(), file.events.size());
 }
 
 TEST(Replay, LiveRunReplaysByteForByteInSimulator) {

@@ -20,8 +20,10 @@
 // (net/replay.hpp). The live and replayed streams are written to
 // --trace-live / --trace-replay and compared; any divergence is a nonzero
 // exit. This is the live-to-sim fidelity gate.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/flight_recorder.hpp"
 #include "net/group_logs.hpp"
 #include "net/replay.hpp"
 #include "net/runtime.hpp"
@@ -38,6 +41,7 @@
 #include "net/transport.hpp"
 #include "sim/metrics.hpp"
 #include "sim/monitors.hpp"
+#include "sim/spans.hpp"
 #include "sim/trace.hpp"
 
 #ifndef GAM_GIT_REV
@@ -55,6 +59,12 @@ namespace {
 using gam::ProcessId;
 
 using Clock = std::chrono::steady_clock;
+
+// SIGINT/SIGTERM request a graceful shutdown: the run loop notices the flag,
+// stops, and the normal post-run path still writes the bench JSON and dumps
+// the flight recorder — an interrupted run keeps its evidence.
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void on_shutdown_signal(int sig) { g_signal = sig; }
 
 std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
   return static_cast<std::uint64_t>(
@@ -79,6 +89,12 @@ struct Args {
   int ops = 64;  // record-mode submissions per group
   std::string trace_live = "net_live.trace";
   std::string trace_replay = "net_replay.trace";
+  // Observability.
+  int stats_interval_ms = 0;       // 0 = no live stats
+  std::string stats_out;           // machine-readable snapshots for gam_top
+  std::string spans;               // full span capture -> gam-spans v1 file
+  std::string flight;              // flight-dump basename; default <out>.flight
+  std::size_t flight_events = 4096;  // ring capacity per process; 0 disables
 };
 
 bool parse_flag(const char* a, const char* name, const char** value) {
@@ -109,6 +125,13 @@ Args parse_args(int argc, char** argv) {
     else if (parse_flag(argv[i], "--ops", &v)) args.ops = std::atoi(v);
     else if (parse_flag(argv[i], "--trace-live", &v)) args.trace_live = v;
     else if (parse_flag(argv[i], "--trace-replay", &v)) args.trace_replay = v;
+    else if (parse_flag(argv[i], "--stats-interval", &v))
+      args.stats_interval_ms = std::atoi(v);
+    else if (parse_flag(argv[i], "--stats-out", &v)) args.stats_out = v;
+    else if (parse_flag(argv[i], "--spans", &v)) args.spans = v;
+    else if (parse_flag(argv[i], "--flight", &v)) args.flight = v;
+    else if (parse_flag(argv[i], "--flight-events", &v))
+      args.flight_events = std::strtoull(v, nullptr, 10);
     else if (std::strcmp(argv[i], "--monitor") == 0) args.monitor = true;
     else if (std::strcmp(argv[i], "--record") == 0) args.record = true;
     else {
@@ -294,10 +317,37 @@ int free_run(const Args& a) {
   for (ProcessId p = 0; p < n; ++p)
     rt.install(p, std::move(actors[static_cast<std::size_t>(p)]));
 
+  // Flight recorder + optional full span capture. Every process gets a
+  // stamping sink that feeds its own bounded ring (and, with --spans, a
+  // per-process collector) — zero shared state on the event path.
+  std::unique_ptr<gam::net::FlightRecorder> flight;
+  std::vector<gam::sim::SpanCollector> span_cols;
+  if (a.flight_events > 0) {
+    flight = std::make_unique<gam::net::FlightRecorder>(n, a.flight_events);
+    if (!a.spans.empty()) span_cols.resize(static_cast<std::size_t>(n));
+    std::vector<gam::sim::SpanSink*> sinks;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!span_cols.empty())
+        flight->set_collector(p, &span_cols[static_cast<std::size_t>(p)]);
+      rt.set_span_sink(p, flight->sink(p));
+      sinks.push_back(flight->sink(p));
+    }
+    logs.set_span_sinks(sinks);
+  }
+
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+
   const auto start = Clock::now();
   const auto t_end = start + std::chrono::milliseconds(a.duration_ms);
   const std::uint64_t gs_u = static_cast<std::uint64_t>(gs);
   auto done = [&] {
+    if (g_signal != 0) {
+      // Graceful shutdown: stop immediately (no drain); the post-run path
+      // still writes the JSON and dumps the flight recorder.
+      time_up.store(true, std::memory_order_relaxed);
+      return true;
+    }
     if (!time_up.load(std::memory_order_relaxed)) {
       if (Clock::now() < t_end) return false;
       time_up.store(true, std::memory_order_relaxed);
@@ -307,9 +357,85 @@ int free_run(const Args& a) {
     return delivered.load(std::memory_order_relaxed) ==
            submitted.load(std::memory_order_relaxed) * gs_u;
   };
+
+  // Live introspection: a snapshot line every --stats-interval ms from the
+  // runtime's relaxed per-process stats, without touching the run. With
+  // --stats-out, machine-readable snapshot blocks for tools/gam_top ride
+  // along.
+  std::atomic<bool> run_over{false};
+  std::thread stats_thread;
+  if (a.stats_interval_ms > 0) {
+    stats_thread = std::thread([&] {
+      std::FILE* sf =
+          a.stats_out.empty() ? nullptr : std::fopen(a.stats_out.c_str(), "w");
+      std::uint64_t snap = 0;
+      std::uint64_t last_mc = 0;
+      auto last_t = Clock::now();
+      while (!run_over.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(a.stats_interval_ms));
+        const auto now = Clock::now();
+        const std::uint64_t sub = submitted.load(std::memory_order_relaxed);
+        const std::uint64_t del = delivered.load(std::memory_order_relaxed);
+        const std::uint64_t mc = del / gs_u;
+        const double dt =
+            static_cast<double>(ns_between(last_t, now)) / 1e9;
+        const double rate =
+            dt > 0 ? static_cast<double>(mc - last_mc) / dt : 0.0;
+        const std::uint64_t inflight = sub * gs_u - del;
+        std::uint64_t outbox = 0, hwm = 0, backoff_max = 0, cap_hits = 0;
+        for (ProcessId p = 0; p < n; ++p) {
+          const auto s = rt.stats(p);
+          outbox += s.outbox_depth;
+          hwm = std::max(hwm, s.outbox_hwm);
+          backoff_max = std::max(backoff_max, s.idle_backoff_us);
+          cap_hits += s.idle_backoff_max_reached;
+        }
+        std::fprintf(stderr,
+                     "[stats %6.1fs] rate=%.0f/s inflight=%llu outbox=%llu "
+                     "(hwm %llu) backoff<=%lluus cap_hits=%llu steps=%llu\n",
+                     static_cast<double>(ns_between(start, now)) / 1e9, rate,
+                     static_cast<unsigned long long>(inflight),
+                     static_cast<unsigned long long>(outbox),
+                     static_cast<unsigned long long>(hwm),
+                     static_cast<unsigned long long>(backoff_max),
+                     static_cast<unsigned long long>(cap_hits),
+                     static_cast<unsigned long long>(rt.total_steps()));
+        if (sf) {
+          std::fprintf(sf, "S %llu %llu %llu %llu %.0f %llu\n",
+                       static_cast<unsigned long long>(snap),
+                       static_cast<unsigned long long>(
+                           ns_between(start, now) / 1000000),
+                       static_cast<unsigned long long>(sub),
+                       static_cast<unsigned long long>(mc), rate,
+                       static_cast<unsigned long long>(inflight));
+          for (ProcessId p = 0; p < n; ++p) {
+            const auto s = rt.stats(p);
+            std::fprintf(
+                sf, "P %d %llu %llu %llu %llu %llu\n", p,
+                static_cast<unsigned long long>(s.steps),
+                static_cast<unsigned long long>(s.outbox_depth),
+                static_cast<unsigned long long>(s.outbox_hwm),
+                static_cast<unsigned long long>(s.idle_backoff_us),
+                static_cast<unsigned long long>(s.idle_backoff_max_reached));
+          }
+          std::fprintf(sf, "E %llu\n", static_cast<unsigned long long>(snap));
+          std::fflush(sf);
+        }
+        last_mc = mc;
+        last_t = now;
+        ++snap;
+      }
+      if (sf) std::fclose(sf);
+    });
+  }
+
   const auto budget =
       std::chrono::milliseconds(a.duration_ms * 4 + 20000);
   const bool completed = rt.run(done, budget);
+  run_over.store(true, std::memory_order_relaxed);
+  if (stats_thread.joinable()) stats_thread.join();
+  const bool interrupted = g_signal != 0;
   const double elapsed =
       static_cast<double>(ns_between(start, Clock::now())) / 1e9;
 
@@ -329,13 +455,28 @@ int free_run(const Args& a) {
   }
   const gam::sim::Histogram all = reg.merged_histogram("deliver_latency_us");
 
+  // Net-runtime introspection folded into the registry: how often each
+  // process's idle backoff hit its cap, and how deep its outbox ever got.
+  std::uint64_t backoff_cap_total = 0, outbox_hwm_max = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto s = rt.stats(p);
+    reg.counter("idle_backoff_max_reached", "p" + std::to_string(p))
+        .add(s.idle_backoff_max_reached);
+    reg.gauge("outbox_depth", "p" + std::to_string(p))
+        .set(static_cast<std::int64_t>(s.outbox_hwm));
+    backoff_cap_total += s.idle_backoff_max_reached;
+    outbox_hwm_max = std::max(outbox_hwm_max, s.outbox_hwm);
+  }
+
   // Monitor pass: synthesize the protocol-level stream. Per-process delivery
   // order is preserved (each process's records are appended in its own
   // delivery order), which is all the acyclicity monitor reads.
   std::string monitor_verdict = "skipped";
   std::vector<std::string> violation_text;
   if (monitor) {
-    if (!completed) {
+    if (interrupted) {
+      monitor_verdict = "skipped_interrupted";
+    } else if (!completed) {
       monitor_verdict = "skipped_incomplete_run";
     } else {
       gam::sim::MonitorConfig mc;
@@ -391,6 +532,34 @@ int free_run(const Args& a) {
     }
   }
 
+  // Failure evidence: dump the flight-recorder rings on any of the three
+  // shutdown-with-a-problem paths (threads are joined; plain reads are safe).
+  const bool floor_failed = !interrupted && a.min_rate > 0 && mps < a.min_rate;
+  const bool monitor_tripped = monitor_verdict.rfind("violations", 0) == 0;
+  std::string flight_path;
+  if (flight && (interrupted || monitor_tripped || floor_failed)) {
+    const std::string base = a.flight.empty() ? a.out : a.flight;
+    flight_path = gam::net::flight_dump_path(base);
+    if (!flight->dump(flight_path)) {
+      std::fprintf(stderr, "cannot write flight dump %s\n",
+                   flight_path.c_str());
+      flight_path.clear();
+    }
+  }
+  std::string span_path;
+  if (!a.spans.empty()) {
+    std::vector<gam::sim::SpanEvent> all_spans;
+    for (auto& c : span_cols)
+      all_spans.insert(all_spans.end(), c.events().begin(), c.events().end());
+    std::stable_sort(all_spans.begin(), all_spans.end(),
+                     [](const gam::sim::SpanEvent& x,
+                        const gam::sim::SpanEvent& y) {
+                       if (x.t != y.t) return x.t < y.t;
+                       return x.p < y.p;
+                     });
+    if (gam::sim::write_spans(a.spans, all_spans, "ns")) span_path = a.spans;
+  }
+
   std::FILE* f = std::fopen(a.out.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", a.out.c_str());
@@ -427,6 +596,13 @@ int free_run(const Args& a) {
   std::fprintf(f, "  \"total_actor_steps\": %llu,\n",
                static_cast<unsigned long long>(rt.total_steps()));
   std::fprintf(f, "  \"monitors\": \"%s\",\n", monitor_verdict.c_str());
+  std::fprintf(f, "  \"interrupted\": %s,\n", interrupted ? "true" : "false");
+  std::fprintf(f, "  \"idle_backoff_max_reached\": %llu,\n",
+               static_cast<unsigned long long>(backoff_cap_total));
+  std::fprintf(f, "  \"outbox_depth_hwm\": %llu,\n",
+               static_cast<unsigned long long>(outbox_hwm_max));
+  std::fprintf(f, "  \"flight_dump\": \"%s\",\n", flight_path.c_str());
+  std::fprintf(f, "  \"spans\": \"%s\",\n", span_path.c_str());
   std::fprintf(f, "  \"latency_us\": {\n");
   for (int g = 0; g < a.groups; ++g) {
     const std::string key = "g" + std::to_string(g);
@@ -453,10 +629,17 @@ int free_run(const Args& a) {
               monitor_verdict.c_str());
   for (const auto& v : violation_text)
     std::printf("  VIOLATION %s\n", v.c_str());
+  if (!flight_path.empty())
+    std::printf("  flight recorder dumped to %s\n", flight_path.c_str());
 
+  if (interrupted) {
+    std::printf("  interrupted by signal %d; results flushed to %s\n",
+                static_cast<int>(g_signal), a.out.c_str());
+    return 130;
+  }
   if (!completed) return 1;
   if (monitor && monitor_verdict != "clean") return 1;
-  if (a.min_rate > 0 && mps < a.min_rate) {
+  if (floor_failed) {
     std::printf("  FLOOR FAILED: %.0f < %.0f multicasts/sec\n", mps,
                 a.min_rate);
     return 3;
@@ -495,6 +678,25 @@ int record_run(const Args& a) {
   for (ProcessId p = 0; p < n; ++p)
     rt.install(p, std::move(actors[static_cast<std::size_t>(p)]));
 
+  // --spans on a recorded run: the same flight-recorder sinks, but stamped
+  // with the runtime's global step clock (every emission happens under the
+  // step mutex, or at t=0 for the pre-run submissions), so the span file
+  // lines up with the recorded trace.
+  std::unique_ptr<gam::net::FlightRecorder> flight;
+  std::vector<gam::sim::SpanCollector> span_cols;
+  if (!a.spans.empty()) {
+    flight = std::make_unique<gam::net::FlightRecorder>(
+        n, a.flight_events > 0 ? a.flight_events : 4096,
+        [&rt] { return static_cast<std::uint64_t>(rt.now()); });
+    span_cols.resize(static_cast<std::size_t>(n));
+    std::vector<gam::sim::SpanSink*> sinks;
+    for (ProcessId p = 0; p < n; ++p) {
+      flight->set_collector(p, &span_cols[static_cast<std::size_t>(p)]);
+      sinks.push_back(flight->sink(p));
+    }
+    logs.set_span_sinks(sinks);
+  }
+
   std::vector<std::pair<int, std::int64_t>> submissions;
   for (int g = 0; g < a.groups; ++g)
     for (int i = 0; i < a.ops; ++i)
@@ -515,6 +717,19 @@ int record_run(const Args& a) {
 
   const auto& live = rt.recorder().events();
   gam::sim::write_trace(a.trace_live, live);
+
+  if (!a.spans.empty()) {
+    std::vector<gam::sim::SpanEvent> all_spans;
+    for (auto& c : span_cols)
+      all_spans.insert(all_spans.end(), c.events().begin(), c.events().end());
+    std::stable_sort(all_spans.begin(), all_spans.end(),
+                     [](const gam::sim::SpanEvent& x,
+                        const gam::sim::SpanEvent& y) {
+                       if (x.t != y.t) return x.t < y.t;
+                       return x.p < y.p;
+                     });
+    gam::sim::write_spans(a.spans, all_spans, "steps");
+  }
 
   auto replay = gam::net::replay_in_simulator(cfg, submissions, live);
   gam::sim::write_trace(a.trace_replay, replay.events);

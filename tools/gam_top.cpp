@@ -1,0 +1,139 @@
+// Live terminal view of a gam_loadgen run.
+//
+//   gam_top STATS_FILE [--interval-ms=N] [--once]
+//
+// STATS_FILE is the --stats-out file gam_loadgen appends snapshot blocks to:
+//
+//   S <snap> <elapsed_ms> <submitted> <delivered_mc> <rate> <inflight>
+//   P <pid> <steps> <outbox> <outbox_hwm> <backoff_us> <cap_hits>   (per pid)
+//   E <snap>
+//
+// gam_top re-reads the file each interval, takes the LAST complete block (an
+// S line whose matching E line made it to disk — fflush makes blocks atomic
+// units), and renders it as a refreshing table. --once prints the table a
+// single time without ANSI refresh codes, which is what the tier-1 smoke
+// check uses. Exit codes: 0 ok, 1 no complete snapshot in the file, 2 usage.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+namespace {
+
+struct ProcRow {
+  int pid = 0;
+  std::uint64_t steps = 0, outbox = 0, hwm = 0, backoff_us = 0, cap_hits = 0;
+};
+
+struct Snapshot {
+  std::uint64_t snap = 0, elapsed_ms = 0, submitted = 0, delivered_mc = 0;
+  double rate = 0;
+  std::uint64_t inflight = 0;
+  std::vector<ProcRow> procs;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gam_top STATS_FILE [--interval-ms=N] [--once]\n");
+  return 2;
+}
+
+// Parse the last complete S..E block. Blocks are flushed whole, but the
+// reader may still race a partially written tail — requiring the matching E
+// line makes a torn tail invisible.
+bool last_snapshot(const char* path, Snapshot* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return false;
+  Snapshot cur, best;
+  bool in_block = false, have = false;
+  char line[256];
+  while (std::fgets(line, sizeof line, f)) {
+    if (line[0] == 'S') {
+      cur = Snapshot{};
+      in_block =
+          std::sscanf(line, "S %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                            " %lf %" SCNu64,
+                      &cur.snap, &cur.elapsed_ms, &cur.submitted,
+                      &cur.delivered_mc, &cur.rate, &cur.inflight) == 6;
+    } else if (line[0] == 'P' && in_block) {
+      ProcRow r;
+      if (std::sscanf(line, "P %d %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                            " %" SCNu64,
+                      &r.pid, &r.steps, &r.outbox, &r.hwm, &r.backoff_us,
+                      &r.cap_hits) == 6)
+        cur.procs.push_back(r);
+    } else if (line[0] == 'E' && in_block) {
+      std::uint64_t snap = 0;
+      if (std::sscanf(line, "E %" SCNu64, &snap) == 1 && snap == cur.snap) {
+        best = cur;
+        have = true;
+      }
+      in_block = false;
+    }
+  }
+  std::fclose(f);
+  if (have) *out = best;
+  return have;
+}
+
+void render(const Snapshot& s) {
+  std::printf("gam_top  snapshot #%" PRIu64 "  t=%.1fs\n", s.snap,
+              static_cast<double>(s.elapsed_ms) / 1000.0);
+  std::printf("rate=%.0f mc/s  submitted=%" PRIu64 "  delivered=%" PRIu64
+              " mc  inflight=%" PRIu64 " deliveries\n\n",
+              s.rate, s.submitted, s.delivered_mc, s.inflight);
+  std::printf("  %4s %12s %8s %8s %11s %9s\n", "pid", "steps", "outbox",
+              "hwm", "backoff_us", "cap_hits");
+  for (const auto& r : s.procs)
+    std::printf("  %4d %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %11" PRIu64
+                " %9" PRIu64 "\n",
+                r.pid, r.steps, r.outbox, r.hwm, r.backoff_us, r.cap_hits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  int interval_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--interval-ms=", 14) == 0) {
+      interval_ms = std::atoi(argv[i] + 14);
+      if (interval_ms <= 0) return usage();
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (!path && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (!path) return usage();
+
+  if (once) {
+    Snapshot s;
+    if (!last_snapshot(path, &s)) {
+      std::fprintf(stderr, "gam_top: no complete snapshot in %s\n", path);
+      return 1;
+    }
+    render(s);
+    return 0;
+  }
+
+  std::uint64_t shown = ~std::uint64_t{0};
+  for (;;) {
+    Snapshot s;
+    if (last_snapshot(path, &s) && s.snap != shown) {
+      std::printf("\x1b[H\x1b[2J");  // cursor home + clear screen
+      render(s);
+      std::fflush(stdout);
+      shown = s.snap;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -48,10 +48,12 @@ void print_report(const MetricsReport& rep) {
                   static_cast<long long>(g.hwm));
     for (const auto& [k, h] : m.histograms())
       std::printf(
-          "  histogram  %-40s n=%llu mean=%.1f p50<=%llu p99<=%llu max=%llu\n",
+          "  histogram  %-40s n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu "
+          "max=%llu\n",
           series_label(k).c_str(), static_cast<unsigned long long>(h.count),
-          h.mean(), static_cast<unsigned long long>(h.quantile(0.5)),
-          static_cast<unsigned long long>(h.quantile(0.99)),
+          h.mean(), static_cast<unsigned long long>(h.quantile_interp(0.5)),
+          static_cast<unsigned long long>(h.quantile_interp(0.9)),
+          static_cast<unsigned long long>(h.quantile_interp(0.99)),
           static_cast<unsigned long long>(h.max));
   }
 }
