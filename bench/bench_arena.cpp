@@ -1,0 +1,380 @@
+// bench_arena — the protocol arena (ISSUE 10): every registered protocol in
+// amcast::ProtocolRegistry run over a grid of
+//
+//   topology       x  contention          x  crash scenario
+//   (disjoint8x3,     (conflict rate 0 /     (none / one minority
+//    figure1,          0.5 / 1.0)             crash at t=0)
+//    ring6x2,
+//    clustered128)
+//
+// with the invariant monitors attached to every cell and the genuineness
+// ledger read back from the metrics gauges. The workload addresses only the
+// first half of the groups, so every topology has processes that are
+// addressees of *no* message — the population the ledger counts.
+//
+// Two properties are asserted per cell, and a failure exits non-zero (the
+// tier-1 arena gate runs `bench_arena --quick`):
+//
+//   1. monitors clean — integrity / agreement / acyclicity report zero
+//      violations under every (topology, rate, crash) the protocol claims to
+//      support (the conflict-aware protocols get the workload's class map, so
+//      commuting deliveries are exempt from the order check);
+//   2. ledger sign — non_addressee_{steps,messages} are exactly zero for
+//      every genuine protocol, and strictly positive for the non-genuine
+//      broadcast strawman (which floods the unaddressed half).
+//
+// Cells a protocol does not claim are *skipped, and recorded as skipped*:
+// requires_disjoint protocols on intersecting topologies, non-crash-tolerant
+// protocols on crash cells, and the partition-timestamp protocols
+// (whitebox/generic) on crash cells where some finest partition loses its
+// majority — their per-partition logs need majority-alive replica sets to
+// stay live (timestamp_multicast.hpp).
+//
+// Output: BENCH_arena.json — one record per cell (protocol, topology,
+// conflict_rate, crash, deliveries, steps, wire messages, latency mean/p99,
+// ledger, monitor counts, skip reason), plus the axis lists, for
+// EXPERIMENTS.md's arena section.
+//
+//   bench_arena [--quick] [--out=PATH] [--per-group=N] [--seed=N]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "amcast/baselines.hpp"
+#include "amcast/protocol.hpp"
+#include "amcast/timestamp_multicast.hpp"
+#include "amcast/workload.hpp"
+#include "groups/generator.hpp"
+#include "groups/group_system.hpp"
+#include "sim/metrics.hpp"
+#include "sim/monitors.hpp"
+#include "sim/trace.hpp"
+
+using namespace gam;
+using namespace gam::amcast;
+
+namespace {
+
+struct ArenaOptions {
+  bool quick = false;
+  int per_group = 2;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_arena.json";
+};
+
+struct Topology {
+  const char* name;
+  bool disjoint;
+  groups::GroupSystem (*make)(bool quick);
+};
+
+const Topology kTopologies[] = {
+    {"disjoint8x3", true,
+     [](bool quick) { return groups::disjoint_system(quick ? 4 : 8, 3); }},
+    {"figure1", false,
+     [](bool) { return groups::figure1_system(); }},
+    {"ring6x2", false,
+     [](bool) { return groups::ring_system(6, 2); }},
+    {"clustered128", false,
+     [](bool quick) {
+       return groups::clustered_ring_system(quick ? 8 : 32, 4, 2);
+     }},
+};
+
+const double kRates[] = {0.0, 0.5, 1.0};
+
+// The arena workload: conflict-classed messages to the first half of the
+// groups (rounded up), senders drawn from the destination members. Restricting
+// the targets is what arms the genuineness ledger — the other half of the
+// system is addressee of nothing, so any step or wire message there is a
+// genuineness violation (or, for broadcast, the expected flood).
+std::vector<groups::GroupId> arena_targets(const groups::GroupSystem& sys) {
+  std::vector<groups::GroupId> t;
+  for (groups::GroupId g = 0; g < (sys.group_count() + 1) / 2; ++g)
+    t.push_back(g);
+  return t;
+}
+
+std::vector<MulticastMessage> arena_workload(const groups::GroupSystem& sys,
+                                             double rate, int per_group,
+                                             std::uint64_t seed,
+                                             const sim::FailurePattern& pat) {
+  Rng rng(seed);
+  auto wl = conflict_workload(sys, arena_targets(sys), per_group, rate, rng);
+  // A sender crashed at t=0 never multicasts; reassign to an alive member of
+  // the destination so every cell exercises the same message population.
+  for (auto& m : wl) {
+    if (!pat.faulty(m.src)) continue;
+    for (ProcessId p : sys.group(m.dst))
+      if (!pat.faulty(p)) {
+        m.src = p;
+        break;
+      }
+  }
+  return wl;
+}
+
+// The crash scenario: the highest-id member of group 0 crashes at t=0. One
+// process, so every 3-member group keeps a majority; 2-member groups (figure1,
+// ring6x2) lose one, which Algorithm 1 tolerates (deliveries at the survivor
+// are not required once its Σ quorum is gone) but the per-partition logs of
+// whitebox/generic do not — those cells are skipped by the majority check.
+sim::FailurePattern crash_pattern(const groups::GroupSystem& sys, bool crash) {
+  sim::FailurePattern pat(sys.process_count());
+  if (!crash) return pat;
+  ProcessId victim = -1;
+  for (ProcessId p : sys.group(0)) victim = p;
+  pat.crash_at(victim, 0);
+  return pat;
+}
+
+// whitebox/generic liveness: every finest partition must keep a majority of
+// replicas alive, else its Paxos log cannot decide and the run never
+// quiesces.
+bool partitions_majority_alive(const groups::GroupSystem& sys,
+                               const sim::FailurePattern& pat) {
+  for (const auto& part : PartitionedMulticast::finest_partitions(sys)) {
+    int alive = 0;
+    for (ProcessId p : part)
+      if (!pat.faulty(p)) ++alive;
+    if (2 * alive <= part.size()) return false;
+  }
+  return true;
+}
+
+struct Cell {
+  std::string protocol, topology;
+  double rate = 0;
+  bool crash = false;
+  std::string skip;  // non-empty: cell not run, and why
+  std::uint64_t deliveries = 0, steps = 0, wire_messages = 0;
+  bool quiescent = false;
+  double lat_mean = 0;
+  std::uint64_t lat_p99 = 0;
+  std::int64_t ledger_steps = 0, ledger_messages = 0, ledger_processes = 0;
+  std::uint64_t monitor_events = 0, monitor_violations = 0;
+};
+
+std::int64_t gauge_total(const sim::Metrics& m, const std::string& name) {
+  std::int64_t total = 0;
+  for (const auto& [k, g] : m.gauges())
+    if (k.name == name) total += g.value;
+  return total;
+}
+
+// Why a (protocol, topology, crash) cell is out of scope; empty = runnable.
+std::string skip_reason(const ProtocolDescriptor& d, const Topology& topo,
+                        const groups::GroupSystem& sys,
+                        const sim::FailurePattern& pat, bool crash) {
+  if (d.requires_disjoint && !topo.disjoint)
+    return "requires pairwise-disjoint groups";
+  if (crash && !d.crash_tolerant) return "not crash-tolerant";
+  if (crash && (d.trace_base == TimestampMulticast::kWhiteBoxTraceBase ||
+                d.trace_base == TimestampMulticast::kGenericTraceBase) &&
+      !partitions_majority_alive(sys, pat))
+    return "crash kills a covering partition's majority";
+  return "";
+}
+
+Cell run_cell(const ProtocolDescriptor& d, const Topology& topo, double rate,
+              bool crash, const ArenaOptions& opt) {
+  Cell cell;
+  cell.protocol = d.name;
+  cell.topology = topo.name;
+  cell.rate = rate;
+  cell.crash = crash;
+
+  auto sys = topo.make(opt.quick);
+  sim::FailurePattern pat = crash_pattern(sys, crash);
+  cell.skip = skip_reason(d, topo, sys, pat, crash);
+  if (!cell.skip.empty()) return cell;
+
+  ProtocolOptions popt;
+  popt.seed = opt.seed;
+  auto wl = arena_workload(sys, rate, opt.per_group, opt.seed, pat);
+
+  sim::Metrics metrics;
+  sim::RecorderSink rec;
+  auto p = d.make(sys, pat, popt);
+  p->set_event_sink(&rec);
+  p->set_metrics(&metrics);
+  for (const auto& m : wl) p->submit(m);
+  RunRecord record = p->run();
+
+  cell.deliveries = record.deliveries.size();
+  cell.steps = record.steps;
+  cell.wire_messages = p->wire_messages();
+  cell.quiescent = record.quiescent;
+  sim::Histogram lat = metrics.merged_histogram("deliver_latency");
+  cell.lat_mean = lat.mean();
+  cell.lat_p99 = lat.quantile(0.99);
+  cell.ledger_steps = gauge_total(metrics, "non_addressee_steps");
+  cell.ledger_messages = gauge_total(metrics, "non_addressee_messages");
+  cell.ledger_processes = gauge_total(metrics, "non_addressee_processes");
+
+  sim::MonitorConfig mc;
+  for (groups::GroupId g = 0; g < sys.group_count(); ++g)
+    mc.groups.push_back(sys.group(g));
+  mc.protocol_base = d.trace_base;
+  mc.require_multicast = d.emits_multicast_events;
+  mc.faulty = pat.faulty_set();
+  if (d.conflict_aware)
+    for (const auto& m : wl) mc.conflict_class[m.id] = m.conflict_class;
+  sim::InvariantMonitors mons(mc);
+  sim::feed(mons, rec.events());
+  mons.finalize(record.quiescent);
+  cell.monitor_events = mons.integrity().events_seen();
+  cell.monitor_violations = mons.violations().size();
+  for (const auto& v : mons.violations())
+    std::printf("  INVARIANT VIOLATION [%s %s rate=%.1f crash=%d]: %s\n",
+                cell.protocol.c_str(), cell.topology.c_str(), rate, crash,
+                sim::format_violation(v).c_str());
+  return cell;
+}
+
+// The per-cell verdict feeding the exit code. The ledger sign check runs only
+// on quiescent, completed cells — a budget-capped run says nothing about
+// genuineness either way.
+bool cell_ok(const Cell& cell, const ProtocolDescriptor& d) {
+  if (!cell.skip.empty()) return true;
+  bool ok = true;
+  if (cell.monitor_violations != 0) ok = false;
+  if (!cell.quiescent) {
+    std::printf("  NOT QUIESCENT [%s %s rate=%.1f crash=%d]\n",
+                cell.protocol.c_str(), cell.topology.c_str(), cell.rate,
+                cell.crash ? 1 : 0);
+    return false;
+  }
+  std::int64_t flood = cell.ledger_steps + cell.ledger_messages;
+  if (d.genuine && flood != 0) {
+    std::printf("  LEDGER VIOLATION [%s %s rate=%.1f crash=%d]: genuine "
+                "protocol with non_addressee steps=%lld messages=%lld\n",
+                cell.protocol.c_str(), cell.topology.c_str(), cell.rate,
+                cell.crash ? 1 : 0, static_cast<long long>(cell.ledger_steps),
+                static_cast<long long>(cell.ledger_messages));
+    ok = false;
+  }
+  if (!d.genuine && flood == 0) {
+    std::printf("  LEDGER VIOLATION [%s %s rate=%.1f crash=%d]: non-genuine "
+                "protocol shows an empty ledger (expected a flood)\n",
+                cell.protocol.c_str(), cell.topology.c_str(), cell.rate,
+                cell.crash ? 1 : 0);
+    ok = false;
+  }
+  return ok;
+}
+
+std::string json_escape_bool(bool b) { return b ? "true" : "false"; }
+
+bool write_json(const std::string& path, const std::vector<Cell>& cells,
+                const ArenaOptions& opt) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"bench\": \"bench_arena\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", opt.quick ? "true" : "false");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"per_group\": %d,\n", opt.per_group);
+  std::fprintf(f, "  \"protocols\": [");
+  const auto& table = ProtocolRegistry::instance().all();
+  for (size_t i = 0; i < table.size(); ++i)
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "", table[i].name);
+  std::fprintf(f, "],\n  \"topologies\": [");
+  for (size_t i = 0; i < std::size(kTopologies); ++i)
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "", kTopologies[i].name);
+  std::fprintf(f, "],\n  \"conflict_rates\": [");
+  for (size_t i = 0; i < std::size(kRates); ++i)
+    std::fprintf(f, "%s%.1f", i ? ", " : "", kRates[i]);
+  std::fprintf(f, "],\n  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"protocol\": \"%s\", \"topology\": \"%s\", "
+        "\"conflict_rate\": %.1f, \"crash\": %s",
+        c.protocol.c_str(), c.topology.c_str(), c.rate,
+        json_escape_bool(c.crash).c_str());
+    if (!c.skip.empty()) {
+      std::fprintf(f, ", \"skipped\": \"%s\"}", c.skip.c_str());
+    } else {
+      std::fprintf(
+          f,
+          ", \"deliveries\": %llu, \"steps\": %llu, \"wire_messages\": %llu, "
+          "\"quiescent\": %s, \"deliver_latency_mean\": %.3f, "
+          "\"deliver_latency_p99\": %llu, \"non_addressee_steps\": %lld, "
+          "\"non_addressee_messages\": %lld, \"non_addressee_processes\": "
+          "%lld, \"monitor_events\": %llu, \"monitor_violations\": %llu}",
+          static_cast<unsigned long long>(c.deliveries),
+          static_cast<unsigned long long>(c.steps),
+          static_cast<unsigned long long>(c.wire_messages),
+          json_escape_bool(c.quiescent).c_str(), c.lat_mean,
+          static_cast<unsigned long long>(c.lat_p99),
+          static_cast<long long>(c.ledger_steps),
+          static_cast<long long>(c.ledger_messages),
+          static_cast<long long>(c.ledger_processes),
+          static_cast<unsigned long long>(c.monitor_events),
+          static_cast<unsigned long long>(c.monitor_violations));
+    }
+    std::fprintf(f, "%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArenaOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--quick") {
+      opt.quick = true;
+      opt.per_group = 1;
+    } else if (a.rfind("--out=", 0) == 0) {
+      opt.out = a.substr(6);
+    } else if (a.rfind("--per-group=", 0) == 0) {
+      opt.per_group = std::max(1, std::atoi(a.c_str() + 12));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(a.c_str() + 7));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out=PATH] [--per-group=N] "
+                   "[--seed=N]\n  registered protocols: %s\n",
+                   argv[0], ProtocolRegistry::instance().names().c_str());
+      return 2;
+    }
+  }
+
+  std::printf("protocol arena: %s — %zu protocols x %zu topologies x %zu "
+              "conflict rates x 2 crash scenarios%s\n",
+              ProtocolRegistry::instance().names().c_str(),
+              ProtocolRegistry::instance().all().size(),
+              std::size(kTopologies), std::size(kRates),
+              opt.quick ? " [quick]" : "");
+
+  std::vector<Cell> cells;
+  bool ok = true;
+  int ran = 0, skipped = 0;
+  for (const Topology& topo : kTopologies)
+    for (double rate : kRates)
+      for (bool crash : {false, true})
+        for (const ProtocolDescriptor& d :
+             ProtocolRegistry::instance().all()) {
+          Cell cell = run_cell(d, topo, rate, crash, opt);
+          ok &= cell_ok(cell, d);
+          cell.skip.empty() ? ++ran : ++skipped;
+          cells.push_back(std::move(cell));
+        }
+
+  std::printf("arena: %d cells run, %d skipped, verdict=%s\n", ran, skipped,
+              ok ? "ok" : "VIOLATED");
+  if (!write_json(opt.out, cells, opt)) {
+    std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", opt.out.c_str());
+  return ok ? 0 : 1;
+}

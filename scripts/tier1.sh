@@ -413,6 +413,58 @@ if grep -rnE 'sim::World [a-z_]+\(|make_unique<sim::World>' \
 fi
 echo "tier1: RunSpec migration gate OK"
 
+# Protocol arena gate (ISSUE 10): every protocol in amcast::ProtocolRegistry
+# must clear a monitored quick arena — the protocol x topology x
+# conflict-rate x crash grid with the invariant monitors attached to every
+# cell, and the genuineness ledger zero exactly for the genuine protocols
+# (bench_arena exits nonzero on any violation). The summary check proves the
+# grid actually covered the advertised axes rather than skipping everything,
+# and the unknown-name path must keep failing fast with the registry listing.
+ARENA_DIR="$BUILD_DIR/arena-gate"
+rm -rf "$ARENA_DIR" && mkdir -p "$ARENA_DIR"
+"$BUILD_DIR"/bench/bench_arena --quick --out="$ARENA_DIR"/arena.json \
+  >/dev/null \
+  || { echo "tier1: FAIL — protocol arena (monitors or ledger sign)"; exit 1; }
+python3 - "$ARENA_DIR"/arena.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+run = [c for c in r["cells"] if "skipped" not in c]
+protos = {c["protocol"] for c in run}
+topos = {c["topology"] for c in run}
+rates = {c["conflict_rate"] for c in run}
+assert len(protos) >= 5, protos
+assert len(topos) >= 3, topos
+assert len(rates) >= 3, rates
+assert all(c["monitor_violations"] == 0 and c["quiescent"] for c in run)
+print(f"tier1: arena — {len(run)} cells run, {len(protos)} protocols, "
+      f"{len(topos)} topologies, {len(rates)} conflict rates, 0 violations")
+EOF
+if "$BUILD_DIR"/bench/bench_sweep --protocol=bogus \
+    --out="$ARENA_DIR"/x.json >/dev/null 2>&1; then
+  echo "tier1: FAIL — bench_sweep accepted an unknown --protocol name"
+  exit 1
+fi
+echo "tier1: protocol arena gate OK"
+
+# Typed ProtocolId gate (ISSUE 10): trace protocol numbering flows through
+# sim::ProtocolId and the named kTraceBase constants end to end. Raw integer
+# bases must not reappear — no `protocol_base = <int>` assignment and no
+# integer-literal base arithmetic against a group id anywhere outside the
+# constant definitions themselves.
+if grep -rnE 'protocol_base *= *[0-9]' \
+    --include='*.cpp' --include='*.hpp' src tests bench tools examples; then
+  echo "tier1: FAIL — raw integer protocol_base (use sim::ProtocolId and the"
+  echo "  named kTraceBase constants)"
+  exit 1
+fi
+if grep -rnE 'protocol_id\([0-9]+\) *\+|[^_a-zA-Z](100|1000|2000) *\+ *g\b' \
+    --include='*.cpp' --include='*.hpp' src tests bench tools examples; then
+  echo "tier1: FAIL — raw protocol-id arithmetic (use the named kTraceBase"
+  echo "  constants and ProtocolId operator+)"
+  exit 1
+fi
+echo "tier1: typed ProtocolId gate OK"
+
 # Net runtime smoke gate (ISSUE 8): the live runtime must complete a
 # rate-capped monitored run over the in-process backend with every invariant
 # monitor clean, and clear a deliberately low throughput floor (2K/s — the

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "amcast/mu_multicast.hpp"
+#include "amcast/options.hpp"
 #include "amcast/types.hpp"
 #include "groups/group_system.hpp"
 #include "sim/failure_pattern.hpp"
@@ -52,10 +53,7 @@ struct BaselineProbe {
 
 class BroadcastMulticast {
  public:
-  struct Options {
-    std::uint64_t seed = 1;
-    std::uint64_t max_steps = 1u << 22;
-  };
+  using Options = ProtocolOptions;  // consumes seed / max_steps
 
   BroadcastMulticast(const groups::GroupSystem& system,
                      const sim::FailurePattern& pattern, Options options);
@@ -94,10 +92,7 @@ class BroadcastMulticast {
 
 class SkeenMulticast {
  public:
-  struct Options {
-    std::uint64_t seed = 1;
-    std::uint64_t max_steps = 1u << 22;
-  };
+  using Options = ProtocolOptions;  // consumes seed / max_steps
 
   SkeenMulticast(const groups::GroupSystem& system,
                  const sim::FailurePattern& pattern, Options options);
@@ -147,10 +142,7 @@ class SkeenMulticast {
 
 class PartitionedMulticast {
  public:
-  struct Options {
-    std::uint64_t seed = 1;
-    std::uint64_t max_steps = 1u << 22;
-  };
+  using Options = ProtocolOptions;  // consumes seed / max_steps
 
   // `partitions` must be pairwise disjoint and every destination group must
   // be a union of them (the standard decomposability assumption, §7).

@@ -53,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "amcast/options.hpp"
 #include "amcast/trace.hpp"
 #include "amcast/types.hpp"
 #include "fd/detectors.hpp"
@@ -72,56 +73,16 @@ namespace gam::amcast {
 
 class MuMulticast {
  public:
-  enum class Engine : std::int8_t {
-    kScan = 0,         // full guard re-evaluation per attempt (oracle)
-    kIncremental = 1,  // dirty-tracked cached actions (default)
-  };
-
-  struct Options {
-    std::uint64_t seed = 1;
-    std::uint64_t max_steps = 1u << 20;
-    sim::Time fd_lag = 0;     // slack of the μ components
-    bool strict = false;      // §6.1: strict atomic multicast via 1^{g∩h}
-    // When non-empty, only these processes are scheduled (P-fair runs).
-    ProcessSet fair_set;
-    // Quorum gating (emulation harness, §5): an action of p for a message
-    // addressed to g is enabled only while Σ_g's current quorum lies inside
-    // fair_set — the behaviour of an implementation whose objects need live
-    // quorums among the instance's participants. Requires a fair_set.
-    bool sigma_gated = false;
-    // Helping (Proposition 1's reduction): when the submitter of a message
-    // has crashed before multicasting it, any destination-group member that
-    // has delivered all of the message's group predecessors may multicast it
-    // on the submitter's behalf. This turns the group-sequential core into
-    // the vanilla primitive: every submitted message with a correct
-    // destination member is eventually delivered.
-    bool helping = false;
-    // External clock (emulation harness): the orchestrator owns the clock via
-    // set_time(); steps do not advance it.
-    bool external_clock = false;
-    // Journal every log mutation so validate_log_invariants() can check the
-    // Table-2 base invariants post-run (tests; small overhead).
-    bool track_log_history = false;
-    // Guard-evaluation engine; kScan is the reference oracle.
-    Engine engine = Engine::kIncremental;
-    // Batched rounds (DESIGN.md decision 12): one scheduled step of a process
-    // drains up to batch_k consecutive enabled actions (re-resolving after
-    // each effect), instead of exactly one. A macro-step is observationally a
-    // run of batch_k back-to-back unbatched steps of the same process under a
-    // frozen clock — a schedule the unbatched system could have produced — so
-    // every safety property carries over unchanged; only the step/latency
-    // accounting is amortized. batch_k = 1 reproduces today's behavior
-    // byte for byte. Additionally, the multicast action appends up to
-    // batch_k eligible same-group submissions in one Log::append_batch.
-    int batch_k = 1;
-    // Pipelined issuance (§4.1 relaxation): the k-th message to g becomes
-    // eligible for multicast once all predecessors at submission distance
-    // >= window_size are delivered at the issuer; closer predecessors only
-    // need to have entered LOG_g (so appends stay in submission order while
-    // up to window_size messages overlap their protocol phases,
-    // Derecho-style). window_size = 1 is the strict group-sequential rule.
-    int window_size = 1;
-  };
+  // The engine enum and the options struct are the shared amcast ones
+  // (options.hpp): every protocol behind amcast::Protocol reads the same
+  // ProtocolOptions, and Algorithm 1 consumes the seed/max_steps/fd_lag/
+  // strict/fair_set/sigma_gated/helping/external_clock/track_log_history/
+  // engine/batch_k/window_size fields (batched rounds per DESIGN.md decision
+  // 12; pipelined issuance per the §4.1 relaxation). The scheduler field is
+  // consumed by the registry adapter (protocol.cpp), which maps it onto
+  // run() / run_with().
+  using Engine = amcast::Engine;
+  using Options = ProtocolOptions;
 
   MuMulticast(const groups::GroupSystem& system,
               const sim::FailurePattern& pattern, Options options);

@@ -1,0 +1,282 @@
+// The amcast::Protocol adapters and the registry (DESIGN.md decision 16).
+//
+// Every engine the repo grew — Algorithm 1's action system, the sequential
+// baselines, the World-backed per-group logs, and the timestamp engines —
+// keeps its concrete class and native API; this file is the only place that
+// knows how to wrap each of them behind the uniform interface. Benches,
+// tests and tools construct protocols from descriptors and never mention a
+// concrete engine again.
+#include "amcast/protocol.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "amcast/baselines.hpp"
+#include "amcast/mu_multicast.hpp"
+#include "amcast/replicated_multicast.hpp"
+#include "amcast/timestamp_multicast.hpp"
+#include "sim/run_spec.hpp"
+
+namespace gam::amcast {
+
+ProtocolOptions options_from(const sim::RunSpec& spec) {
+  ProtocolOptions opt;
+  opt.seed = spec.run_seed();
+  opt.max_steps = spec.step_budget();
+  opt.scheduler = spec.scheduler_spec();
+  opt.batch_k = spec.batch();
+  opt.window_size = spec.window();
+  return opt;
+}
+
+namespace {
+
+// The sequential baselines produce a RunRecord but no event stream; the
+// adapter synthesizes the same kMulticast/kDeliver events MuMulticast emits
+// (same field conventions, same payload fold) so sinks and monitors attach
+// uniformly. Multicasts go out first (by time, then id), then deliveries (by
+// time, process, local sequence) — chronology per message is preserved since
+// a delivery never precedes its multicast in the record.
+void emit_synthesized_events(const RunRecord& rec, sim::TraceSink& sink) {
+  std::vector<sim::TraceEvent> evs;
+  evs.reserve(rec.multicast.size() + rec.deliveries.size());
+  std::map<MsgId, const MulticastMessage*> by_id;
+  for (size_t i = 0; i < rec.multicast.size(); ++i) {
+    const MulticastMessage& m = rec.multicast[i];
+    by_id[m.id] = &m;
+    sim::TraceEvent e;
+    e.t = rec.multicast_time[i];
+    e.p = m.src;
+    e.kind = sim::TraceEventKind::kMulticast;
+    e.protocol = static_cast<std::int32_t>(m.dst);
+    e.peer = m.src;
+    e.arg = m.id;
+    e.payload_hash = sim::trace_mix(sim::kTraceHashSeed,
+                                    static_cast<std::uint64_t>(m.payload));
+    evs.push_back(e);
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                     return a.t != b.t ? a.t < b.t : a.arg < b.arg;
+                   });
+  std::vector<Delivery> dels = rec.deliveries;
+  std::stable_sort(dels.begin(), dels.end(),
+                   [](const Delivery& a, const Delivery& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.p != b.p) return a.p < b.p;
+                     return a.local_seq < b.local_seq;
+                   });
+  for (const Delivery& d : dels) {
+    const MulticastMessage* m = by_id.at(d.m);
+    sim::TraceEvent e;
+    e.t = d.t;
+    e.p = d.p;
+    e.kind = sim::TraceEventKind::kDeliver;
+    e.protocol = static_cast<std::int32_t>(m->dst);
+    e.type = static_cast<std::int32_t>(d.local_seq);
+    e.arg = d.m;
+    e.payload_hash = sim::trace_mix(sim::kTraceHashSeed,
+                                    static_cast<std::uint64_t>(m->payload));
+    evs.push_back(e);
+  }
+  for (const sim::TraceEvent& e : evs) sink.on_event(e);
+}
+
+// Algorithm 1. The scheduler spec maps onto the engine's two run entry
+// points: kRandom is the built-in uniform path (byte-identical to a spec'd
+// RandomScheduler by construction, which the golden gate relies on), every
+// other strategy is instantiated from the run seed.
+class MuAdapter final : public Protocol {
+ public:
+  MuAdapter(const groups::GroupSystem& s, const sim::FailurePattern& f,
+            const ProtocolOptions& o)
+      : opt_(o), mc_(s, f, o) {}
+
+  void submit(const MulticastMessage& m) override { mc_.submit(m); }
+  RunRecord run() override {
+    if (opt_.scheduler.kind == sim::SchedulerSpec::Kind::kRandom)
+      return mc_.run();
+    auto sched = opt_.scheduler.instantiate(opt_.seed);
+    return mc_.run_with(*sched);
+  }
+  const RunRecord& record() const override { return mc_.partial_record(); }
+  const ProtocolOptions& options() const override { return opt_; }
+  void set_metrics(sim::Metrics* m) override { mc_.set_metrics(m); }
+  void set_event_sink(sim::TraceSink* s) override { mc_.set_event_sink(s); }
+  void set_span_sink(sim::SpanSink* s) override { mc_.set_span_sink(s); }
+
+ private:
+  ProtocolOptions opt_;
+  MuMulticast mc_;
+};
+
+template <typename Inner>
+class BaselineAdapter final : public Protocol {
+ public:
+  BaselineAdapter(const groups::GroupSystem& s, const sim::FailurePattern& f,
+                  const ProtocolOptions& o)
+      : opt_(o), inner_(s, f, o) {}
+
+  void submit(const MulticastMessage& m) override { inner_.submit(m); }
+  RunRecord run() override {
+    rec_ = inner_.run();
+    if (sink_) emit_synthesized_events(rec_, *sink_);
+    return rec_;
+  }
+  const RunRecord& record() const override { return rec_; }
+  const ProtocolOptions& options() const override { return opt_; }
+  std::uint64_t wire_messages() const override {
+    if constexpr (requires { inner_.wire_messages(); })
+      return inner_.wire_messages();
+    else
+      return 0;
+  }
+  void set_metrics(sim::Metrics* m) override { inner_.set_metrics(m); }
+  void set_event_sink(sim::TraceSink* s) override { sink_ = s; }
+
+ private:
+  ProtocolOptions opt_;
+  Inner inner_;
+  RunRecord rec_;
+  sim::TraceSink* sink_ = nullptr;
+};
+
+class WorldLogAdapter final : public Protocol {
+ public:
+  WorldLogAdapter(const groups::GroupSystem& s, const sim::FailurePattern& f,
+                  const ProtocolOptions& o)
+      : opt_(o), mc_(s, f, o) {}
+
+  void submit(const MulticastMessage& m) override { mc_.submit(m); }
+  RunRecord run() override {
+    rec_ = mc_.run();
+    return rec_;
+  }
+  const RunRecord& record() const override { return rec_; }
+  const ProtocolOptions& options() const override { return opt_; }
+  std::uint64_t wire_messages() const override { return mc_.messages_sent(); }
+  void set_metrics(sim::Metrics* m) override { mc_.set_metrics(m); }
+  void set_event_sink(sim::TraceSink* s) override {
+    mc_.world().set_trace_sink(s);
+  }
+  sim::World* world() override { return &mc_.world(); }
+
+ private:
+  ProtocolOptions opt_;
+  ReplicatedMulticast mc_;
+  RunRecord rec_;
+};
+
+std::unique_ptr<Protocol> make_mu(const groups::GroupSystem& s,
+                                  const sim::FailurePattern& f,
+                                  const ProtocolOptions& o) {
+  return std::make_unique<MuAdapter>(s, f, o);
+}
+std::unique_ptr<Protocol> make_perfectfd(const groups::GroupSystem& s,
+                                         const sim::FailurePattern& f,
+                                         const ProtocolOptions& o) {
+  ProtocolOptions strict = o;
+  strict.strict = true;  // §6.1 strict variant with exact indicators = [36]
+  strict.fd_lag = 0;
+  return std::make_unique<MuAdapter>(s, f, strict);
+}
+std::unique_ptr<Protocol> make_skeen(const groups::GroupSystem& s,
+                                     const sim::FailurePattern& f,
+                                     const ProtocolOptions& o) {
+  return std::make_unique<BaselineAdapter<SkeenMulticast>>(s, f, o);
+}
+std::unique_ptr<Protocol> make_broadcast(const groups::GroupSystem& s,
+                                         const sim::FailurePattern& f,
+                                         const ProtocolOptions& o) {
+  return std::make_unique<BaselineAdapter<BroadcastMulticast>>(s, f, o);
+}
+std::unique_ptr<Protocol> make_worldlog(const groups::GroupSystem& s,
+                                        const sim::FailurePattern& f,
+                                        const ProtocolOptions& o) {
+  return std::make_unique<WorldLogAdapter>(s, f, o);
+}
+std::unique_ptr<Protocol> make_whitebox(const groups::GroupSystem& s,
+                                        const sim::FailurePattern& f,
+                                        const ProtocolOptions& o) {
+  return std::make_unique<TimestampMulticast>(
+      s, f, o, /*conflict_aware=*/false,
+      TimestampMulticast::kWhiteBoxTraceBase);
+}
+std::unique_ptr<Protocol> make_generic(const groups::GroupSystem& s,
+                                       const sim::FailurePattern& f,
+                                       const ProtocolOptions& o) {
+  return std::make_unique<TimestampMulticast>(
+      s, f, o, /*conflict_aware=*/true, TimestampMulticast::kGenericTraceBase);
+}
+
+}  // namespace
+
+ProtocolRegistry::ProtocolRegistry() {
+  // Field order: name, trace_base, genuine, crash_tolerant, requires_disjoint,
+  // emits_multicast_events, conflict_aware, summary, make.
+  //
+  // crash_tolerant is "keeps its guarantees under the environment crashes the
+  // arena throws at it" — for the quorum-based engines that still assumes
+  // every group (worldlog) or covering partition (whitebox/generic) keeps a
+  // live majority; bench_arena.cpp checks that per cell before running them.
+  table_ = {
+      {"mu", sim::protocol_id(0), true, true, false, true, false,
+       "Algorithm 1: genuine atomic multicast from mu (group-sequential)",
+       &make_mu},
+      {"perfectfd", sim::protocol_id(0), true, true, false, true, false,
+       "Schiper-Pedone [36]: the section-6.1 strict variant with exact "
+       "(lag-0) failure indicators",
+       &make_perfectfd},
+      {"skeen", sim::protocol_id(0), true, false, false, true, false,
+       "Skeen's failure-free timestamping baseline (breaks under crashes)",
+       &make_skeen},
+      {"broadcast", sim::protocol_id(0), false, true, false, true, false,
+       "non-genuine strawman: one system-wide atomic broadcast",
+       &make_broadcast},
+      {"worldlog", ReplicatedMulticast::kTraceBase, true, true, true, false,
+       false,
+       "per-group Paxos logs over the simulated network (disjoint groups)",
+       &make_worldlog},
+      {"whitebox", TimestampMulticast::kWhiteBoxTraceBase, true, true, false,
+       false, false,
+       "White-Box Atomic Multicast: per-partition Paxos timestamping with "
+       "direct inter-partition exchange (arXiv 1904.07171)",
+       &make_whitebox},
+      {"generic", TimestampMulticast::kGenericTraceBase, true, true, false,
+       false, true,
+       "Generic Multicast: the white-box engine ordering only conflicting "
+       "pairs (arXiv 2410.01901)",
+       &make_generic},
+  };
+}
+
+const ProtocolRegistry& ProtocolRegistry::instance() {
+  static const ProtocolRegistry reg;
+  return reg;
+}
+
+const ProtocolDescriptor* ProtocolRegistry::find(std::string_view name) const {
+  for (const ProtocolDescriptor& d : table_)
+    if (name == d.name) return &d;
+  return nullptr;
+}
+
+// First descriptor at `trace_base`; the Algorithm-1 family shares base 0, so
+// base lookup is only unique for the World-backed engines.
+const ProtocolDescriptor* ProtocolRegistry::find(
+    sim::ProtocolId trace_base) const {
+  for (const ProtocolDescriptor& d : table_)
+    if (d.trace_base == trace_base) return &d;
+  return nullptr;
+}
+
+std::string ProtocolRegistry::names() const {
+  std::string out;
+  for (const ProtocolDescriptor& d : table_) {
+    if (!out.empty()) out += ", ";
+    out += d.name;
+  }
+  return out;
+}
+
+}  // namespace gam::amcast

@@ -31,8 +31,8 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
     members_[g].assign(scope.begin(), scope.end());
     for (ProcessId p : scope) {
       auto log = std::make_shared<objects::UniversalLog>(
-          sim::protocol_id(100 + g), p, scope, *sigmas_.back(),
-          *omegas_.back(), options_.batch_k, options_.window_size);
+          kTraceBase + g, p, scope, *sigmas_.back(), *omegas_.back(),
+          options_.batch_k, options_.window_size);
       // Delivery = the message enters this replica's learned prefix. The
       // event is also reported into the world's trace stream so deliveries
       // interleave with the wire events that caused them.
@@ -44,9 +44,9 @@ ReplicatedMulticast::ReplicatedMulticast(const groups::GroupSystem& system,
             if (metrics_) metrics_
                 ->histogram("deliver_latency", "g" + std::to_string(g))
                 .record(world_->now()));
-        world_->trace_deliver(p, sim::protocol_id(100 + g), op, seq);
+        world_->trace_deliver(p, kTraceBase + g, op, seq);
       });
-      hosts_[static_cast<size_t>(p)]->add(sim::protocol_id(100 + g), log);
+      hosts_[static_cast<size_t>(p)]->add(kTraceBase + g, log);
       logs_[g].push_back(log);
     }
   }

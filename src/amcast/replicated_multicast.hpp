@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "amcast/options.hpp"
 #include "amcast/types.hpp"
 #include "fd/detectors.hpp"
 #include "groups/group_system.hpp"
@@ -32,16 +33,15 @@ namespace gam::amcast {
 
 class ReplicatedMulticast {
  public:
-  struct Options {
-    std::uint64_t seed = 1;
-    std::uint64_t max_steps = 1u << 22;
-    // Scheduling strategy for the underlying World (bench --adversary axis).
-    sim::SchedulerSpec scheduler;
-    // Ordered-batch / pipelining knobs forwarded to each group's
-    // UniversalLog (see universal_log.hpp); 1/1 is the legacy wire behavior.
-    int batch_k = 1;
-    int window_size = 1;
-  };
+  // Shared options (amcast/options.hpp): consumes seed / max_steps /
+  // scheduler, plus batch_k / window_size forwarded to each group's
+  // UniversalLog (see universal_log.hpp); 1/1 is the legacy wire behavior.
+  using Options = ProtocolOptions;
+
+  // Group g's log (and its deliver events) runs at protocol id
+  // kTraceBase + g in the world's wire/trace id space. 100 is the historical
+  // world-trace numbering; the golden trace hashes pin it.
+  static constexpr sim::ProtocolId kTraceBase = sim::protocol_id(100);
 
   // Requires pairwise-disjoint destination groups.
   ReplicatedMulticast(const groups::GroupSystem& system,

@@ -1,0 +1,166 @@
+// White-Box Atomic Multicast and Generic Multicast over the simulated
+// network (ISSUE 10 tentpole; arXiv 1904.07171 / arXiv 2410.01901).
+//
+// One engine implements both: Paxos-backed timestamping over the finest
+// partition decomposition, with direct inter-partition timestamp exchange
+// (the "white-box" move: the protocol reaches into its consensus boxes'
+// clocks instead of layering multicast on black-box atomic broadcast).
+//
+//   1. Partitions are the equivalence classes of "member of exactly the same
+//      groups" (PartitionedMulticast::finest_partitions). Every destination
+//      group is a union of partitions, and a partition intersecting dst(m)
+//      lies entirely inside dst(m) — which is what makes the protocol
+//      genuine: all machinery for m runs strictly among dst(m)'s members.
+//   2. Each partition π runs one UniversalLog (multi-decree Paxos over
+//      Ω_π ∧ Σ_π) among its members. The log doubles as π's logical clock:
+//      every replica derives the clock deterministically from the applied
+//      prefix — a TS-REQ(m) entry reads clock+1 and advances the clock to
+//      it (that is π's timestamp proposal for m), a BUMP(T) entry advances
+//      the clock to max(clock, T).
+//   3. The sender fans TS-REQ(m) out to dst(m); every member funnels it
+//      into its own partition's log (the log layer dedups, so one entry per
+//      partition no matter how many members submit). When a replica applies
+//      TS-REQ(m) it announces (π, ts) to all of dst(m) directly — replica to
+//      replica, no leader indirection — and m's final timestamp is the max
+//      over its covering partitions. A member whose clock trails the final
+//      timestamp submits BUMP so local timestamps stay ahead of everything
+//      already finalized.
+//   4. Delivery at p: m is applied in p's partition log with its final
+//      timestamp known, p's clock has reached it, and (final_ts, id) is
+//      minimal among p's applied-but-undelivered *conflicting* messages
+//      (a pending message without a final timestamp counts at its local
+//      lower bound — final = max over partitions can only be larger).
+//
+// The conflict relation is where White-Box and Generic split:
+//
+//   White-Box (conflict_aware = false) — every pair of messages conflicts;
+//     step 4 compares against all pending messages and delivery is a total
+//     order per process pair (classical atomic multicast).
+//   Generic (conflict_aware = true) — messages conflict iff they carry the
+//     same MulticastMessage::conflict_class; commuting messages skip the
+//     minimality wait entirely and deliver as soon as their timestamp is
+//     settled. The relation is a workload property (workload.hpp's
+//     conflict_workload axis), not a protocol one — DESIGN.md decision 16.
+//
+// Liveness needs every covering partition to keep a live majority (the same
+// decomposition obligation PartitionedMulticast documents); the arena's
+// crash scenarios pick crash sets that respect it, and Algorithm 1 remains
+// the only protocol here that survives arbitrary environment crashes.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "amcast/options.hpp"
+#include "amcast/protocol.hpp"
+#include "amcast/types.hpp"
+#include "fd/detectors.hpp"
+#include "groups/group_system.hpp"
+#include "objects/protocol_host.hpp"
+#include "objects/universal_log.hpp"
+#include "sim/run_spec.hpp"
+#include "sim/world.hpp"
+
+namespace gam::amcast {
+
+class TimestampMulticast final : public Protocol {
+ public:
+  // Trace id layout per instance: deliver events of group g carry
+  // trace_base + g; the agents' wire protocol runs at trace_base +
+  // kWireOffset and partition π's log at trace_base + kWireOffset + 1 + π.
+  // Monitors configured with protocol_base = trace_base see exactly the
+  // deliver events (the wire ids sit past every group id).
+  static constexpr sim::ProtocolId kWhiteBoxTraceBase = sim::protocol_id(1000);
+  static constexpr sim::ProtocolId kGenericTraceBase = sim::protocol_id(2000);
+  static constexpr std::int32_t kWireOffset = 400;
+
+  TimestampMulticast(const groups::GroupSystem& system,
+                     const sim::FailurePattern& pattern,
+                     ProtocolOptions options, bool conflict_aware,
+                     sim::ProtocolId trace_base);
+
+  void submit(const MulticastMessage& m) override;
+  RunRecord run() override;
+  const RunRecord& record() const override { return record_; }
+  const ProtocolOptions& options() const override { return options_; }
+  std::uint64_t wire_messages() const override;
+  void set_metrics(sim::Metrics* m) override;
+  void set_event_sink(sim::TraceSink* sink) override;
+  sim::World* world() override { return world_; }
+
+  // Introspection for tests.
+  const std::vector<ProcessSet>& partitions() const { return partitions_; }
+  bool conflict_aware() const { return conflict_aware_; }
+
+ private:
+  // The per-process reactive endpoint: receives TS-REQ/TS wire messages and
+  // drains the outbox of announcements queued by log-apply callbacks (which
+  // run without a Context of their own).
+  class Agent;
+  friend class Agent;
+
+  struct Outgoing {
+    ProcessId dst;
+    sim::MsgType type;
+    std::int64_t a = 0, b = 0, c = 0;
+  };
+
+  struct MsgInfo {
+    MulticastMessage m;
+    ProcessSet members;       // dst(m)
+    std::vector<int> cover;   // covering partition indices
+  };
+
+  struct PerProcess {
+    std::deque<Outgoing> outbox;
+    std::int64_t clock = 0;              // own replica's partition clock
+    std::map<MsgId, std::int64_t> local_ts;   // π_p's proposal, once applied
+    std::set<MsgId> applied;             // TS-REQ applied, not yet delivered
+    std::set<MsgId> delivered;
+    std::set<MsgId> submitted;           // TS-REQ ops this process submitted
+    std::map<MsgId, std::map<int, std::int64_t>> ts_seen;  // partition -> ts
+    std::map<MsgId, std::int64_t> final_ts;
+    std::set<std::int64_t> bumps;        // BUMP values already submitted
+    std::int64_t seq = 0;
+  };
+
+  // Log ops: TS-REQ(m) is m.id (>= 0); BUMP(T) is -(T + 1).
+  static std::int64_t bump_op(std::int64_t t) { return -(t + 1); }
+
+  void originate(const MulticastMessage& m);
+  void handle_ts_req(ProcessId p, MsgId id);
+  void on_log_apply(ProcessId p, int part, std::int64_t op);
+  void note_ts(ProcessId p, MsgId id, int part, std::int64_t ts);
+  void try_deliver(ProcessId p);
+  bool conflicts(MsgId a, MsgId b) const;
+  void deliver(ProcessId p, MsgId id);
+
+  const groups::GroupSystem& system_;
+  const sim::FailurePattern& pattern_;
+  ProtocolOptions options_;
+  const bool conflict_aware_;
+  const sim::ProtocolId trace_base_;
+
+  std::vector<ProcessSet> partitions_;
+  std::vector<int> part_of_;  // process -> partition index (-1 = uncovered)
+
+  std::unique_ptr<sim::Scenario> scenario_;  // owns the World + scheduler
+  sim::World* world_ = nullptr;
+  std::vector<objects::ProtocolHost*> hosts_;
+  std::vector<std::unique_ptr<fd::SigmaOracle>> sigmas_;   // per partition
+  std::vector<std::unique_ptr<fd::OmegaOracle>> omegas_;   // per partition
+  // logs_[p]: process p's replica of its partition's log (null if uncovered).
+  std::vector<std::shared_ptr<objects::UniversalLog>> logs_;
+  std::vector<Agent*> agents_;  // owned by the hosts
+
+  std::vector<MulticastMessage> workload_;
+  std::map<MsgId, MsgInfo> info_;
+  std::vector<PerProcess> procs_;
+  RunRecord record_;
+  sim::Metrics* metrics_ = nullptr;
+};
+
+}  // namespace gam::amcast

@@ -22,6 +22,13 @@ struct MulticastMessage {
   GroupId dst = -1;
   ProcessId src = -1;
   std::int64_t payload = 0;
+  // Conflict relation for the partially-ordered protocols (Generic
+  // Multicast): two messages conflict iff they carry the same class; only
+  // conflicting deliveries are mutually ordered. Totally-ordered protocols
+  // ignore it, and the single-class default makes every pair conflict (the
+  // classical relation). The class is a *workload* property, not a protocol
+  // one — see DESIGN.md decision 16.
+  std::int32_t conflict_class = 0;
 };
 
 // The phases a message moves through in Algorithm 1 (line 4 and §4.3).

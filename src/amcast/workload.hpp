@@ -1,6 +1,7 @@
 // Workload generators shared by tests, benches and examples.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "amcast/types.hpp"
@@ -47,6 +48,51 @@ inline std::vector<MulticastMessage> random_workload(
     m.src = members[static_cast<size_t>(rng.below(members.size()))];
     m.payload = id;
     out.push_back(m);
+  }
+  return out;
+}
+
+// Conflict-aware workload (the arena's contention axis, ISSUE 10):
+// `per_group` messages to each group in `targets` (round-robin interleaved,
+// senders rotating over the members), each tagged with a conflict class drawn
+// from the rate-derived class count.
+//
+//   rate <= 0   — every message its own class: nothing conflicts, a
+//                 conflict-aware protocol may deliver everything unordered;
+//   rate == 1   — one class: everything conflicts, delivery is a total order
+//                 per destination (the classical relation);
+//   in between  — max(1, round(1/rate)) classes sampled uniformly, so `rate`
+//                 approximates the probability that two random messages
+//                 conflict (0.5 -> 2 classes).
+//
+// The class assignment consumes `rng` deterministically: the same seed yields
+// the same commuting-set partition (tests/test_protocol_arena.cpp pins this).
+inline std::vector<MulticastMessage> conflict_workload(
+    const groups::GroupSystem& system,
+    const std::vector<groups::GroupId>& targets, int per_group, double rate,
+    Rng& rng) {
+  std::vector<MulticastMessage> out;
+  const std::int64_t classes =
+      rate <= 0.0 ? 0  // 0 = "unique class per message"
+                  : std::max<std::int64_t>(
+                        1, static_cast<std::int64_t>(1.0 / rate + 0.5));
+  MsgId next = 0;
+  for (int k = 0; k < per_group; ++k) {
+    for (groups::GroupId g : targets) {
+      std::vector<ProcessId> members(system.group(g).begin(),
+                                     system.group(g).end());
+      MulticastMessage m;
+      m.id = next++;
+      m.dst = g;
+      m.src = members[static_cast<size_t>(k) % members.size()];
+      m.payload = m.id;
+      m.conflict_class =
+          classes == 0
+              ? static_cast<std::int32_t>(m.id)
+              : static_cast<std::int32_t>(
+                    rng.below(static_cast<std::uint64_t>(classes)));
+      out.push_back(m);
+    }
   }
   return out;
 }

@@ -2,7 +2,8 @@
 // surface.
 //
 // The same construction amcast::ReplicatedMulticast uses in the simulator —
-// one UniversalLog replica per group member, protocol id 100+g, delivery =
+// one UniversalLog replica per group member, protocol id kTraceBase+g,
+// delivery =
 // the op entering a replica's learned prefix — packaged so that IDENTICAL
 // actors can be installed on a live net::Runtime and on a replay World: build
 // one GroupLogs per execution, hand make_actors() a deliver callback that
@@ -31,7 +32,10 @@ struct GroupLogsConfig {
   int group_size = 3;
   int batch = 1;       // UniversalLog ordered-batch size
   int window = 1;      // UniversalLog pipelined instance window
-  std::int32_t protocol_base = 100;  // group g speaks protocol_base + g
+  // Group g speaks protocol_base + g. 100 matches the simulator's world-log
+  // numbering (amcast::ReplicatedMulticast::kTraceBase) so net traces replay
+  // against the same monitor wiring.
+  sim::ProtocolId protocol_base = sim::protocol_id(100);
 };
 
 class GroupLogs {
@@ -62,9 +66,7 @@ class GroupLogs {
     return scopes_[static_cast<std::size_t>(g)];
   }
   std::vector<ProcessSet> group_sets() const { return scopes_; }
-  sim::ProtocolId protocol(int g) const {
-    return sim::protocol_id(cfg_.protocol_base + g);
-  }
+  sim::ProtocolId protocol(int g) const { return cfg_.protocol_base + g; }
 
   // The Ω leader of group g — stable from t=0 under the crash-free pattern,
   // so ops submitted here are driven directly instead of being forwarded.

@@ -9,7 +9,7 @@
 // and Message keep raw int32 fields; the typed layer exists at call sites.
 //
 // ProtocolId and MsgType are intentionally open enums (no enumerators):
-// protocols mint their own ids (`100 + g`, per-subsystem constants), so the
+// protocols mint their own ids (per-subsystem kTraceBase constants), so the
 // type is a brand, not a closed set. DetectorClass IS closed — it enumerates
 // the paper's failure-detector modules and doubles as the metrics label and
 // the `detector` field of kFdQuery trace events.
@@ -33,6 +33,15 @@ enum class DetectorClass : std::int32_t {
 
 constexpr ProtocolId protocol_id(std::int32_t raw) { return ProtocolId{raw}; }
 constexpr MsgType msg_type(std::int32_t raw) { return MsgType{raw}; }
+
+// Families of protocol instances (one log per group/partition) are numbered
+// as offsets from a named base id. This is the only sanctioned arithmetic on
+// ProtocolId: `kBase + g` reads as "instance g of the family at kBase", and
+// call sites never touch the raw representation (scripts/tier1.sh greps for
+// raw-literal protocol ids).
+constexpr ProtocolId operator+(ProtocolId base, std::int32_t offset) {
+  return ProtocolId{static_cast<std::int32_t>(base) + offset};
+}
 
 constexpr std::int32_t raw(ProtocolId p) {
   return static_cast<std::int32_t>(p);

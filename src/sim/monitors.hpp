@@ -11,7 +11,8 @@
 //   kMulticast  p=submitter  protocol=dst group   peer=src  arg=msg id
 //   kDeliver    p=deliverer  protocol=dst group   arg=msg id
 //   kCrash      p=crashed process
-// World-level runs prefix protocol ids (ReplicatedMulticast uses 100+g);
+// World-level runs prefix protocol ids (ReplicatedMulticast uses
+// kTraceBase+g);
 // MonitorConfig::protocol_base subtracts that. Events whose protocol does
 // not map to a configured group are ignored, so monitors can share a stream
 // with unrelated protocols.
@@ -43,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/ids.hpp"
 #include "sim/trace.hpp"
 #include "util/process_set.hpp"
 
@@ -58,15 +60,23 @@ struct MonitorViolation {
 struct MonitorConfig {
   // Group id -> membership. Deliveries resolve dst(m) through this.
   std::vector<ProcessSet> groups;
-  // Subtracted from TraceEvent::protocol to obtain the group id (0 for
-  // protocol-level streams, 100 for ReplicatedMulticast world traces).
-  std::int32_t protocol_base = 0;
+  // Where the protocol family's deliver events sit in the trace id space:
+  // group g's events carry protocol_base + g (protocol_id(0) for
+  // protocol-level streams; ReplicatedMulticast::kTraceBase for its world
+  // traces; each arena descriptor publishes its own trace_base).
+  ProtocolId protocol_base = protocol_id(0);
   // When false, integrity tolerates deliveries with no preceding kMulticast
   // (streams that only record the delivery side).
   bool require_multicast = true;
   // Processes faulty in the failure pattern. Streams that carry kCrash
   // events extend this set automatically.
   ProcessSet faulty;
+  // Conflict relation of the workload (message id -> conflict class): two
+  // messages are order-constrained iff they carry the same class, so the
+  // acyclicity monitor only draws ↦ edges within a class. Empty = every
+  // message in class 0, i.e. the classical totally-ordered relation — the
+  // exact pre-arena behavior.
+  std::map<std::int64_t, std::int32_t> conflict_class;
 };
 
 namespace monitor_detail {
@@ -141,10 +151,16 @@ class MonitorBase : public TraceSink {
 
   // Group id of an event, or nullopt when the protocol is not one of ours.
   std::optional<int> group_of(const TraceEvent& e) const {
-    std::int64_t g = e.protocol - cfg_.protocol_base;
+    std::int64_t g = e.protocol - raw(cfg_.protocol_base);
     if (g < 0 || g >= static_cast<std::int64_t>(cfg_.groups.size()))
       return std::nullopt;
     return static_cast<int>(g);
+  }
+
+  // Conflict class of a message id (class 0 when the config carries no map).
+  std::int32_t conflict_class_of(std::int64_t m) const {
+    auto it = cfg_.conflict_class.find(m);
+    return it == cfg_.conflict_class.end() ? 0 : it->second;
   }
 
   void flag(std::uint64_t index, const TraceEvent& e, std::string detail) {
@@ -284,8 +300,13 @@ class AcyclicityMonitor final : public MonitorBase {
           missing.push_back(m2);
       }
       if (missing.empty()) continue;
+      // ↦ only relates conflicting pairs: a missing commuting message
+      // constrains nothing (it may deliver before or after anything p did
+      // deliver), so the edge fan-out stays within the conflict class.
       for (std::int64_t m : delivered)
-        for (std::int64_t m2 : missing) adj[m].insert(m2);
+        for (std::int64_t m2 : missing)
+          if (conflict_class_of(m) == conflict_class_of(m2))
+            adj[m].insert(m2);
     }
     if (monitor_detail::has_cycle(adj)) {
       TraceEvent none{};
@@ -303,7 +324,12 @@ class AcyclicityMonitor final : public MonitorBase {
     if (e.kind != TraceEventKind::kDeliver) return;
     if (!group_of(e)) return;  // foreign protocol
     auto& delivered = delivered_at_[e.p];
-    auto last = last_delivered_.find(e.p);
+    // The chain edge runs from p's previous delivery *in the same conflict
+    // class*: commuting messages are unordered by ↦, so a partially-ordered
+    // protocol interleaving two classes differently at two processes is not
+    // a cycle. With no class map every message is class 0 and this is the
+    // classical consecutive-delivery chain.
+    auto last = last_delivered_.find({e.p, conflict_class_of(e.arg)});
     if (last != last_delivered_.end() && last->second != e.arg &&
         !delivered.count(e.arg)) {
       // p is in dst of both (it delivered both), so the relation holds.
@@ -315,13 +341,14 @@ class AcyclicityMonitor final : public MonitorBase {
                  std::to_string(last->second));
     }
     delivered.insert(e.arg);
-    last_delivered_[e.p] = e.arg;
+    last_delivered_[{e.p, conflict_class_of(e.arg)}] = e.arg;
   }
 
  private:
   std::map<std::int64_t, int> multicast_dst_;
   std::map<ProcessId, std::set<std::int64_t>> delivered_at_;
-  std::map<ProcessId, std::int64_t> last_delivered_;
+  // (process, conflict class) -> the last message it delivered in that class.
+  std::map<std::pair<ProcessId, std::int32_t>, std::int64_t> last_delivered_;
   std::map<std::int64_t, std::set<std::int64_t>> adj_;
 };
 

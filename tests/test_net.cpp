@@ -365,7 +365,7 @@ void run_end_to_end(Transport& transport, int ops_per_group) {
       e.t = t++;
       e.p = logs.leader(g);
       e.kind = sim::TraceEventKind::kMulticast;
-      e.protocol = cfg.protocol_base + g;
+      e.protocol = sim::raw(cfg.protocol_base + g);
       e.peer = e.p;
       e.arg = (static_cast<std::int64_t>(g) << 40) + i;
       mons.on_event(e);
@@ -383,7 +383,7 @@ void run_end_to_end(Transport& transport, int ops_per_group) {
       e.t = t++;
       e.p = p;
       e.kind = sim::TraceEventKind::kDeliver;
-      e.protocol = cfg.protocol_base + d.g;
+      e.protocol = sim::raw(cfg.protocol_base + d.g);
       e.type = static_cast<std::int32_t>(d.seq);
       e.arg = d.op;
       mons.on_event(e);

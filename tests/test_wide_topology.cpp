@@ -211,7 +211,8 @@ TEST(WideTopology, ReplicatedMulticastScenarioRunsClean) {
   sim::MonitorConfig cfg;
   for (groups::GroupId g = 0; g < sys.group_count(); ++g)
     cfg.groups.push_back(sys.group(g));
-  cfg.protocol_base = 100;       // World traces number protocols 100+g
+  // World traces number protocols kTraceBase+g
+  cfg.protocol_base = amcast::ReplicatedMulticast::kTraceBase;
   cfg.require_multicast = false; // delivery-side trace only
   sim::InvariantMonitors mons(cfg);
   sim::feed(mons, rec.events());

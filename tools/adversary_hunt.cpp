@@ -96,7 +96,7 @@ CellResult run_cell(const sim::AdversarySpec& adv, std::uint64_t seed,
   sim::MonitorConfig cfg;
   for (groups::GroupId g = 0; g < sys.group_count(); ++g)
     cfg.groups.push_back(sys.group(g));
-  cfg.protocol_base = 0;
+  cfg.protocol_base = sim::protocol_id(0);
   cfg.require_multicast = true;
   cfg.faulty = pat.faulty_set();
   sim::InvariantMonitors mon(cfg);

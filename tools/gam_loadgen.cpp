@@ -492,7 +492,7 @@ int free_run(const Args& a) {
           e.t = t++;
           e.p = leaders[static_cast<std::size_t>(g)];
           e.kind = gam::sim::TraceEventKind::kMulticast;
-          e.protocol = cfg.protocol_base + g;
+          e.protocol = gam::sim::raw(cfg.protocol_base + g);
           e.peer = e.p;
           e.arg = op_base(g) + static_cast<std::int64_t>(i);
           mons.on_event(e);
@@ -514,7 +514,7 @@ int free_run(const Args& a) {
           e.t = t++;
           e.p = p;
           e.kind = gam::sim::TraceEventKind::kDeliver;
-          e.protocol = cfg.protocol_base + d.g;
+          e.protocol = gam::sim::raw(cfg.protocol_base + d.g);
           e.type = static_cast<std::int32_t>(d.seq);
           e.arg = d.op;
           mons.on_event(e);
